@@ -1,0 +1,40 @@
+// Reproduces Figure 1: the taxonomy of time-series augmentation
+// techniques. Prints the implemented registry grouped by branch, so the
+// tree stays in sync with the library (every printed leaf is a working
+// Augmenter).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "augment/pipeline.h"
+
+int main() {
+  using tsaug::augment::TaxonomyBranch;
+  const std::vector<tsaug::augment::TaxonomyEntry> taxonomy =
+      tsaug::augment::BuildTaxonomy(/*include_timegan=*/true);
+
+  std::map<std::string, std::vector<std::string>> by_branch;
+  for (const tsaug::augment::TaxonomyEntry& entry : taxonomy) {
+    by_branch[TaxonomyBranchName(entry.branch)].push_back(
+        entry.augmenter->name());
+  }
+
+  std::printf("FIGURE 1: Taxonomy of time series augmentation techniques\n");
+  std::printf("(every leaf is an implemented tsaug::augment::Augmenter)\n\n");
+  std::printf("Time Series Data Augmentation\n");
+  std::string previous_root;
+  for (const auto& [branch, names] : by_branch) {
+    const std::string root = branch.substr(0, branch.find(' '));
+    if (root != previous_root) {
+      std::printf("|- %s Techniques\n", root.c_str());
+      previous_root = root;
+    }
+    std::printf("|  |- %s\n", branch.c_str());
+    for (const std::string& name : names) {
+      std::printf("|  |  |- %s\n", name.c_str());
+    }
+  }
+  std::printf("\n%zu techniques across %zu branches\n", taxonomy.size(),
+              by_branch.size());
+  return 0;
+}

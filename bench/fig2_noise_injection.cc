@@ -1,0 +1,39 @@
+// Reproduces Figure 2: basic noise injection on a two-class 2-D dataset.
+// The figure's message is that plain noise can push generated points over
+// the decision boundary; this bench emits the scatter data and quantifies
+// the boundary violations for each noise level.
+#include <cstdio>
+
+#include "augment/noise.h"
+#include "fig_demo_common.h"
+
+int main() {
+  constexpr double kSeparation = 3.0;
+  const tsaug::core::Dataset data =
+      tsaug::bench::TwoGaussians(40, 10, kSeparation, 0.8, /*seed=*/1);
+
+  std::printf("FIGURE 2: noise injection (class1 = minority)\n");
+  std::printf("kind,x,y\n");
+  tsaug::bench::PrintDataset(data);
+
+  for (double level : {1.0, 3.0, 5.0}) {
+    tsaug::augment::NoiseInjection noise(level);
+    tsaug::core::Rng rng(7);
+    const auto generated = noise.Generate(data, 1, 12, rng);
+    char tag[32];
+    std::snprintf(tag, sizeof(tag), "generated_l%.0f", level);
+    tsaug::bench::PrintPoints(tag, generated);
+  }
+
+  std::printf("\nBoundary violations out of 500 generated minority points:\n");
+  for (double level : {1.0, 3.0, 5.0}) {
+    tsaug::augment::NoiseInjection noise(level);
+    const int violations =
+        tsaug::bench::CountViolations(noise, data, kSeparation, 500, 11);
+    std::printf("  noise_%.1f: %3d / 500 (%.1f%%)\n", level, violations,
+                100.0 * violations / 500.0);
+  }
+  std::printf("Higher levels leak further over the boundary -- the failure "
+              "mode the preserving branch fixes (see fig5).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Domain scenario: a severely imbalanced multi-class problem (an LSST-like
+// astronomical survey, 14 classes with a 9.5 imbalance degree). Compares
+// several augmentation strategies — the paper's protocol end-to-end —
+// across both classifier families plus a 1-NN DTW sanity baseline.
+#include <cstdio>
+#include <memory>
+
+#include "augment/noise.h"
+#include "augment/oversample.h"
+#include "augment/preserving.h"
+#include "classify/inception_time.h"
+#include "classify/nearest_neighbor.h"
+#include "classify/rocket.h"
+#include "core/stats.h"
+#include "data/uea_catalog.h"
+
+namespace {
+
+double RocketScore(const tsaug::core::Dataset& train,
+                   const tsaug::core::Dataset& test) {
+  tsaug::classify::RocketClassifier clf(500, 3);
+  clf.Fit(train);
+  return clf.Score(test);
+}
+
+double InceptionScore(const tsaug::core::Dataset& train,
+                      const tsaug::core::Dataset& test) {
+  tsaug::classify::InceptionTimeConfig config;
+  config.num_filters = 4;
+  config.depth = 3;
+  config.kernel_sizes = {4, 8};
+  config.bottleneck_channels = 4;
+  config.ensemble_size = 1;
+  config.trainer.max_epochs = 30;
+  config.trainer.early_stopping_patience = 30;
+  config.trainer.learning_rate = 2e-3;
+  tsaug::classify::InceptionTimeClassifier clf(config, 3);
+  clf.Fit(train);  // internal 2:1 stratified validation split
+  return clf.Score(test);
+}
+
+double KnnScore(const tsaug::core::Dataset& train,
+                const tsaug::core::Dataset& test) {
+  tsaug::classify::KnnClassifier clf(1, tsaug::classify::NnDistance::kDtw, 4);
+  clf.Fit(train);
+  return clf.Score(test);
+}
+
+}  // namespace
+
+int main() {
+  const tsaug::data::TrainTest data = tsaug::data::MakeUeaLikeDataset(
+      "LSST", tsaug::data::ScalePreset::kSmall, /*seed=*/3);
+  std::printf("LSST-like data: %d train / %d test, %d classes, "
+              "imbalance degree %.2f\n\n",
+              data.train.size(), data.test.size(), data.train.num_classes(),
+              tsaug::core::ImbalanceDegree(data.train));
+
+  std::vector<std::pair<std::string, std::shared_ptr<tsaug::augment::Augmenter>>>
+      strategies = {
+          {"none", nullptr},
+          {"noise_1.0", std::make_shared<tsaug::augment::NoiseInjection>(1.0)},
+          {"smote", std::make_shared<tsaug::augment::Smote>()},
+          {"adasyn", std::make_shared<tsaug::augment::Adasyn>()},
+          {"range_noise", std::make_shared<tsaug::augment::RangeNoise>()},
+          {"ohit", std::make_shared<tsaug::augment::Ohit>()},
+      };
+
+  std::printf("%-14s %10s %15s %10s\n", "augmentation", "ROCKET",
+              "InceptionTime", "1NN-DTW");
+  for (auto& [name, augmenter] : strategies) {
+    tsaug::core::Dataset train = data.train;
+    if (augmenter != nullptr) {
+      tsaug::core::Rng rng(17);
+      train = tsaug::augment::BalanceWithAugmenter(data.train, *augmenter, rng);
+    }
+    std::printf("%-14s %9.2f%% %14.2f%% %9.2f%%\n", name.c_str(),
+                100.0 * RocketScore(train, data.test),
+                100.0 * InceptionScore(train, data.test),
+                100.0 * KnnScore(train, data.test));
+  }
+  std::printf("\n(no single strategy dominates -- the paper's core "
+              "finding)\n");
+  return 0;
+}

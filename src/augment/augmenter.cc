@@ -1,0 +1,84 @@
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+std::string TaxonomyBranchName(TaxonomyBranch branch) {
+  switch (branch) {
+    case TaxonomyBranch::kBasicTime:
+      return "Basic / Time domain";
+    case TaxonomyBranch::kBasicFrequency:
+      return "Basic / Frequency domain";
+    case TaxonomyBranch::kBasicOversampling:
+      return "Basic / Oversampling";
+    case TaxonomyBranch::kBasicDecomposition:
+      return "Basic / Decomposition";
+    case TaxonomyBranch::kGenerativeStatistical:
+      return "Generative / Statistical";
+    case TaxonomyBranch::kGenerativeNeural:
+      return "Generative / Neural networks";
+    case TaxonomyBranch::kGenerativeProbabilistic:
+      return "Generative / Probabilistic";
+    case TaxonomyBranch::kLabelPreserving:
+      return "Preserving / Label-preserving";
+    case TaxonomyBranch::kStructurePreserving:
+      return "Preserving / Structure-preserving";
+  }
+  TSAUG_CHECK(false);
+  return "";
+}
+
+std::vector<core::TimeSeries> TransformAugmenter::Generate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
+  TSAUG_CHECK(count >= 0);
+  const std::vector<std::vector<int>> by_class = train.IndicesByClass();
+  TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
+  const std::vector<int>& members = by_class[label];
+  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+
+  std::vector<core::TimeSeries> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    const int seed_index = rng.Choice(members);
+    out.push_back(Transform(train.series(seed_index), rng));
+  }
+  return out;
+}
+
+core::Dataset BalanceWithAugmenter(const core::Dataset& train,
+                                   Augmenter& augmenter, core::Rng& rng) {
+  TSAUG_CHECK(!train.empty());
+  const std::vector<int> counts = train.ClassCounts();
+  const int majority = counts[train.MajorityClass()];
+
+  core::Dataset augmented = train;
+  for (int label = 0; label < train.num_classes(); ++label) {
+    if (counts[label] == 0) continue;  // label space may have gaps
+    const int deficit = majority - counts[label];
+    if (deficit <= 0) continue;
+    for (core::TimeSeries& series :
+         augmenter.Generate(train, label, deficit, rng)) {
+      augmented.Add(std::move(series), label);
+    }
+  }
+  return augmented;
+}
+
+core::Dataset ExpandWithAugmenter(const core::Dataset& train,
+                                  Augmenter& augmenter, double factor,
+                                  core::Rng& rng) {
+  TSAUG_CHECK(factor >= 0.0);
+  const std::vector<int> counts = train.ClassCounts();
+  core::Dataset augmented = train;
+  for (int label = 0; label < train.num_classes(); ++label) {
+    if (counts[label] == 0) continue;
+    const int extra = static_cast<int>(counts[label] * factor + 0.5);
+    if (extra <= 0) continue;
+    for (core::TimeSeries& series :
+         augmenter.Generate(train, label, extra, rng)) {
+      augmented.Add(std::move(series), label);
+    }
+  }
+  return augmented;
+}
+
+}  // namespace tsaug::augment

@@ -1,0 +1,82 @@
+#ifndef TSAUG_AUGMENT_AUGMENTER_H_
+#define TSAUG_AUGMENT_AUGMENTER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+#include "core/rng.h"
+#include "core/time_series.h"
+
+namespace tsaug::augment {
+
+/// Branches of the paper's taxonomy (Figure 1).
+enum class TaxonomyBranch {
+  kBasicTime,
+  kBasicFrequency,
+  kBasicOversampling,
+  kBasicDecomposition,
+  kGenerativeStatistical,
+  kGenerativeNeural,
+  kGenerativeProbabilistic,
+  kLabelPreserving,
+  kStructurePreserving,
+};
+
+/// Human-readable branch name as printed in the Figure 1 bench.
+std::string TaxonomyBranchName(TaxonomyBranch branch);
+
+/// A data augmentation technique.
+///
+/// Augmenters are class-conditional generators: given the training set and
+/// a class label, they synthesise `count` new series of that class. This
+/// covers all the paper's families — transform-based methods sample a seed
+/// series of the class and perturb it, oversamplers interpolate between
+/// class members, and generative models fit the class distribution first
+/// (caching the fit between calls).
+class Augmenter {
+ public:
+  virtual ~Augmenter() = default;
+
+  virtual std::string name() const = 0;
+  virtual TaxonomyBranch branch() const = 0;
+
+  /// Generates `count` synthetic series of class `label` using the class's
+  /// members in `train` as source material.
+  virtual std::vector<core::TimeSeries> Generate(const core::Dataset& train,
+                                                 int label, int count,
+                                                 core::Rng& rng) = 0;
+
+  /// Drops any state fitted to a previous training set (generative
+  /// augmenters cache per-class models). Default: stateless no-op.
+  virtual void Invalidate() {}
+};
+
+/// Convenience base for label-free transforms: Generate() draws a random
+/// seed series of the class and applies Transform().
+class TransformAugmenter : public Augmenter {
+ public:
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train,
+                                         int label, int count,
+                                         core::Rng& rng) final;
+
+  /// Produces one augmented copy of `series`.
+  virtual core::TimeSeries Transform(const core::TimeSeries& series,
+                                     core::Rng& rng) const = 0;
+};
+
+/// The paper's augmentation protocol: every class is topped up with
+/// synthetic instances until the dataset is perfectly balanced (all classes
+/// at the majority count). Returns original + synthetic instances.
+core::Dataset BalanceWithAugmenter(const core::Dataset& train,
+                                   Augmenter& augmenter, core::Rng& rng);
+
+/// Appends `factor` x class_count synthetic instances to every class
+/// (factor 1.0 doubles the data). Used by the ablation benches.
+core::Dataset ExpandWithAugmenter(const core::Dataset& train,
+                                  Augmenter& augmenter, double factor,
+                                  core::Rng& rng);
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_AUGMENTER_H_

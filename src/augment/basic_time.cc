@@ -1,0 +1,250 @@
+#include "augment/basic_time.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preprocess.h"
+
+namespace tsaug::augment {
+namespace {
+
+// Piecewise-linear curve through `num_knots` values at evenly spaced
+// positions, evaluated at `length` points.
+std::vector<double> KnotCurve(const std::vector<double>& knots, int length) {
+  const int k = static_cast<int>(knots.size());
+  std::vector<double> curve(length);
+  for (int t = 0; t < length; ++t) {
+    const double pos = length == 1
+                           ? 0.0
+                           : static_cast<double>(t) * (k - 1) / (length - 1);
+    const int lo = std::min(static_cast<int>(pos), k - 2);
+    const double frac = pos - lo;
+    curve[t] = (1.0 - frac) * knots[lo] + frac * knots[lo + 1];
+  }
+  return curve;
+}
+
+// Linear interpolation of channel `c` of `series` at fractional index `u`.
+double SampleAt(const core::TimeSeries& series, int c, double u) {
+  const int lo = std::clamp(static_cast<int>(u), 0, series.length() - 1);
+  const int hi = std::min(lo + 1, series.length() - 1);
+  const double frac = u - lo;
+  return (1.0 - frac) * series.at(c, lo) + frac * series.at(c, hi);
+}
+
+}  // namespace
+
+Scaling::Scaling(double sigma) : sigma_(sigma) { TSAUG_CHECK(sigma > 0.0); }
+
+core::TimeSeries Scaling::Transform(const core::TimeSeries& series,
+                                    core::Rng& rng) const {
+  core::TimeSeries out = series;
+  for (int c = 0; c < out.num_channels(); ++c) {
+    const double factor = rng.Normal(1.0, sigma_);
+    for (double& v : out.channel(c)) {
+      if (!std::isnan(v)) v *= factor;
+    }
+  }
+  return out;
+}
+
+Rotation::Rotation(double max_angle_radians) : max_angle_(max_angle_radians) {
+  TSAUG_CHECK(max_angle_radians > 0.0);
+}
+
+core::TimeSeries Rotation::Transform(const core::TimeSeries& series,
+                                     core::Rng& rng) const {
+  core::TimeSeries out = core::ImputeLinear(series);
+  const int channels = out.num_channels();
+  if (channels == 1) {
+    // Univariate degenerate case: sign flip.
+    for (double& v : out.channel(0)) v = -v;
+    return out;
+  }
+  // Compose random Givens rotations over random channel pairs.
+  const int num_rotations = std::max(1, channels / 2);
+  for (int r = 0; r < num_rotations; ++r) {
+    const int a = rng.Index(channels);
+    int b = rng.Index(channels - 1);
+    if (b >= a) ++b;
+    const double angle = rng.Uniform(-max_angle_, max_angle_);
+    const double cos_a = std::cos(angle);
+    const double sin_a = std::sin(angle);
+    for (int t = 0; t < out.length(); ++t) {
+      const double va = out.at(a, t);
+      const double vb = out.at(b, t);
+      out.at(a, t) = cos_a * va - sin_a * vb;
+      out.at(b, t) = sin_a * va + cos_a * vb;
+    }
+  }
+  return out;
+}
+
+WindowSlicing::WindowSlicing(double fraction) : fraction_(fraction) {
+  TSAUG_CHECK(fraction > 0.0 && fraction <= 1.0);
+}
+
+core::TimeSeries WindowSlicing::Transform(const core::TimeSeries& series,
+                                          core::Rng& rng) const {
+  const int length = series.length();
+  const int slice_len = std::max(2, static_cast<int>(length * fraction_));
+  if (slice_len >= length) return series;
+  const int start = rng.Index(length - slice_len + 1);
+
+  core::TimeSeries slice(series.num_channels(), slice_len);
+  for (int c = 0; c < series.num_channels(); ++c) {
+    for (int t = 0; t < slice_len; ++t) slice.at(c, t) = series.at(c, start + t);
+  }
+  return core::ResampleToLength(core::ImputeLinear(slice), length);
+}
+
+Permutation::Permutation(int num_segments) : num_segments_(num_segments) {
+  TSAUG_CHECK(num_segments >= 2);
+}
+
+core::TimeSeries Permutation::Transform(const core::TimeSeries& series,
+                                        core::Rng& rng) const {
+  const int length = series.length();
+  const int segments = std::min(num_segments_, length);
+  std::vector<int> order(segments);
+  for (int s = 0; s < segments; ++s) order[s] = s;
+  rng.Shuffle(order);
+
+  core::TimeSeries out(series.num_channels(), length);
+  int write = 0;
+  for (int s = 0; s < segments; ++s) {
+    const int src = order[s];
+    const int begin = src * length / segments;
+    const int end = (src + 1) * length / segments;
+    for (int t = begin; t < end; ++t, ++write) {
+      for (int c = 0; c < series.num_channels(); ++c) {
+        out.at(c, write) = series.at(c, t);
+      }
+    }
+  }
+  TSAUG_CHECK(write == length);
+  return out;
+}
+
+Masking::Masking(double fraction) : fraction_(fraction) {
+  TSAUG_CHECK(fraction > 0.0 && fraction < 1.0);
+}
+
+core::TimeSeries Masking::Transform(const core::TimeSeries& series,
+                                    core::Rng& rng) const {
+  core::TimeSeries out = series;
+  const int length = series.length();
+  const int window = std::max(1, static_cast<int>(length * fraction_));
+  const int start = rng.Index(std::max(1, length - window + 1));
+  for (int c = 0; c < out.num_channels(); ++c) {
+    for (int t = start; t < std::min(length, start + window); ++t) {
+      out.at(c, t) = 0.0;
+    }
+  }
+  return out;
+}
+
+Dropout::Dropout(double rate) : rate_(rate) {
+  TSAUG_CHECK(rate > 0.0 && rate < 1.0);
+}
+
+core::TimeSeries Dropout::Transform(const core::TimeSeries& series,
+                                    core::Rng& rng) const {
+  core::TimeSeries out = series;
+  for (double& v : out.values()) {
+    if (!std::isnan(v) && rng.Bernoulli(rate_)) v = 0.0;
+  }
+  return out;
+}
+
+MagnitudeWarp::MagnitudeWarp(double sigma, int num_knots)
+    : sigma_(sigma), num_knots_(num_knots) {
+  TSAUG_CHECK(sigma > 0.0 && num_knots >= 2);
+}
+
+core::TimeSeries MagnitudeWarp::Transform(const core::TimeSeries& series,
+                                          core::Rng& rng) const {
+  core::TimeSeries out = series;
+  for (int c = 0; c < out.num_channels(); ++c) {
+    std::vector<double> knots(num_knots_);
+    for (double& k : knots) k = rng.Normal(1.0, sigma_);
+    const std::vector<double> curve = KnotCurve(knots, series.length());
+    auto channel = out.channel(c);
+    for (int t = 0; t < series.length(); ++t) {
+      if (!std::isnan(channel[t])) channel[t] *= curve[t];
+    }
+  }
+  return out;
+}
+
+TimeWarp::TimeWarp(double sigma, int num_knots)
+    : sigma_(sigma), num_knots_(num_knots) {
+  TSAUG_CHECK(sigma > 0.0 && num_knots >= 2);
+}
+
+core::TimeSeries TimeWarp::Transform(const core::TimeSeries& series,
+                                     core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int length = series.length();
+
+  // Random positive "speeds" at the knots; their cumulative integral,
+  // renormalised to end at length-1, is a monotone warp of the time axis.
+  std::vector<double> speeds(num_knots_);
+  for (double& s : speeds) s = std::max(0.1, rng.Normal(1.0, sigma_));
+  const std::vector<double> speed_curve = KnotCurve(speeds, length);
+  std::vector<double> warped(length);
+  double cumulative = 0.0;
+  for (int t = 0; t < length; ++t) {
+    warped[t] = cumulative;
+    cumulative += speed_curve[t];
+  }
+  const double scale = warped[length - 1] > 0.0
+                           ? static_cast<double>(length - 1) / warped[length - 1]
+                           : 1.0;
+
+  core::TimeSeries out(series.num_channels(), length);
+  for (int c = 0; c < series.num_channels(); ++c) {
+    for (int t = 0; t < length; ++t) {
+      out.at(c, t) = SampleAt(source, c, warped[t] * scale);
+    }
+  }
+  return out;
+}
+
+WindowWarp::WindowWarp(double window_fraction)
+    : window_fraction_(window_fraction) {
+  TSAUG_CHECK(window_fraction > 0.0 && window_fraction < 1.0);
+}
+
+core::TimeSeries WindowWarp::Transform(const core::TimeSeries& series,
+                                       core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int length = series.length();
+  const int window = std::max(2, static_cast<int>(length * window_fraction_));
+  if (window >= length) return source;
+  const int start = rng.Index(length - window + 1);
+  const double factor = rng.Bernoulli(0.5) ? 0.5 : 2.0;
+  const int new_window = std::max(1, static_cast<int>(window * factor));
+
+  // Rebuild the series with the warped window, then resample to length.
+  core::TimeSeries stretched(series.num_channels(),
+                             length - window + new_window);
+  for (int c = 0; c < series.num_channels(); ++c) {
+    int write = 0;
+    for (int t = 0; t < start; ++t) stretched.at(c, write++) = source.at(c, t);
+    for (int t = 0; t < new_window; ++t) {
+      const double u =
+          start + (new_window == 1
+                       ? 0.0
+                       : static_cast<double>(t) * (window - 1) / (new_window - 1));
+      stretched.at(c, write++) = SampleAt(source, c, u);
+    }
+    for (int t = start + window; t < length; ++t) {
+      stretched.at(c, write++) = source.at(c, t);
+    }
+    TSAUG_CHECK(write == stretched.length());
+  }
+  return core::ResampleToLength(stretched, length);
+}
+
+}  // namespace tsaug::augment

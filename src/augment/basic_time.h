@@ -1,0 +1,140 @@
+#ifndef TSAUG_AUGMENT_BASIC_TIME_H_
+#define TSAUG_AUGMENT_BASIC_TIME_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// Scaling: multiplies every channel by a factor drawn from N(1, sigma)
+/// (Um et al.).
+class Scaling : public TransformAugmenter {
+ public:
+  explicit Scaling(double sigma = 0.1);
+  std::string name() const override { return "scaling"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double sigma_;
+};
+
+/// Rotation: applies a random orthogonal rotation in channel space (a
+/// composition of random Givens rotations), the multivariate analogue of
+/// the sensor-rotation augmentation; univariate series get a sign flip.
+class Rotation : public TransformAugmenter {
+ public:
+  explicit Rotation(double max_angle_radians = 0.5);
+  std::string name() const override { return "rotation"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double max_angle_;
+};
+
+/// Window slicing (Le Guennec et al.): extracts a random contiguous slice
+/// of `fraction` of the series and stretches it back to the full length.
+class WindowSlicing : public TransformAugmenter {
+ public:
+  explicit WindowSlicing(double fraction = 0.9);
+  std::string name() const override { return "slicing"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double fraction_;
+};
+
+/// Permutation: splits the series into `num_segments` equal chunks and
+/// shuffles their order (all channels move together).
+class Permutation : public TransformAugmenter {
+ public:
+  explicit Permutation(int num_segments = 4);
+  std::string name() const override { return "permutation"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  int num_segments_;
+};
+
+/// Masking (cutout): zeroes one random contiguous window of `fraction` of
+/// the length in every channel.
+class Masking : public TransformAugmenter {
+ public:
+  explicit Masking(double fraction = 0.1);
+  std::string name() const override { return "masking"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double fraction_;
+};
+
+/// Dropout: zeroes each observation independently with probability `rate`.
+class Dropout : public TransformAugmenter {
+ public:
+  explicit Dropout(double rate = 0.05);
+  std::string name() const override { return "dropout"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double rate_;
+};
+
+/// Magnitude warping (Um et al.): multiplies the series by a smooth random
+/// curve built from `num_knots` knots ~ N(1, sigma), linearly interpolated.
+class MagnitudeWarp : public TransformAugmenter {
+ public:
+  explicit MagnitudeWarp(double sigma = 0.2, int num_knots = 4);
+  std::string name() const override { return "magnitude_warp"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double sigma_;
+  int num_knots_;
+};
+
+/// Time warping: distorts the time axis with a smooth random monotone
+/// warp (knot speeds ~ N(1, sigma), integrated and renormalised).
+class TimeWarp : public TransformAugmenter {
+ public:
+  explicit TimeWarp(double sigma = 0.2, int num_knots = 4);
+  std::string name() const override { return "time_warp"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double sigma_;
+  int num_knots_;
+};
+
+/// Window warping (Le Guennec et al.): stretches or compresses one random
+/// window by a factor in {0.5, 2}, then resamples to the original length.
+class WindowWarp : public TransformAugmenter {
+ public:
+  explicit WindowWarp(double window_fraction = 0.1);
+  std::string name() const override { return "window_warp"; }
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double window_fraction_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_BASIC_TIME_H_

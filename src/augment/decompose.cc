@@ -1,0 +1,61 @@
+#include "augment/decompose.h"
+
+#include <algorithm>
+
+#include "core/preprocess.h"
+
+namespace tsaug::augment {
+
+Decomposition MovingAverageDecompose(const std::vector<double>& signal,
+                                     int window) {
+  TSAUG_CHECK(window >= 1);
+  const int n = static_cast<int>(signal.size());
+  Decomposition out;
+  out.trend.resize(n);
+  out.residual.resize(n);
+  const int half = window / 2;
+  for (int t = 0; t < n; ++t) {
+    const int lo = std::max(0, t - half);
+    const int hi = std::min(n - 1, t + half);
+    double sum = 0.0;
+    for (int s = lo; s <= hi; ++s) sum += signal[s];
+    out.trend[t] = sum / (hi - lo + 1);
+    out.residual[t] = signal[t] - out.trend[t];
+  }
+  return out;
+}
+
+DecompositionAugmenter::DecompositionAugmenter(int trend_window,
+                                               int block_size)
+    : trend_window_(trend_window), block_size_(block_size) {
+  TSAUG_CHECK(trend_window >= 1 && block_size >= 1);
+}
+
+core::TimeSeries DecompositionAugmenter::Transform(
+    const core::TimeSeries& series, core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int length = source.length();
+  core::TimeSeries out(source.num_channels(), length);
+
+  for (int c = 0; c < source.num_channels(); ++c) {
+    const auto channel = source.channel(c);
+    const Decomposition parts = MovingAverageDecompose(
+        std::vector<double>(channel.begin(), channel.end()), trend_window_);
+
+    // Block bootstrap of the residual: fill the series with random
+    // contiguous residual blocks.
+    std::vector<double> boot(length);
+    const int block = std::min(block_size_, length);
+    int write = 0;
+    while (write < length) {
+      const int start = rng.Index(std::max(1, length - block + 1));
+      for (int s = 0; s < block && write < length; ++s, ++write) {
+        boot[write] = parts.residual[start + s];
+      }
+    }
+    for (int t = 0; t < length; ++t) out.at(c, t) = parts.trend[t] + boot[t];
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

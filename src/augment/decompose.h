@@ -1,0 +1,42 @@
+#ifndef TSAUG_AUGMENT_DECOMPOSE_H_
+#define TSAUG_AUGMENT_DECOMPOSE_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// One channel split into trend + residual by a centred moving average.
+struct Decomposition {
+  std::vector<double> trend;
+  std::vector<double> residual;
+};
+
+/// Centred moving-average decomposition of one channel (window clipped at
+/// the edges). trend + residual == signal exactly.
+Decomposition MovingAverageDecompose(const std::vector<double>& signal,
+                                     int window);
+
+/// Decomposition-based augmentation (RobustTAD/STL-family): each channel is
+/// split into trend + residual; the residual is block-bootstrapped
+/// (resampled in contiguous blocks, preserving short-range autocorrelation)
+/// and recombined with the intact trend.
+class DecompositionAugmenter : public TransformAugmenter {
+ public:
+  explicit DecompositionAugmenter(int trend_window = 9, int block_size = 8);
+  std::string name() const override { return "decompose_bootstrap"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicDecomposition;
+  }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  int trend_window_;
+  int block_size_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_DECOMPOSE_H_

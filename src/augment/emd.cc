@@ -1,0 +1,108 @@
+#include "augment/emd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preprocess.h"
+
+namespace tsaug::augment {
+namespace {
+
+// Indices of local maxima (or minima when `minima`), endpoints included so
+// envelopes span the whole series.
+std::vector<int> Extrema(const std::vector<double>& x, bool minima) {
+  const int n = static_cast<int>(x.size());
+  std::vector<int> indices;
+  indices.push_back(0);
+  for (int t = 1; t + 1 < n; ++t) {
+    const bool is_extremum = minima ? (x[t] <= x[t - 1] && x[t] <= x[t + 1])
+                                    : (x[t] >= x[t - 1] && x[t] >= x[t + 1]);
+    if (is_extremum) indices.push_back(t);
+  }
+  indices.push_back(n - 1);
+  return indices;
+}
+
+// Piecewise-linear envelope through (indices, x[indices]).
+std::vector<double> Envelope(const std::vector<double>& x,
+                             const std::vector<int>& knots) {
+  const int n = static_cast<int>(x.size());
+  std::vector<double> envelope(n, 0.0);
+  for (size_t k = 0; k + 1 < knots.size(); ++k) {
+    const int lo = knots[k];
+    const int hi = knots[k + 1];
+    for (int t = lo; t <= hi; ++t) {
+      const double frac = hi == lo ? 0.0
+                                   : static_cast<double>(t - lo) / (hi - lo);
+      envelope[t] = (1.0 - frac) * x[lo] + frac * x[hi];
+    }
+  }
+  return envelope;
+}
+
+// Number of interior extrema — the IMF-extraction stop criterion.
+int InteriorExtremaCount(const std::vector<double>& x) {
+  int count = 0;
+  for (size_t t = 1; t + 1 < x.size(); ++t) {
+    if ((x[t] > x[t - 1] && x[t] > x[t + 1]) ||
+        (x[t] < x[t - 1] && x[t] < x[t + 1])) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+EmdResult EmpiricalModeDecompose(const std::vector<double>& signal,
+                                 int max_imfs, int sift_iterations) {
+  TSAUG_CHECK(max_imfs >= 1 && sift_iterations >= 1);
+  EmdResult result;
+  std::vector<double> residual = signal;
+
+  for (int mode = 0; mode < max_imfs; ++mode) {
+    if (InteriorExtremaCount(residual) < 2) break;  // monotone-ish: stop
+    std::vector<double> imf = residual;
+    for (int sift = 0; sift < sift_iterations; ++sift) {
+      const std::vector<double> upper = Envelope(imf, Extrema(imf, false));
+      const std::vector<double> lower = Envelope(imf, Extrema(imf, true));
+      for (size_t t = 0; t < imf.size(); ++t) {
+        imf[t] -= 0.5 * (upper[t] + lower[t]);
+      }
+      if (InteriorExtremaCount(imf) < 2) break;
+    }
+    for (size_t t = 0; t < residual.size(); ++t) residual[t] -= imf[t];
+    result.imfs.push_back(std::move(imf));
+  }
+  result.residual = std::move(residual);
+  return result;
+}
+
+EmdAugmenter::EmdAugmenter(double sigma, int max_imfs)
+    : sigma_(sigma), max_imfs_(max_imfs) {
+  TSAUG_CHECK(sigma > 0.0 && max_imfs >= 1);
+}
+
+core::TimeSeries EmdAugmenter::Transform(const core::TimeSeries& series,
+                                         core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  core::TimeSeries out(source.num_channels(), source.length());
+  for (int c = 0; c < source.num_channels(); ++c) {
+    const auto channel = source.channel(c);
+    const EmdResult decomposition = EmpiricalModeDecompose(
+        std::vector<double>(channel.begin(), channel.end()), max_imfs_);
+    // Recombine with per-IMF random scales around 1.
+    for (int t = 0; t < source.length(); ++t) {
+      out.at(c, t) = decomposition.residual[t];
+    }
+    for (const std::vector<double>& imf : decomposition.imfs) {
+      const double scale = std::max(0.0, rng.Normal(1.0, sigma_));
+      for (int t = 0; t < source.length(); ++t) {
+        out.at(c, t) += scale * imf[t];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

@@ -1,0 +1,46 @@
+#ifndef TSAUG_AUGMENT_EMD_H_
+#define TSAUG_AUGMENT_EMD_H_
+
+#include <string>
+#include <vector>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// Empirical mode decomposition (Huang et al.) of one channel into
+/// intrinsic mode functions (IMFs) plus a residual trend:
+/// signal == sum(imfs) + residual exactly.
+struct EmdResult {
+  std::vector<std::vector<double>> imfs;  // fast to slow oscillations
+  std::vector<double> residual;
+};
+
+/// Sifts out up to `max_imfs` IMFs with `sift_iterations` envelope-mean
+/// subtractions each. Envelopes are piecewise-linear through the local
+/// extrema (a spline-free variant adequate for augmentation purposes).
+EmdResult EmpiricalModeDecompose(const std::vector<double>& signal,
+                                 int max_imfs = 4, int sift_iterations = 6);
+
+/// EMD-based augmentation (Nam et al., the taxonomy's decomposition
+/// branch): each channel is decomposed into IMFs, the IMFs are rescaled by
+/// independent factors ~ N(1, sigma) and recombined with the intact
+/// residual trend — perturbing each oscillatory scale separately.
+class EmdAugmenter : public TransformAugmenter {
+ public:
+  explicit EmdAugmenter(double sigma = 0.2, int max_imfs = 4);
+  std::string name() const override { return "emd_recombine"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicDecomposition;
+  }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double sigma_;
+  int max_imfs_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_EMD_H_

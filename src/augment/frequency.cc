@@ -1,0 +1,107 @@
+#include "augment/frequency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "core/preprocess.h"
+#include "fft/fft.h"
+
+namespace tsaug::augment {
+
+FrequencyPerturbation::FrequencyPerturbation(double amplitude_sigma,
+                                             double phase_sigma)
+    : amplitude_sigma_(amplitude_sigma), phase_sigma_(phase_sigma) {
+  TSAUG_CHECK(amplitude_sigma >= 0.0 && phase_sigma >= 0.0);
+  TSAUG_CHECK(amplitude_sigma > 0.0 || phase_sigma > 0.0);
+}
+
+core::TimeSeries FrequencyPerturbation::Transform(
+    const core::TimeSeries& series, core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int length = source.length();
+  core::TimeSeries out(source.num_channels(), length);
+
+  for (int c = 0; c < source.num_channels(); ++c) {
+    const auto channel = source.channel(c);
+    std::vector<fft::Complex> spectrum =
+        fft::RealFft(std::vector<double>(channel.begin(), channel.end()));
+
+    // Perturb only the non-redundant half and mirror the conjugates so the
+    // inverse transform is exactly real.
+    const int half = length / 2;
+    for (int k = 1; k <= half; ++k) {
+      const double magnitude =
+          std::abs(spectrum[k]) * std::max(0.0, rng.Normal(1.0, amplitude_sigma_));
+      const double phase = std::arg(spectrum[k]) + rng.Normal(0.0, phase_sigma_);
+      spectrum[k] = std::polar(magnitude, phase);
+      if (k != length - k && length - k < length) {
+        spectrum[length - k] = std::conj(spectrum[k]);
+      }
+    }
+    // Nyquist bin (even lengths) must remain real.
+    if (length % 2 == 0 && half >= 1) {
+      spectrum[half] = fft::Complex(spectrum[half].real(), 0.0);
+    }
+    const std::vector<double> rebuilt = fft::InverseRealFft(spectrum);
+    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[t];
+  }
+  return out;
+}
+
+SpectrogramMasking::SpectrogramMasking(int window_size, int hop,
+                                       double freq_mask_fraction,
+                                       double time_mask_fraction)
+    : window_size_(window_size), hop_(hop),
+      freq_mask_fraction_(freq_mask_fraction),
+      time_mask_fraction_(time_mask_fraction) {
+  TSAUG_CHECK(window_size >= 4 && hop >= 1 && hop <= window_size);
+  TSAUG_CHECK(freq_mask_fraction >= 0.0 && freq_mask_fraction < 1.0);
+  TSAUG_CHECK(time_mask_fraction >= 0.0 && time_mask_fraction < 1.0);
+}
+
+core::TimeSeries SpectrogramMasking::Transform(const core::TimeSeries& series,
+                                               core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int length = source.length();
+  const int window = std::min(window_size_, std::max(4, length / 2));
+  const int hop = std::min(hop_, window);
+  core::TimeSeries out(source.num_channels(), length);
+
+  for (int c = 0; c < source.num_channels(); ++c) {
+    const auto channel = source.channel(c);
+    auto frames = fft::Stft(std::vector<double>(channel.begin(), channel.end()),
+                            window, hop);
+    const int num_frames = static_cast<int>(frames.size());
+    const int half = window / 2;
+
+    // Frequency mask: zero a random band of bins (mirrored for symmetry).
+    const int freq_width =
+        std::max(1, static_cast<int>(half * freq_mask_fraction_));
+    if (half > freq_width) {
+      const int f0 = 1 + rng.Index(half - freq_width);
+      for (auto& frame : frames) {
+        for (int k = f0; k < f0 + freq_width; ++k) {
+          frame[k] = fft::Complex(0.0, 0.0);
+          frame[window - k] = fft::Complex(0.0, 0.0);
+        }
+      }
+    }
+    // Time mask: zero a random run of frames entirely.
+    const int time_width =
+        std::max(1, static_cast<int>(num_frames * time_mask_fraction_));
+    if (num_frames > time_width) {
+      const int t0 = rng.Index(num_frames - time_width + 1);
+      for (int f = t0; f < t0 + time_width; ++f) {
+        std::fill(frames[f].begin(), frames[f].end(), fft::Complex(0.0, 0.0));
+      }
+    }
+
+    const std::vector<double> rebuilt =
+        fft::InverseStft(frames, window, hop, length);
+    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[t];
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

@@ -1,0 +1,54 @@
+#ifndef TSAUG_AUGMENT_FREQUENCY_H_
+#define TSAUG_AUGMENT_FREQUENCY_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// Amplitude-and-phase perturbation (APP): per channel, perturbs the DFT
+/// magnitude multiplicatively (~N(1, amplitude_sigma)) and the phase
+/// additively (~N(0, phase_sigma)), then inverts. Conjugate symmetry is
+/// preserved so the output stays real.
+class FrequencyPerturbation : public TransformAugmenter {
+ public:
+  explicit FrequencyPerturbation(double amplitude_sigma = 0.1,
+                                 double phase_sigma = 0.1);
+  std::string name() const override { return "freq_perturb"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicFrequency;
+  }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double amplitude_sigma_;
+  double phase_sigma_;
+};
+
+/// SpecAugment-style masking on the STFT: zeroes one random frequency band
+/// and one random time band of the spectrogram, then reconstructs by
+/// overlap-add.
+class SpectrogramMasking : public TransformAugmenter {
+ public:
+  SpectrogramMasking(int window_size = 16, int hop = 8,
+                     double freq_mask_fraction = 0.15,
+                     double time_mask_fraction = 0.15);
+  std::string name() const override { return "spec_mask"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicFrequency;
+  }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  int window_size_;
+  int hop_;
+  double freq_mask_fraction_;
+  double time_mask_fraction_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_FREQUENCY_H_

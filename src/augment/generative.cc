@@ -1,0 +1,171 @@
+#include "augment/generative.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preprocess.h"
+#include "linalg/decomposition.h"
+
+namespace tsaug::augment {
+namespace {
+
+// Rectangular flattened class members: rows of a matrix.
+linalg::Matrix ClassMatrix(const core::Dataset& train, int label,
+                           int* channels, int* length) {
+  *channels = train.num_channels();
+  *length = train.max_length();
+  std::vector<std::vector<double>> rows;
+  for (int i = 0; i < train.size(); ++i) {
+    if (train.label(i) != label) continue;
+    core::TimeSeries s = core::ImputeLinear(train.series(i));
+    if (s.length() != *length) s = core::ResampleToLength(s, *length);
+    rows.push_back(s.Flatten());
+  }
+  TSAUG_CHECK_MSG(!rows.empty(), "class %d empty", label);
+  return linalg::Matrix::FromRowVectors(rows);
+}
+
+}  // namespace
+
+std::vector<core::TimeSeries> GaussianGenerator::Generate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
+  int channels = 0;
+  int length = 0;
+  const linalg::Matrix points = ClassMatrix(train, label, &channels, &length);
+  const int dims = points.cols();
+  const std::vector<double> mean = points.ColMeans();
+
+  std::vector<core::TimeSeries> out;
+  out.reserve(count);
+  if (points.rows() < 2) {
+    // One sample: no covariance; jitter lightly.
+    for (int i = 0; i < count; ++i) {
+      std::vector<double> sample = points.Row(0);
+      for (double& v : sample) v += rng.Normal(0.0, 1e-3);
+      out.push_back(core::TimeSeries::FromFlat(sample, channels, length));
+    }
+    return out;
+  }
+
+  linalg::Matrix sigma = linalg::ShrinkageCovariance(points);
+  linalg::AddDiagonal(sigma, 1e-9);
+  linalg::Matrix factor = sigma;
+  if (!linalg::CholeskyFactor(factor)) {
+    linalg::AddDiagonal(sigma, 1e-4);
+    factor = sigma;
+    TSAUG_CHECK(linalg::CholeskyFactor(factor));
+  }
+
+  for (int i = 0; i < count; ++i) {
+    std::vector<double> z(dims);
+    for (double& v : z) v = rng.Normal();
+    std::vector<double> sample = mean;
+    for (int row = 0; row < dims; ++row) {
+      double dot = 0.0;
+      const double* l = factor.row_data(row);
+      for (int col = 0; col <= row; ++col) dot += l[col] * z[col];
+      sample[row] += dot;
+    }
+    out.push_back(core::TimeSeries::FromFlat(sample, channels, length));
+  }
+  return out;
+}
+
+std::vector<double> FitAutoregressive(const std::vector<double>& signal,
+                                      int order,
+                                      double* innovation_variance) {
+  TSAUG_CHECK(order >= 1);
+  const int n = static_cast<int>(signal.size());
+  TSAUG_CHECK(n > order + 1);
+
+  // Autocovariances r_0..r_p.
+  std::vector<double> r(order + 1, 0.0);
+  for (int lag = 0; lag <= order; ++lag) {
+    for (int t = lag; t < n; ++t) r[lag] += signal[t] * signal[t - lag];
+    r[lag] /= n;
+  }
+  if (r[0] <= 1e-12) {
+    // Flat signal: no dynamics.
+    if (innovation_variance != nullptr) *innovation_variance = 0.0;
+    return std::vector<double>(order, 0.0);
+  }
+
+  // Yule-Walker: R phi = r[1..p], R Toeplitz of r[0..p-1].
+  linalg::Matrix toeplitz(order, order);
+  linalg::Matrix rhs(order, 1);
+  for (int i = 0; i < order; ++i) {
+    for (int j = 0; j < order; ++j) toeplitz(i, j) = r[std::abs(i - j)];
+    rhs(i, 0) = r[i + 1];
+  }
+  const linalg::Matrix solution =
+      linalg::CholeskySolveJittered(toeplitz, rhs, 1e-8 * r[0]);
+
+  std::vector<double> phi(order);
+  double variance = r[0];
+  for (int i = 0; i < order; ++i) {
+    phi[i] = solution(i, 0);
+    variance -= phi[i] * r[i + 1];
+  }
+  if (innovation_variance != nullptr) {
+    *innovation_variance = std::max(0.0, variance);
+  }
+  return phi;
+}
+
+ArGenerator::ArGenerator(int order) : order_(order) {
+  TSAUG_CHECK(order >= 1);
+}
+
+std::vector<core::TimeSeries> ArGenerator::Generate(const core::Dataset& train,
+                                                    int label, int count,
+                                                    core::Rng& rng) {
+  int channels = 0;
+  int length = 0;
+  const linalg::Matrix points = ClassMatrix(train, label, &channels, &length);
+  const std::vector<double> mean = points.ColMeans();  // class mean curve
+
+  // Per-channel AR fit on the pooled residuals around the class mean.
+  const int order = std::min(order_, std::max(1, length / 4));
+  std::vector<std::vector<double>> phis(channels);
+  std::vector<double> innovation_std(channels, 0.0);
+  for (int c = 0; c < channels; ++c) {
+    std::vector<double> pooled;
+    pooled.reserve(static_cast<size_t>(points.rows()) * length);
+    for (int i = 0; i < points.rows(); ++i) {
+      for (int t = 0; t < length; ++t) {
+        const int d = c * length + t;
+        pooled.push_back(points(i, d) - mean[d]);
+      }
+    }
+    double variance = 0.0;
+    if (static_cast<int>(pooled.size()) > order + 1) {
+      phis[c] = FitAutoregressive(pooled, order, &variance);
+    } else {
+      phis[c].assign(order, 0.0);
+      for (double v : pooled) variance += v * v;
+      variance /= std::max<size_t>(1, pooled.size());
+    }
+    innovation_std[c] = std::sqrt(std::max(0.0, variance));
+  }
+
+  std::vector<core::TimeSeries> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    core::TimeSeries series(channels, length);
+    for (int c = 0; c < channels; ++c) {
+      std::vector<double> residual(length, 0.0);
+      for (int t = 0; t < length; ++t) {
+        double v = rng.Normal(0.0, innovation_std[c]);
+        for (int lag = 1; lag <= order && t - lag >= 0; ++lag) {
+          v += phis[c][lag - 1] * residual[t - lag];
+        }
+        residual[t] = v;
+        series.at(c, t) = mean[c * length + t] + v;
+      }
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

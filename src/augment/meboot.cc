@@ -1,0 +1,66 @@
+#include "augment/meboot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/preprocess.h"
+
+namespace tsaug::augment {
+
+MaximumEntropyBootstrap::MaximumEntropyBootstrap(double trim) : trim_(trim) {
+  TSAUG_CHECK(trim >= 0.0);
+}
+
+core::TimeSeries MaximumEntropyBootstrap::Transform(
+    const core::TimeSeries& series, core::Rng& rng) const {
+  const core::TimeSeries source = core::ImputeLinear(series);
+  const int n = source.length();
+  core::TimeSeries out(source.num_channels(), n);
+
+  for (int c = 0; c < source.num_channels(); ++c) {
+    const auto channel = source.channel(c);
+    std::vector<double> values(channel.begin(), channel.end());
+    if (n == 1) {
+      out.at(c, 0) = values[0];
+      continue;
+    }
+
+    // Rank of each time position in the sorted order.
+    std::vector<int> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](int a, int b) { return values[a] < values[b]; });
+
+    std::vector<double> sorted(n);
+    for (int r = 0; r < n; ++r) sorted[r] = values[order[r]];
+
+    // Interval boundaries: z_0 < z_1 < ... < z_n with midpoints between
+    // consecutive order statistics and trimmed-mean-expanded tails.
+    double mad = 0.0;
+    for (int r = 1; r < n; ++r) mad += std::fabs(sorted[r] - sorted[r - 1]);
+    mad /= (n - 1);
+    std::vector<double> z(n + 1);
+    z[0] = sorted[0] - trim_ * mad;
+    for (int r = 1; r < n; ++r) z[r] = 0.5 * (sorted[r - 1] + sorted[r]);
+    z[n] = sorted[n - 1] + trim_ * mad;
+
+    // Draw n uniforms, map each through the piecewise-uniform maximum-
+    // entropy quantile function (interval r has probability mass 1/n).
+    std::vector<double> draws(n);
+    for (int r = 0; r < n; ++r) {
+      const double u = rng.Uniform(0.0, 1.0);
+      const int interval = std::min(n - 1, static_cast<int>(u * n));
+      const double within = u * n - interval;
+      draws[r] = z[interval] + within * (z[interval + 1] - z[interval]);
+    }
+    std::sort(draws.begin(), draws.end());
+
+    // Re-impose the original rank order: the time position that held the
+    // r-th smallest value receives the r-th smallest draw.
+    for (int r = 0; r < n; ++r) out.at(c, order[r]) = draws[r];
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

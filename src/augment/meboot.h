@@ -1,0 +1,35 @@
+#ifndef TSAUG_AUGMENT_MEBOOT_H_
+#define TSAUG_AUGMENT_MEBOOT_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// Maximum-entropy bootstrap (Vinod's meboot, the taxonomy's statistical-
+/// generative branch): per channel, values are resampled from the
+/// maximum-entropy density implied by the order statistics (piecewise
+/// uniform between midpoints of consecutive sorted values, with expanded
+/// tails), then re-assigned to time positions following the original
+/// series' rank order. The replicate keeps the series' shape and
+/// approximate dependence structure while drawing fresh values.
+class MaximumEntropyBootstrap : public TransformAugmenter {
+ public:
+  /// `trim` expands the tails by this fraction of the mean absolute
+  /// deviation (Vinod's default 0.1).
+  explicit MaximumEntropyBootstrap(double trim = 0.1);
+  std::string name() const override { return "meboot"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kGenerativeStatistical;
+  }
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+ private:
+  double trim_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_MEBOOT_H_

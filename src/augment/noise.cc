@@ -1,0 +1,31 @@
+#include "augment/noise.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace tsaug::augment {
+
+NoiseInjection::NoiseInjection(double level) : level_(level) {
+  TSAUG_CHECK(level > 0.0);
+}
+
+std::string NoiseInjection::name() const {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "noise_%.1f", level_);
+  return buffer;
+}
+
+core::TimeSeries NoiseInjection::Transform(const core::TimeSeries& series,
+                                           core::Rng& rng) const {
+  core::TimeSeries out = series;
+  for (int c = 0; c < out.num_channels(); ++c) {
+    const double noise_std = level_ * series.ChannelStdDev(c);
+    if (noise_std <= 0.0) continue;
+    for (double& v : out.channel(c)) {
+      if (!std::isnan(v)) v += rng.Normal(0.0, noise_std);
+    }
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

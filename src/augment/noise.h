@@ -1,0 +1,32 @@
+#ifndef TSAUG_AUGMENT_NOISE_H_
+#define TSAUG_AUGMENT_NOISE_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// The paper's noise injection, Eq. (6): per dimension j of a randomly
+/// chosen class member, add Noise ~ N(0, l * std_j) where std_j is that
+/// dimension's standard deviation and l in {1, 3, 5} is the level (the
+/// "std multiplicator"). Missing values are left untouched.
+class NoiseInjection : public TransformAugmenter {
+ public:
+  explicit NoiseInjection(double level = 1.0);
+
+  std::string name() const override;
+  TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
+
+  core::TimeSeries Transform(const core::TimeSeries& series,
+                             core::Rng& rng) const override;
+
+  double level() const { return level_; }
+
+ private:
+  double level_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_NOISE_H_

@@ -1,0 +1,90 @@
+#ifndef TSAUG_AUGMENT_OVERSAMPLE_H_
+#define TSAUG_AUGMENT_OVERSAMPLE_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// SMOTE (Chawla et al.): treats flattened series as spatial points; a
+/// synthetic sample is x + u * (nn - x) for a random same-class neighbour
+/// nn among the k nearest and u ~ U(0,1). Following the paper, the
+/// neighbour count is min(k, class_size - 1).
+class Smote : public Augmenter {
+ public:
+  explicit Smote(int k_neighbors = 5);
+  std::string name() const override { return "smote"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicOversampling;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+
+ private:
+  int k_neighbors_;
+};
+
+/// Borderline-SMOTE (Han et al.): interpolates only from "danger"
+/// instances — class members whose k-nearest neighbours (across all
+/// classes) are mostly, but not entirely, from other classes.
+class BorderlineSmote : public Augmenter {
+ public:
+  explicit BorderlineSmote(int k_neighbors = 5);
+  std::string name() const override { return "borderline_smote"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicOversampling;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+
+ private:
+  int k_neighbors_;
+};
+
+/// ADASYN (He et al.): like SMOTE but the number of synthetic samples per
+/// seed is proportional to the fraction of other-class instances among its
+/// k nearest neighbours, focusing generation on harder regions.
+class Adasyn : public Augmenter {
+ public:
+  explicit Adasyn(int k_neighbors = 5);
+  std::string name() const override { return "adasyn"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicOversampling;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+
+ private:
+  int k_neighbors_;
+};
+
+/// Plain interpolation oversampling: mixes a random class member with
+/// another random member (not necessarily a neighbour).
+class RandomInterpolation : public Augmenter {
+ public:
+  RandomInterpolation() = default;
+  std::string name() const override { return "interpolation"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicOversampling;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+};
+
+/// Random oversampling: duplicates random class members verbatim. The
+/// degenerate baseline of the oversampling branch.
+class RandomOversampling : public Augmenter {
+ public:
+  RandomOversampling() = default;
+  std::string name() const override { return "random_oversample"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kBasicOversampling;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_OVERSAMPLE_H_

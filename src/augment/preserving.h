@@ -1,0 +1,61 @@
+#ifndef TSAUG_AUGMENT_PRESERVING_H_
+#define TSAUG_AUGMENT_PRESERVING_H_
+
+#include <string>
+
+#include "augment/augmenter.h"
+
+namespace tsaug::augment {
+
+/// Label-preserving range noise (Figure 5 / Kim & Jeong): before adding
+/// noise to a seed series, its distance to the nearest instance of any
+/// *other* class (its nearest enemy) is measured; the injected noise
+/// vector is capped at `safety_factor` times that distance, so the
+/// synthetic point provably stays on its own side of the 1-NN decision
+/// boundary.
+class RangeNoise : public Augmenter {
+ public:
+  explicit RangeNoise(double safety_factor = 0.5);
+  std::string name() const override { return "range_noise"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kLabelPreserving;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+
+  double safety_factor() const { return safety_factor_; }
+
+ private:
+  double safety_factor_;
+};
+
+/// Structure-preserving OHIT (Zhu et al., Figure 6): the class is clustered
+/// with shared-nearest-neighbor (SNN) density clustering; each cluster's
+/// covariance is estimated with a shrinkage estimator (well-conditioned in
+/// the high-dimension/low-sample regime) and new samples are drawn from
+/// N(cluster mean, cluster covariance), allocated across clusters by size.
+class Ohit : public Augmenter {
+ public:
+  /// `snn_k`: neighbour-list size for SNN similarity; `snn_eps_fraction`:
+  /// two points are linked when they share at least this fraction of their
+  /// k neighbour lists.
+  explicit Ohit(int snn_k = 5, double snn_eps_fraction = 0.4);
+  std::string name() const override { return "ohit"; }
+  TaxonomyBranch branch() const override {
+    return TaxonomyBranch::kStructurePreserving;
+  }
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+                                         int count, core::Rng& rng) override;
+
+  /// Cluster assignment of the class's members (exposed for the Figure 6
+  /// bench): -1 marks unclustered/noise points.
+  std::vector<int> ClusterClass(const core::Dataset& train, int label) const;
+
+ private:
+  int snn_k_;
+  double snn_eps_fraction_;
+};
+
+}  // namespace tsaug::augment
+
+#endif  // TSAUG_AUGMENT_PRESERVING_H_

@@ -1,0 +1,356 @@
+#include "augment/timegan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/preprocess.h"
+#include "nn/optimizer.h"
+
+namespace tsaug::augment {
+
+using nn::Tensor;
+using nn::Variable;
+
+TimeGanConfig PaperScaleTimeGanConfig() {
+  TimeGanConfig config;
+  config.embedding_iterations = 2500;
+  config.supervised_iterations = 2500;
+  config.joint_iterations = 1000;
+  return config;
+}
+
+TimeGan::TimeGan(TimeGanConfig config) : config_(std::move(config)) {
+  TSAUG_CHECK(config_.hidden_dim >= 1 && config_.num_layers >= 1);
+  TSAUG_CHECK(config_.batch_size >= 1);
+}
+
+Variable TimeGan::Embed(const Variable& x) const {
+  return nn::Sigmoid(embedder_head_->Forward(embedder_gru_->Forward(x)));
+}
+
+Variable TimeGan::Recover(const Variable& h) const {
+  return nn::Sigmoid(recovery_head_->Forward(recovery_gru_->Forward(h)));
+}
+
+Variable TimeGan::Generate(const Variable& z) const {
+  return nn::Sigmoid(generator_head_->Forward(generator_gru_->Forward(z)));
+}
+
+Variable TimeGan::Supervise(const Variable& h) const {
+  return nn::Sigmoid(supervisor_head_->Forward(supervisor_gru_->Forward(h)));
+}
+
+Variable TimeGan::Discriminate(const Variable& h) const {
+  // Per-step real/fake logits [n, T, 1].
+  return discriminator_head_->Forward(discriminator_gru_->Forward(h));
+}
+
+// Supervised next-step loss: mean over t of ||supervisor(h)_t - h_{t+1}||^2.
+Variable TimeGan::SupervisedLoss(const Variable& h) const {
+  const int time = h.value().dim(1);
+  TSAUG_CHECK(time >= 2);
+  const Variable predicted = Supervise(h);
+  std::vector<Variable> errors;
+  errors.reserve(time - 1);
+  for (int t = 0; t + 1 < time; ++t) {
+    const Variable diff =
+        nn::Sub(nn::SelectTime(predicted, t), nn::SelectTime(h, t + 1));
+    errors.push_back(nn::Mean(nn::Mul(diff, diff)));
+  }
+  Variable total = errors[0];
+  for (size_t i = 1; i < errors.size(); ++i) total = nn::Add(total, errors[i]);
+  return nn::ScaleBy(total, 1.0 / errors.size());
+}
+
+Tensor TimeGan::SampleBatch(int batch, core::Rng& rng) const {
+  Tensor out({batch, sequence_length_, num_features_});
+  for (int b = 0; b < batch; ++b) {
+    const Tensor& instance =
+        scaled_[rng.Index(static_cast<int>(scaled_.size()))];
+    for (int t = 0; t < sequence_length_; ++t) {
+      for (int f = 0; f < num_features_; ++f) {
+        out.at(b, t, f) = instance.at(t, f);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor TimeGan::SampleNoise(int batch, core::Rng& rng) const {
+  Tensor z({batch, sequence_length_, num_features_});
+  for (double& v : z.data()) v = rng.Uniform(0.0, 1.0);
+  return z;
+}
+
+void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
+  TSAUG_CHECK(!series.empty());
+  core::Rng rng(config_.seed ^ 0x7161a9ull);
+
+  // ---- Data preparation: rectangularise, cap length, min-max scale. ----
+  num_features_ = series[0].num_channels();
+  int max_length = 0;
+  for (const core::TimeSeries& s : series) {
+    TSAUG_CHECK(s.num_channels() == num_features_);
+    max_length = std::max(max_length, s.length());
+  }
+  sequence_length_ = std::min(max_length, config_.max_sequence_length);
+  TSAUG_CHECK(sequence_length_ >= 2);
+
+  feature_min_.assign(num_features_, std::numeric_limits<double>::infinity());
+  feature_max_.assign(num_features_,
+                      -std::numeric_limits<double>::infinity());
+  std::vector<core::TimeSeries> prepared;
+  prepared.reserve(series.size());
+  for (const core::TimeSeries& s : series) {
+    core::TimeSeries p = core::ImputeLinear(s);
+    if (p.length() != sequence_length_) {
+      p = core::ResampleToLength(p, sequence_length_);
+    }
+    for (int f = 0; f < num_features_; ++f) {
+      for (double v : p.channel(f)) {
+        feature_min_[f] = std::min(feature_min_[f], v);
+        feature_max_[f] = std::max(feature_max_[f], v);
+      }
+    }
+    prepared.push_back(std::move(p));
+  }
+  scaled_.clear();
+  for (const core::TimeSeries& p : prepared) {
+    Tensor instance({sequence_length_, num_features_});
+    for (int t = 0; t < sequence_length_; ++t) {
+      for (int f = 0; f < num_features_; ++f) {
+        const double range = feature_max_[f] - feature_min_[f];
+        instance.at(t, f) =
+            range > 1e-12 ? (p.at(f, t) - feature_min_[f]) / range : 0.5;
+      }
+    }
+    scaled_.push_back(std::move(instance));
+  }
+
+  // ---- Networks. ----
+  const int h = config_.hidden_dim;
+  embedder_gru_ =
+      std::make_unique<nn::Gru>(num_features_, h, config_.num_layers, rng);
+  embedder_head_ = std::make_unique<nn::TimeDistributed>(h, h, rng);
+  recovery_gru_ = std::make_unique<nn::Gru>(h, h, config_.num_layers, rng);
+  recovery_head_ = std::make_unique<nn::TimeDistributed>(h, num_features_, rng);
+  generator_gru_ =
+      std::make_unique<nn::Gru>(num_features_, h, config_.num_layers, rng);
+  generator_head_ = std::make_unique<nn::TimeDistributed>(h, h, rng);
+  supervisor_gru_ = std::make_unique<nn::Gru>(
+      h, h, std::max(1, config_.num_layers - 1), rng);
+  supervisor_head_ = std::make_unique<nn::TimeDistributed>(h, h, rng);
+  discriminator_gru_ =
+      std::make_unique<nn::Gru>(h, h, config_.num_layers, rng);
+  discriminator_head_ = std::make_unique<nn::TimeDistributed>(h, 1, rng);
+
+  auto params_of = [](std::initializer_list<nn::Module*> modules) {
+    std::vector<Variable> params;
+    for (nn::Module* m : modules) {
+      const std::vector<Variable> sub = m->AllParameters();
+      params.insert(params.end(), sub.begin(), sub.end());
+    }
+    return params;
+  };
+  const auto autoencoder_params =
+      params_of({embedder_gru_.get(), embedder_head_.get(),
+                 recovery_gru_.get(), recovery_head_.get()});
+  const auto generator_params =
+      params_of({generator_gru_.get(), generator_head_.get(),
+                 supervisor_gru_.get(), supervisor_head_.get()});
+  const auto discriminator_params =
+      params_of({discriminator_gru_.get(), discriminator_head_.get()});
+  auto zero_all = [&] {
+    for (nn::Module* m : std::initializer_list<nn::Module*>{
+             embedder_gru_.get(), embedder_head_.get(), recovery_gru_.get(),
+             recovery_head_.get(), generator_gru_.get(), generator_head_.get(),
+             supervisor_gru_.get(), supervisor_head_.get(),
+             discriminator_gru_.get(), discriminator_head_.get()}) {
+      m->ZeroGrad();
+    }
+  };
+
+  nn::Adam autoencoder_opt(autoencoder_params, config_.learning_rate);
+  nn::Adam supervisor_opt(generator_params, config_.learning_rate);
+  nn::Adam generator_opt(generator_params, config_.learning_rate);
+  nn::Adam embedder_joint_opt(autoencoder_params, config_.learning_rate);
+  nn::Adam discriminator_opt(discriminator_params, config_.learning_rate);
+
+  const int batch =
+      std::min<int>(config_.batch_size, static_cast<int>(scaled_.size()));
+
+  // ---- Phase 1: embedding (autoencoder reconstruction). ----
+  for (int iter = 0; iter < config_.embedding_iterations; ++iter) {
+    zero_all();
+    const Tensor x = SampleBatch(batch, rng);
+    const Variable reconstruction = Recover(Embed(Variable(x)));
+    Variable loss = nn::ScaleBy(nn::Sqrt(nn::MseLoss(reconstruction, x)), 10.0);
+    loss.Backward();
+    autoencoder_opt.Step();
+    diagnostics_.reconstruction_loss = loss.value().scalar();
+  }
+
+  // ---- Phase 2: supervised loss on real embeddings. ----
+  for (int iter = 0; iter < config_.supervised_iterations; ++iter) {
+    zero_all();
+    const Tensor x = SampleBatch(batch, rng);
+    Variable loss = SupervisedLoss(Embed(Variable(x)));
+    loss.Backward();
+    supervisor_opt.Step();
+    diagnostics_.supervised_loss = loss.value().scalar();
+  }
+
+  // ---- Phase 3: joint adversarial training. ----
+  for (int iter = 0; iter < config_.joint_iterations; ++iter) {
+    // Generator (twice per discriminator step, as in the original).
+    for (int g = 0; g < 2; ++g) {
+      zero_all();
+      const Tensor x = SampleBatch(batch, rng);
+      const Variable e_hat = Generate(Variable(SampleNoise(batch, rng)));
+      const Variable h_hat = Supervise(e_hat);
+      const Variable x_hat = Recover(h_hat);
+
+      const Variable y_fake = Discriminate(h_hat);
+      const Variable y_fake_e = Discriminate(e_hat);
+      const Tensor ones(y_fake.value().shape(), 1.0);
+
+      // Moment matching against the real batch's per-feature statistics.
+      std::vector<double> target_mean(num_features_, 0.0);
+      std::vector<double> target_std(num_features_, 0.0);
+      const int cells = batch * sequence_length_;
+      for (int b = 0; b < batch; ++b) {
+        for (int t = 0; t < sequence_length_; ++t) {
+          for (int f = 0; f < num_features_; ++f) {
+            target_mean[f] += x.at(b, t, f) / cells;
+          }
+        }
+      }
+      for (int b = 0; b < batch; ++b) {
+        for (int t = 0; t < sequence_length_; ++t) {
+          for (int f = 0; f < num_features_; ++f) {
+            const double d = x.at(b, t, f) - target_mean[f];
+            target_std[f] += d * d / cells;
+          }
+        }
+      }
+      for (double& v : target_std) v = std::sqrt(v + 1e-6);
+      const Variable moments = nn::MomentMatchLoss(
+          nn::Reshape(x_hat, {batch * sequence_length_, num_features_}),
+          // Broadcast targets per (t,f) cell collapsed to features.
+          target_mean, target_std);
+
+      const Variable supervised = SupervisedLoss(Embed(Variable(x)));
+      Variable loss = nn::Add(
+          nn::Add(nn::BceWithLogitsLoss(y_fake, ones),
+                  nn::ScaleBy(nn::BceWithLogitsLoss(y_fake_e, ones),
+                              config_.gamma)),
+          nn::Add(nn::ScaleBy(nn::Sqrt(supervised), 100.0),
+                  nn::ScaleBy(moments, 100.0)));
+      loss.Backward();
+      generator_opt.Step();
+      diagnostics_.generator_loss = loss.value().scalar();
+    }
+
+    // Embedder refresh: reconstruction + a slice of the supervised loss.
+    {
+      zero_all();
+      const Tensor x = SampleBatch(batch, rng);
+      const Variable h = Embed(Variable(x));
+      const Variable reconstruction = Recover(h);
+      Variable loss =
+          nn::Add(nn::ScaleBy(nn::Sqrt(nn::MseLoss(reconstruction, x)), 10.0),
+                  nn::ScaleBy(SupervisedLoss(h), 0.1));
+      loss.Backward();
+      embedder_joint_opt.Step();
+    }
+
+    // Discriminator (only when it is too weak, per the original).
+    {
+      zero_all();
+      const Tensor x = SampleBatch(batch, rng);
+      const Variable h = Embed(Variable(x));
+      const Variable e_hat = Generate(Variable(SampleNoise(batch, rng)));
+      const Variable h_hat = Supervise(e_hat);
+
+      const Variable y_real = Discriminate(h);
+      const Variable y_fake = Discriminate(h_hat);
+      const Variable y_fake_e = Discriminate(e_hat);
+      const Tensor ones(y_real.value().shape(), 1.0);
+      const Tensor zeros(y_fake.value().shape(), 0.0);
+      Variable loss = nn::Add(
+          nn::BceWithLogitsLoss(y_real, ones),
+          nn::Add(nn::BceWithLogitsLoss(y_fake, zeros),
+                  nn::ScaleBy(nn::BceWithLogitsLoss(y_fake_e, zeros),
+                              config_.gamma)));
+      diagnostics_.discriminator_loss = loss.value().scalar();
+      if (diagnostics_.discriminator_loss > 0.15) {
+        loss.Backward();
+        discriminator_opt.Step();
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
+  TSAUG_CHECK(fitted_);
+  std::vector<core::TimeSeries> out;
+  out.reserve(count);
+  for (int start = 0; start < count; start += config_.batch_size) {
+    const int batch = std::min(config_.batch_size, count - start);
+    const Variable x_hat =
+        Recover(Supervise(Generate(Variable(SampleNoise(batch, rng)))));
+    for (int b = 0; b < batch; ++b) {
+      core::TimeSeries series(num_features_, sequence_length_);
+      for (int f = 0; f < num_features_; ++f) {
+        const double range = feature_max_[f] - feature_min_[f];
+        for (int t = 0; t < sequence_length_; ++t) {
+          const double scaled = x_hat.value().at(b, t, f);
+          series.at(f, t) =
+              range > 1e-12 ? feature_min_[f] + scaled * range
+                            : feature_min_[f];
+        }
+      }
+      out.push_back(std::move(series));
+    }
+  }
+  return out;
+}
+
+TimeGanAugmenter::TimeGanAugmenter(TimeGanConfig config)
+    : config_(std::move(config)) {}
+
+std::vector<core::TimeSeries> TimeGanAugmenter::Generate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
+  const std::vector<std::vector<int>> by_class = train.IndicesByClass();
+  TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
+  const std::vector<int>& members = by_class[label];
+  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+
+  auto it = models_.find(label);
+  if (it == models_.end()) {
+    // Train this class's GAN on its members (the paper: "we provide to the
+    // timeGANs, for each training, time series coming from a single class").
+    std::vector<core::TimeSeries> class_series;
+    class_series.reserve(members.size());
+    for (int i : members) class_series.push_back(train.series(i));
+    TimeGanConfig config = config_;
+    config.seed = config_.seed ^ (0x5eedull + label * 1000003ull);
+    auto model = std::make_unique<TimeGan>(config);
+    model->Fit(class_series);
+    it = models_.emplace(label, std::move(model)).first;
+  }
+
+  std::vector<core::TimeSeries> samples = it->second->Sample(count, rng);
+  // GAN training may have shortened sequences; resample to dataset length.
+  const int target_length = train.max_length();
+  for (core::TimeSeries& s : samples) {
+    if (s.length() != target_length) {
+      s = core::ResampleToLength(s, target_length);
+    }
+  }
+  return samples;
+}
+
+}  // namespace tsaug::augment

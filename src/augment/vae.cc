@@ -1,0 +1,154 @@
+#include "augment/vae.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preprocess.h"
+#include "nn/optimizer.h"
+
+namespace tsaug::augment {
+
+using nn::Tensor;
+using nn::Variable;
+
+Vae::Vae(VaeConfig config) : config_(std::move(config)) {
+  TSAUG_CHECK(config_.hidden_dim >= 1 && config_.latent_dim >= 1);
+  TSAUG_CHECK(config_.beta >= 0.0 && config_.epochs >= 1);
+}
+
+void Vae::Fit(const std::vector<std::vector<double>>& instances) {
+  TSAUG_CHECK(!instances.empty());
+  input_dim_ = static_cast<int>(instances[0].size());
+  const int n = static_cast<int>(instances.size());
+  core::Rng rng(config_.seed ^ 0xfae5ull);
+
+  // Per-feature standardisation.
+  feature_mean_.assign(input_dim_, 0.0);
+  feature_std_.assign(input_dim_, 0.0);
+  for (const auto& row : instances) {
+    TSAUG_CHECK(static_cast<int>(row.size()) == input_dim_);
+    for (int d = 0; d < input_dim_; ++d) feature_mean_[d] += row[d] / n;
+  }
+  for (const auto& row : instances) {
+    for (int d = 0; d < input_dim_; ++d) {
+      feature_std_[d] += std::pow(row[d] - feature_mean_[d], 2) / n;
+    }
+  }
+  for (double& s : feature_std_) s = std::max(1e-6, std::sqrt(s));
+
+  Tensor data({n, input_dim_});
+  for (int i = 0; i < n; ++i) {
+    for (int d = 0; d < input_dim_; ++d) {
+      data.at(i, d) = (instances[i][d] - feature_mean_[d]) / feature_std_[d];
+    }
+  }
+
+  encoder_hidden_ =
+      std::make_unique<nn::Linear>(input_dim_, config_.hidden_dim, rng);
+  encoder_mu_ =
+      std::make_unique<nn::Linear>(config_.hidden_dim, config_.latent_dim, rng);
+  encoder_logvar_ =
+      std::make_unique<nn::Linear>(config_.hidden_dim, config_.latent_dim, rng);
+  decoder_hidden_ =
+      std::make_unique<nn::Linear>(config_.latent_dim, config_.hidden_dim, rng);
+  decoder_out_ =
+      std::make_unique<nn::Linear>(config_.hidden_dim, input_dim_, rng);
+
+  std::vector<Variable> params;
+  for (nn::Module* m : std::initializer_list<nn::Module*>{
+           encoder_hidden_.get(), encoder_mu_.get(), encoder_logvar_.get(),
+           decoder_hidden_.get(), decoder_out_.get()}) {
+    const auto sub = m->AllParameters();
+    params.insert(params.end(), sub.begin(), sub.end());
+  }
+  nn::Adam optimizer(params, config_.learning_rate);
+
+  const int batch = std::min(config_.batch_size, n);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    optimizer.ZeroGrad();
+    // Sample a batch with replacement.
+    Tensor x({batch, input_dim_});
+    for (int b = 0; b < batch; ++b) {
+      const int pick = rng.Index(n);
+      for (int d = 0; d < input_dim_; ++d) x.at(b, d) = data.at(pick, d);
+    }
+    const Variable input(x);
+    const Variable hidden = nn::Relu(encoder_hidden_->Forward(input));
+    const Variable mu = encoder_mu_->Forward(hidden);
+    const Variable logvar = encoder_logvar_->Forward(hidden);
+
+    // Reparameterisation: z = mu + exp(logvar/2) * eps.
+    Tensor eps({batch, config_.latent_dim});
+    for (double& v : eps.data()) v = rng.Normal();
+    const Variable z = nn::Add(
+        mu, nn::Mul(nn::Exp(nn::ScaleBy(logvar, 0.5)), Variable(eps)));
+
+    const Variable reconstruction =
+        decoder_out_->Forward(nn::Relu(decoder_hidden_->Forward(z)));
+    const Variable recon_loss = nn::MseLoss(reconstruction, x);
+
+    // KL(q || N(0,I)) = -0.5 * mean(1 + logvar - mu^2 - exp(logvar)).
+    const Variable kl = nn::ScaleBy(
+        nn::Mean(nn::Sub(nn::AddConst(logvar, 1.0),
+                         nn::Add(nn::Mul(mu, mu), nn::Exp(logvar)))),
+        -0.5);
+    Variable loss = nn::Add(recon_loss, nn::ScaleBy(kl, config_.beta));
+    loss.Backward();
+    optimizer.Step();
+    final_loss_ = loss.value().scalar();
+  }
+}
+
+std::vector<std::vector<double>> Vae::Sample(int count, core::Rng& rng) {
+  TSAUG_CHECK(fitted());
+  Tensor z({count, config_.latent_dim});
+  for (double& v : z.data()) v = rng.Normal();
+  const Variable decoded =
+      decoder_out_->Forward(nn::Relu(decoder_hidden_->Forward(Variable(z))));
+  std::vector<std::vector<double>> out(count,
+                                       std::vector<double>(input_dim_));
+  for (int i = 0; i < count; ++i) {
+    for (int d = 0; d < input_dim_; ++d) {
+      out[i][d] =
+          decoded.value().at(i, d) * feature_std_[d] + feature_mean_[d];
+    }
+  }
+  return out;
+}
+
+VaeAugmenter::VaeAugmenter(VaeConfig config) : config_(std::move(config)) {}
+
+std::vector<core::TimeSeries> VaeAugmenter::Generate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
+  const std::vector<std::vector<int>> by_class = train.IndicesByClass();
+  TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
+  const std::vector<int>& members = by_class[label];
+  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+
+  const int channels = train.num_channels();
+  const int length = train.max_length();
+  auto it = models_.find(label);
+  if (it == models_.end()) {
+    std::vector<std::vector<double>> instances;
+    instances.reserve(members.size());
+    for (int i : members) {
+      core::TimeSeries s = core::ImputeLinear(train.series(i));
+      if (s.length() != length) s = core::ResampleToLength(s, length);
+      instances.push_back(s.Flatten());
+    }
+    VaeConfig config = config_;
+    config.seed = config_.seed ^ (0x5eedull + 1000003ull * label);
+    auto model = std::make_unique<Vae>(config);
+    model->Fit(instances);
+    it = models_.emplace(label, std::move(model)).first;
+  }
+
+  std::vector<core::TimeSeries> out;
+  out.reserve(count);
+  for (std::vector<double>& flat : it->second->Sample(count, rng)) {
+    out.push_back(core::TimeSeries::FromFlat(flat, channels, length));
+  }
+  return out;
+}
+
+}  // namespace tsaug::augment

@@ -1,0 +1,64 @@
+#include "classify/nearest_neighbor.h"
+
+#include <algorithm>
+
+#include "core/preprocess.h"
+#include "linalg/distance.h"
+
+namespace tsaug::classify {
+
+KnnClassifier::KnnClassifier(int k, NnDistance distance, int dtw_window,
+                             bool z_normalize)
+    : k_(k), distance_(distance), dtw_window_(dtw_window),
+      z_normalize_(z_normalize) {
+  TSAUG_CHECK(k >= 1);
+}
+
+std::string KnnClassifier::name() const {
+  std::string base = std::to_string(k_) + "-NN-";
+  base += distance_ == NnDistance::kDtw ? "DTW" : "Euclidean";
+  return base;
+}
+
+void KnnClassifier::Fit(const core::Dataset& train) {
+  TSAUG_CHECK(!train.empty());
+  train_ = core::Dataset(train.num_classes());
+  for (int i = 0; i < train.size(); ++i) {
+    core::TimeSeries s = core::ImputeLinear(train.series(i));
+    if (z_normalize_) s = core::ZNormalize(s);
+    train_.Add(std::move(s), train.label(i));
+  }
+}
+
+std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
+  TSAUG_CHECK(!train_.empty());
+  std::vector<int> predictions(test.size());
+  for (int i = 0; i < test.size(); ++i) {
+    core::TimeSeries query = core::ImputeLinear(test.series(i));
+    if (z_normalize_) query = core::ZNormalize(query);
+
+    std::vector<std::pair<double, int>> neighbors;  // (distance, label)
+    neighbors.reserve(train_.size());
+    for (int j = 0; j < train_.size(); ++j) {
+      const double d =
+          distance_ == NnDistance::kDtw
+              ? linalg::DtwDistance(query, train_.series(j), dtw_window_)
+              : linalg::EuclideanDistance(query, train_.series(j));
+      neighbors.emplace_back(d, train_.label(j));
+    }
+    const int take = std::min<int>(k_, static_cast<int>(neighbors.size()));
+    std::partial_sort(neighbors.begin(), neighbors.begin() + take,
+                      neighbors.end());
+    // Majority vote among the k nearest; ties break toward the closer one.
+    std::vector<int> votes(train_.num_classes(), 0);
+    for (int v = 0; v < take; ++v) ++votes[neighbors[v].second];
+    int best = neighbors[0].second;
+    for (int label = 0; label < train_.num_classes(); ++label) {
+      if (votes[label] > votes[best]) best = label;
+    }
+    predictions[i] = best;
+  }
+  return predictions;
+}
+
+}  // namespace tsaug::classify

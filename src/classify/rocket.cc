@@ -1,0 +1,127 @@
+#include "classify/rocket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/rng.h"
+
+namespace tsaug::classify {
+
+RocketTransform::RocketTransform(int num_kernels, std::uint64_t seed)
+    : num_kernels_(num_kernels), seed_(seed) {
+  TSAUG_CHECK(num_kernels > 0);
+}
+
+void RocketTransform::Fit(int num_channels, int series_length) {
+  TSAUG_CHECK(num_channels >= 1 && series_length >= 2);
+  series_length_ = series_length;
+  core::Rng rng(seed_);
+  kernels_.clear();
+  kernels_.reserve(num_kernels_);
+
+  const std::vector<int> candidate_lengths = {7, 9, 11};
+  for (int k = 0; k < num_kernels_; ++k) {
+    RocketKernel kernel;
+    kernel.length = rng.Choice(candidate_lengths);
+    // Kernels cannot be longer than the (dilated) series; shrink if needed.
+    kernel.length = std::min(kernel.length, series_length);
+    if (kernel.length < 2) kernel.length = 2;
+
+    // Random subset of channels, size 2^U(0, log2(min(C, l))) as in the
+    // multivariate ROCKET of sktime.
+    const int max_channels = std::min(num_channels, kernel.length);
+    const double limit = std::log2(static_cast<double>(max_channels) + 1.0);
+    const int num_selected = std::min(
+        num_channels,
+        static_cast<int>(std::pow(2.0, rng.Uniform(0.0, limit))));
+    kernel.channels =
+        rng.SampleWithoutReplacement(num_channels, std::max(1, num_selected));
+
+    kernel.weights.resize(kernel.channels.size() * kernel.length);
+    double mean = 0.0;
+    for (double& w : kernel.weights) {
+      w = rng.Normal();
+      mean += w;
+    }
+    mean /= static_cast<double>(kernel.weights.size());
+    for (double& w : kernel.weights) w -= mean;
+
+    kernel.bias = rng.Uniform(-1.0, 1.0);
+
+    // Dilation: 2^U(0, log2((T-1)/(l-1))).
+    const double max_exponent = std::log2(
+        static_cast<double>(series_length - 1) / (kernel.length - 1));
+    kernel.dilation = static_cast<int>(
+        std::pow(2.0, rng.Uniform(0.0, std::max(0.0, max_exponent))));
+    kernel.dilation = std::max(1, kernel.dilation);
+
+    kernel.padding = rng.Bernoulli(0.5)
+                         ? ((kernel.length - 1) * kernel.dilation) / 2
+                         : 0;
+    kernels_.push_back(std::move(kernel));
+  }
+}
+
+linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
+  TSAUG_CHECK(fitted());
+  TSAUG_CHECK(data.ndim() == 3);
+  const int n = data.dim(0);
+  const int time = data.dim(2);
+
+  linalg::Matrix features(n, 2 * num_kernels_);
+  for (int i = 0; i < n; ++i) {
+    for (int k = 0; k < num_kernels_; ++k) {
+      const RocketKernel& kernel = kernels_[k];
+      const int span = (kernel.length - 1) * kernel.dilation;
+      const int out_len = time + 2 * kernel.padding - span;
+      if (out_len <= 0) {
+        features(i, 2 * k) = 0.0;
+        features(i, 2 * k + 1) = 0.0;
+        continue;
+      }
+      int positive = 0;
+      double max_activation = -std::numeric_limits<double>::infinity();
+      for (int pos = -kernel.padding; pos < time + kernel.padding - span;
+           ++pos) {
+        double activation = kernel.bias;
+        for (size_t c = 0; c < kernel.channels.size(); ++c) {
+          const int channel = kernel.channels[c];
+          const double* w = kernel.weights.data() + c * kernel.length;
+          for (int tap = 0; tap < kernel.length; ++tap) {
+            const int t = pos + tap * kernel.dilation;
+            if (t >= 0 && t < time) {
+              activation += w[tap] * data.at(i, channel, t);
+            }
+          }
+        }
+        if (activation > 0.0) ++positive;
+        max_activation = std::max(max_activation, activation);
+      }
+      features(i, 2 * k) = static_cast<double>(positive) / out_len;  // PPV
+      features(i, 2 * k + 1) = max_activation;
+    }
+  }
+  return features;
+}
+
+RocketClassifier::RocketClassifier(int num_kernels, std::uint64_t seed,
+                                   bool z_normalize)
+    : transform_(num_kernels, seed), z_normalize_(z_normalize) {}
+
+void RocketClassifier::Fit(const core::Dataset& train) {
+  TSAUG_CHECK(!train.empty());
+  train_length_ = train.max_length();
+  const nn::Tensor x = DatasetToTensor(train, train_length_, z_normalize_);
+  transform_.Fit(train.num_channels(), train_length_);
+  const linalg::Matrix features = transform_.Transform(x);
+  ridge_.Fit(features, train.labels(), train.num_classes());
+}
+
+std::vector<int> RocketClassifier::Predict(const core::Dataset& test) {
+  TSAUG_CHECK(transform_.fitted());
+  const nn::Tensor x = DatasetToTensor(test, train_length_, z_normalize_);
+  return ridge_.Predict(transform_.Transform(x));
+}
+
+}  // namespace tsaug::classify

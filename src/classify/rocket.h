@@ -1,0 +1,78 @@
+#ifndef TSAUG_CLASSIFY_ROCKET_H_
+#define TSAUG_CLASSIFY_ROCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "classify/classifier.h"
+#include "linalg/matrix.h"
+#include "linalg/ridge.h"
+
+namespace tsaug::classify {
+
+/// One random convolutional kernel (Dempster et al., ROCKET): a random
+/// subset of input channels, N(0,1) mean-centred weights, random bias,
+/// exponentially-sampled dilation and optional 'same' padding.
+struct RocketKernel {
+  std::vector<int> channels;
+  std::vector<double> weights;  // channels.size() x length, channel-major
+  int length = 0;
+  double bias = 0.0;
+  int dilation = 1;
+  int padding = 0;
+};
+
+/// The ROCKET feature extractor: `num_kernels` random kernels, each
+/// contributing two features per series — PPV (proportion of positive
+/// values) and the maximum activation.
+class RocketTransform {
+ public:
+  RocketTransform(int num_kernels, std::uint64_t seed);
+
+  /// Draws the kernels for inputs with the given geometry.
+  void Fit(int num_channels, int series_length);
+
+  bool fitted() const { return !kernels_.empty(); }
+  int num_kernels() const { return num_kernels_; }
+  int series_length() const { return series_length_; }
+  const std::vector<RocketKernel>& kernels() const { return kernels_; }
+
+  /// Features of one rectangular tensor [n, channels, length]:
+  /// returns an n x (2 * num_kernels) matrix (PPV, max per kernel).
+  linalg::Matrix Transform(const nn::Tensor& data) const;
+
+ private:
+  int num_kernels_;
+  std::uint64_t seed_;
+  int series_length_ = 0;
+  std::vector<RocketKernel> kernels_;
+};
+
+/// ROCKET + ridge-regression classifier, the paper's non-deep baseline
+/// (Tables I/II: ROCKET extracts features, a ridge classifier with LOOCV
+/// alpha selection does the classification).
+class RocketClassifier : public Classifier {
+ public:
+  /// `num_kernels` defaults to the paper's 10,000 in paper-scale runs;
+  /// benches pass a smaller count.
+  explicit RocketClassifier(int num_kernels = 10000, std::uint64_t seed = 0,
+                            bool z_normalize = true);
+
+  std::string name() const override { return "ROCKET"; }
+  void Fit(const core::Dataset& train) override;
+  std::vector<int> Predict(const core::Dataset& test) override;
+
+  const RocketTransform& transform() const { return transform_; }
+  const linalg::RidgeClassifierCV& ridge() const { return ridge_; }
+
+ private:
+  RocketTransform transform_;
+  linalg::RidgeClassifierCV ridge_;
+  bool z_normalize_;
+  int train_length_ = 0;
+};
+
+}  // namespace tsaug::classify
+
+#endif  // TSAUG_CLASSIFY_ROCKET_H_

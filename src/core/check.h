@@ -1,0 +1,34 @@
+#ifndef TSAUG_CORE_CHECK_H_
+#define TSAUG_CORE_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Invariant / precondition checking for the tsaug library.
+///
+/// A failed check denotes a programming error (an API contract violation),
+/// not a recoverable runtime condition, so it aborts the process with a
+/// diagnostic. Checks are active in all build types: the library is used for
+/// experiments where a silently-wrong answer is worse than a crash.
+#define TSAUG_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TSAUG_CHECK failed at %s:%d: %s\n", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like TSAUG_CHECK but with a printf-style message appended.
+#define TSAUG_CHECK_MSG(cond, ...)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "TSAUG_CHECK failed at %s:%d: %s: ", __FILE__,  \
+                   __LINE__, #cond);                                       \
+      std::fprintf(stderr, __VA_ARGS__);                                   \
+      std::fprintf(stderr, "\n");                                          \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#endif  // TSAUG_CORE_CHECK_H_

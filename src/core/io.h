@@ -1,0 +1,28 @@
+#ifndef TSAUG_CORE_IO_H_
+#define TSAUG_CORE_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/dataset.h"
+#include "core/time_series.h"
+
+namespace tsaug::core {
+
+/// Writes one series as CSV with a `t,ch0,ch1,...` header. Missing values
+/// are emitted as the literal `NaN`.
+void WriteSeriesCsv(const TimeSeries& series, std::ostream& out);
+bool WriteSeriesCsv(const TimeSeries& series, const std::string& path);
+
+/// Writes a dataset in long CSV form: `instance,label,channel,t,value`.
+void WriteDatasetCsv(const Dataset& dataset, std::ostream& out);
+bool WriteDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by WriteDatasetCsv. Returns false on malformed
+/// input (the dataset is left empty in that case).
+bool ReadDatasetCsv(std::istream& in, Dataset* dataset);
+bool ReadDatasetCsv(const std::string& path, Dataset* dataset);
+
+}  // namespace tsaug::core
+
+#endif  // TSAUG_CORE_IO_H_

@@ -1,0 +1,19 @@
+#include "core/rng.h"
+
+#include <numeric>
+
+namespace tsaug::core {
+
+std::vector<int> Rng::SampleWithoutReplacement(int size, int count) {
+  TSAUG_CHECK(count >= 0 && count <= size);
+  std::vector<int> indices(size);
+  std::iota(indices.begin(), indices.end(), 0);
+  // Partial Fisher-Yates: the first `count` slots become the sample.
+  for (int i = 0; i < count; ++i) {
+    std::swap(indices[i], indices[Int(i, size - 1)]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+}  // namespace tsaug::core

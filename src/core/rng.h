@@ -1,0 +1,80 @@
+#ifndef TSAUG_CORE_RNG_H_
+#define TSAUG_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/check.h"
+
+namespace tsaug::core {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every stochastic component (augmenters, classifiers, dataset generators)
+/// takes an explicit `Rng&` so experiments are reproducible from a single
+/// seed. The class wraps std::mt19937_64 with the handful of draws the
+/// library needs.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Standard normal draw scaled to N(mean, stddev^2).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int Int(int lo, int hi) {
+    TSAUG_CHECK(lo <= hi);
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform index in [0, size).
+  int Index(int size) {
+    TSAUG_CHECK(size > 0);
+    return Int(0, size - 1);
+  }
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// A random element of `items`.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    TSAUG_CHECK(!items.empty());
+    return items[Index(static_cast<int>(items.size()))];
+  }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (int i = static_cast<int>(items.size()) - 1; i > 0; --i) {
+      std::swap(items[i], items[Int(0, i)]);
+    }
+  }
+
+  /// `count` indices sampled without replacement from [0, size).
+  std::vector<int> SampleWithoutReplacement(int size, int count);
+
+  /// Derives an independent child generator; used to give parallel
+  /// components decorrelated streams from one experiment seed.
+  Rng Fork() { return Rng(engine_()); }
+
+  /// Access to the underlying engine for std <random> interop.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tsaug::core
+
+#endif  // TSAUG_CORE_RNG_H_

@@ -1,0 +1,160 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/preprocess.h"
+
+namespace tsaug::core {
+namespace {
+
+// Mean flattened (channel-major) series of a rectangular dataset, NaNs
+// ignored per cell.
+std::vector<double> MeanFlatSeries(const Dataset& dataset) {
+  TSAUG_CHECK(!dataset.empty());
+  const size_t dims = dataset.series(0).values().size();
+  std::vector<double> sum(dims, 0.0);
+  std::vector<int> count(dims, 0);
+  for (int i = 0; i < dataset.size(); ++i) {
+    const std::vector<double>& values = dataset.series(i).values();
+    TSAUG_CHECK(values.size() == dims);
+    for (size_t d = 0; d < dims; ++d) {
+      if (!std::isnan(values[d])) {
+        sum[d] += values[d];
+        ++count[d];
+      }
+    }
+  }
+  for (size_t d = 0; d < dims; ++d) {
+    sum[d] = count[d] > 0 ? sum[d] / count[d] : 0.0;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double DatasetVariance(const Dataset& dataset) {
+  if (dataset.empty()) return 0.0;
+  const Dataset rect = dataset.IsRectangular() ? dataset
+                                               : ResampleToMaxLength(dataset);
+  const std::vector<double> mean = MeanFlatSeries(rect);
+  const size_t dims = mean.size();
+  std::vector<double> sum_sq(dims, 0.0);
+  std::vector<int> count(dims, 0);
+  for (int i = 0; i < rect.size(); ++i) {
+    const std::vector<double>& values = rect.series(i).values();
+    for (size_t d = 0; d < dims; ++d) {
+      if (!std::isnan(values[d])) {
+        const double delta = values[d] - mean[d];
+        sum_sq[d] += delta * delta;
+        ++count[d];
+      }
+    }
+  }
+  // Eq. (5): average the per-(m, t) variances over all M*T cells.
+  double total = 0.0;
+  for (size_t d = 0; d < dims; ++d) {
+    total += count[d] > 0 ? sum_sq[d] / count[d] : 0.0;
+  }
+  return dims > 0 ? total / static_cast<double>(dims) : 0.0;
+}
+
+double HellingerDistance(const std::vector<double>& p,
+                         const std::vector<double>& q) {
+  TSAUG_CHECK(p.size() == q.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    const double diff = std::sqrt(p[i]) - std::sqrt(q[i]);
+    sum += diff * diff;
+  }
+  return std::sqrt(sum) / std::sqrt(2.0);
+}
+
+double ImbalanceDegree(const std::vector<int>& class_counts) {
+  const int k = static_cast<int>(class_counts.size());
+  TSAUG_CHECK(k >= 1);
+  int total = 0;
+  for (int c : class_counts) total += c;
+  TSAUG_CHECK(total > 0);
+
+  std::vector<double> eta(k);
+  for (int i = 0; i < k; ++i) eta[i] = static_cast<double>(class_counts[i]) / total;
+  const std::vector<double> uniform(k, 1.0 / k);
+
+  // Number of minority classes: frequency strictly below 1/K.
+  int m = 0;
+  for (double f : eta) {
+    if (f < 1.0 / k - 1e-12) ++m;
+  }
+  if (m == 0) return 0.0;  // balanced
+
+  // iota_m: m classes at probability 0, K-m-1 classes at 1/K, one majority
+  // class absorbing the rest -- the most imbalanced distribution that still
+  // has exactly m minority classes.
+  std::vector<double> iota(k, 0.0);
+  for (int i = m; i < k - 1; ++i) iota[i] = 1.0 / k;
+  iota[k - 1] = static_cast<double>(m + 1) / k;
+
+  const double d_eta = HellingerDistance(eta, uniform);
+  const double d_iota = HellingerDistance(iota, uniform);
+  TSAUG_CHECK(d_iota > 0.0);
+  return (m - 1) + d_eta / d_iota;
+}
+
+double ImbalanceDegree(const Dataset& dataset) {
+  return ImbalanceDegree(dataset.ClassCounts());
+}
+
+double TrainTestDistance(const Dataset& train, const Dataset& test) {
+  TSAUG_CHECK(!train.empty() && !test.empty());
+  const int length = std::max(train.max_length(), test.max_length());
+  Dataset train_rect(train.num_classes());
+  for (int i = 0; i < train.size(); ++i) {
+    train_rect.Add(ResampleToLength(train.series(i), length), train.label(i));
+  }
+  Dataset test_rect(test.num_classes());
+  for (int i = 0; i < test.size(); ++i) {
+    test_rect.Add(ResampleToLength(test.series(i), length), test.label(i));
+  }
+  const std::vector<double> mean_train = MeanFlatSeries(train_rect);
+  const std::vector<double> mean_test = MeanFlatSeries(test_rect);
+  TSAUG_CHECK(mean_train.size() == mean_test.size());
+  double sum_sq = 0.0;
+  for (size_t d = 0; d < mean_train.size(); ++d) {
+    const double diff = mean_train[d] - mean_test[d];
+    sum_sq += diff * diff;
+  }
+  return std::sqrt(sum_sq);
+}
+
+double MissingProportion(const Dataset& train, const Dataset& test) {
+  long long missing = 0;
+  long long total = 0;
+  for (const Dataset* set : {&train, &test}) {
+    for (int i = 0; i < set->size(); ++i) {
+      missing += set->series(i).CountMissing();
+      total += static_cast<long long>(set->series(i).num_channels()) *
+               set->series(i).length();
+    }
+  }
+  return total > 0 ? static_cast<double>(missing) / total : 0.0;
+}
+
+DatasetProperties ComputeProperties(const std::string& name,
+                                    const Dataset& train,
+                                    const Dataset& test) {
+  DatasetProperties props;
+  props.name = name;
+  props.n_classes = train.num_classes();
+  props.train_size = train.size();
+  props.dim = train.num_channels();
+  props.length = train.max_length();
+  props.var_train = DatasetVariance(train);
+  props.var_test = DatasetVariance(test);
+  props.im_ratio = ImbalanceDegree(train);
+  props.d_train_test = TrainTestDistance(train, test);
+  props.prop_miss = MissingProportion(train, test);
+  return props;
+}
+
+}  // namespace tsaug::core

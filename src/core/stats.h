@@ -1,0 +1,59 @@
+#ifndef TSAUG_CORE_STATS_H_
+#define TSAUG_CORE_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace tsaug::core {
+
+/// The dataset characterisation of the paper's Table III.
+struct DatasetProperties {
+  std::string name;
+  int n_classes = 0;
+  int train_size = 0;
+  int dim = 0;
+  int length = 0;          // maximum series length
+  double var_train = 0.0;  // Eq. (4)-(5) multivariate variance
+  double var_test = 0.0;
+  double im_ratio = 0.0;      // Hellinger imbalance degree (ID)
+  double d_train_test = 0.0;  // Euclidean distance between set means
+  double prop_miss = 0.0;     // missing-step proportion over train+test
+};
+
+/// Multivariate dataset variance, Eq. (4)-(5) of the paper: the variance at
+/// each (dimension, time step) across instances, averaged over all
+/// dimensions and steps. Variable-length collections are linearly resampled
+/// to the maximum length first; NaNs are ignored per cell.
+double DatasetVariance(const Dataset& dataset);
+
+/// Imbalance degree of Ortigosa-Hernandez et al. with Hellinger distance:
+/// ID = (m - 1) + d(eta, e) / d(iota_m, e), where eta is the empirical
+/// class distribution, e the uniform distribution, m the number of minority
+/// classes (classes with frequency < 1/K) and iota_m the most imbalanced
+/// distribution with exactly m minority classes. Returns 0 for a perfectly
+/// balanced dataset.
+double ImbalanceDegree(const std::vector<int>& class_counts);
+double ImbalanceDegree(const Dataset& dataset);
+
+/// Hellinger distance between two discrete distributions of equal size.
+double HellingerDistance(const std::vector<double>& p,
+                         const std::vector<double>& q);
+
+/// Euclidean distance between the mean (flattened) series of the two sets,
+/// after resampling both to a shared length. Captures train/test domain
+/// shift (the paper's d_train_test).
+double TrainTestDistance(const Dataset& train, const Dataset& test);
+
+/// Fraction of missing (NaN) observations over both sets.
+double MissingProportion(const Dataset& train, const Dataset& test);
+
+/// Computes the full Table III row for a dataset.
+DatasetProperties ComputeProperties(const std::string& name,
+                                    const Dataset& train,
+                                    const Dataset& test);
+
+}  // namespace tsaug::core
+
+#endif  // TSAUG_CORE_STATS_H_

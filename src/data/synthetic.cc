@@ -1,0 +1,255 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace tsaug::data {
+namespace {
+
+struct Harmonic {
+  double cycles;  // full periods over the series
+  double amplitude;
+  double phase;
+};
+
+struct Shapelet {
+  double center;  // fractional position in [0.15, 0.85]
+  double width;   // fractional width
+  double amplitude;
+  int channel;
+};
+
+// The fixed per-class generative signature.
+struct ClassSignature {
+  std::vector<std::vector<Harmonic>> harmonics;  // [channel][...]
+  std::vector<Shapelet> shapelets;
+  double ar_coefficient = 0.5;
+  std::vector<double> channel_offsets;
+};
+
+// The dataset-wide base signature all classes share. Class identity comes
+// from controlled deviations around it (see DeriveClassSignature), so
+// spec.class_separation directly controls task difficulty: at ~1 classes
+// diverge strongly, near 0 they are nearly indistinguishable.
+ClassSignature DrawBaseSignature(const SyntheticSpec& spec, core::Rng& rng) {
+  ClassSignature sig;
+  sig.harmonics.resize(spec.num_channels);
+  for (int c = 0; c < spec.num_channels; ++c) {
+    const int count = rng.Int(2, 3);
+    for (int h = 0; h < count; ++h) {
+      sig.harmonics[c].push_back(
+          {rng.Uniform(1.0, 8.0), rng.Uniform(0.4, 1.4),
+           rng.Uniform(0.0, 2.0 * std::numbers::pi)});
+    }
+    sig.channel_offsets.push_back(rng.Normal(0.0, 0.5));
+  }
+  sig.ar_coefficient = rng.Uniform(0.3, 0.9);
+  return sig;
+}
+
+ClassSignature DeriveClassSignature(const ClassSignature& base,
+                                    const SyntheticSpec& spec,
+                                    core::Rng& rng) {
+  const double s = spec.class_separation;
+  ClassSignature sig = base;
+  for (auto& channel : sig.harmonics) {
+    for (Harmonic& h : channel) {
+      h.amplitude *= std::max(0.1, 1.0 + s * rng.Normal(0.0, 0.6));
+      h.phase += s * rng.Normal(0.0, 1.2);
+      h.cycles = std::max(0.5, h.cycles + s * rng.Normal(0.0, 0.9));
+    }
+  }
+  for (double& offset : sig.channel_offsets) {
+    offset += s * rng.Normal(0.0, 0.8);
+  }
+  const int num_shapelets = rng.Int(1, 2);
+  for (int k = 0; k < num_shapelets; ++k) {
+    sig.shapelets.push_back({rng.Uniform(0.15, 0.85),
+                             rng.Uniform(0.05, 0.2),
+                             (rng.Bernoulli(0.5) ? 1.0 : -1.0) *
+                                 rng.Uniform(1.0, 2.0) * s,
+                             rng.Index(spec.num_channels)});
+  }
+  return sig;
+}
+
+core::TimeSeries DrawSeries(const SyntheticSpec& spec,
+                            const ClassSignature& sig, double drift,
+                            core::Rng& rng) {
+  core::TimeSeries series(spec.num_channels, spec.length);
+  // Shared latent AR(1) noise induces inter-channel correlation; each
+  // channel adds its own independent component on top.
+  std::vector<double> shared(spec.length);
+  double state = 0.0;
+  for (int t = 0; t < spec.length; ++t) {
+    state = sig.ar_coefficient * state +
+            rng.Normal(0.0, std::sqrt(1.0 - sig.ar_coefficient *
+                                                sig.ar_coefficient));
+    shared[t] = state;
+  }
+  // Per-instance random variation: the harder the dataset, the more each
+  // instance deviates from its class signature.
+  const double var = spec.instance_variability;
+  const double time_scale = 1.0 + rng.Normal(0.0, 0.03 + 0.06 * var);
+  const double amp_scale = std::max(0.2, 1.0 + rng.Normal(0.0, var));
+
+  // Per-harmonic phase/amplitude jitter for this instance.
+  std::vector<std::vector<Harmonic>> harmonics = sig.harmonics;
+  for (auto& channel : harmonics) {
+    for (Harmonic& h : channel) {
+      h.phase += rng.Normal(0.0, 1.2 * var);
+      h.amplitude *= std::max(0.1, 1.0 + rng.Normal(0.0, 0.6 * var));
+    }
+  }
+  std::vector<Shapelet> shapelets = sig.shapelets;
+  for (Shapelet& s : shapelets) {
+    s.center += rng.Normal(0.0, 0.04 + 0.08 * var);
+  }
+
+  for (int c = 0; c < spec.num_channels; ++c) {
+    for (int t = 0; t < spec.length; ++t) {
+      const double u = static_cast<double>(t) / std::max(1, spec.length - 1);
+      double v = sig.channel_offsets[c] + drift;
+      for (const Harmonic& h : harmonics[c]) {
+        v += amp_scale * h.amplitude *
+             std::sin(2.0 * std::numbers::pi * h.cycles * u * time_scale +
+                      h.phase);
+      }
+      for (const Shapelet& s : shapelets) {
+        if (s.channel == c) {
+          const double z = (u - s.center) / s.width;
+          v += amp_scale * s.amplitude * std::exp(-0.5 * z * z);
+        }
+      }
+      v += spec.noise_level * (0.6 * shared[t] + 0.4 * rng.Normal());
+      series.at(c, t) = v;
+    }
+  }
+
+  if (spec.missing_prop > 0.0) {
+    // Knock out short per-channel runs so the expected NaN fraction is
+    // missing_prop, mimicking the archive's missing time steps.
+    const int total = spec.num_channels * spec.length;
+    int remaining = static_cast<int>(spec.missing_prop * total + 0.5);
+    while (remaining > 0) {
+      const int run = std::min(remaining, rng.Int(1, 5));
+      const int c = rng.Index(spec.num_channels);
+      const int start = rng.Index(std::max(1, spec.length - run));
+      for (int t = start; t < std::min(spec.length, start + run); ++t) {
+        series.at(c, t) = std::numeric_limits<double>::quiet_NaN();
+      }
+      remaining -= run;
+    }
+  }
+  return series;
+}
+
+}  // namespace
+
+TrainTest MakeSynthetic(const SyntheticSpec& spec) {
+  TSAUG_CHECK(spec.num_classes >= 2);
+  TSAUG_CHECK(static_cast<int>(spec.train_counts.size()) == spec.num_classes);
+  TSAUG_CHECK(static_cast<int>(spec.test_counts.size()) == spec.num_classes);
+  TSAUG_CHECK(spec.num_channels >= 1 && spec.length >= 8);
+
+  core::Rng rng(spec.seed ^ 0xda7a5e7ull);
+  const ClassSignature base = DrawBaseSignature(spec, rng);
+  std::vector<ClassSignature> signatures;
+  signatures.reserve(spec.num_classes);
+  for (int k = 0; k < spec.num_classes; ++k) {
+    signatures.push_back(DeriveClassSignature(base, spec, rng));
+  }
+
+  TrainTest out;
+  out.train = core::Dataset(spec.num_classes);
+  out.test = core::Dataset(spec.num_classes);
+  for (int k = 0; k < spec.num_classes; ++k) {
+    for (int i = 0; i < spec.train_counts[k]; ++i) {
+      out.train.Add(DrawSeries(spec, signatures[k], 0.0, rng), k);
+    }
+    for (int i = 0; i < spec.test_counts[k]; ++i) {
+      out.test.Add(DrawSeries(spec, signatures[k], spec.drift, rng), k);
+    }
+  }
+  return out;
+}
+
+std::vector<int> GeometricCounts(int total, int num_classes, double ratio,
+                                 int min_count) {
+  TSAUG_CHECK(num_classes >= 1 && total >= num_classes * min_count);
+  TSAUG_CHECK(ratio >= 1.0);
+  std::vector<double> weights(num_classes);
+  for (int k = 0; k < num_classes; ++k) {
+    weights[k] = std::pow(ratio, -static_cast<double>(k));
+  }
+  double weight_sum = 0.0;
+  for (double w : weights) weight_sum += w;
+
+  std::vector<int> counts(num_classes);
+  int assigned = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    counts[k] = std::max(
+        min_count, static_cast<int>(total * weights[k] / weight_sum + 0.5));
+    assigned += counts[k];
+  }
+  // Adjust the majority class so totals match.
+  counts[0] = std::max(min_count, counts[0] + (total - assigned));
+  return counts;
+}
+
+std::vector<int> CountsForImbalanceDegree(int total, int num_classes,
+                                          double target_id, int min_count) {
+  if (target_id <= 1e-9) {
+    return GeometricCounts(total, num_classes, 1.0, min_count);
+  }
+  std::vector<int> best = GeometricCounts(total, num_classes, 1.0, min_count);
+  double best_error = std::fabs(core::ImbalanceDegree(best) - target_id);
+  for (double ratio = 1.05; ratio <= 60.0; ratio *= 1.05) {
+    const std::vector<int> counts =
+        GeometricCounts(total, num_classes, ratio, min_count);
+    const double error =
+        std::fabs(core::ImbalanceDegree(counts) - target_id);
+    if (error < best_error) {
+      best_error = error;
+      best = counts;
+    }
+  }
+
+  // Greedy refinement: a geometric profile cannot reach every imbalance
+  // degree (e.g. ID = m requires near-extreme shapes), so hill-climb by
+  // moving instances between classes while the error shrinks.
+  int actual_total = 0;
+  for (int c : best) actual_total += c;
+  for (int step = std::max(1, actual_total / 20); step >= 1; step /= 2) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (int from = 0; from < num_classes; ++from) {
+        for (int to = 0; to < num_classes; ++to) {
+          if (from == to || best[from] - step < min_count) continue;
+          std::vector<int> candidate = best;
+          candidate[from] -= step;
+          candidate[to] += step;
+          const double error =
+              std::fabs(core::ImbalanceDegree(candidate) - target_id);
+          if (error + 1e-12 < best_error) {
+            best_error = error;
+            best = std::move(candidate);
+            improved = true;
+          }
+        }
+      }
+    }
+  }
+  // Keep the majority class first so callers' expectations about class 0
+  // being largest still hold.
+  std::sort(best.rbegin(), best.rend());
+  return best;
+}
+
+}  // namespace tsaug::data

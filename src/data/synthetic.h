@@ -1,0 +1,63 @@
+#ifndef TSAUG_DATA_SYNTHETIC_H_
+#define TSAUG_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dataset.h"
+
+namespace tsaug::data {
+
+/// Parameters of the synthetic multivariate time-series generator that
+/// stands in for the UCR/UEA archive (see DESIGN.md: substitution table).
+///
+/// Each class gets a random but fixed signature: a bank of per-channel
+/// harmonics, a class-specific shapelet (a localised bump), and AR(1)
+/// observation noise shared across channels (which induces inter-channel
+/// correlation). Train and test are drawn from the same signature
+/// distributions, optionally with a test-set mean drift to mimic the
+/// archive's train/test domain shift.
+struct SyntheticSpec {
+  std::string name = "synthetic";
+  int num_classes = 2;
+  std::vector<int> train_counts;  // per-class instance counts
+  std::vector<int> test_counts;
+  int num_channels = 3;
+  int length = 100;
+  double noise_level = 0.3;       // AR-noise scale relative to signal
+  double missing_prop = 0.0;      // expected fraction of NaN observations
+  double class_separation = 1.0;  // scales how distinct signatures are
+  /// Within-class variation: per-instance jitter of harmonic phases,
+  /// amplitudes, time scale and shapelet positions. Raising it toward the
+  /// class separation makes the classes genuinely hard to tell apart.
+  double instance_variability = 0.15;
+  double drift = 0.0;             // additive mean shift on the test set
+  std::uint64_t seed = 0;
+};
+
+struct TrainTest {
+  core::Dataset train;
+  core::Dataset test;
+};
+
+/// Draws a train/test pair according to `spec`. Deterministic in
+/// spec.seed.
+TrainTest MakeSynthetic(const SyntheticSpec& spec);
+
+/// Per-class counts summing to ~`total` with a geometric profile
+/// (count_k proportional to ratio^-k), each at least `min_count`.
+/// ratio == 1 gives balanced counts.
+std::vector<int> GeometricCounts(int total, int num_classes, double ratio,
+                                 int min_count = 2);
+
+/// Searches the geometric ratio whose counts best match a target Hellinger
+/// imbalance degree (core::ImbalanceDegree) for the given total and class
+/// count. Returns the counts.
+std::vector<int> CountsForImbalanceDegree(int total, int num_classes,
+                                          double target_id,
+                                          int min_count = 2);
+
+}  // namespace tsaug::data
+
+#endif  // TSAUG_DATA_SYNTHETIC_H_

@@ -1,0 +1,88 @@
+#ifndef TSAUG_EVAL_EXPERIMENT_H_
+#define TSAUG_EVAL_EXPERIMENT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "augment/augmenter.h"
+#include "augment/timegan.h"
+#include "classify/inception_time.h"
+#include "data/synthetic.h"
+
+namespace tsaug::eval {
+
+/// Which of the paper's two baseline models a grid runs.
+enum class ModelKind {
+  kRocket,
+  kInceptionTime,
+};
+
+std::string ModelKindName(ModelKind model);
+
+/// Configuration of one study grid (one of Tables IV/V).
+struct ExperimentConfig {
+  ModelKind model = ModelKind::kRocket;
+  /// Paper: accuracies averaged over 5 runs.
+  int runs = 5;
+  int rocket_kernels = 10000;
+  classify::InceptionTimeConfig inception;
+  std::uint64_t seed = 0;
+};
+
+/// Accuracy of one augmentation technique on one dataset (mean over runs).
+struct CellResult {
+  std::string technique;
+  double accuracy = 0.0;
+};
+
+/// One row of Table IV/V: baseline accuracy plus one cell per technique
+/// and the relative improvement of the best technique (Eq. 3, in %).
+struct DatasetRow {
+  std::string dataset;
+  double baseline_accuracy = 0.0;
+  std::vector<CellResult> cells;
+
+  double BestAugmentedAccuracy() const;
+  std::string BestTechnique() const;
+  /// Relative gain of the best technique over the baseline, in percent.
+  double ImprovementPercent() const;
+};
+
+/// A full study grid (all datasets x techniques for one model).
+struct StudyResult {
+  ModelKind model = ModelKind::kRocket;
+  std::vector<DatasetRow> rows;
+
+  /// The paper's bottom-row statistic: mean of per-dataset improvements.
+  double AverageImprovement() const;
+
+  /// Table VI counts: for each technique family ("noise" groups the three
+  /// levels; "smote"/"timegan" stand alone), the number of datasets where
+  /// the family's best cell beats the baseline.
+  std::map<std::string, int> ImprovementCounts() const;
+};
+
+/// Eq. (3): relative gain of an augmented model over the baseline.
+double RelativeGain(double augmented_accuracy, double baseline_accuracy);
+
+/// Trains the configured model on `train` and scores it on `test`.
+/// For InceptionTime, `validation` holds the original stratified samples
+/// used for early stopping (the paper keeps augmented data out of it).
+double TrainAndScore(const ExperimentConfig& config,
+                     const core::Dataset& train,
+                     const core::Dataset& validation,
+                     const core::Dataset& test, std::uint64_t run_seed);
+
+/// Runs the full technique grid for one dataset: baseline plus every
+/// augmenter in `techniques` (each applied with the paper's
+/// balance-to-majority protocol), averaged over config.runs runs.
+DatasetRow RunDatasetGrid(
+    const std::string& name, const data::TrainTest& data,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
+    const ExperimentConfig& config);
+
+}  // namespace tsaug::eval
+
+#endif  // TSAUG_EVAL_EXPERIMENT_H_

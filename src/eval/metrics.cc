@@ -1,0 +1,132 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.h"
+
+namespace tsaug::eval {
+
+linalg::Matrix ConfusionMatrix(const std::vector<int>& predicted,
+                               const std::vector<int>& labels,
+                               int num_classes) {
+  TSAUG_CHECK(predicted.size() == labels.size());
+  TSAUG_CHECK(num_classes >= 1);
+  linalg::Matrix confusion(num_classes, num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    TSAUG_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    TSAUG_CHECK(predicted[i] >= 0 && predicted[i] < num_classes);
+    confusion(labels[i], predicted[i]) += 1.0;
+  }
+  return confusion;
+}
+
+std::vector<double> PerClassRecall(const linalg::Matrix& confusion) {
+  std::vector<double> recall(confusion.rows(), 0.0);
+  for (int k = 0; k < confusion.rows(); ++k) {
+    double total = 0.0;
+    for (int j = 0; j < confusion.cols(); ++j) total += confusion(k, j);
+    recall[k] = total > 0.0 ? confusion(k, k) / total : 0.0;
+  }
+  return recall;
+}
+
+std::vector<double> PerClassPrecision(const linalg::Matrix& confusion) {
+  std::vector<double> precision(confusion.cols(), 0.0);
+  for (int k = 0; k < confusion.cols(); ++k) {
+    double total = 0.0;
+    for (int i = 0; i < confusion.rows(); ++i) total += confusion(i, k);
+    precision[k] = total > 0.0 ? confusion(k, k) / total : 0.0;
+  }
+  return precision;
+}
+
+double MacroF1(const std::vector<int>& predicted,
+               const std::vector<int>& labels, int num_classes) {
+  const linalg::Matrix confusion =
+      ConfusionMatrix(predicted, labels, num_classes);
+  const std::vector<double> recall = PerClassRecall(confusion);
+  const std::vector<double> precision = PerClassPrecision(confusion);
+  double f1_sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    double support = 0.0;
+    for (int j = 0; j < num_classes; ++j) support += confusion(k, j);
+    if (support == 0.0) continue;
+    ++present;
+    const double denom = precision[k] + recall[k];
+    f1_sum += denom > 0.0 ? 2.0 * precision[k] * recall[k] / denom : 0.0;
+  }
+  return present > 0 ? f1_sum / present : 0.0;
+}
+
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  TSAUG_CHECK(a.size() == b.size());
+  const size_t n = a.size();
+  if (n < 2) return 0.0;
+  double mean_a = 0.0;
+  double mean_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    mean_a += a[i] / n;
+    mean_b += b[i] / n;
+  }
+  double cov = 0.0;
+  double var_a = 0.0;
+  double var_b = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    cov += (a[i] - mean_a) * (b[i] - mean_b);
+    var_a += (a[i] - mean_a) * (a[i] - mean_a);
+    var_b += (b[i] - mean_b) * (b[i] - mean_b);
+  }
+  if (var_a <= 0.0 || var_b <= 0.0) return 0.0;
+  return cov / std::sqrt(var_a * var_b);
+}
+
+namespace {
+
+std::vector<double> AverageRanks(const std::vector<double>& values) {
+  const size_t n = values.size();
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return values[i] < values[j]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
+    const double average = (static_cast<double>(i) + j) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+}  // namespace
+
+double SpearmanCorrelation(const std::vector<double>& a,
+                           const std::vector<double>& b) {
+  TSAUG_CHECK(a.size() == b.size());
+  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+}
+
+double BalancedAccuracy(const std::vector<int>& predicted,
+                        const std::vector<int>& labels, int num_classes) {
+  const linalg::Matrix confusion =
+      ConfusionMatrix(predicted, labels, num_classes);
+  const std::vector<double> recall = PerClassRecall(confusion);
+  double sum = 0.0;
+  int present = 0;
+  for (int k = 0; k < num_classes; ++k) {
+    double support = 0.0;
+    for (int j = 0; j < num_classes; ++j) support += confusion(k, j);
+    if (support == 0.0) continue;
+    ++present;
+    sum += recall[k];
+  }
+  return present > 0 ? sum / present : 0.0;
+}
+
+}  // namespace tsaug::eval

@@ -1,0 +1,63 @@
+#ifndef TSAUG_EVAL_REPORT_H_
+#define TSAUG_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/stats.h"
+#include "data/uea_catalog.h"
+#include "eval/experiment.h"
+
+namespace tsaug::eval {
+
+/// Prints Table III (dataset properties) in the paper's column order.
+void PrintPropertiesTable(const std::vector<core::DatasetProperties>& rows,
+                          std::ostream& out);
+
+/// Prints a Table IV/V-style accuracy grid: one row per dataset with the
+/// baseline, one column per technique (accuracies in %), the per-dataset
+/// best-technique relative improvement, and the average improvement row.
+void PrintAccuracyTable(const StudyResult& result, std::ostream& out);
+
+/// Prints Table VI: improvement-occurrence counts per technique family for
+/// the two models side by side.
+void PrintImprovementCounts(const StudyResult& rocket,
+                            const StudyResult& inception, std::ostream& out);
+
+/// Environment-variable knobs shared by the table benches so `bench/*`
+/// stays tractable on one core but can be dialed up to paper scale:
+///   TSAUG_SCALE        tiny|small|paper   (default tiny)
+///   TSAUG_RUNS         runs per cell      (default 2; paper 5)
+///   TSAUG_KERNELS      ROCKET kernels     (default 500; paper 10000)
+///   TSAUG_EPOCHS       InceptionTime max epochs (default 40; paper 200)
+///   TSAUG_TIMEGAN_ITERS  per-phase cap    (default 60; paper 2500)
+///   TSAUG_DATASETS     comma-separated subset of Table III names
+struct BenchSettings {
+  data::ScalePreset scale = data::ScalePreset::kTiny;
+  int runs = 2;
+  int rocket_kernels = 500;
+  int inception_epochs = 40;
+  int timegan_iterations = 60;
+  std::vector<std::string> datasets;  // empty = all 13
+  std::uint64_t seed = 42;
+};
+
+/// Reads the TSAUG_* environment variables.
+BenchSettings ReadBenchSettings();
+
+/// The experiment configuration for a table bench under these settings.
+ExperimentConfig MakeExperimentConfig(const BenchSettings& settings,
+                                      ModelKind model);
+
+/// The paper's five techniques sized to these settings.
+std::vector<std::shared_ptr<augment::Augmenter>> MakePaperTechniques(
+    const BenchSettings& settings);
+
+/// Runs the full study grid (all selected datasets) for one model.
+StudyResult RunStudy(const BenchSettings& settings, ModelKind model,
+                     bool verbose = true);
+
+}  // namespace tsaug::eval
+
+#endif  // TSAUG_EVAL_REPORT_H_

@@ -1,0 +1,164 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "core/check.h"
+
+namespace tsaug::fft {
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+void FftRadix2(std::vector<Complex>& a, bool inverse) {
+  const size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein chirp-z: express DFT of arbitrary n as a convolution, computed
+// with a power-of-two FFT of size >= 2n-1.
+void FftBluestein(std::vector<Complex>& a, bool inverse) {
+  const size_t n = a.size();
+  size_t m = 1;
+  while (m < 2 * n - 1) m <<= 1;
+
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // w_k = exp(sign * i * pi * k^2 / n); k^2 mod 2n avoids overflow and
+    // keeps the angle exact.
+    const unsigned long long k2 = (static_cast<unsigned long long>(k) * k) %
+                                  (2 * static_cast<unsigned long long>(n));
+    const double angle = sign * std::numbers::pi * static_cast<double>(k2) /
+                         static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<Complex> x(m, Complex(0.0, 0.0));
+  std::vector<Complex> y(m, Complex(0.0, 0.0));
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    y[k] = std::conj(chirp[k]);
+    y[m - k] = std::conj(chirp[k]);
+  }
+
+  FftRadix2(x, false);
+  FftRadix2(y, false);
+  for (size_t k = 0; k < m; ++k) x[k] *= y[k];
+  FftRadix2(x, true);
+  const double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * inv_m * chirp[k];
+  }
+}
+
+std::vector<double> HannWindow(int size) {
+  std::vector<double> window(size);
+  for (int i = 0; i < size; ++i) {
+    window[i] =
+        0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * i / std::max(1, size - 1));
+  }
+  return window;
+}
+
+}  // namespace
+
+void Fft(std::vector<Complex>& data, bool inverse) {
+  const size_t n = data.size();
+  if (n <= 1) return;
+  if (IsPowerOfTwo(n)) {
+    FftRadix2(data, inverse);
+  } else {
+    FftBluestein(data, inverse);
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (Complex& v : data) v *= inv_n;
+  }
+}
+
+std::vector<Complex> RealFft(const std::vector<double>& signal) {
+  std::vector<Complex> data(signal.size());
+  for (size_t i = 0; i < signal.size(); ++i) data[i] = Complex(signal[i], 0.0);
+  Fft(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<double> InverseRealFft(const std::vector<Complex>& spectrum) {
+  std::vector<Complex> data = spectrum;
+  Fft(data, /*inverse=*/true);
+  std::vector<double> signal(data.size());
+  for (size_t i = 0; i < data.size(); ++i) signal[i] = data[i].real();
+  return signal;
+}
+
+std::vector<std::vector<Complex>> Stft(const std::vector<double>& signal,
+                                       int window_size, int hop) {
+  TSAUG_CHECK(window_size > 0 && hop > 0);
+  const int n = static_cast<int>(signal.size());
+  const std::vector<double> window = HannWindow(window_size);
+  std::vector<std::vector<Complex>> frames;
+  for (int start = 0; start < n; start += hop) {
+    std::vector<Complex> frame(window_size, Complex(0.0, 0.0));
+    for (int i = 0; i < window_size; ++i) {
+      const int t = start + i;
+      if (t < n) frame[i] = Complex(signal[t] * window[i], 0.0);
+    }
+    Fft(frame, /*inverse=*/false);
+    frames.push_back(std::move(frame));
+    if (start + window_size >= n && start + hop >= n) break;
+  }
+  return frames;
+}
+
+std::vector<double> InverseStft(
+    const std::vector<std::vector<Complex>>& frames, int window_size, int hop,
+    int signal_length) {
+  TSAUG_CHECK(window_size > 0 && hop > 0 && signal_length >= 0);
+  const std::vector<double> window = HannWindow(window_size);
+  std::vector<double> signal(signal_length, 0.0);
+  std::vector<double> weight(signal_length, 0.0);
+  int start = 0;
+  for (const std::vector<Complex>& spectrum : frames) {
+    TSAUG_CHECK(static_cast<int>(spectrum.size()) == window_size);
+    std::vector<Complex> frame = spectrum;
+    Fft(frame, /*inverse=*/true);
+    for (int i = 0; i < window_size; ++i) {
+      const int t = start + i;
+      if (t < signal_length) {
+        signal[t] += frame[i].real() * window[i];
+        weight[t] += window[i] * window[i];
+      }
+    }
+    start += hop;
+  }
+  for (int t = 0; t < signal_length; ++t) {
+    if (weight[t] > 1e-12) signal[t] /= weight[t];
+  }
+  return signal;
+}
+
+}  // namespace tsaug::fft

@@ -1,0 +1,38 @@
+#ifndef TSAUG_FFT_FFT_H_
+#define TSAUG_FFT_FFT_H_
+
+#include <complex>
+#include <vector>
+
+namespace tsaug::fft {
+
+using Complex = std::complex<double>;
+
+/// In-place forward/inverse discrete Fourier transform of arbitrary length:
+/// radix-2 Cooley-Tukey for powers of two, Bluestein's chirp-z algorithm
+/// otherwise. `inverse` applies the conjugate transform and divides by N,
+/// so Fft(Fft(x), inverse=true) == x.
+void Fft(std::vector<Complex>& data, bool inverse = false);
+
+/// Forward DFT of a real signal. Returns the full complex spectrum of the
+/// input's length (conjugate-symmetric).
+std::vector<Complex> RealFft(const std::vector<double>& signal);
+
+/// Inverse DFT of a conjugate-symmetric spectrum back to a real signal of
+/// the same length (the imaginary residue of roundoff is discarded).
+std::vector<double> InverseRealFft(const std::vector<Complex>& spectrum);
+
+/// Short-time Fourier transform: frames of `window_size` samples every
+/// `hop` samples, Hann-windowed. Returns one spectrum per frame. The
+/// signal is zero-padded at the tail so every sample is covered.
+std::vector<std::vector<Complex>> Stft(const std::vector<double>& signal,
+                                       int window_size, int hop);
+
+/// Overlap-add inverse of Stft with Hann-window synthesis, returning a
+/// signal of length `signal_length`.
+std::vector<double> InverseStft(const std::vector<std::vector<Complex>>& frames,
+                                int window_size, int hop, int signal_length);
+
+}  // namespace tsaug::fft
+
+#endif  // TSAUG_FFT_FFT_H_

@@ -1,0 +1,158 @@
+#include "linalg/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsaug::linalg {
+
+bool CholeskyFactor(Matrix& a) {
+  TSAUG_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  for (int j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (int k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) return false;
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = a(i, j);
+      for (int k = 0; k < j; ++k) sum -= a(i, k) * a(j, k);
+      a(i, j) = sum / ljj;
+    }
+    for (int i = 0; i < j; ++i) a(i, j) = 0.0;
+  }
+  return true;
+}
+
+Matrix CholeskySolve(Matrix a, const Matrix& b) {
+  TSAUG_CHECK(a.rows() == b.rows());
+  if (!CholeskyFactor(a)) return Matrix();
+  const int n = a.rows();
+  Matrix x = b;
+  // Forward substitution: L z = B.
+  for (int col = 0; col < x.cols(); ++col) {
+    for (int i = 0; i < n; ++i) {
+      double sum = x(i, col);
+      for (int k = 0; k < i; ++k) sum -= a(i, k) * x(k, col);
+      x(i, col) = sum / a(i, i);
+    }
+    // Back substitution: L^T x = z.
+    for (int i = n - 1; i >= 0; --i) {
+      double sum = x(i, col);
+      for (int k = i + 1; k < n; ++k) sum -= a(k, i) * x(k, col);
+      x(i, col) = sum / a(i, i);
+    }
+  }
+  return x;
+}
+
+Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
+                             double initial_jitter) {
+  double jitter = 0.0;
+  for (int attempt = 0; attempt < 12; ++attempt) {
+    Matrix regularized = a;
+    if (jitter > 0.0) AddDiagonal(regularized, jitter);
+    Matrix x = CholeskySolve(std::move(regularized), b);
+    if (!x.empty()) return x;
+    jitter = jitter == 0.0 ? initial_jitter : jitter * 10.0;
+  }
+  TSAUG_CHECK_MSG(false, "matrix not SPD even after jitter %g", jitter);
+  return Matrix();
+}
+
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors, int max_sweeps) {
+  TSAUG_CHECK(a.rows() == a.cols());
+  const int n = a.rows();
+  Matrix d = a;
+  Matrix v = Matrix::Identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int p = 0; p < n; ++p) {
+      for (int q = p + 1; q < n; ++q) off += d(p, q) * d(p, q);
+    }
+    if (off < 1e-22 * n * n) break;
+
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (std::fabs(apq) < 1e-300) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          const double dkp = d(k, p);
+          const double dkq = d(k, q);
+          d(k, p) = c * dkp - s * dkq;
+          d(k, q) = s * dkp + c * dkq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double dpk = d(p, k);
+          const double dqk = d(q, k);
+          d(p, k) = c * dpk - s * dqk;
+          d(q, k) = s * dpk + c * dqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs ascending.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](int i, int j) { return d(i, i) < d(j, j); });
+
+  eigenvalues->resize(n);
+  *eigenvectors = Matrix(n, n);
+  for (int j = 0; j < n; ++j) {
+    (*eigenvalues)[j] = d(order[j], order[j]);
+    for (int i = 0; i < n; ++i) (*eigenvectors)(i, j) = v(i, order[j]);
+  }
+}
+
+Matrix SampleCovariance(const Matrix& x) {
+  TSAUG_CHECK(x.rows() > 0);
+  Matrix centered = x;
+  centered.CenterColumns(x.ColMeans());
+  Matrix cov = MatMulTransposeA(centered, centered);
+  return Scale(cov, 1.0 / x.rows());
+}
+
+Matrix ShrinkageCovariance(const Matrix& x, double* shrinkage) {
+  const int n = x.rows();
+  const int d = x.cols();
+  Matrix s = SampleCovariance(x);
+
+  double trace = 0.0;
+  for (int i = 0; i < d; ++i) trace += s(i, i);
+  const double mu = trace / d;
+
+  double trace_s2 = 0.0;  // trace(S^2) = sum of squared entries (S symm.)
+  for (double v : s.data()) trace_s2 += v * v;
+
+  // OAS shrinkage intensity (Chen et al. 2010).
+  const double numerator = (1.0 - 2.0 / d) * trace_s2 + trace * trace;
+  const double denominator =
+      (n + 1.0 - 2.0 / d) * (trace_s2 - trace * trace / d);
+  double gamma = denominator > 0.0 ? numerator / denominator : 1.0;
+  gamma = std::clamp(gamma, 0.0, 1.0);
+  if (shrinkage != nullptr) *shrinkage = gamma;
+
+  Matrix shrunk = Scale(s, 1.0 - gamma);
+  AddDiagonal(shrunk, gamma * mu);
+  return shrunk;
+}
+
+}  // namespace tsaug::linalg

@@ -1,0 +1,42 @@
+#ifndef TSAUG_LINALG_DECOMPOSITION_H_
+#define TSAUG_LINALG_DECOMPOSITION_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace tsaug::linalg {
+
+/// In-place Cholesky factorisation of a symmetric positive-definite matrix:
+/// on success `a` holds the lower-triangular factor L with A = L L^T (the
+/// strict upper triangle is zeroed). Returns false if A is not SPD.
+bool CholeskyFactor(Matrix& a);
+
+/// Solves A X = B for SPD A via Cholesky. B's columns are independent
+/// right-hand sides. Returns an empty matrix if A is not SPD.
+Matrix CholeskySolve(Matrix a, const Matrix& b);
+
+/// Like CholeskySolve but retries with growing diagonal jitter when A is
+/// numerically semi-definite (covariance matrices of small samples).
+Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
+                             double initial_jitter = 1e-10);
+
+/// Eigendecomposition of a symmetric matrix by the cyclic Jacobi method.
+/// On return `eigenvalues` is ascending and column j of `eigenvectors` is
+/// the unit eigenvector of eigenvalues[j], i.e. A = V diag(w) V^T.
+void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
+                    Matrix* eigenvectors, int max_sweeps = 64);
+
+/// Sample covariance of the rows of `x` (denominator n, matching Eq. (4)).
+Matrix SampleCovariance(const Matrix& x);
+
+/// Shrinkage covariance estimator in the Ledoit-Wolf family:
+/// Sigma = (1 - gamma) S + gamma * mu * I, with mu = trace(S)/d and the
+/// shrinkage intensity gamma estimated by the Oracle Approximating
+/// Shrinkage (OAS) formula. Well-conditioned even when samples << dims,
+/// which is exactly the regime of OHIT's per-cluster covariances.
+Matrix ShrinkageCovariance(const Matrix& x, double* shrinkage = nullptr);
+
+}  // namespace tsaug::linalg
+
+#endif  // TSAUG_LINALG_DECOMPOSITION_H_

@@ -1,0 +1,121 @@
+#include "linalg/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/preprocess.h"
+
+namespace tsaug::linalg {
+namespace {
+
+// Squared Euclidean cost between step i of a and step j of b across
+// channels.
+double StepCost(const core::TimeSeries& a, const core::TimeSeries& b, int i,
+                int j) {
+  double cost = 0.0;
+  for (int c = 0; c < a.num_channels(); ++c) {
+    const double diff = a.at(c, i) - b.at(c, j);
+    cost += diff * diff;
+  }
+  return cost;
+}
+
+// Accumulated-cost matrix for DTW; entry (i+1, j+1) is the optimal cost of
+// aligning prefixes a[0..i], b[0..j].
+std::vector<std::vector<double>> DtwCostMatrix(const core::TimeSeries& a,
+                                               const core::TimeSeries& b,
+                                               int window) {
+  const int n = a.length();
+  const int m = b.length();
+  const double kInf = std::numeric_limits<double>::infinity();
+  // The band must be at least |n - m| wide or no full path exists.
+  const int band =
+      window < 0 ? std::max(n, m) : std::max(window, std::abs(n - m));
+
+  std::vector<std::vector<double>> cost(n + 1,
+                                        std::vector<double>(m + 1, kInf));
+  cost[0][0] = 0.0;
+  for (int i = 1; i <= n; ++i) {
+    const int j_lo = std::max(1, i - band);
+    const int j_hi = std::min(m, i + band);
+    for (int j = j_lo; j <= j_hi; ++j) {
+      const double local = StepCost(a, b, i - 1, j - 1);
+      cost[i][j] = local + std::min({cost[i - 1][j - 1], cost[i - 1][j],
+                                     cost[i][j - 1]});
+    }
+  }
+  return cost;
+}
+
+}  // namespace
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  TSAUG_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double diff = a[i] - b[i];
+    sum += diff * diff;
+  }
+  return std::sqrt(sum);
+}
+
+double EuclideanDistance(const core::TimeSeries& a,
+                         const core::TimeSeries& b) {
+  TSAUG_CHECK(a.num_channels() == b.num_channels());
+  if (a.length() == b.length()) {
+    return EuclideanDistance(a.values(), b.values());
+  }
+  const int target = std::max(a.length(), b.length());
+  return EuclideanDistance(core::ResampleToLength(a, target).values(),
+                           core::ResampleToLength(b, target).values());
+}
+
+double DtwDistance(const core::TimeSeries& a, const core::TimeSeries& b,
+                   int window) {
+  TSAUG_CHECK(a.num_channels() == b.num_channels());
+  TSAUG_CHECK(a.length() > 0 && b.length() > 0);
+  const auto cost = DtwCostMatrix(a, b, window);
+  return std::sqrt(cost[a.length()][b.length()]);
+}
+
+std::vector<std::pair<int, int>> DtwPath(const core::TimeSeries& a,
+                                         const core::TimeSeries& b,
+                                         int window) {
+  TSAUG_CHECK(a.num_channels() == b.num_channels());
+  TSAUG_CHECK(a.length() > 0 && b.length() > 0);
+  const auto cost = DtwCostMatrix(a, b, window);
+
+  std::vector<std::pair<int, int>> path;
+  int i = a.length();
+  int j = b.length();
+  while (i > 1 || j > 1) {
+    path.emplace_back(i - 1, j - 1);
+    double best = std::numeric_limits<double>::infinity();
+    int next_i = i;
+    int next_j = j;
+    if (i > 1 && j > 1 && cost[i - 1][j - 1] < best) {
+      best = cost[i - 1][j - 1];
+      next_i = i - 1;
+      next_j = j - 1;
+    }
+    if (i > 1 && cost[i - 1][j] < best) {
+      best = cost[i - 1][j];
+      next_i = i - 1;
+      next_j = j;
+    }
+    if (j > 1 && cost[i][j - 1] < best) {
+      best = cost[i][j - 1];
+      next_i = i;
+      next_j = j - 1;
+    }
+    i = next_i;
+    j = next_j;
+  }
+  path.emplace_back(0, 0);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace tsaug::linalg

@@ -1,0 +1,35 @@
+#ifndef TSAUG_LINALG_DISTANCE_H_
+#define TSAUG_LINALG_DISTANCE_H_
+
+#include <vector>
+
+#include "core/time_series.h"
+
+namespace tsaug::linalg {
+
+/// Euclidean distance between two equal-size vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Euclidean distance between flattened series. Series of different lengths
+/// are linearly resampled to the longer length first.
+double EuclideanDistance(const core::TimeSeries& a, const core::TimeSeries& b);
+
+/// Dependent multivariate Dynamic Time Warping distance: the local cost of
+/// aligning step i of `a` with step j of `b` is the squared Euclidean
+/// distance across all channels. `window` is a Sakoe-Chiba band half-width
+/// (< 0 means unconstrained). Returns the square root of the accumulated
+/// cost, so DTW with a degenerate diagonal path equals the Euclidean
+/// distance between equal-length series.
+double DtwDistance(const core::TimeSeries& a, const core::TimeSeries& b,
+                   int window = -1);
+
+/// The optimal DTW alignment path as (i, j) index pairs, same cost model as
+/// DtwDistance. Used by DTW-guided warping augmentation.
+std::vector<std::pair<int, int>> DtwPath(const core::TimeSeries& a,
+                                         const core::TimeSeries& b,
+                                         int window = -1);
+
+}  // namespace tsaug::linalg
+
+#endif  // TSAUG_LINALG_DISTANCE_H_

@@ -1,0 +1,67 @@
+#include "linalg/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.h"
+#include "linalg/distance.h"
+
+namespace tsaug::linalg {
+
+std::vector<int> KNearestNeighbors(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<double>& query, int k, int exclude) {
+  const int n = static_cast<int>(points.size());
+  TSAUG_CHECK(k >= 0);
+  std::vector<std::pair<double, int>> distances;
+  distances.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    if (i == exclude) continue;
+    distances.emplace_back(EuclideanDistance(points[i], query), i);
+  }
+  const int take = std::min<int>(k, static_cast<int>(distances.size()));
+  std::partial_sort(distances.begin(), distances.begin() + take,
+                    distances.end());
+  std::vector<int> neighbors(take);
+  for (int i = 0; i < take; ++i) neighbors[i] = distances[i].second;
+  return neighbors;
+}
+
+std::vector<double> PairwiseDistances(
+    const std::vector<std::vector<double>>& points) {
+  const int n = static_cast<int>(points.size());
+  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double dist = EuclideanDistance(points[i], points[j]);
+      d[static_cast<size_t>(i) * n + j] = dist;
+      d[static_cast<size_t>(j) * n + i] = dist;
+    }
+  }
+  return d;
+}
+
+std::vector<int> SharedNearestNeighborSimilarity(
+    const std::vector<std::vector<double>>& points, int k) {
+  const int n = static_cast<int>(points.size());
+  std::vector<std::vector<int>> neighbor_sets(n);
+  for (int i = 0; i < n; ++i) {
+    neighbor_sets[i] = KNearestNeighbors(points, points[i], k, i);
+    std::sort(neighbor_sets[i].begin(), neighbor_sets[i].end());
+  }
+  std::vector<int> similarity(static_cast<size_t>(n) * n, 0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      std::vector<int> common;
+      std::set_intersection(neighbor_sets[i].begin(), neighbor_sets[i].end(),
+                            neighbor_sets[j].begin(), neighbor_sets[j].end(),
+                            std::back_inserter(common));
+      const int count = static_cast<int>(common.size());
+      similarity[static_cast<size_t>(i) * n + j] = count;
+      similarity[static_cast<size_t>(j) * n + i] = count;
+    }
+  }
+  return similarity;
+}
+
+}  // namespace tsaug::linalg

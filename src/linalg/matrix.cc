@@ -1,0 +1,180 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsaug::linalg {
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::FromRows(
+    std::initializer_list<std::initializer_list<double>> rows) {
+  std::vector<std::vector<double>> copied;
+  copied.reserve(rows.size());
+  for (const auto& row : rows) copied.emplace_back(row);
+  return FromRowVectors(copied);
+}
+
+Matrix Matrix::FromRowVectors(const std::vector<std::vector<double>>& rows) {
+  TSAUG_CHECK(!rows.empty());
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (int r = 0; r < m.rows(); ++r) {
+    TSAUG_CHECK(static_cast<int>(rows[r].size()) == m.cols());
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> Matrix::Row(int r) const {
+  const double* p = row_data(r);
+  return std::vector<double>(p, p + cols_);
+}
+
+std::vector<double> Matrix::Col(int c) const {
+  TSAUG_CHECK(c >= 0 && c < cols_);
+  std::vector<double> out(rows_);
+  for (int r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  return out;
+}
+
+void Matrix::SetRow(int r, const std::vector<double>& values) {
+  TSAUG_CHECK(static_cast<int>(values.size()) == cols_);
+  std::copy(values.begin(), values.end(), row_data(r));
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (int r = 0; r < rows_; ++r) {
+    const double* p = row_data(r);
+    for (int c = 0; c < cols_; ++c) means[c] += p[c];
+  }
+  for (double& m : means) m /= rows_;
+  return means;
+}
+
+void Matrix::CenterColumns(const std::vector<double>& means) {
+  TSAUG_CHECK(static_cast<int>(means.size()) == cols_);
+  for (int r = 0; r < rows_; ++r) {
+    double* p = row_data(r);
+    for (int c = 0; c < cols_; ++c) p[c] -= means[c];
+  }
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+  for (int i = 0; i < a.rows(); ++i) {
+    double* ci = c.row_data(i);
+    const double* ai = a.row_data(i);
+    for (int k = 0; k < a.cols(); ++k) {
+      const double aik = ai[k];
+      if (aik == 0.0) continue;
+      const double* bk = b.row_data(k);
+      for (int j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (int k = 0; k < a.rows(); ++k) {
+    const double* ak = a.row_data(k);
+    const double* bk = b.row_data(k);
+    for (int i = 0; i < a.cols(); ++i) {
+      const double aki = ak[i];
+      if (aki == 0.0) continue;
+      double* ci = c.row_data(i);
+      for (int j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double* ci = c.row_data(i);
+    for (int j = 0; j < b.rows(); ++j) {
+      const double* bj = b.row_data(j);
+      double sum = 0.0;
+      for (int k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+      ci[j] = sum;
+    }
+  }
+  return c;
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  TSAUG_CHECK(a.cols() == static_cast<int>(x.size()));
+  std::vector<double> y(a.rows(), 0.0);
+  for (int i = 0; i < a.rows(); ++i) {
+    const double* ai = a.row_data(i);
+    double sum = 0.0;
+    for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c.data()[i] += b.data()[i];
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c.data()[i] -= b.data()[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double s) {
+  Matrix c = a;
+  for (double& v : c.data()) v *= s;
+  return c;
+}
+
+void AddDiagonal(Matrix& a, double s) {
+  TSAUG_CHECK(a.rows() == a.cols());
+  for (int i = 0; i < a.rows(); ++i) a(i, i) += s;
+}
+
+double MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  TSAUG_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double max_diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return max_diff;
+}
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  TSAUG_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm(const std::vector<double>& a) { return std::sqrt(Dot(a, a)); }
+
+}  // namespace tsaug::linalg

@@ -1,0 +1,202 @@
+#include "linalg/ridge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/decomposition.h"
+
+namespace tsaug::linalg {
+
+void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
+  TSAUG_CHECK(x.rows() == y.rows());
+  TSAUG_CHECK(x.rows() > 0);
+  TSAUG_CHECK(alpha >= 0.0);
+
+  const std::vector<double> x_means = x.ColMeans();
+  const std::vector<double> y_means = y.ColMeans();
+  Matrix xc = x;
+  xc.CenterColumns(x_means);
+  Matrix yc = y;
+  yc.CenterColumns(y_means);
+
+  if (x.cols() <= x.rows()) {
+    // Primal: (Xc^T Xc + aI) W = Xc^T Yc.
+    Matrix gram = MatMulTransposeA(xc, xc);
+    AddDiagonal(gram, alpha);
+    weights_ = CholeskySolveJittered(gram, MatMulTransposeA(xc, yc));
+  } else {
+    // Dual: (Xc Xc^T + aI) C = Yc, W = Xc^T C.
+    Matrix gram = MatMulTransposeB(xc, xc);
+    AddDiagonal(gram, alpha);
+    const Matrix dual = CholeskySolveJittered(gram, yc);
+    weights_ = MatMulTransposeA(xc, dual);
+  }
+
+  intercept_.assign(y.cols(), 0.0);
+  for (int k = 0; k < y.cols(); ++k) {
+    double shift = y_means[k];
+    for (int d = 0; d < x.cols(); ++d) shift -= x_means[d] * weights_(d, k);
+    intercept_[k] = shift;
+  }
+}
+
+Matrix RidgeRegression::Predict(const Matrix& x) const {
+  TSAUG_CHECK(fitted());
+  TSAUG_CHECK(x.cols() == weights_.rows());
+  Matrix out = MatMul(x, weights_);
+  for (int i = 0; i < out.rows(); ++i) {
+    for (int k = 0; k < out.cols(); ++k) out(i, k) += intercept_[k];
+  }
+  return out;
+}
+
+Matrix EncodeLabels(const std::vector<int>& labels, int num_classes) {
+  Matrix y(static_cast<int>(labels.size()), num_classes, -1.0);
+  for (int i = 0; i < y.rows(); ++i) {
+    TSAUG_CHECK(labels[i] >= 0 && labels[i] < num_classes);
+    y(i, labels[i]) = 1.0;
+  }
+  return y;
+}
+
+namespace {
+
+/// Index of the eigenvector of Q closest (in angle) to the all-ones
+/// direction. Column-centring puts the ones vector in the Gram matrix's
+/// null space; that direction corresponds to the unpenalised intercept and
+/// must be excluded from the LOOCV identity (as sklearn's _RidgeGCV does),
+/// or its 1/alpha term swamps the G^{-1} diagonal as alpha -> 0.
+int InterceptDimension(const Matrix& q) {
+  int best = 0;
+  double best_abs = -1.0;
+  for (int j = 0; j < q.cols(); ++j) {
+    double dot = 0.0;
+    for (int i = 0; i < q.rows(); ++i) dot += q(i, j);
+    if (std::fabs(dot) > best_abs) {
+      best_abs = std::fabs(dot);
+      best = j;
+    }
+  }
+  return best;
+}
+
+/// Sum of squared leave-one-out residuals of kernel ridge with the given
+/// regulariser, from the eigendecomposition of the centred Gram matrix.
+/// `qty` = Q^T Yc. Identity: e_i = c_i / G^{-1}_{ii} with
+/// c = G^{-1} Yc and G = K + alpha I. The eigendirection `intercept_dim`
+/// carries zero weight (see InterceptDimension).
+double LooError(const Matrix& q, const std::vector<double>& eigenvalues,
+                const Matrix& qty, double alpha, int intercept_dim) {
+  const int n = q.rows();
+  const int k = qty.cols();
+
+  std::vector<double> inv_eig(n);
+  for (int j = 0; j < n; ++j) {
+    inv_eig[j] = j == intercept_dim ? 0.0 : 1.0 / (eigenvalues[j] + alpha);
+  }
+
+  // c = Q diag(w) Q^T Yc with w = inv_eig.
+  Matrix scaled = qty;  // rows indexed by eigenvalue
+  for (int j = 0; j < n; ++j) {
+    for (int t = 0; t < k; ++t) scaled(j, t) *= inv_eig[j];
+  }
+  const Matrix dual = MatMul(q, scaled);  // n x k
+
+  double error = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double ginv_ii = 0.0;
+    for (int j = 0; j < n; ++j) {
+      ginv_ii += q(i, j) * q(i, j) * inv_eig[j];
+    }
+    if (ginv_ii <= 0.0) return std::numeric_limits<double>::infinity();
+    for (int t = 0; t < k; ++t) {
+      const double residual = dual(i, t) / ginv_ii;
+      error += residual * residual;
+    }
+  }
+  return error;
+}
+
+}  // namespace
+
+RidgeClassifierCV::RidgeClassifierCV() {
+  // 10 log-spaced points over [1e-3, 1e3], the ROCKET paper's grid.
+  for (int i = 0; i < 10; ++i) {
+    alphas_.push_back(std::pow(10.0, -3.0 + 6.0 * i / 9.0));
+  }
+}
+
+RidgeClassifierCV::RidgeClassifierCV(std::vector<double> alphas)
+    : alphas_(std::move(alphas)) {
+  TSAUG_CHECK(!alphas_.empty());
+}
+
+void RidgeClassifierCV::Fit(const Matrix& x, const std::vector<int>& labels,
+                            int num_classes) {
+  TSAUG_CHECK(x.rows() == static_cast<int>(labels.size()));
+  TSAUG_CHECK(num_classes >= 2);
+  num_classes_ = num_classes;
+  const Matrix y = EncodeLabels(labels, num_classes);
+
+  best_alpha_ = alphas_[alphas_.size() / 2];
+  if (x.rows() >= 3 && alphas_.size() > 1) {
+    const std::vector<double> x_means = x.ColMeans();
+    const std::vector<double> y_means = y.ColMeans();
+    Matrix xc = x;
+    xc.CenterColumns(x_means);
+    Matrix yc = y;
+    yc.CenterColumns(y_means);
+
+    Matrix gram = MatMulTransposeB(xc, xc);
+    std::vector<double> eigenvalues;
+    Matrix q;
+    SymmetricEigen(gram, &eigenvalues, &q);
+    // Clamp tiny negative eigenvalues from roundoff.
+    for (double& v : eigenvalues) v = std::max(v, 0.0);
+    const Matrix qty = MatMulTransposeA(q, yc);
+    const int intercept_dim = InterceptDimension(q);
+
+    double best_error = std::numeric_limits<double>::infinity();
+    for (double alpha : alphas_) {
+      const double error = LooError(q, eigenvalues, qty, alpha, intercept_dim);
+      if (error < best_error) {
+        best_error = error;
+        best_alpha_ = alpha;
+      }
+    }
+  }
+
+  model_.Fit(x, y, best_alpha_);
+}
+
+Matrix RidgeClassifierCV::DecisionFunction(const Matrix& x) const {
+  return model_.Predict(x);
+}
+
+std::vector<int> RidgeClassifierCV::Predict(const Matrix& x) const {
+  const Matrix scores = DecisionFunction(x);
+  std::vector<int> labels(scores.rows());
+  for (int i = 0; i < scores.rows(); ++i) {
+    int best = 0;
+    for (int k = 1; k < scores.cols(); ++k) {
+      if (scores(i, k) > scores(i, best)) best = k;
+    }
+    labels[i] = best;
+  }
+  return labels;
+}
+
+double RidgeClassifierCV::Score(const Matrix& x,
+                                const std::vector<int>& labels) const {
+  TSAUG_CHECK(x.rows() == static_cast<int>(labels.size()));
+  if (labels.empty()) return 0.0;
+  const std::vector<int> predicted = Predict(x);
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+}  // namespace tsaug::linalg

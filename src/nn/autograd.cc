@@ -1,0 +1,71 @@
+#include "nn/autograd.h"
+
+#include <unordered_set>
+
+namespace tsaug::nn {
+
+Variable::Variable(Tensor value, bool requires_grad) {
+  node_ = std::make_shared<Node>();
+  node_->value = std::move(value);
+  node_->requires_grad = requires_grad;
+}
+
+Variable Variable::FromOp(Tensor value,
+                          std::vector<std::shared_ptr<Node>> parents,
+                          std::function<void(Node&)> backward_fn) {
+  Variable v;
+  v.node_ = std::make_shared<Node>();
+  v.node_->value = std::move(value);
+  bool any_grad = false;
+  for (const auto& p : parents) any_grad = any_grad || p->requires_grad;
+  v.node_->requires_grad = any_grad;
+  if (any_grad) {
+    v.node_->parents = std::move(parents);
+    v.node_->backward_fn = std::move(backward_fn);
+  }
+  return v;
+}
+
+void Variable::Backward() {
+  TSAUG_CHECK(defined());
+  TSAUG_CHECK_MSG(node_->value.numel() == 1,
+                  "Backward() requires a scalar root");
+
+  // Iterative post-order DFS to build a topological order; recursion would
+  // overflow on BPTT graphs thousands of nodes deep.
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(node_.get(), 0);
+  visited.insert(node_.get());
+  while (!stack.empty()) {
+    auto& [current, next_child] = stack.back();
+    if (next_child < current->parents.size()) {
+      Node* child = current->parents[next_child++].get();
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(current);
+      stack.pop_back();
+    }
+  }
+
+  node_->EnsureGrad();
+  node_->grad[0] = 1.0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (n->backward_fn) {
+      for (const auto& p : n->parents) p->EnsureGrad();
+      n->backward_fn(*n);
+    }
+  }
+}
+
+void Variable::ZeroGrad() {
+  TSAUG_CHECK(defined());
+  node_->EnsureGrad();
+  for (double& g : node_->grad.data()) g = 0.0;
+}
+
+}  // namespace tsaug::nn

@@ -1,0 +1,67 @@
+#ifndef TSAUG_NN_AUTOGRAD_H_
+#define TSAUG_NN_AUTOGRAD_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "nn/tensor.h"
+
+namespace tsaug::nn {
+
+/// A node of the dynamic computation graph: a value, its gradient buffer,
+/// and the closure that pushes the node's gradient to its parents.
+struct Node {
+  Tensor value;
+  Tensor grad;  // same shape as value once EnsureGrad() ran
+  bool requires_grad = false;
+  std::vector<std::shared_ptr<Node>> parents;
+  std::function<void(Node&)> backward_fn;  // may be empty for leaves
+
+  void EnsureGrad() {
+    if (grad.numel() != value.numel()) grad = Tensor(value.shape());
+  }
+};
+
+/// A reference-counted handle to a graph node. Copies share the node, so a
+/// Variable behaves like a Python autograd tensor: cheap to pass around,
+/// gradients accumulate in one place.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// Leaf variable. `requires_grad` marks trainable parameters.
+  explicit Variable(Tensor value, bool requires_grad = false);
+
+  /// Interior node produced by an op.
+  static Variable FromOp(Tensor value,
+                         std::vector<std::shared_ptr<Node>> parents,
+                         std::function<void(Node&)> backward_fn);
+
+  bool defined() const { return node_ != nullptr; }
+
+  const Tensor& value() const { return node_->value; }
+  Tensor& mutable_value() { return node_->value; }
+  const Tensor& grad() const { return node_->grad; }
+  bool requires_grad() const { return node_->requires_grad; }
+
+  const std::vector<int>& shape() const { return node_->value.shape(); }
+
+  /// Runs reverse-mode differentiation from this (scalar) variable:
+  /// topologically sorts the reachable subgraph and invokes each node's
+  /// backward closure in reverse order. Gradients accumulate into every
+  /// node with requires_grad set (directly or through a parent chain).
+  void Backward();
+
+  /// Clears this node's gradient buffer (used on parameters between steps).
+  void ZeroGrad();
+
+  std::shared_ptr<Node> node() const { return node_; }
+
+ private:
+  std::shared_ptr<Node> node_;
+};
+
+}  // namespace tsaug::nn
+
+#endif  // TSAUG_NN_AUTOGRAD_H_

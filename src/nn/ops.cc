@@ -1,0 +1,754 @@
+#include "nn/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tsaug::nn {
+namespace {
+
+using NodePtr = std::shared_ptr<Node>;
+
+// Elementwise unary op helper: forward maps value, backward multiplies the
+// upstream gradient by a local derivative computed from (input, output).
+template <typename Fwd, typename Dfn>
+Variable UnaryOp(const Variable& x, Fwd fwd, Dfn dfn) {
+  Tensor out(x.value().shape());
+  for (size_t i = 0; i < out.numel(); ++i) out[i] = fwd(x.value()[i]);
+  return Variable::FromOp(
+      std::move(out), {x.node()}, [dfn](Node& self) {
+        Node& parent = *self.parents[0];
+        for (size_t i = 0; i < self.grad.numel(); ++i) {
+          parent.grad[i] +=
+              self.grad[i] * dfn(parent.value[i], self.value[i]);
+        }
+      });
+}
+
+}  // namespace
+
+Variable MatMul(const Variable& a, const Variable& b) {
+  TSAUG_CHECK(a.value().ndim() == 2 && b.value().ndim() == 2);
+  const int n = a.value().dim(0);
+  const int k = a.value().dim(1);
+  const int m = b.value().dim(1);
+  TSAUG_CHECK(b.value().dim(0) == k);
+
+  Tensor out({n, m});
+  for (int i = 0; i < n; ++i) {
+    for (int p = 0; p < k; ++p) {
+      const double aip = a.value().at(i, p);
+      if (aip == 0.0) continue;
+      for (int j = 0; j < m; ++j) out.at(i, j) += aip * b.value().at(p, j);
+    }
+  }
+  return Variable::FromOp(std::move(out), {a.node(), b.node()},
+                          [n, k, m](Node& self) {
+    Node& pa = *self.parents[0];
+    Node& pb = *self.parents[1];
+    // dA = dOut * B^T ; dB = A^T * dOut.
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < m; ++j) {
+        const double g = self.grad.at(i, j);
+        if (g == 0.0) continue;
+        for (int p = 0; p < k; ++p) {
+          pa.grad.at(i, p) += g * pb.value.at(p, j);
+          pb.grad.at(p, j) += g * pa.value.at(i, p);
+        }
+      }
+    }
+  });
+}
+
+Variable Add(const Variable& a, const Variable& b) {
+  TSAUG_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  for (size_t i = 0; i < out.numel(); ++i) out[i] += b.value()[i];
+  return Variable::FromOp(std::move(out), {a.node(), b.node()},
+                          [](Node& self) {
+    for (size_t i = 0; i < self.grad.numel(); ++i) {
+      self.parents[0]->grad[i] += self.grad[i];
+      self.parents[1]->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Variable AddRowBias(const Variable& x, const Variable& bias) {
+  TSAUG_CHECK(x.value().ndim() == 2 && bias.value().ndim() == 1);
+  const int n = x.value().dim(0);
+  const int f = x.value().dim(1);
+  TSAUG_CHECK(bias.value().dim(0) == f);
+  Tensor out = x.value();
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < f; ++j) out.at(i, j) += bias.value()[j];
+  }
+  return Variable::FromOp(std::move(out), {x.node(), bias.node()},
+                          [n, f](Node& self) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < f; ++j) {
+        const double g = self.grad.at(i, j);
+        self.parents[0]->grad.at(i, j) += g;
+        self.parents[1]->grad[j] += g;
+      }
+    }
+  });
+}
+
+Variable Sub(const Variable& a, const Variable& b) {
+  TSAUG_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  for (size_t i = 0; i < out.numel(); ++i) out[i] -= b.value()[i];
+  return Variable::FromOp(std::move(out), {a.node(), b.node()},
+                          [](Node& self) {
+    for (size_t i = 0; i < self.grad.numel(); ++i) {
+      self.parents[0]->grad[i] += self.grad[i];
+      self.parents[1]->grad[i] -= self.grad[i];
+    }
+  });
+}
+
+Variable Mul(const Variable& a, const Variable& b) {
+  TSAUG_CHECK(a.value().SameShape(b.value()));
+  Tensor out = a.value();
+  for (size_t i = 0; i < out.numel(); ++i) out[i] *= b.value()[i];
+  return Variable::FromOp(std::move(out), {a.node(), b.node()},
+                          [](Node& self) {
+    for (size_t i = 0; i < self.grad.numel(); ++i) {
+      self.parents[0]->grad[i] += self.grad[i] * self.parents[1]->value[i];
+      self.parents[1]->grad[i] += self.grad[i] * self.parents[0]->value[i];
+    }
+  });
+}
+
+Variable ScaleBy(const Variable& x, double s) {
+  return UnaryOp(
+      x, [s](double v) { return v * s; },
+      [s](double, double) { return s; });
+}
+
+Variable AddConst(const Variable& x, double c) {
+  return UnaryOp(
+      x, [c](double v) { return v + c; },
+      [](double, double) { return 1.0; });
+}
+
+Variable OneMinus(const Variable& x) {
+  return UnaryOp(
+      x, [](double v) { return 1.0 - v; },
+      [](double, double) { return -1.0; });
+}
+
+Variable Sigmoid(const Variable& x) {
+  return UnaryOp(
+      x,
+      [](double v) {
+        return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                        : std::exp(v) / (1.0 + std::exp(v));
+      },
+      [](double, double y) { return y * (1.0 - y); });
+}
+
+Variable Tanh(const Variable& x) {
+  return UnaryOp(
+      x, [](double v) { return std::tanh(v); },
+      [](double, double y) { return 1.0 - y * y; });
+}
+
+Variable Relu(const Variable& x) {
+  return UnaryOp(
+      x, [](double v) { return v > 0.0 ? v : 0.0; },
+      [](double v, double) { return v > 0.0 ? 1.0 : 0.0; });
+}
+
+Variable Mean(const Variable& x) {
+  const size_t n = x.value().numel();
+  TSAUG_CHECK(n > 0);
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += x.value()[i];
+  return Variable::FromOp(Tensor::Scalar(sum / static_cast<double>(n)),
+                          {x.node()}, [n](Node& self) {
+    const double g = self.grad[0] / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) self.parents[0]->grad[i] += g;
+  });
+}
+
+Variable Sqrt(const Variable& x, double eps) {
+  return UnaryOp(
+      x, [eps](double v) { return std::sqrt(std::max(0.0, v) + eps); },
+      [](double, double y) { return 0.5 / y; });
+}
+
+Variable Exp(const Variable& x) {
+  return UnaryOp(
+      x, [](double v) { return std::exp(v); },
+      [](double, double y) { return y; });
+}
+
+Variable Reshape(const Variable& x, std::vector<int> shape) {
+  Tensor out(shape);
+  TSAUG_CHECK(out.numel() == x.value().numel());
+  out.data() = x.value().data();
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    for (size_t i = 0; i < self.grad.numel(); ++i) {
+      self.parents[0]->grad[i] += self.grad[i];
+    }
+  });
+}
+
+Variable ConcatFeatures(const std::vector<Variable>& parts) {
+  TSAUG_CHECK(!parts.empty());
+  const int n = parts[0].value().dim(0);
+  int total_f = 0;
+  std::vector<NodePtr> nodes;
+  std::vector<int> widths;
+  for (const Variable& p : parts) {
+    TSAUG_CHECK(p.value().ndim() == 2 && p.value().dim(0) == n);
+    widths.push_back(p.value().dim(1));
+    total_f += widths.back();
+    nodes.push_back(p.node());
+  }
+  Tensor out({n, total_f});
+  int offset = 0;
+  for (size_t idx = 0; idx < parts.size(); ++idx) {
+    const Tensor& v = parts[idx].value();
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < widths[idx]; ++j) out.at(i, offset + j) = v.at(i, j);
+    }
+    offset += widths[idx];
+  }
+  return Variable::FromOp(std::move(out), std::move(nodes),
+                          [n, widths](Node& self) {
+    int off = 0;
+    for (size_t idx = 0; idx < self.parents.size(); ++idx) {
+      Node& parent = *self.parents[idx];
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < widths[idx]; ++j) {
+          parent.grad.at(i, j) += self.grad.at(i, off + j);
+        }
+      }
+      off += widths[idx];
+    }
+  });
+}
+
+Variable SelectTime(const Variable& x, int t) {
+  TSAUG_CHECK(x.value().ndim() == 3);
+  const int n = x.value().dim(0);
+  const int time = x.value().dim(1);
+  const int f = x.value().dim(2);
+  TSAUG_CHECK(t >= 0 && t < time);
+  Tensor out({n, f});
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < f; ++j) out.at(i, j) = x.value().at(i, t, j);
+  }
+  return Variable::FromOp(std::move(out), {x.node()}, [n, f, t](Node& self) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < f; ++j) {
+        self.parents[0]->grad.at(i, t, j) += self.grad.at(i, j);
+      }
+    }
+  });
+}
+
+Variable StackTime(const std::vector<Variable>& steps) {
+  TSAUG_CHECK(!steps.empty());
+  const int n = steps[0].value().dim(0);
+  const int f = steps[0].value().dim(1);
+  const int time = static_cast<int>(steps.size());
+  Tensor out({n, time, f});
+  std::vector<NodePtr> nodes;
+  for (int t = 0; t < time; ++t) {
+    TSAUG_CHECK(steps[t].value().ndim() == 2 && steps[t].value().dim(0) == n &&
+                steps[t].value().dim(1) == f);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < f; ++j) out.at(i, t, j) = steps[t].value().at(i, j);
+    }
+    nodes.push_back(steps[t].node());
+  }
+  return Variable::FromOp(std::move(out), std::move(nodes),
+                          [n, f, time](Node& self) {
+    for (int t = 0; t < time; ++t) {
+      Node& parent = *self.parents[t];
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < f; ++j) {
+          parent.grad.at(i, j) += self.grad.at(i, t, j);
+        }
+      }
+    }
+  });
+}
+
+Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
+  TSAUG_CHECK(x.value().ndim() == 3 && w.value().ndim() == 3);
+  TSAUG_CHECK(dilation >= 1);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  const int f = w.value().dim(0);
+  const int k = w.value().dim(2);
+  TSAUG_CHECK(w.value().dim(1) == c);
+
+  const int pad_left = (k - 1) * dilation / 2;
+  Tensor out({n, f, time});
+  for (int i = 0; i < n; ++i) {
+    for (int o = 0; o < f; ++o) {
+      for (int ch = 0; ch < c; ++ch) {
+        for (int tap = 0; tap < k; ++tap) {
+          const double wv = w.value().at(o, ch, tap);
+          if (wv == 0.0) continue;
+          const int shift = tap * dilation - pad_left;
+          const int t_lo = std::max(0, -shift);
+          const int t_hi = std::min(time, time - shift);
+          for (int t = t_lo; t < t_hi; ++t) {
+            out.at(i, o, t) += wv * x.value().at(i, ch, t + shift);
+          }
+        }
+      }
+    }
+  }
+  return Variable::FromOp(
+      std::move(out), {x.node(), w.node()},
+      [n, c, time, f, k, pad_left, dilation](Node& self) {
+        Node& px = *self.parents[0];
+        Node& pw = *self.parents[1];
+        for (int i = 0; i < n; ++i) {
+          for (int o = 0; o < f; ++o) {
+            for (int ch = 0; ch < c; ++ch) {
+              for (int tap = 0; tap < k; ++tap) {
+                const int shift = tap * dilation - pad_left;
+                const int t_lo = std::max(0, -shift);
+                const int t_hi = std::min(time, time - shift);
+                const double wv = pw.value.at(o, ch, tap);
+                double dw = 0.0;
+                for (int t = t_lo; t < t_hi; ++t) {
+                  const double g = self.grad.at(i, o, t);
+                  dw += g * px.value.at(i, ch, t + shift);
+                  px.grad.at(i, ch, t + shift) += g * wv;
+                }
+                pw.grad.at(o, ch, tap) += dw;
+              }
+            }
+          }
+        }
+      });
+}
+
+Variable AddChannelBias(const Variable& x, const Variable& bias) {
+  TSAUG_CHECK(x.value().ndim() == 3 && bias.value().ndim() == 1);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  TSAUG_CHECK(bias.value().dim(0) == c);
+  Tensor out = x.value();
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) out.at(i, ch, t) += bias.value()[ch];
+    }
+  }
+  return Variable::FromOp(std::move(out), {x.node(), bias.node()},
+                          [n, c, time](Node& self) {
+    for (int i = 0; i < n; ++i) {
+      for (int ch = 0; ch < c; ++ch) {
+        for (int t = 0; t < time; ++t) {
+          const double g = self.grad.at(i, ch, t);
+          self.parents[0]->grad.at(i, ch, t) += g;
+          self.parents[1]->grad[ch] += g;
+        }
+      }
+    }
+  });
+}
+
+Variable MaxPool1dSame(const Variable& x, int window) {
+  TSAUG_CHECK(x.value().ndim() == 3 && window >= 1);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  const int pad_left = (window - 1) / 2;
+
+  Tensor out({n, c, time});
+  auto argmax = std::make_shared<std::vector<int>>(out.numel());
+  size_t flat = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t, ++flat) {
+        const int lo = std::max(0, t - pad_left);
+        const int hi = std::min(time, t - pad_left + window);
+        int best = lo;
+        double best_v = x.value().at(i, ch, lo);
+        for (int s = lo + 1; s < hi; ++s) {
+          const double v = x.value().at(i, ch, s);
+          if (v > best_v) {
+            best_v = v;
+            best = s;
+          }
+        }
+        out.at(i, ch, t) = best_v;
+        (*argmax)[flat] = best;
+      }
+    }
+  }
+  return Variable::FromOp(std::move(out), {x.node()},
+                          [n, c, time, argmax](Node& self) {
+    size_t idx = 0;
+    for (int i = 0; i < n; ++i) {
+      for (int ch = 0; ch < c; ++ch) {
+        for (int t = 0; t < time; ++t, ++idx) {
+          self.parents[0]->grad.at(i, ch, (*argmax)[idx]) += self.grad[idx];
+        }
+      }
+    }
+  });
+}
+
+Variable GlobalAvgPool(const Variable& x) {
+  TSAUG_CHECK(x.value().ndim() == 3);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  Tensor out({n, c});
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      double sum = 0.0;
+      for (int t = 0; t < time; ++t) sum += x.value().at(i, ch, t);
+      out.at(i, ch) = sum / time;
+    }
+  }
+  return Variable::FromOp(std::move(out), {x.node()}, [n, c, time](Node& self) {
+    for (int i = 0; i < n; ++i) {
+      for (int ch = 0; ch < c; ++ch) {
+        const double g = self.grad.at(i, ch) / time;
+        for (int t = 0; t < time; ++t) {
+          self.parents[0]->grad.at(i, ch, t) += g;
+        }
+      }
+    }
+  });
+}
+
+Variable ConcatChannels(const std::vector<Variable>& parts) {
+  TSAUG_CHECK(!parts.empty());
+  const int n = parts[0].value().dim(0);
+  const int time = parts[0].value().dim(2);
+  int total_c = 0;
+  std::vector<NodePtr> nodes;
+  std::vector<int> widths;
+  for (const Variable& p : parts) {
+    TSAUG_CHECK(p.value().ndim() == 3 && p.value().dim(0) == n &&
+                p.value().dim(2) == time);
+    widths.push_back(p.value().dim(1));
+    total_c += widths.back();
+    nodes.push_back(p.node());
+  }
+  Tensor out({n, total_c, time});
+  int offset = 0;
+  for (size_t idx = 0; idx < parts.size(); ++idx) {
+    const Tensor& v = parts[idx].value();
+    for (int i = 0; i < n; ++i) {
+      for (int ch = 0; ch < widths[idx]; ++ch) {
+        for (int t = 0; t < time; ++t) {
+          out.at(i, offset + ch, t) = v.at(i, ch, t);
+        }
+      }
+    }
+    offset += widths[idx];
+  }
+  return Variable::FromOp(std::move(out), std::move(nodes),
+                          [n, time, widths](Node& self) {
+    int off = 0;
+    for (size_t idx = 0; idx < self.parents.size(); ++idx) {
+      Node& parent = *self.parents[idx];
+      for (int i = 0; i < n; ++i) {
+        for (int ch = 0; ch < widths[idx]; ++ch) {
+          for (int t = 0; t < time; ++t) {
+            parent.grad.at(i, ch, t) += self.grad.at(i, off + ch, t);
+          }
+        }
+      }
+      off += widths[idx];
+    }
+  });
+}
+
+Variable BatchNormTrain(const Variable& x, const Variable& gamma,
+                        const Variable& beta, double eps,
+                        std::vector<double>* batch_mean,
+                        std::vector<double>* batch_var) {
+  TSAUG_CHECK(x.value().ndim() == 3);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  TSAUG_CHECK(gamma.value().ndim() == 1 && gamma.value().dim(0) == c);
+  TSAUG_CHECK(beta.value().ndim() == 1 && beta.value().dim(0) == c);
+  const double m = static_cast<double>(n) * time;
+  TSAUG_CHECK(m >= 1.0);
+
+  std::vector<double> mean(c, 0.0);
+  std::vector<double> var(c, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) mean[ch] += x.value().at(i, ch, t);
+    }
+  }
+  for (double& v : mean) v /= m;
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) {
+        const double d = x.value().at(i, ch, t) - mean[ch];
+        var[ch] += d * d;
+      }
+    }
+  }
+  for (double& v : var) v /= m;
+  if (batch_mean != nullptr) *batch_mean = mean;
+  if (batch_var != nullptr) *batch_var = var;
+
+  auto invstd = std::make_shared<std::vector<double>>(c);
+  for (int ch = 0; ch < c; ++ch) {
+    (*invstd)[ch] = 1.0 / std::sqrt(var[ch] + eps);
+  }
+  // Save the normalised activations for the backward pass.
+  auto xhat = std::make_shared<Tensor>(std::vector<int>{n, c, time});
+  Tensor out({n, c, time});
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) {
+        const double norm =
+            (x.value().at(i, ch, t) - mean[ch]) * (*invstd)[ch];
+        xhat->at(i, ch, t) = norm;
+        out.at(i, ch, t) = gamma.value()[ch] * norm + beta.value()[ch];
+      }
+    }
+  }
+  return Variable::FromOp(
+      std::move(out), {x.node(), gamma.node(), beta.node()},
+      [n, c, time, m, invstd, xhat](Node& self) {
+        Node& px = *self.parents[0];
+        Node& pgamma = *self.parents[1];
+        Node& pbeta = *self.parents[2];
+        for (int ch = 0; ch < c; ++ch) {
+          double sum_dy = 0.0;
+          double sum_dy_xhat = 0.0;
+          for (int i = 0; i < n; ++i) {
+            for (int t = 0; t < time; ++t) {
+              const double g = self.grad.at(i, ch, t);
+              sum_dy += g;
+              sum_dy_xhat += g * xhat->at(i, ch, t);
+            }
+          }
+          pgamma.grad[ch] += sum_dy_xhat;
+          pbeta.grad[ch] += sum_dy;
+          const double scale = pgamma.value[ch] * (*invstd)[ch];
+          for (int i = 0; i < n; ++i) {
+            for (int t = 0; t < time; ++t) {
+              const double g = self.grad.at(i, ch, t);
+              px.grad.at(i, ch, t) +=
+                  scale * (g - sum_dy / m -
+                           xhat->at(i, ch, t) * sum_dy_xhat / m);
+            }
+          }
+        }
+      });
+}
+
+Variable BatchNormInference(const Variable& x, const Variable& gamma,
+                            const Variable& beta,
+                            const std::vector<double>& mean,
+                            const std::vector<double>& var, double eps) {
+  TSAUG_CHECK(x.value().ndim() == 3);
+  const int n = x.value().dim(0);
+  const int c = x.value().dim(1);
+  const int time = x.value().dim(2);
+  TSAUG_CHECK(static_cast<int>(mean.size()) == c &&
+              static_cast<int>(var.size()) == c);
+  auto invstd = std::make_shared<std::vector<double>>(c);
+  for (int ch = 0; ch < c; ++ch) (*invstd)[ch] = 1.0 / std::sqrt(var[ch] + eps);
+
+  Tensor out({n, c, time});
+  auto xhat = std::make_shared<Tensor>(std::vector<int>{n, c, time});
+  for (int i = 0; i < n; ++i) {
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) {
+        const double norm = (x.value().at(i, ch, t) - mean[ch]) * (*invstd)[ch];
+        xhat->at(i, ch, t) = norm;
+        out.at(i, ch, t) = gamma.value()[ch] * norm + beta.value()[ch];
+      }
+    }
+  }
+  return Variable::FromOp(
+      std::move(out), {x.node(), gamma.node(), beta.node()},
+      [n, c, time, invstd, xhat](Node& self) {
+        // Fixed statistics: the normalisation is affine per channel.
+        Node& px = *self.parents[0];
+        Node& pgamma = *self.parents[1];
+        Node& pbeta = *self.parents[2];
+        for (int ch = 0; ch < c; ++ch) {
+          const double scale = pgamma.value[ch] * (*invstd)[ch];
+          for (int i = 0; i < n; ++i) {
+            for (int t = 0; t < time; ++t) {
+              const double g = self.grad.at(i, ch, t);
+              px.grad.at(i, ch, t) += g * scale;
+              pgamma.grad[ch] += g * xhat->at(i, ch, t);
+              pbeta.grad[ch] += g;
+            }
+          }
+        }
+      });
+}
+
+Tensor Softmax(const Tensor& logits) {
+  TSAUG_CHECK(logits.ndim() == 2);
+  const int n = logits.dim(0);
+  const int k = logits.dim(1);
+  Tensor probs({n, k});
+  for (int i = 0; i < n; ++i) {
+    double max_logit = logits.at(i, 0);
+    for (int j = 1; j < k; ++j) max_logit = std::max(max_logit, logits.at(i, j));
+    double sum = 0.0;
+    for (int j = 0; j < k; ++j) {
+      probs.at(i, j) = std::exp(logits.at(i, j) - max_logit);
+      sum += probs.at(i, j);
+    }
+    for (int j = 0; j < k; ++j) probs.at(i, j) /= sum;
+  }
+  return probs;
+}
+
+Variable SoftmaxCrossEntropy(const Variable& logits,
+                             const std::vector<int>& labels) {
+  TSAUG_CHECK(logits.value().ndim() == 2);
+  const int n = logits.value().dim(0);
+  const int k = logits.value().dim(1);
+  TSAUG_CHECK(static_cast<int>(labels.size()) == n);
+
+  auto probs = std::make_shared<Tensor>(Softmax(logits.value()));
+  double loss = 0.0;
+  for (int i = 0; i < n; ++i) {
+    TSAUG_CHECK(labels[i] >= 0 && labels[i] < k);
+    loss -= std::log(std::max(probs->at(i, labels[i]), 1e-12));
+  }
+  loss /= n;
+  auto labels_copy = std::make_shared<std::vector<int>>(labels);
+  return Variable::FromOp(Tensor::Scalar(loss), {logits.node()},
+                          [n, k, probs, labels_copy](Node& self) {
+    const double g = self.grad[0] / n;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < k; ++j) {
+        const double indicator = (*labels_copy)[i] == j ? 1.0 : 0.0;
+        self.parents[0]->grad.at(i, j) += g * (probs->at(i, j) - indicator);
+      }
+    }
+  });
+}
+
+Variable MseLoss(const Variable& pred, const Tensor& target) {
+  TSAUG_CHECK(pred.value().SameShape(target));
+  const size_t n = pred.value().numel();
+  TSAUG_CHECK(n > 0);
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double d = pred.value()[i] - target[i];
+    loss += d * d;
+  }
+  loss /= static_cast<double>(n);
+  auto target_copy = std::make_shared<Tensor>(target);
+  return Variable::FromOp(Tensor::Scalar(loss), {pred.node()},
+                          [n, target_copy](Node& self) {
+    const double g = self.grad[0] * 2.0 / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      self.parents[0]->grad[i] +=
+          g * (self.parents[0]->value[i] - (*target_copy)[i]);
+    }
+  });
+}
+
+Variable BceWithLogitsLoss(const Variable& logits, const Tensor& targets) {
+  TSAUG_CHECK(logits.value().SameShape(targets));
+  const size_t n = logits.value().numel();
+  TSAUG_CHECK(n > 0);
+  double loss = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double z = logits.value()[i];
+    const double y = targets[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|)): numerically stable BCE.
+    loss += std::max(z, 0.0) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  loss /= static_cast<double>(n);
+  auto targets_copy = std::make_shared<Tensor>(targets);
+  return Variable::FromOp(Tensor::Scalar(loss), {logits.node()},
+                          [n, targets_copy](Node& self) {
+    const double g = self.grad[0] / static_cast<double>(n);
+    for (size_t i = 0; i < n; ++i) {
+      const double z = self.parents[0]->value[i];
+      const double sigma = z >= 0.0 ? 1.0 / (1.0 + std::exp(-z))
+                                    : std::exp(z) / (1.0 + std::exp(z));
+      self.parents[0]->grad[i] += g * (sigma - (*targets_copy)[i]);
+    }
+  });
+}
+
+Variable MomentMatchLoss(const Variable& x,
+                         const std::vector<double>& target_mean,
+                         const std::vector<double>& target_std) {
+  TSAUG_CHECK(x.value().ndim() == 2);
+  const int n = x.value().dim(0);
+  const int f = x.value().dim(1);
+  TSAUG_CHECK(static_cast<int>(target_mean.size()) == f);
+  TSAUG_CHECK(static_cast<int>(target_std.size()) == f);
+  TSAUG_CHECK(n > 0);
+  constexpr double kEps = 1e-6;
+
+  auto mean = std::make_shared<std::vector<double>>(f, 0.0);
+  auto stddev = std::make_shared<std::vector<double>>(f, 0.0);
+  for (int j = 0; j < f; ++j) {
+    double m = 0.0;
+    for (int i = 0; i < n; ++i) m += x.value().at(i, j);
+    m /= n;
+    double v = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = x.value().at(i, j) - m;
+      v += d * d;
+    }
+    v /= n;
+    (*mean)[j] = m;
+    (*stddev)[j] = std::sqrt(v + kEps);
+  }
+  double loss = 0.0;
+  for (int j = 0; j < f; ++j) {
+    loss += std::fabs((*stddev)[j] - target_std[j]);
+    loss += std::fabs((*mean)[j] - target_mean[j]);
+  }
+  loss /= f;
+
+  auto tmean = std::make_shared<std::vector<double>>(target_mean);
+  auto tstd = std::make_shared<std::vector<double>>(target_std);
+  return Variable::FromOp(
+      Tensor::Scalar(loss), {x.node()},
+      [n, f, mean, stddev, tmean, tstd](Node& self) {
+        const double g = self.grad[0] / f;
+        for (int j = 0; j < f; ++j) {
+          const double sign_std =
+              (*stddev)[j] > (*tstd)[j] ? 1.0 : ((*stddev)[j] < (*tstd)[j] ? -1.0 : 0.0);
+          const double sign_mean =
+              (*mean)[j] > (*tmean)[j] ? 1.0 : ((*mean)[j] < (*tmean)[j] ? -1.0 : 0.0);
+          for (int i = 0; i < n; ++i) {
+            const double centered =
+                self.parents[0]->value.at(i, j) - (*mean)[j];
+            self.parents[0]->grad.at(i, j) +=
+                g * (sign_std * centered / (n * (*stddev)[j]) + sign_mean / n);
+          }
+        }
+      });
+}
+
+double NumericalGradient(const std::function<double()>& loss_fn, Tensor& leaf,
+                         size_t i, double eps) {
+  const double saved = leaf[i];
+  leaf[i] = saved + eps;
+  const double plus = loss_fn();
+  leaf[i] = saved - eps;
+  const double minus = loss_fn();
+  leaf[i] = saved;
+  return (plus - minus) / (2.0 * eps);
+}
+
+}  // namespace tsaug::nn

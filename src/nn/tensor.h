@@ -1,0 +1,92 @@
+#ifndef TSAUG_NN_TENSOR_H_
+#define TSAUG_NN_TENSOR_H_
+
+#include <vector>
+
+#include "core/check.h"
+
+namespace tsaug::nn {
+
+/// A dense n-dimensional array of doubles (row-major).
+///
+/// The autodiff engine works on ranks 0-3: scalars (losses), matrices
+/// (batch x features) and 3-D arrays (batch x channels x time). Tensor is a
+/// plain value type with no view semantics.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<int> shape, double fill = 0.0)
+      : shape_(std::move(shape)) {
+    size_t n = 1;
+    for (int d : shape_) {
+      TSAUG_CHECK(d >= 0);
+      n *= static_cast<size_t>(d);
+    }
+    data_.assign(n, fill);
+  }
+
+  static Tensor Scalar(double v) {
+    Tensor t(std::vector<int>{});
+    t.data_ = {v};
+    return t;
+  }
+
+  const std::vector<int>& shape() const { return shape_; }
+  int ndim() const { return static_cast<int>(shape_.size()); }
+  int dim(int i) const {
+    TSAUG_CHECK(i >= 0 && i < ndim());
+    return shape_[i];
+  }
+  size_t numel() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator[](size_t i) {
+    TSAUG_CHECK(i < data_.size());
+    return data_[i];
+  }
+  double operator[](size_t i) const {
+    TSAUG_CHECK(i < data_.size());
+    return data_[i];
+  }
+
+  /// 2-D accessor (checked against rank).
+  double& at(int i, int j) {
+    TSAUG_CHECK(ndim() == 2);
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+  }
+  double at(int i, int j) const {
+    TSAUG_CHECK(ndim() == 2);
+    return data_[static_cast<size_t>(i) * shape_[1] + j];
+  }
+
+  /// 3-D accessor (checked against rank).
+  double& at(int i, int j, int k) {
+    TSAUG_CHECK(ndim() == 3);
+    return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+  }
+  double at(int i, int j, int k) const {
+    TSAUG_CHECK(ndim() == 3);
+    return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+  }
+
+  /// Scalar value (rank-0 or single-element tensor).
+  double scalar() const {
+    TSAUG_CHECK(data_.size() == 1);
+    return data_[0];
+  }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
+
+  bool operator==(const Tensor& other) const = default;
+
+ private:
+  std::vector<int> shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace tsaug::nn
+
+#endif  // TSAUG_NN_TENSOR_H_

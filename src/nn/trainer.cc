@@ -1,0 +1,227 @@
+#include "nn/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace tsaug::nn {
+namespace {
+
+std::vector<std::vector<int>> MakeBatches(int n, int batch_size,
+                                          core::Rng& rng) {
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::vector<std::vector<int>> batches;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    batches.emplace_back(order.begin() + start, order.begin() + end);
+  }
+  return batches;
+}
+
+std::vector<int> GatherLabels(const std::vector<int>& labels,
+                              const std::vector<int>& indices) {
+  std::vector<int> out;
+  out.reserve(indices.size());
+  for (int i : indices) out.push_back(labels[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices) {
+  TSAUG_CHECK(x.ndim() == 3);
+  const int c = x.dim(1);
+  const int time = x.dim(2);
+  Tensor batch({static_cast<int>(indices.size()), c, time});
+  for (size_t b = 0; b < indices.size(); ++b) {
+    TSAUG_CHECK(indices[b] >= 0 && indices[b] < x.dim(0));
+    for (int ch = 0; ch < c; ++ch) {
+      for (int t = 0; t < time; ++t) {
+        batch.at(static_cast<int>(b), ch, t) = x.at(indices[b], ch, t);
+      }
+    }
+  }
+  return batch;
+}
+
+double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
+                        const std::vector<int>& labels, int batch_size,
+                        core::Rng& rng, double min_lr, double max_lr,
+                        int steps) {
+  TSAUG_CHECK(steps >= 2);
+  const std::vector<Tensor> initial_state = net.GetState();
+  net.SetTraining(true);
+
+  Adam optimizer(net.AllParameters(), min_lr);
+  const double growth = std::pow(max_lr / min_lr, 1.0 / (steps - 1));
+
+  double lr = min_lr;
+  double smoothed = 0.0;
+  double best_loss = std::numeric_limits<double>::infinity();
+  double best_lr = min_lr;
+  constexpr double kBeta = 0.7;
+
+  std::vector<std::vector<int>> batches;
+  size_t batch_cursor = 0;
+  for (int step = 0; step < steps; ++step) {
+    if (batch_cursor >= batches.size()) {
+      batches = MakeBatches(x.dim(0), batch_size, rng);
+      batch_cursor = 0;
+    }
+    const std::vector<int>& idx = batches[batch_cursor++];
+
+    optimizer.set_learning_rate(lr);
+    optimizer.ZeroGrad();
+    Variable input(GatherBatch(x, idx));
+    Variable loss = SoftmaxCrossEntropy(net.Forward(input), GatherLabels(labels, idx));
+    loss.Backward();
+    optimizer.Step();
+
+    const double raw = loss.value().scalar();
+    smoothed = step == 0 ? raw : kBeta * smoothed + (1.0 - kBeta) * raw;
+    if (smoothed < best_loss) {
+      best_loss = smoothed;
+      best_lr = lr;
+    }
+    if (step > 5 && (smoothed > 4.0 * best_loss || !std::isfinite(raw))) {
+      break;  // diverged
+    }
+    lr *= growth;
+  }
+
+  net.SetState(initial_state);
+  // Valley rule: an order of magnitude below the minimum-loss rate.
+  return std::max(best_lr / 10.0, min_lr);
+}
+
+TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
+                            const std::vector<int>& y_train,
+                            const Tensor& x_val,
+                            const std::vector<int>& y_val,
+                            const TrainerConfig& config, core::Rng& rng) {
+  TSAUG_CHECK(x_train.ndim() == 3);
+  TSAUG_CHECK(x_train.dim(0) == static_cast<int>(y_train.size()));
+  TSAUG_CHECK(x_val.dim(0) == static_cast<int>(y_val.size()));
+
+  TrainResult result;
+  result.learning_rate =
+      config.learning_rate > 0.0
+          ? config.learning_rate
+          : FindLearningRate(net, x_train, y_train, config.batch_size, rng);
+
+  Adam optimizer(net.AllParameters(), result.learning_rate);
+  std::vector<Tensor> best_state = net.GetState();
+  double best_val_loss = std::numeric_limits<double>::infinity();
+  int epochs_since_best = 0;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    net.SetTraining(true);
+    double epoch_loss = 0.0;
+    int batches_run = 0;
+    for (const std::vector<int>& idx :
+         MakeBatches(x_train.dim(0), config.batch_size, rng)) {
+      optimizer.ZeroGrad();
+      Variable input(GatherBatch(x_train, idx));
+      Variable loss =
+          SoftmaxCrossEntropy(net.Forward(input), GatherLabels(y_train, idx));
+      loss.Backward();
+      optimizer.Step();
+      epoch_loss += loss.value().scalar();
+      ++batches_run;
+    }
+    result.epoch_train_losses.push_back(epoch_loss / std::max(1, batches_run));
+    result.epochs_run = epoch + 1;
+
+    const double val_accuracy =
+        EvaluateAccuracy(net, x_val, y_val, config.batch_size);
+    const double val_loss = EvaluateLoss(net, x_val, y_val, config.batch_size);
+    if (val_accuracy > result.best_val_accuracy) {
+      result.best_val_accuracy = val_accuracy;
+      result.best_epoch = epoch;
+      best_val_loss = val_loss;
+      best_state = net.GetState();
+      epochs_since_best = 0;
+    } else {
+      // Small validation sets quantise accuracy coarsely; on ties, keep the
+      // snapshot with the lower validation loss (the paper's patience
+      // counter still only resets on an accuracy improvement).
+      if (val_accuracy == result.best_val_accuracy &&
+          val_loss < best_val_loss) {
+        best_val_loss = val_loss;
+        result.best_epoch = epoch;
+        best_state = net.GetState();
+      }
+      ++epochs_since_best;
+    }
+    if (config.verbose) {
+      std::printf("epoch %3d loss %.4f val_acc %.4f\n", epoch,
+                  result.epoch_train_losses.back(), val_accuracy);
+    }
+    if (epochs_since_best >= config.early_stopping_patience) break;
+  }
+
+  net.SetState(best_state);
+  net.SetTraining(false);
+  return result;
+}
+
+std::vector<int> PredictLabels(SequenceClassifierNet& net, const Tensor& x,
+                               int batch_size) {
+  net.SetTraining(false);
+  const int n = x.dim(0);
+  std::vector<int> predictions(n);
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(end - start);
+    for (int i = start; i < end; ++i) idx[i - start] = i;
+    Variable input(GatherBatch(x, idx));
+    const Tensor logits = net.Forward(input).value();
+    for (int i = 0; i < logits.dim(0); ++i) {
+      int best = 0;
+      for (int k = 1; k < logits.dim(1); ++k) {
+        if (logits.at(i, k) > logits.at(i, best)) best = k;
+      }
+      predictions[start + i] = best;
+    }
+  }
+  return predictions;
+}
+
+double EvaluateLoss(SequenceClassifierNet& net, const Tensor& x,
+                    const std::vector<int>& labels, int batch_size) {
+  TSAUG_CHECK(x.dim(0) == static_cast<int>(labels.size()));
+  if (labels.empty()) return 0.0;
+  net.SetTraining(false);
+  const int n = x.dim(0);
+  double total = 0.0;
+  for (int start = 0; start < n; start += batch_size) {
+    const int end = std::min(n, start + batch_size);
+    std::vector<int> idx(end - start);
+    std::vector<int> batch_labels(end - start);
+    for (int i = start; i < end; ++i) {
+      idx[i - start] = i;
+      batch_labels[i - start] = labels[i];
+    }
+    Variable input(GatherBatch(x, idx));
+    const Variable loss = SoftmaxCrossEntropy(net.Forward(input), batch_labels);
+    total += loss.value().scalar() * (end - start);
+  }
+  return total / n;
+}
+
+double EvaluateAccuracy(SequenceClassifierNet& net, const Tensor& x,
+                        const std::vector<int>& labels, int batch_size) {
+  TSAUG_CHECK(x.dim(0) == static_cast<int>(labels.size()));
+  if (labels.empty()) return 0.0;
+  const std::vector<int> predicted = PredictLabels(net, x, batch_size);
+  int correct = 0;
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (predicted[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / labels.size();
+}
+
+}  // namespace tsaug::nn

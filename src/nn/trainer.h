@@ -1,0 +1,75 @@
+#ifndef TSAUG_NN_TRAINER_H_
+#define TSAUG_NN_TRAINER_H_
+
+#include <vector>
+
+#include "core/rng.h"
+#include "nn/layers.h"
+#include "nn/optimizer.h"
+
+namespace tsaug::nn {
+
+/// A network that maps a batch of series [n, channels, time] to class
+/// logits [n, num_classes]. InceptionTime implements this.
+class SequenceClassifierNet : public Module {
+ public:
+  virtual Variable Forward(const Variable& batch) = 0;
+  virtual int num_classes() const = 0;
+};
+
+/// Training schedule mirroring the paper's setup: 200 epochs max, early
+/// stopping after 30 epochs without validation-accuracy improvement, best
+/// weights restored, learning rate chosen by a range test when not given.
+struct TrainerConfig {
+  int max_epochs = 200;
+  int early_stopping_patience = 30;
+  int batch_size = 32;
+  /// 0 means: run the cyclical learning-rate range test (Smith 2017) and
+  /// use the valley rule (lr at minimum smoothed loss / 10).
+  double learning_rate = 0.0;
+  bool verbose = false;
+};
+
+struct TrainResult {
+  double best_val_accuracy = 0.0;
+  int best_epoch = -1;
+  int epochs_run = 0;
+  double learning_rate = 0.0;  // the rate actually used
+  std::vector<double> epoch_train_losses;
+};
+
+/// Gathers `indices` of `x` [N,C,T] into a batch tensor [b,C,T].
+Tensor GatherBatch(const Tensor& x, const std::vector<int>& indices);
+
+/// Learning-rate range test: exponentially sweeps lr over mini-batches,
+/// tracks smoothed loss, aborts on divergence, returns valley lr. The
+/// network state is restored afterwards.
+double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
+                        const std::vector<int>& labels, int batch_size,
+                        core::Rng& rng, double min_lr = 1e-5,
+                        double max_lr = 1.0, int steps = 40);
+
+/// Trains `net` on (x_train, y_train), early-stopping on accuracy over
+/// (x_val, y_val), and leaves the best-validation weights loaded.
+TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
+                            const std::vector<int>& y_train,
+                            const Tensor& x_val,
+                            const std::vector<int>& y_val,
+                            const TrainerConfig& config, core::Rng& rng);
+
+/// Argmax predictions of `net` over `x` in eval mode (batched).
+std::vector<int> PredictLabels(SequenceClassifierNet& net, const Tensor& x,
+                               int batch_size = 64);
+
+/// Accuracy of `net` on a labelled tensor.
+double EvaluateAccuracy(SequenceClassifierNet& net, const Tensor& x,
+                        const std::vector<int>& labels, int batch_size = 64);
+
+/// Mean cross-entropy of `net` on a labelled tensor (eval mode, no
+/// gradients kept).
+double EvaluateLoss(SequenceClassifierNet& net, const Tensor& x,
+                    const std::vector<int>& labels, int batch_size = 64);
+
+}  // namespace tsaug::nn
+
+#endif  // TSAUG_NN_TRAINER_H_

@@ -1,0 +1,256 @@
+// Tests for the taxonomy's basic branch: noise injection (Eq. 6), time- and
+// frequency-domain transforms, and decomposition-based augmentation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "augment/basic_time.h"
+#include "augment/decompose.h"
+#include "augment/frequency.h"
+#include "augment/noise.h"
+#include "core/stats.h"
+
+namespace tsaug::augment {
+namespace {
+
+using core::TimeSeries;
+
+TimeSeries Wave(int channels = 2, int length = 64, double amp = 1.0) {
+  TimeSeries s(channels, length);
+  for (int c = 0; c < channels; ++c) {
+    for (int t = 0; t < length; ++t) {
+      s.at(c, t) = amp * std::sin(0.3 * t + c) + 0.1 * c;
+    }
+  }
+  return s;
+}
+
+TEST(NoiseInjection, NameEncodesLevel) {
+  EXPECT_EQ(NoiseInjection(1.0).name(), "noise_1.0");
+  EXPECT_EQ(NoiseInjection(5.0).name(), "noise_5.0");
+}
+
+TEST(NoiseInjection, NoiseScalesWithChannelStd) {
+  // Channel 0 has std ~10x channel 1; injected noise must follow (Eq. 6).
+  TimeSeries s(2, 512);
+  core::Rng data_rng(1);
+  for (int t = 0; t < 512; ++t) {
+    s.at(0, t) = data_rng.Normal(0.0, 10.0);
+    s.at(1, t) = data_rng.Normal(0.0, 1.0);
+  }
+  NoiseInjection noise(1.0);
+  core::Rng rng(2);
+  const TimeSeries noisy = noise.Transform(s, rng);
+  double delta0 = 0.0;
+  double delta1 = 0.0;
+  for (int t = 0; t < 512; ++t) {
+    delta0 += std::pow(noisy.at(0, t) - s.at(0, t), 2);
+    delta1 += std::pow(noisy.at(1, t) - s.at(1, t), 2);
+  }
+  const double ratio = std::sqrt(delta0 / delta1);
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 20.0);
+}
+
+TEST(NoiseInjection, HigherLevelMoreNoise) {
+  const TimeSeries s = Wave();
+  core::Rng rng1(3);
+  core::Rng rng5(3);
+  const TimeSeries n1 = NoiseInjection(1.0).Transform(s, rng1);
+  const TimeSeries n5 = NoiseInjection(5.0).Transform(s, rng5);
+  double d1 = 0.0;
+  double d5 = 0.0;
+  for (size_t i = 0; i < s.values().size(); ++i) {
+    d1 += std::pow(n1.values()[i] - s.values()[i], 2);
+    d5 += std::pow(n5.values()[i] - s.values()[i], 2);
+  }
+  EXPECT_GT(d5, 4.0 * d1);
+}
+
+TEST(NoiseInjection, PreservesNaN) {
+  TimeSeries s = Wave(1, 16);
+  s.at(0, 3) = std::nan("");
+  core::Rng rng(4);
+  const TimeSeries noisy = NoiseInjection(1.0).Transform(s, rng);
+  EXPECT_TRUE(std::isnan(noisy.at(0, 3)));
+  EXPECT_NE(noisy.at(0, 0), s.at(0, 0));
+}
+
+TEST(Scaling, ScalesChannelsIndependently) {
+  const TimeSeries s = Wave(3, 32);
+  core::Rng rng(5);
+  const TimeSeries scaled = Scaling(0.2).Transform(s, rng);
+  for (int c = 0; c < 3; ++c) {
+    // Per-channel scaling: the ratio is constant along t where s != 0.
+    const double ratio = scaled.at(c, 5) / s.at(c, 5);
+    for (int t = 0; t < 32; ++t) {
+      if (std::fabs(s.at(c, t)) > 1e-6) {
+        EXPECT_NEAR(scaled.at(c, t) / s.at(c, t), ratio, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(Rotation, PreservesChannelNorms) {
+  // Orthogonal rotation preserves the per-step channel-vector norm.
+  const TimeSeries s = Wave(4, 32);
+  core::Rng rng(6);
+  const TimeSeries rotated = Rotation(0.8).Transform(s, rng);
+  for (int t = 0; t < 32; ++t) {
+    double before = 0.0;
+    double after = 0.0;
+    for (int c = 0; c < 4; ++c) {
+      before += s.at(c, t) * s.at(c, t);
+      after += rotated.at(c, t) * rotated.at(c, t);
+    }
+    EXPECT_NEAR(before, after, 1e-9);
+  }
+}
+
+TEST(Rotation, UnivariateFlipsSign) {
+  const TimeSeries s = Wave(1, 16);
+  core::Rng rng(7);
+  const TimeSeries flipped = Rotation().Transform(s, rng);
+  for (int t = 0; t < 16; ++t) EXPECT_DOUBLE_EQ(flipped.at(0, t), -s.at(0, t));
+}
+
+TEST(WindowSlicing, KeepsLengthAndRange) {
+  const TimeSeries s = Wave(2, 50);
+  core::Rng rng(8);
+  const TimeSeries sliced = WindowSlicing(0.8).Transform(s, rng);
+  EXPECT_EQ(sliced.length(), 50);
+  EXPECT_EQ(sliced.num_channels(), 2);
+  // Values come from the original range.
+  for (double v : sliced.values()) {
+    EXPECT_GE(v, -1.2);
+    EXPECT_LE(v, 1.3);
+  }
+}
+
+TEST(Permutation, IsAPermutationOfValues) {
+  const TimeSeries s = Wave(1, 40);
+  core::Rng rng(9);
+  const TimeSeries permuted = Permutation(4).Transform(s, rng);
+  std::vector<double> a = s.values();
+  std::vector<double> b = permuted.values();
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Masking, ZeroesAWindow) {
+  const TimeSeries s = Wave(2, 40, 2.0);
+  core::Rng rng(10);
+  const TimeSeries masked = Masking(0.25).Transform(s, rng);
+  int zeroed = 0;
+  for (int t = 0; t < 40; ++t) {
+    if (masked.at(0, t) == 0.0 && masked.at(1, t) == 0.0) ++zeroed;
+  }
+  EXPECT_EQ(zeroed, 10);
+}
+
+TEST(Dropout, ZeroesApproximatelyRateFraction) {
+  const TimeSeries s = Wave(2, 500, 2.0);
+  core::Rng rng(11);
+  const TimeSeries dropped = Dropout(0.2).Transform(s, rng);
+  int zeroed = 0;
+  for (double v : dropped.values()) zeroed += v == 0.0 ? 1 : 0;
+  EXPECT_NEAR(zeroed / 1000.0, 0.2, 0.05);
+}
+
+TEST(MagnitudeWarp, SmoothMultiplicativeEnvelope) {
+  const TimeSeries s = Wave(1, 64, 1.0);
+  core::Rng rng(12);
+  const TimeSeries warped = MagnitudeWarp(0.3, 4).Transform(s, rng);
+  EXPECT_EQ(warped.length(), 64);
+  // Envelope stays within a plausible band around 1 for sigma=0.3.
+  for (int t = 0; t < 64; ++t) {
+    if (std::fabs(s.at(0, t)) > 0.2) {
+      const double ratio = warped.at(0, t) / s.at(0, t);
+      EXPECT_GT(ratio, -0.5);
+      EXPECT_LT(ratio, 2.5);
+    }
+  }
+}
+
+TEST(TimeWarp, PreservesLengthAndEndpointNeighborhood) {
+  const TimeSeries s = Wave(2, 64);
+  core::Rng rng(13);
+  const TimeSeries warped = TimeWarp(0.3, 4).Transform(s, rng);
+  EXPECT_EQ(warped.length(), 64);
+  EXPECT_NEAR(warped.at(0, 0), s.at(0, 0), 1e-9);  // warp starts at 0
+}
+
+TEST(WindowWarp, KeepsLength) {
+  const TimeSeries s = Wave(2, 60);
+  core::Rng rng(14);
+  const TimeSeries warped = WindowWarp(0.2).Transform(s, rng);
+  EXPECT_EQ(warped.length(), 60);
+  EXPECT_EQ(warped.num_channels(), 2);
+}
+
+TEST(FrequencyPerturbation, OutputRealAndClose) {
+  const TimeSeries s = Wave(2, 48);
+  core::Rng rng(15);
+  const TimeSeries perturbed =
+      FrequencyPerturbation(0.05, 0.05).Transform(s, rng);
+  EXPECT_EQ(perturbed.length(), 48);
+  double max_delta = 0.0;
+  for (size_t i = 0; i < s.values().size(); ++i) {
+    EXPECT_TRUE(std::isfinite(perturbed.values()[i]));
+    max_delta = std::max(max_delta,
+                         std::fabs(perturbed.values()[i] - s.values()[i]));
+  }
+  EXPECT_GT(max_delta, 0.0);   // it did something
+  EXPECT_LT(max_delta, 1.0);   // but stayed close for small sigmas
+}
+
+TEST(FrequencyPerturbation, ZeroPhaseSigmaKeepsSpectralShape) {
+  const TimeSeries s = Wave(1, 32);
+  core::Rng rng(16);
+  const TimeSeries perturbed =
+      FrequencyPerturbation(1e-6, 1e-9).Transform(s, rng);
+  for (size_t i = 0; i < s.values().size(); ++i) {
+    EXPECT_NEAR(perturbed.values()[i], s.values()[i], 1e-3);
+  }
+}
+
+TEST(SpectrogramMasking, ProducesFiniteSeriesOfSameShape) {
+  const TimeSeries s = Wave(2, 80);
+  core::Rng rng(17);
+  const TimeSeries masked = SpectrogramMasking().Transform(s, rng);
+  EXPECT_EQ(masked.length(), 80);
+  for (double v : masked.values()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(MovingAverageDecompose, TrendPlusResidualIsIdentity) {
+  std::vector<double> signal(50);
+  for (int t = 0; t < 50; ++t) signal[t] = 0.1 * t + std::sin(0.5 * t);
+  const Decomposition parts = MovingAverageDecompose(signal, 9);
+  for (int t = 0; t < 50; ++t) {
+    EXPECT_NEAR(parts.trend[t] + parts.residual[t], signal[t], 1e-12);
+  }
+}
+
+TEST(MovingAverageDecompose, TrendTracksLinearSignalExactlyInInterior) {
+  std::vector<double> signal(30);
+  for (int t = 0; t < 30; ++t) signal[t] = 2.0 * t;
+  const Decomposition parts = MovingAverageDecompose(signal, 5);
+  for (int t = 2; t < 28; ++t) EXPECT_NEAR(parts.trend[t], signal[t], 1e-9);
+}
+
+TEST(DecompositionAugmenter, PreservesTrendShape) {
+  // A strongly trended series: the augmented copy must track the trend.
+  TimeSeries s(1, 60);
+  core::Rng data_rng(18);
+  for (int t = 0; t < 60; ++t) s.at(0, t) = 0.5 * t + data_rng.Normal(0, 0.3);
+  core::Rng rng(19);
+  const TimeSeries augmented =
+      DecompositionAugmenter(9, 6).Transform(s, rng);
+  for (int t = 5; t < 55; ++t) {
+    EXPECT_NEAR(augmented.at(0, t), 0.5 * t, 3.0);
+  }
+}
+
+}  // namespace
+}  // namespace tsaug::augment

@@ -1,0 +1,121 @@
+// Property tests swept over EVERY augmenter in the taxonomy registry:
+// whatever the branch, Generate() must honour the same contract — correct
+// count, dataset-compatible shapes, finite values after imputation,
+// determinism in the RNG seed, and respecting the requested class. These
+// run with a reduced TimeGAN so the whole registry is covered.
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "augment/pipeline.h"
+#include "augment/timegan.h"
+#include "data/synthetic.h"
+
+namespace tsaug::augment {
+namespace {
+
+core::Dataset PropertyData() {
+  data::SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.train_counts = {10, 6, 4};
+  spec.test_counts = {2, 2, 2};
+  spec.num_channels = 2;
+  spec.length = 24;
+  spec.seed = 77;
+  return data::MakeSynthetic(spec).train;
+}
+
+std::vector<TaxonomyEntry> PropertyTaxonomy() {
+  std::vector<TaxonomyEntry> taxonomy = BuildTaxonomy(/*include_timegan=*/false);
+  TimeGanConfig tiny;
+  tiny.hidden_dim = 4;
+  tiny.num_layers = 1;
+  tiny.embedding_iterations = 8;
+  tiny.supervised_iterations = 6;
+  tiny.joint_iterations = 3;
+  tiny.max_sequence_length = 10;
+  taxonomy.push_back({std::make_shared<TimeGanAugmenter>(tiny),
+                      TaxonomyBranch::kGenerativeNeural});
+  return taxonomy;
+}
+
+struct NamedEntry {
+  std::string name;
+  std::shared_ptr<Augmenter> augmenter;
+};
+
+std::vector<NamedEntry> AllEntries() {
+  std::vector<NamedEntry> entries;
+  for (const TaxonomyEntry& entry : PropertyTaxonomy()) {
+    entries.push_back({entry.augmenter->name(), entry.augmenter});
+  }
+  return entries;
+}
+
+class AugmenterProperty : public ::testing::TestWithParam<NamedEntry> {};
+
+TEST_P(AugmenterProperty, GeneratesExactCount) {
+  core::Dataset train = PropertyData();
+  core::Rng rng(1);
+  EXPECT_EQ(GetParam().augmenter->Generate(train, 1, 5, rng).size(), 5u);
+  core::Rng rng2(2);
+  EXPECT_EQ(GetParam().augmenter->Generate(train, 2, 0, rng2).size(), 0u);
+}
+
+TEST_P(AugmenterProperty, ShapesMatchDataset) {
+  core::Dataset train = PropertyData();
+  core::Rng rng(3);
+  for (const core::TimeSeries& s :
+       GetParam().augmenter->Generate(train, 0, 4, rng)) {
+    EXPECT_EQ(s.num_channels(), 2);
+    EXPECT_EQ(s.length(), 24);
+  }
+}
+
+TEST_P(AugmenterProperty, ValuesFinite) {
+  core::Dataset train = PropertyData();
+  core::Rng rng(4);
+  for (const core::TimeSeries& s :
+       GetParam().augmenter->Generate(train, 2, 4, rng)) {
+    for (double v : s.values()) {
+      // NaN only allowed where sources carry missing values (none here).
+      EXPECT_TRUE(std::isfinite(v)) << GetParam().name;
+    }
+  }
+}
+
+TEST_P(AugmenterProperty, DeterministicInSeed) {
+  core::Dataset train = PropertyData();
+  GetParam().augmenter->Invalidate();
+  core::Rng rng_a(9);
+  const auto a = GetParam().augmenter->Generate(train, 1, 3, rng_a);
+  GetParam().augmenter->Invalidate();
+  core::Rng rng_b(9);
+  const auto b = GetParam().augmenter->Generate(train, 1, 3, rng_b);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]) << GetParam().name;
+}
+
+TEST_P(AugmenterProperty, BalancingEqualizesCounts) {
+  core::Dataset train = PropertyData();
+  GetParam().augmenter->Invalidate();
+  core::Rng rng(11);
+  const core::Dataset balanced =
+      BalanceWithAugmenter(train, *GetParam().augmenter, rng);
+  const std::vector<int> counts = balanced.ClassCounts();
+  for (int c : counts) EXPECT_EQ(c, 10) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, AugmenterProperty, ::testing::ValuesIn(AllEntries()),
+    [](const ::testing::TestParamInfo<NamedEntry>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace tsaug::augment

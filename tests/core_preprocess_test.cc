@@ -1,0 +1,93 @@
+#include "core/preprocess.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::core {
+namespace {
+
+TEST(ZNormalize, CentersAndScales) {
+  TimeSeries s = TimeSeries::FromChannels({{2, 4, 6, 8}});
+  TimeSeries z = ZNormalize(s);
+  EXPECT_NEAR(z.ChannelMean(0), 0.0, 1e-12);
+  EXPECT_NEAR(z.ChannelStdDev(0), 1.0, 1e-12);
+}
+
+TEST(ZNormalize, ConstantChannelOnlyCentred) {
+  TimeSeries s = TimeSeries::FromChannels({{5, 5, 5}});
+  TimeSeries z = ZNormalize(s);
+  for (int t = 0; t < 3; ++t) EXPECT_DOUBLE_EQ(z.at(0, t), 0.0);
+}
+
+TEST(ZNormalize, PerChannelIndependent) {
+  TimeSeries s = TimeSeries::FromChannels({{0, 10}, {100, 100}});
+  TimeSeries z = ZNormalize(s);
+  EXPECT_NEAR(z.at(0, 0), -1.0, 1e-12);
+  EXPECT_NEAR(z.at(0, 1), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(z.at(1, 0), 0.0);
+}
+
+TEST(ZNormalize, PreservesNaN) {
+  TimeSeries s = TimeSeries::FromChannels({{1, std::nan(""), 3}});
+  TimeSeries z = ZNormalize(s);
+  EXPECT_TRUE(std::isnan(z.at(0, 1)));
+  EXPECT_FALSE(std::isnan(z.at(0, 0)));
+}
+
+TEST(ImputeLinear, InteriorGapInterpolates) {
+  TimeSeries s =
+      TimeSeries::FromChannels({{0, std::nan(""), std::nan(""), 3}});
+  TimeSeries imputed = ImputeLinear(s);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 2), 2.0);
+}
+
+TEST(ImputeLinear, LeadingAndTrailingGapsFill) {
+  TimeSeries s =
+      TimeSeries::FromChannels({{std::nan(""), 2, 4, std::nan("")}});
+  TimeSeries imputed = ImputeLinear(s);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 3), 4.0);
+}
+
+TEST(ImputeLinear, FullyMissingChannelBecomesZero) {
+  TimeSeries s = TimeSeries::FromChannels(
+      {{std::nan(""), std::nan("")}, {1.0, 2.0}});
+  TimeSeries imputed = ImputeLinear(s);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(imputed.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(imputed.at(1, 1), 2.0);
+}
+
+TEST(ResampleToLength, IdentityWhenSameLength) {
+  TimeSeries s = TimeSeries::FromChannels({{1, 2, 3}});
+  EXPECT_EQ(ResampleToLength(s, 3), s);
+}
+
+TEST(ResampleToLength, UpsamplesLinearly) {
+  TimeSeries s = TimeSeries::FromChannels({{0, 2}});
+  TimeSeries up = ResampleToLength(s, 3);
+  EXPECT_DOUBLE_EQ(up.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(up.at(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(up.at(0, 2), 2.0);
+}
+
+TEST(ResampleToLength, DownsamplesKeepingEndpoints) {
+  TimeSeries s = TimeSeries::FromChannels({{0, 1, 2, 3, 4}});
+  TimeSeries down = ResampleToLength(s, 2);
+  EXPECT_DOUBLE_EQ(down.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(down.at(0, 1), 4.0);
+}
+
+TEST(ResampleToMaxLength, MakesRectangular) {
+  Dataset data;
+  data.Add(TimeSeries::FromChannels({{1, 2}}), 0);
+  data.Add(TimeSeries::FromChannels({{1, 2, 3, 4}}), 1);
+  Dataset rect = ResampleToMaxLength(data);
+  EXPECT_TRUE(rect.IsRectangular());
+  EXPECT_EQ(rect.max_length(), 4);
+}
+
+}  // namespace
+}  // namespace tsaug::core

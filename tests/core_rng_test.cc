@@ -1,0 +1,119 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::core {
+namespace {
+
+TEST(Rng, DeterministicInSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+    EXPECT_EQ(a.Int(0, 1000), b.Int(0, 1000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    equal += a.Int(0, 1 << 20) == b.Int(0, 1 << 20) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformWithinBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(4);
+  double mean = 0.0;
+  double var = 0.0;
+  const int n = 20000;
+  std::vector<double> draws(n);
+  for (double& v : draws) {
+    v = rng.Normal(3.0, 2.0);
+    mean += v / n;
+  }
+  for (double v : draws) var += (v - mean) * (v - mean) / n;
+  EXPECT_NEAR(mean, 3.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, IntInclusiveBothEnds) {
+  Rng rng(5);
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.Int(0, 3));
+  EXPECT_EQ(seen, (std::set<int>{0, 1, 2, 3}));
+  EXPECT_EQ(rng.Int(7, 7), 7);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(6);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) heads += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(heads / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(7);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, SampleWithoutReplacementUnique) {
+  Rng rng(8);
+  const std::vector<int> sample = rng.SampleWithoutReplacement(20, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<int> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+  for (int v : sample) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 20);
+  }
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  std::vector<int> sample = rng.SampleWithoutReplacement(5, 5);
+  std::sort(sample.begin(), sample.end());
+  EXPECT_EQ(sample, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(rng.SampleWithoutReplacement(5, 0).empty());
+}
+
+TEST(Rng, ChoiceReturnsMembers) {
+  Rng rng(10);
+  const std::vector<int> items = {10, 20, 30};
+  for (int i = 0; i < 30; ++i) {
+    const int v = rng.Choice(items);
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(11);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    equal += parent.Int(0, 1 << 20) == child.Int(0, 1 << 20) ? 1 : 0;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace tsaug::core

@@ -1,0 +1,110 @@
+#include "core/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::core {
+namespace {
+
+Dataset TwoByTwo(double a, double b) {
+  Dataset data;
+  data.Add(TimeSeries::FromChannels({{a, a}}), 0);
+  data.Add(TimeSeries::FromChannels({{b, b}}), 1);
+  return data;
+}
+
+TEST(DatasetVariance, MatchesHandComputation) {
+  // Two univariate length-2 series: values {0, 0} and {2, 2}.
+  // Per-cell variance (denominator N) = 1 at both steps -> average 1.
+  Dataset data = TwoByTwo(0.0, 2.0);
+  EXPECT_NEAR(DatasetVariance(data), 1.0, 1e-12);
+}
+
+TEST(DatasetVariance, ZeroForIdenticalSeries) {
+  Dataset data = TwoByTwo(3.0, 3.0);
+  EXPECT_NEAR(DatasetVariance(data), 0.0, 1e-12);
+}
+
+TEST(HellingerDistance, UniformVsItselfIsZero) {
+  EXPECT_NEAR(HellingerDistance({0.5, 0.5}, {0.5, 0.5}), 0.0, 1e-12);
+}
+
+TEST(HellingerDistance, MaximalForDisjointSupport) {
+  EXPECT_NEAR(HellingerDistance({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(ImbalanceDegree, BalancedIsZero) {
+  EXPECT_DOUBLE_EQ(ImbalanceDegree(std::vector<int>{10, 10, 10}), 0.0);
+}
+
+TEST(ImbalanceDegree, SingleMinorityInUnitInterval) {
+  // One class below 1/K -> m = 1 -> ID in (0, 1].
+  const double id = ImbalanceDegree(std::vector<int>{10, 10, 2});
+  EXPECT_GT(id, 0.0);
+  EXPECT_LE(id, 1.0);
+}
+
+TEST(ImbalanceDegree, ExtremeDistributionReachesM) {
+  // iota_m itself: one empty-ish minority class, ID should be ~m = 1 for
+  // counts {1, 10, 21} scaled pattern close to {0, 1/3, 2/3}.
+  const double id = ImbalanceDegree(std::vector<int>{1, 100, 199});
+  EXPECT_GT(id, 0.9);
+  EXPECT_LE(id, 1.0 + 1e-9);
+}
+
+TEST(ImbalanceDegree, MoreMinorityClassesMeansHigherBand) {
+  // Two minority classes -> ID in (1, 2].
+  const double id = ImbalanceDegree(std::vector<int>{1, 1, 10, 10});
+  EXPECT_GT(id, 1.0);
+  EXPECT_LE(id, 2.0);
+}
+
+TEST(ImbalanceDegree, MonotoneInSeverity) {
+  const double mild = ImbalanceDegree(std::vector<int>{8, 10, 10});
+  const double severe = ImbalanceDegree(std::vector<int>{2, 10, 10});
+  EXPECT_LT(mild, severe);
+}
+
+TEST(TrainTestDistance, ZeroForIdenticalSets) {
+  Dataset data = TwoByTwo(1.0, 5.0);
+  EXPECT_NEAR(TrainTestDistance(data, data), 0.0, 1e-12);
+}
+
+TEST(TrainTestDistance, CapturesMeanShift) {
+  Dataset train = TwoByTwo(0.0, 0.0);
+  Dataset test = TwoByTwo(3.0, 3.0);
+  // Mean series differ by 3 at each of 2 steps -> sqrt(9+9).
+  EXPECT_NEAR(TrainTestDistance(train, test), std::sqrt(18.0), 1e-12);
+}
+
+TEST(MissingProportion, CountsNaNs) {
+  Dataset train;
+  train.Add(TimeSeries::FromChannels({{1, std::nan("")}}), 0);
+  Dataset test;
+  test.Add(TimeSeries::FromChannels({{1, 2}}), 0);
+  EXPECT_NEAR(MissingProportion(train, test), 0.25, 1e-12);
+}
+
+TEST(ComputeProperties, FillsAllFields) {
+  Dataset train;
+  for (int i = 0; i < 6; ++i) {
+    train.Add(TimeSeries::FromChannels({{1.0 * i, 2.0}, {0.0, 1.0}}), i % 2);
+  }
+  train.Add(TimeSeries::FromChannels({{9, 9}, {9, 9}}), 2);
+  Dataset test = train;
+  const DatasetProperties props = ComputeProperties("toy", train, test);
+  EXPECT_EQ(props.name, "toy");
+  EXPECT_EQ(props.n_classes, 3);
+  EXPECT_EQ(props.train_size, 7);
+  EXPECT_EQ(props.dim, 2);
+  EXPECT_EQ(props.length, 2);
+  EXPECT_GT(props.var_train, 0.0);
+  EXPECT_DOUBLE_EQ(props.var_train, props.var_test);
+  EXPECT_GT(props.im_ratio, 0.0);
+  EXPECT_NEAR(props.d_train_test, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(props.prop_miss, 0.0);
+}
+
+}  // namespace
+}  // namespace tsaug::core

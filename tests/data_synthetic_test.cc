@@ -1,0 +1,180 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/stats.h"
+#include "data/uea_catalog.h"
+
+namespace tsaug::data {
+namespace {
+
+SyntheticSpec ToySpec() {
+  SyntheticSpec spec;
+  spec.num_classes = 3;
+  spec.train_counts = {12, 6, 4};
+  spec.test_counts = {6, 3, 2};
+  spec.num_channels = 2;
+  spec.length = 40;
+  spec.seed = 7;
+  return spec;
+}
+
+TEST(MakeSynthetic, ShapesMatchSpec) {
+  const TrainTest data = MakeSynthetic(ToySpec());
+  EXPECT_EQ(data.train.size(), 22);
+  EXPECT_EQ(data.test.size(), 11);
+  EXPECT_EQ(data.train.num_classes(), 3);
+  EXPECT_EQ(data.train.num_channels(), 2);
+  EXPECT_EQ(data.train.max_length(), 40);
+  EXPECT_EQ(data.train.ClassCounts(), (std::vector<int>{12, 6, 4}));
+}
+
+TEST(MakeSynthetic, DeterministicInSeed) {
+  const TrainTest a = MakeSynthetic(ToySpec());
+  const TrainTest b = MakeSynthetic(ToySpec());
+  EXPECT_EQ(a.train.series(0), b.train.series(0));
+  EXPECT_EQ(a.test.series(5), b.test.series(5));
+}
+
+TEST(MakeSynthetic, DifferentSeedsDiffer) {
+  SyntheticSpec other = ToySpec();
+  other.seed = 8;
+  const TrainTest a = MakeSynthetic(ToySpec());
+  const TrainTest b = MakeSynthetic(other);
+  EXPECT_NE(a.train.series(0), b.train.series(0));
+}
+
+TEST(MakeSynthetic, ClassesAreSeparable) {
+  // Instances should be closer (on average) to their own class mean than
+  // to other class means; otherwise the classification tables are noise.
+  SyntheticSpec spec = ToySpec();
+  spec.train_counts = {20, 20, 20};
+  spec.test_counts = {2, 2, 2};
+  spec.noise_level = 0.3;
+  const TrainTest data = MakeSynthetic(spec);
+
+  const auto by_class = data.train.IndicesByClass();
+  std::vector<std::vector<double>> means(3);
+  for (int k = 0; k < 3; ++k) {
+    means[k].assign(data.train.series(0).values().size(), 0.0);
+    for (int i : by_class[k]) {
+      const auto& values = data.train.series(i).values();
+      for (size_t d = 0; d < values.size(); ++d) {
+        means[k][d] += values[d] / by_class[k].size();
+      }
+    }
+  }
+  int own_closer = 0;
+  int total = 0;
+  for (int i = 0; i < data.train.size(); ++i) {
+    const auto& values = data.train.series(i).values();
+    double best = 1e300;
+    int best_class = -1;
+    for (int k = 0; k < 3; ++k) {
+      double dist = 0.0;
+      for (size_t d = 0; d < values.size(); ++d) {
+        const double diff = values[d] - means[k][d];
+        dist += diff * diff;
+      }
+      if (dist < best) {
+        best = dist;
+        best_class = k;
+      }
+    }
+    own_closer += best_class == data.train.label(i) ? 1 : 0;
+    ++total;
+  }
+  EXPECT_GT(static_cast<double>(own_closer) / total, 0.9);
+}
+
+TEST(MakeSynthetic, MissingProportionApproximatelyMet) {
+  SyntheticSpec spec = ToySpec();
+  spec.missing_prop = 0.3;
+  const TrainTest data = MakeSynthetic(spec);
+  const double measured =
+      core::MissingProportion(data.train, data.test);
+  EXPECT_NEAR(measured, 0.3, 0.08);
+}
+
+TEST(MakeSynthetic, DriftShiftsTestMean) {
+  SyntheticSpec spec = ToySpec();
+  spec.drift = 0.0;
+  const double base = core::TrainTestDistance(MakeSynthetic(spec).train,
+                                              MakeSynthetic(spec).test);
+  spec.drift = 2.0;
+  const TrainTest shifted = MakeSynthetic(spec);
+  EXPECT_GT(core::TrainTestDistance(shifted.train, shifted.test), base);
+}
+
+TEST(GeometricCounts, BalancedWhenRatioOne) {
+  EXPECT_EQ(GeometricCounts(30, 3, 1.0), (std::vector<int>{10, 10, 10}));
+}
+
+TEST(GeometricCounts, DecreasingAndBounded) {
+  const std::vector<int> counts = GeometricCounts(100, 4, 2.0);
+  int total = 0;
+  for (size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_LE(counts[k], counts[k - 1]);
+    EXPECT_GE(counts[k], 2);
+  }
+  for (int c : counts) total += c;
+  EXPECT_NEAR(total, 100, 4);
+}
+
+TEST(CountsForImbalanceDegree, HitsTargetApproximately) {
+  const std::vector<int> counts = CountsForImbalanceDegree(200, 4, 2.0);
+  EXPECT_NEAR(core::ImbalanceDegree(counts), 2.0, 0.35);
+}
+
+TEST(CountsForImbalanceDegree, ZeroTargetIsBalanced) {
+  const std::vector<int> counts = CountsForImbalanceDegree(40, 4, 0.0);
+  EXPECT_DOUBLE_EQ(core::ImbalanceDegree(counts), 0.0);
+}
+
+TEST(UeaCatalog, HasThirteenDatasets) {
+  EXPECT_EQ(UeaImbalancedCatalog().size(), 13u);
+}
+
+TEST(UeaCatalog, FindByName) {
+  const UeaDatasetInfo& info = FindUeaDataset("Heartbeat");
+  EXPECT_EQ(info.n_classes, 2);
+  EXPECT_EQ(info.dim, 61);
+  EXPECT_EQ(info.length, 405);
+}
+
+TEST(UeaCatalog, TinyScaleCapsGeometry) {
+  const TrainTest data = MakeUeaLikeDataset("PEMS-SF", ScalePreset::kTiny, 1);
+  EXPECT_LE(data.train.num_channels(), 4);
+  EXPECT_LE(data.train.max_length(), 32);
+  EXPECT_EQ(data.train.num_classes(), 7);
+  EXPECT_GE(data.train.size(), 3 * 7);
+}
+
+TEST(UeaCatalog, SmallScalePreservesImbalanceOrdering) {
+  // CharacterTrajectories (ID 13.06) must stay far more imbalanced than
+  // RacketSports (ID 1.06) after downscaling.
+  const TrainTest ct =
+      MakeUeaLikeDataset("CharacterTrajectories", ScalePreset::kSmall, 1);
+  const TrainTest rs =
+      MakeUeaLikeDataset("RacketSports", ScalePreset::kSmall, 1);
+  EXPECT_GT(core::ImbalanceDegree(ct.train), core::ImbalanceDegree(rs.train));
+}
+
+TEST(UeaCatalog, BalancedDatasetsStayBalanced) {
+  const TrainTest fm =
+      MakeUeaLikeDataset("FingerMovements", ScalePreset::kSmall, 3);
+  EXPECT_DOUBLE_EQ(core::ImbalanceDegree(fm.train), 0.0);
+}
+
+TEST(UeaCatalog, MissingPropagatesFromCatalog) {
+  const TrainTest sad =
+      MakeUeaLikeDataset("SpokenArabicDigits", ScalePreset::kTiny, 5);
+  EXPECT_GT(core::MissingProportion(sad.train, sad.test), 0.3);
+  const TrainTest ep = MakeUeaLikeDataset("Epilepsy", ScalePreset::kTiny, 5);
+  EXPECT_DOUBLE_EQ(core::MissingProportion(ep.train, ep.test), 0.0);
+}
+
+}  // namespace
+}  // namespace tsaug::data

@@ -1,0 +1,118 @@
+#include "data/ts_format.h"
+
+#include <cmath>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::data {
+namespace {
+
+constexpr char kSample[] = R"(# A toy UEA-style file
+@problemName Toy
+@timeStamps false
+@univariate false
+@classLabel true cat dog
+@data
+1.0,2.0,3.0:10,20,30:cat
+4.0,?,6.0:40,50,60:dog
+7,8,9:70,80,90:cat
+)";
+
+TEST(ReadTsFile, ParsesMultivariateCases) {
+  std::istringstream in(kSample);
+  core::Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(in, &dataset, &error)) << error;
+  ASSERT_EQ(dataset.size(), 3);
+  EXPECT_EQ(dataset.num_classes(), 2);
+  EXPECT_EQ(dataset.num_channels(), 2);
+  EXPECT_EQ(dataset.max_length(), 3);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(1, 2), 30.0);
+}
+
+TEST(ReadTsFile, VocabularyOrderDefinesLabels) {
+  std::istringstream in(kSample);
+  core::Dataset dataset;
+  ASSERT_TRUE(ReadTsFile(in, &dataset));
+  EXPECT_EQ(dataset.label(0), 0);  // cat
+  EXPECT_EQ(dataset.label(1), 1);  // dog
+  EXPECT_EQ(dataset.label(2), 0);
+}
+
+TEST(ReadTsFile, QuestionMarkBecomesNaN) {
+  std::istringstream in(kSample);
+  core::Dataset dataset;
+  ASSERT_TRUE(ReadTsFile(in, &dataset));
+  EXPECT_TRUE(std::isnan(dataset.series(1).at(0, 1)));
+}
+
+TEST(ReadTsFile, NoVocabularyUsesFirstSeenOrder) {
+  std::istringstream in("@data\n1,2:zebra\n3,4:ant\n5,6:zebra\n");
+  core::Dataset dataset;
+  ASSERT_TRUE(ReadTsFile(in, &dataset));
+  EXPECT_EQ(dataset.label(0), 0);
+  EXPECT_EQ(dataset.label(1), 1);
+  EXPECT_EQ(dataset.label(2), 0);
+}
+
+TEST(ReadTsFile, VariableLengthDimensionsPadded) {
+  std::istringstream in("@data\n1,2,3:9:x\n");
+  core::Dataset dataset;
+  ASSERT_TRUE(ReadTsFile(in, &dataset));
+  EXPECT_EQ(dataset.series(0).length(), 3);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(1, 0), 9.0);
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(1, 1)));
+}
+
+TEST(ReadTsFile, RejectsDataBeforeDirective) {
+  std::istringstream in("1,2:label\n");
+  core::Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(ReadTsFile(in, &dataset, &error));
+  EXPECT_NE(error.find("@data"), std::string::npos);
+}
+
+TEST(ReadTsFile, RejectsBadValues) {
+  std::istringstream in("@data\n1,banana:x\n");
+  core::Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(ReadTsFile(in, &dataset, &error));
+  EXPECT_NE(error.find("banana"), std::string::npos);
+}
+
+TEST(ReadTsFile, RejectsEmptyFile) {
+  std::istringstream in("@data\n");
+  core::Dataset dataset;
+  EXPECT_FALSE(ReadTsFile(in, &dataset));
+}
+
+TEST(WriteTsFile, RoundTripsThroughReader) {
+  core::Dataset original;
+  original.Add(core::TimeSeries::FromChannels({{1, 2}, {3, std::nan("")}}), 0);
+  original.Add(core::TimeSeries::FromChannels({{5, 6}, {7, 8}}), 1);
+
+  std::stringstream buffer;
+  WriteTsFile(original, "RoundTrip", buffer);
+  core::Dataset loaded;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(buffer, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 2);
+  EXPECT_EQ(loaded.label(0), 0);
+  EXPECT_EQ(loaded.label(1), 1);
+  EXPECT_DOUBLE_EQ(loaded.series(0).at(0, 1), 2.0);
+  EXPECT_TRUE(std::isnan(loaded.series(0).at(1, 1)));
+  EXPECT_DOUBLE_EQ(loaded.series(1).at(1, 0), 7.0);
+}
+
+TEST(LoadUeaProblem, MissingFilesReportError) {
+  core::Dataset train;
+  core::Dataset test;
+  std::string error;
+  EXPECT_FALSE(LoadUeaProblem("/nonexistent", "Nope", &train, &test, &error));
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsaug::data

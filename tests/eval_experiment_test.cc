@@ -1,0 +1,215 @@
+#include "eval/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "augment/noise.h"
+#include "augment/oversample.h"
+#include "eval/report.h"
+
+namespace tsaug::eval {
+namespace {
+
+data::TrainTest SmallData(std::uint64_t seed = 1) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.train_counts = {14, 6};
+  spec.test_counts = {6, 6};
+  spec.num_channels = 2;
+  spec.length = 24;
+  spec.class_separation = 1.4;
+  spec.seed = seed;
+  return data::MakeSynthetic(spec);
+}
+
+ExperimentConfig QuickConfig(ModelKind model) {
+  ExperimentConfig config;
+  config.model = model;
+  config.runs = 1;
+  config.rocket_kernels = 100;
+  config.inception.num_filters = 3;
+  config.inception.depth = 3;
+  config.inception.kernel_sizes = {4, 8};
+  config.inception.bottleneck_channels = 3;
+  config.inception.ensemble_size = 1;
+  config.inception.trainer.max_epochs = 8;
+  config.inception.trainer.early_stopping_patience = 4;
+  config.inception.trainer.learning_rate = 5e-3;
+  config.seed = 5;
+  return config;
+}
+
+TEST(RelativeGain, MatchesEqThree) {
+  EXPECT_NEAR(RelativeGain(0.9, 0.8), 0.125, 1e-12);
+  EXPECT_NEAR(RelativeGain(0.7, 0.8), -0.125, 1e-12);
+  EXPECT_DOUBLE_EQ(RelativeGain(0.8, 0.8), 0.0);
+}
+
+TEST(DatasetRow, BestAndImprovement) {
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.80;
+  row.cells = {{"a", 0.84}, {"b", 0.78}, {"c", 0.82}};
+  EXPECT_DOUBLE_EQ(row.BestAugmentedAccuracy(), 0.84);
+  EXPECT_EQ(row.BestTechnique(), "a");
+  EXPECT_NEAR(row.ImprovementPercent(), 5.0, 1e-9);
+}
+
+TEST(StudyResult, AverageImprovementAndCounts) {
+  StudyResult study;
+  DatasetRow improved;
+  improved.dataset = "x";
+  improved.baseline_accuracy = 0.5;
+  improved.cells = {{"noise_1.0", 0.55}, {"noise_3.0", 0.45},
+                    {"smote", 0.6}, {"timegan", 0.4}};
+  DatasetRow degraded;
+  degraded.dataset = "y";
+  degraded.baseline_accuracy = 0.8;
+  degraded.cells = {{"noise_1.0", 0.7}, {"noise_3.0", 0.7},
+                    {"smote", 0.7}, {"timegan", 0.85}};
+  study.rows = {improved, degraded};
+
+  // Improvements: x -> (0.6-0.5)/0.5 = 20%, y -> (0.85-0.8)/0.8 = 6.25%.
+  EXPECT_NEAR(study.AverageImprovement(), (20.0 + 6.25) / 2.0, 1e-9);
+
+  const auto counts = study.ImprovementCounts();
+  EXPECT_EQ(counts.at("noise"), 1);    // only x (0.55 > 0.5)
+  EXPECT_EQ(counts.at("smote"), 1);    // only x
+  EXPECT_EQ(counts.at("timegan"), 1);  // only y
+}
+
+TEST(RunDatasetGrid, RocketGridProducesSaneAccuracies) {
+  const data::TrainTest data = SmallData();
+  std::vector<std::shared_ptr<augment::Augmenter>> techniques = {
+      std::make_shared<augment::NoiseInjection>(1.0),
+      std::make_shared<augment::Smote>(),
+  };
+  const DatasetRow row =
+      RunDatasetGrid("toy", data, techniques, QuickConfig(ModelKind::kRocket));
+  EXPECT_EQ(row.dataset, "toy");
+  EXPECT_GT(row.baseline_accuracy, 0.5);
+  ASSERT_EQ(row.cells.size(), 2u);
+  for (const CellResult& cell : row.cells) {
+    EXPECT_GT(cell.accuracy, 0.4);
+    EXPECT_LE(cell.accuracy, 1.0);
+  }
+}
+
+TEST(RunDatasetGrid, InceptionGridRuns) {
+  const data::TrainTest data = SmallData(2);
+  std::vector<std::shared_ptr<augment::Augmenter>> techniques = {
+      std::make_shared<augment::Smote>(),
+  };
+  const DatasetRow row = RunDatasetGrid(
+      "toy", data, techniques, QuickConfig(ModelKind::kInceptionTime));
+  EXPECT_GT(row.baseline_accuracy, 0.3);
+  EXPECT_GT(row.cells[0].accuracy, 0.3);
+}
+
+TEST(RunDatasetGrid, DeterministicAcrossCalls) {
+  const data::TrainTest data = SmallData(3);
+  std::vector<std::shared_ptr<augment::Augmenter>> techniques = {
+      std::make_shared<augment::NoiseInjection>(1.0),
+  };
+  const ExperimentConfig config = QuickConfig(ModelKind::kRocket);
+  const DatasetRow a = RunDatasetGrid("toy", data, techniques, config);
+  const DatasetRow b = RunDatasetGrid("toy", data, techniques, config);
+  EXPECT_DOUBLE_EQ(a.baseline_accuracy, b.baseline_accuracy);
+  EXPECT_DOUBLE_EQ(a.cells[0].accuracy, b.cells[0].accuracy);
+}
+
+TEST(Report, AccuracyTablePrintsAllRows) {
+  StudyResult study;
+  study.model = ModelKind::kRocket;
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.9;
+  row.cells = {{"noise_1.0", 0.91}, {"smote", 0.89}};
+  study.rows = {row};
+
+  std::ostringstream out;
+  PrintAccuracyTable(study, out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("toy"), std::string::npos);
+  EXPECT_NE(text.find("ROCKET_noise_1.0"), std::string::npos);
+  EXPECT_NE(text.find("90.00"), std::string::npos);
+  EXPECT_NE(text.find("Average Improvement"), std::string::npos);
+}
+
+TEST(Report, PropertiesTableMatchesTableThreeLayout) {
+  core::DatasetProperties props;
+  props.name = "Heartbeat";
+  props.n_classes = 2;
+  props.train_size = 204;
+  props.dim = 61;
+  props.length = 405;
+  props.im_ratio = 0.3;
+  std::ostringstream out;
+  PrintPropertiesTable({props}, out);
+  EXPECT_NE(out.str().find("Im_ratio"), std::string::npos);
+  EXPECT_NE(out.str().find("Heartbeat"), std::string::npos);
+}
+
+TEST(Report, ImprovementCountsTable) {
+  StudyResult rocket;
+  rocket.model = ModelKind::kRocket;
+  DatasetRow row;
+  row.dataset = "d";
+  row.baseline_accuracy = 0.5;
+  row.cells = {{"noise_1.0", 0.6}, {"smote", 0.4}, {"timegan", 0.55}};
+  rocket.rows = {row};
+  StudyResult inception = rocket;
+  inception.model = ModelKind::kInceptionTime;
+
+  std::ostringstream out;
+  PrintImprovementCounts(rocket, inception, out);
+  EXPECT_NE(out.str().find("smote"), std::string::npos);
+  EXPECT_NE(out.str().find("timegan"), std::string::npos);
+  EXPECT_NE(out.str().find("noise"), std::string::npos);
+}
+
+TEST(BenchSettings, DefaultsAreTiny) {
+  // Clear the knobs to test defaults (restore afterwards not needed in the
+  // test binary).
+  unsetenv("TSAUG_SCALE");
+  unsetenv("TSAUG_RUNS");
+  unsetenv("TSAUG_KERNELS");
+  const BenchSettings settings = ReadBenchSettings();
+  EXPECT_EQ(settings.scale, data::ScalePreset::kTiny);
+  EXPECT_EQ(settings.runs, 2);
+  EXPECT_EQ(settings.rocket_kernels, 500);
+  EXPECT_TRUE(settings.datasets.empty());
+}
+
+TEST(BenchSettings, EnvOverrides) {
+  setenv("TSAUG_SCALE", "paper", 1);
+  setenv("TSAUG_RUNS", "3", 1);
+  setenv("TSAUG_DATASETS", "Heartbeat,LSST", 1);
+  const BenchSettings settings = ReadBenchSettings();
+  EXPECT_EQ(settings.scale, data::ScalePreset::kPaper);
+  EXPECT_EQ(settings.runs, 3);
+  EXPECT_EQ(settings.rocket_kernels, 10000);
+  ASSERT_EQ(settings.datasets.size(), 2u);
+  EXPECT_EQ(settings.datasets[0], "Heartbeat");
+  unsetenv("TSAUG_SCALE");
+  unsetenv("TSAUG_RUNS");
+  unsetenv("TSAUG_DATASETS");
+}
+
+TEST(MakeExperimentConfig, PaperScaleKeepsPaperArchitecture) {
+  BenchSettings settings;
+  settings.scale = data::ScalePreset::kPaper;
+  settings.inception_epochs = 200;
+  const ExperimentConfig config =
+      MakeExperimentConfig(settings, ModelKind::kInceptionTime);
+  EXPECT_EQ(config.inception.num_filters, 32);
+  EXPECT_EQ(config.inception.depth, 6);
+  EXPECT_EQ(config.inception.ensemble_size, 5);
+  EXPECT_EQ(config.inception.trainer.max_epochs, 200);
+  // Paper: LR finder enabled (learning_rate == 0 sentinel).
+  EXPECT_DOUBLE_EQ(config.inception.trainer.learning_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace tsaug::eval

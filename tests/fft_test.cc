@@ -1,0 +1,132 @@
+#include "fft/fft.h"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+
+namespace tsaug::fft {
+namespace {
+
+TEST(Fft, ImpulseHasFlatSpectrum) {
+  std::vector<Complex> data(8, Complex(0, 0));
+  data[0] = Complex(1, 0);
+  Fft(data);
+  for (const Complex& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SinglePureToneConcentratesEnergy) {
+  const int n = 32;
+  const int freq = 5;
+  std::vector<Complex> data(n);
+  for (int t = 0; t < n; ++t) {
+    data[t] = Complex(std::cos(2.0 * std::numbers::pi * freq * t / n), 0.0);
+  }
+  Fft(data);
+  // Energy only at bins freq and n-freq, each amplitude n/2.
+  for (int k = 0; k < n; ++k) {
+    const double mag = std::abs(data[k]);
+    if (k == freq || k == n - freq) {
+      EXPECT_NEAR(mag, n / 2.0, 1e-9);
+    } else {
+      EXPECT_NEAR(mag, 0.0, 1e-9);
+    }
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(FftRoundTrip, InverseRecoversSignal) {
+  const int n = GetParam();
+  core::Rng rng(n);
+  std::vector<Complex> data(n);
+  std::vector<Complex> original(n);
+  for (int i = 0; i < n; ++i) {
+    data[i] = Complex(rng.Normal(), rng.Normal());
+    original[i] = data[i];
+  }
+  Fft(data, /*inverse=*/false);
+  Fft(data, /*inverse=*/true);
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9) << "n=" << n;
+  }
+}
+
+// Powers of two exercise radix-2; the rest exercise Bluestein, including
+// primes and the paper datasets' odd lengths.
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(1, 2, 4, 8, 64, 256, 3, 5, 7, 12,
+                                           30, 93, 144, 182, 405));
+
+TEST(Fft, MatchesNaiveDftOnArbitraryLength) {
+  const int n = 11;
+  core::Rng rng(42);
+  std::vector<Complex> data(n);
+  for (int i = 0; i < n; ++i) data[i] = Complex(rng.Normal(), 0.0);
+  std::vector<Complex> naive(n, Complex(0, 0));
+  for (int k = 0; k < n; ++k) {
+    for (int t = 0; t < n; ++t) {
+      const double angle = -2.0 * std::numbers::pi * k * t / n;
+      naive[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+    }
+  }
+  Fft(data);
+  for (int k = 0; k < n; ++k) {
+    EXPECT_NEAR(data[k].real(), naive[k].real(), 1e-9);
+    EXPECT_NEAR(data[k].imag(), naive[k].imag(), 1e-9);
+  }
+}
+
+TEST(RealFft, RoundTripsThroughInverse) {
+  core::Rng rng(9);
+  std::vector<double> signal(37);
+  for (double& v : signal) v = rng.Normal();
+  const auto spectrum = RealFft(signal);
+  const auto back = InverseRealFft(spectrum);
+  ASSERT_EQ(back.size(), signal.size());
+  for (size_t i = 0; i < signal.size(); ++i) {
+    EXPECT_NEAR(back[i], signal[i], 1e-9);
+  }
+}
+
+TEST(RealFft, SpectrumConjugateSymmetric) {
+  core::Rng rng(10);
+  std::vector<double> signal(16);
+  for (double& v : signal) v = rng.Normal();
+  const auto spectrum = RealFft(signal);
+  for (size_t k = 1; k < signal.size(); ++k) {
+    EXPECT_NEAR(spectrum[k].real(), spectrum[signal.size() - k].real(), 1e-9);
+    EXPECT_NEAR(spectrum[k].imag(), -spectrum[signal.size() - k].imag(), 1e-9);
+  }
+}
+
+TEST(Stft, FrameCountCoversSignal) {
+  std::vector<double> signal(100, 1.0);
+  const auto frames = Stft(signal, /*window_size=*/16, /*hop=*/8);
+  EXPECT_GE(static_cast<int>(frames.size()) * 8, 100 - 16);
+  for (const auto& frame : frames) EXPECT_EQ(frame.size(), 16u);
+}
+
+TEST(Stft, InverseStftReconstructsInterior) {
+  core::Rng rng(11);
+  std::vector<double> signal(128);
+  for (double& v : signal) v = rng.Normal();
+  const int window = 32;
+  const int hop = 8;
+  const auto frames = Stft(signal, window, hop);
+  const auto back = InverseStft(frames, window, hop, 128);
+  ASSERT_EQ(back.size(), signal.size());
+  // Edges are attenuated by the window; check the interior.
+  for (int t = window; t < 128 - window; ++t) {
+    EXPECT_NEAR(back[t], signal[t], 1e-6) << "t=" << t;
+  }
+}
+
+}  // namespace
+}  // namespace tsaug::fft

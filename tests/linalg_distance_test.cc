@@ -1,0 +1,116 @@
+#include "linalg/distance.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/knn.h"
+
+namespace tsaug::linalg {
+namespace {
+
+using core::TimeSeries;
+
+TEST(EuclideanDistance, Vectors) {
+  const std::vector<double> a = {0.0, 0.0};
+  const std::vector<double> b = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(EuclideanDistance, MultivariateSeries) {
+  TimeSeries a = TimeSeries::FromChannels({{0, 0}, {0, 0}});
+  TimeSeries b = TimeSeries::FromChannels({{1, 1}, {1, 1}});
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 2.0);
+}
+
+TEST(EuclideanDistance, ResamplesDifferentLengths) {
+  TimeSeries a = TimeSeries::FromValues({0, 1, 2, 3});
+  TimeSeries b = TimeSeries::FromValues({0, 3});  // resampled -> {0,1,2,3}
+  EXPECT_NEAR(EuclideanDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(DtwDistance, EqualSeriesIsZero) {
+  TimeSeries a = TimeSeries::FromValues({1, 2, 3, 2, 1});
+  EXPECT_DOUBLE_EQ(DtwDistance(a, a), 0.0);
+}
+
+TEST(DtwDistance, AtMostEuclideanForEqualLength) {
+  TimeSeries a = TimeSeries::FromValues({0, 1, 2, 3, 4});
+  TimeSeries b = TimeSeries::FromValues({0, 2, 2, 2, 4});
+  EXPECT_LE(DtwDistance(a, b), EuclideanDistance(a, b) + 1e-12);
+}
+
+TEST(DtwDistance, InvariantToSmallShift) {
+  // A shifted bump is far in Euclidean terms but near-zero for DTW.
+  std::vector<double> base(20, 0.0);
+  std::vector<double> shifted(20, 0.0);
+  for (int i = 5; i < 10; ++i) base[i] = 1.0;
+  for (int i = 7; i < 12; ++i) shifted[i] = 1.0;
+  TimeSeries a = TimeSeries::FromValues(base);
+  TimeSeries b = TimeSeries::FromValues(shifted);
+  EXPECT_LT(DtwDistance(a, b), 0.25 * EuclideanDistance(a, b));
+}
+
+TEST(DtwDistance, BandConstraintIncreasesCost) {
+  std::vector<double> base(16, 0.0);
+  std::vector<double> shifted(16, 0.0);
+  for (int i = 2; i < 6; ++i) base[i] = 1.0;
+  for (int i = 8; i < 12; ++i) shifted[i] = 1.0;
+  TimeSeries a = TimeSeries::FromValues(base);
+  TimeSeries b = TimeSeries::FromValues(shifted);
+  EXPECT_LE(DtwDistance(a, b, /*window=*/-1), DtwDistance(a, b, /*window=*/1));
+}
+
+TEST(DtwPath, StartsAndEndsAtCorners) {
+  TimeSeries a = TimeSeries::FromValues({0, 1, 2});
+  TimeSeries b = TimeSeries::FromValues({0, 2});
+  const auto path = DtwPath(a, b);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<int, int>{2, 1}));
+  // Monotone non-decreasing steps.
+  for (size_t i = 1; i < path.size(); ++i) {
+    EXPECT_GE(path[i].first, path[i - 1].first);
+    EXPECT_GE(path[i].second, path[i - 1].second);
+    EXPECT_LE(path[i].first - path[i - 1].first, 1);
+    EXPECT_LE(path[i].second - path[i - 1].second, 1);
+  }
+}
+
+TEST(KNearestNeighbors, FindsClosestPoints) {
+  std::vector<std::vector<double>> points = {
+      {0, 0}, {1, 0}, {5, 5}, {0.5, 0.1}};
+  const auto nn = KNearestNeighbors(points, {0, 0}, 2, /*exclude=*/0);
+  ASSERT_EQ(nn.size(), 2u);
+  EXPECT_EQ(nn[0], 3);
+  EXPECT_EQ(nn[1], 1);
+}
+
+TEST(KNearestNeighbors, KLargerThanPool) {
+  std::vector<std::vector<double>> points = {{0}, {1}};
+  const auto nn = KNearestNeighbors(points, {0}, 10, /*exclude=*/0);
+  EXPECT_EQ(nn.size(), 1u);
+}
+
+TEST(PairwiseDistances, SymmetricZeroDiagonal) {
+  std::vector<std::vector<double>> points = {{0, 0}, {3, 4}, {6, 8}};
+  const auto d = PairwiseDistances(points);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 0], 0.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 1], 5.0);
+  EXPECT_DOUBLE_EQ(d[1 * 3 + 0], 5.0);
+  EXPECT_DOUBLE_EQ(d[0 * 3 + 2], 10.0);
+}
+
+TEST(SharedNearestNeighborSimilarity, ClusterMembersShareNeighbors) {
+  // Two tight clusters of 3; within-cluster SNN counts exceed cross-cluster.
+  std::vector<std::vector<double>> points = {{0, 0},   {0.1, 0}, {0, 0.1},
+                                             {10, 10}, {10.1, 10}, {10, 10.1}};
+  const auto snn = SharedNearestNeighborSimilarity(points, 2);
+  const int n = 6;
+  EXPECT_GT(snn[0 * n + 1], snn[0 * n + 3]);
+  EXPECT_EQ(snn[0 * n + 3], 0);
+  EXPECT_EQ(snn[1 * n + 0], snn[0 * n + 1]);
+}
+
+}  // namespace
+}  // namespace tsaug::linalg

@@ -1,0 +1,92 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace tsaug::linalg {
+namespace {
+
+TEST(Matrix, IdentityDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(id(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, FromRowsAndAccess) {
+  Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6.0);
+  EXPECT_EQ(m.Row(0), (std::vector<double>{1, 2, 3}));
+  EXPECT_EQ(m.Col(1), (std::vector<double>{2, 5}));
+}
+
+TEST(Matrix, TransposedInvolution) {
+  Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_DOUBLE_EQ(t(0, 2), 5.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatMul, KnownProduct) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatMul, TransposeVariantsAgreeWithExplicitTranspose) {
+  Matrix a = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  Matrix b = Matrix::FromRows({{1, 0}, {2, 1}, {0, 3}});
+  EXPECT_EQ(MatMulTransposeA(a, MatMul(a, b)),
+            MatMul(a.Transposed(), MatMul(a, b)));
+  EXPECT_EQ(MatMulTransposeB(a, b.Transposed()), MatMul(a, b));
+}
+
+TEST(MatVec, MatchesMatMul) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  std::vector<double> x = {1, -1};
+  EXPECT_EQ(MatVec(a, x), (std::vector<double>{-1, -1, -1}));
+}
+
+TEST(Matrix, ArithmeticHelpers) {
+  Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  Matrix b = Matrix::FromRows({{4, 3}, {2, 1}});
+  EXPECT_EQ(Add(a, b), Matrix::FromRows({{5, 5}, {5, 5}}));
+  EXPECT_EQ(Sub(a, b), Matrix::FromRows({{-3, -1}, {1, 3}}));
+  EXPECT_EQ(Scale(a, 2.0), Matrix::FromRows({{2, 4}, {6, 8}}));
+  Matrix c = a;
+  AddDiagonal(c, 10.0);
+  EXPECT_DOUBLE_EQ(c(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 14.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 2.0);
+}
+
+TEST(Matrix, ColMeansAndCentering) {
+  Matrix m = Matrix::FromRows({{1, 10}, {3, 30}});
+  const std::vector<double> means = m.ColMeans();
+  EXPECT_EQ(means, (std::vector<double>{2, 20}));
+  m.CenterColumns(means);
+  EXPECT_EQ(m, Matrix::FromRows({{-1, -10}, {1, 10}}));
+}
+
+TEST(Matrix, DotAndNorm) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2, 3}, {4, 5, 6}), 32.0);
+  EXPECT_DOUBLE_EQ(Norm({3, 4}), 5.0);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  Matrix b = Matrix::FromRows({{1.5, 1}});
+  EXPECT_DOUBLE_EQ(MaxAbsDiff(a, b), 1.0);
+}
+
+}  // namespace
+}  // namespace tsaug::linalg

@@ -1,0 +1,88 @@
+#include "nn/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/ops.h"
+
+namespace tsaug::nn {
+namespace {
+
+TEST(Variable, LeafHasNoBackwardFn) {
+  Variable v(Tensor::Scalar(2.0), /*requires_grad=*/true);
+  EXPECT_TRUE(v.requires_grad());
+  EXPECT_EQ(v.node()->parents.size(), 0u);
+}
+
+TEST(Variable, BackwardSeedsScalarWithOne) {
+  Variable v(Tensor::Scalar(5.0), /*requires_grad=*/true);
+  Variable doubled = ScaleBy(v, 2.0);
+  doubled.Backward();
+  EXPECT_DOUBLE_EQ(v.grad()[0], 2.0);
+}
+
+TEST(Variable, GradientsAccumulateAcrossUses) {
+  // y = x*x via Mul shares the same node twice: dy/dx = 2x.
+  Variable x(Tensor::Scalar(3.0), /*requires_grad=*/true);
+  Variable y = Mul(x, x);
+  y.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 6.0);
+}
+
+TEST(Variable, ChainThroughMultipleOps) {
+  // loss = mean(2 * x + 1) over 4 entries -> dloss/dx_i = 0.5.
+  Variable x(Tensor({2, 2}, 1.0), /*requires_grad=*/true);
+  Variable loss = Mean(AddConst(ScaleBy(x, 2.0), 1.0));
+  EXPECT_DOUBLE_EQ(loss.value().scalar(), 3.0);
+  loss.Backward();
+  for (size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(x.grad()[i], 0.5);
+}
+
+TEST(Variable, NoGradThroughConstantLeaves) {
+  Variable constant(Tensor::Scalar(4.0), /*requires_grad=*/false);
+  Variable param(Tensor::Scalar(2.0), /*requires_grad=*/true);
+  Variable loss = Mul(constant, param);
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(param.grad()[0], 4.0);
+  // The constant's grad buffer may exist but must not require grad.
+  EXPECT_FALSE(constant.requires_grad());
+}
+
+TEST(Variable, ZeroGradClears) {
+  Variable x(Tensor::Scalar(1.0), /*requires_grad=*/true);
+  Variable loss = ScaleBy(x, 3.0);
+  loss.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 3.0);
+  x.ZeroGrad();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 0.0);
+}
+
+TEST(Variable, RepeatedBackwardAccumulates) {
+  Variable x(Tensor::Scalar(1.0), /*requires_grad=*/true);
+  Variable loss = ScaleBy(x, 3.0);
+  loss.Backward();
+  Variable loss2 = ScaleBy(x, 3.0);
+  loss2.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 6.0);
+}
+
+TEST(Variable, DeepChainDoesNotOverflowStack) {
+  // BPTT-like depth: 20000 chained ops must not recurse.
+  Variable x(Tensor::Scalar(1.0), /*requires_grad=*/true);
+  Variable y = x;
+  for (int i = 0; i < 20000; ++i) y = AddConst(y, 0.0);
+  y.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 1.0);
+}
+
+TEST(Variable, DiamondGraphCountsBothPaths) {
+  // z = x + x (through two distinct scaled branches): dz/dx = 5.
+  Variable x(Tensor::Scalar(1.0), /*requires_grad=*/true);
+  Variable a = ScaleBy(x, 2.0);
+  Variable b = ScaleBy(x, 3.0);
+  Variable z = Add(a, b);
+  z.Backward();
+  EXPECT_DOUBLE_EQ(x.grad()[0], 5.0);
+}
+
+}  // namespace
+}  // namespace tsaug::nn

@@ -1,0 +1,137 @@
+#include "nn/trainer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::nn {
+namespace {
+
+/// Minimal logistic-regression-style net over [n, 1, T]: GAP + Linear.
+class TinyNet : public SequenceClassifierNet {
+ public:
+  TinyNet(int channels, int classes, core::Rng& rng)
+      : linear_(channels, classes, rng), classes_(classes) {}
+
+  Variable Forward(const Variable& batch) override {
+    return linear_.Forward(GlobalAvgPool(batch));
+  }
+  int num_classes() const override { return classes_; }
+  std::vector<Module*> Children() override { return {&linear_}; }
+
+ private:
+  Linear linear_;
+  int classes_;
+};
+
+// Class k has channel mean ~= 2k.
+void MakeData(int n, Tensor* x, std::vector<int>* y, std::uint64_t seed) {
+  core::Rng rng(seed);
+  *x = Tensor({n, 1, 8});
+  y->resize(n);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    (*y)[i] = label;
+    for (int t = 0; t < 8; ++t) {
+      x->at(i, 0, t) = 2.0 * label + rng.Normal(0, 0.3);
+    }
+  }
+}
+
+TEST(GatherBatch, CopiesRequestedRows) {
+  Tensor x({3, 2, 2});
+  for (size_t i = 0; i < x.numel(); ++i) x[i] = static_cast<double>(i);
+  const Tensor batch = GatherBatch(x, {2, 0});
+  EXPECT_EQ(batch.shape(), (std::vector<int>{2, 2, 2}));
+  EXPECT_DOUBLE_EQ(batch.at(0, 0, 0), x.at(2, 0, 0));
+  EXPECT_DOUBLE_EQ(batch.at(1, 1, 1), x.at(0, 1, 1));
+}
+
+TEST(TrainClassifier, LearnsLinearlySeparableTask) {
+  Tensor x_train;
+  std::vector<int> y_train;
+  MakeData(40, &x_train, &y_train, 1);
+  Tensor x_val;
+  std::vector<int> y_val;
+  MakeData(16, &x_val, &y_val, 2);
+
+  core::Rng rng(3);
+  TinyNet net(1, 2, rng);
+  TrainerConfig config;
+  config.max_epochs = 60;
+  config.early_stopping_patience = 60;
+  config.learning_rate = 0.05;
+  config.batch_size = 8;
+  const TrainResult result =
+      TrainClassifier(net, x_train, y_train, x_val, y_val, config, rng);
+  EXPECT_GE(result.best_val_accuracy, 0.9);
+  EXPECT_EQ(static_cast<int>(result.epoch_train_losses.size()),
+            result.epochs_run);
+  // Loss decreased overall.
+  EXPECT_LT(result.epoch_train_losses.back(),
+            result.epoch_train_losses.front());
+}
+
+TEST(TrainClassifier, EarlyStoppingLimitsEpochs) {
+  Tensor x_train;
+  std::vector<int> y_train;
+  MakeData(20, &x_train, &y_train, 4);
+  // Validation labels are pure noise: accuracy cannot improve steadily.
+  Tensor x_val;
+  std::vector<int> y_val;
+  MakeData(10, &x_val, &y_val, 5);
+  core::Rng label_rng(6);
+  for (int& label : y_val) label = label_rng.Int(0, 1);
+
+  core::Rng rng(7);
+  TinyNet net(1, 2, rng);
+  TrainerConfig config;
+  config.max_epochs = 200;
+  config.early_stopping_patience = 5;
+  config.learning_rate = 0.05;
+  const TrainResult result =
+      TrainClassifier(net, x_train, y_train, x_val, y_val, config, rng);
+  EXPECT_LT(result.epochs_run, 200);
+}
+
+TEST(EvaluateLoss, MatchesDirectCrossEntropy) {
+  core::Rng rng(8);
+  TinyNet net(1, 2, rng);
+  Tensor x;
+  std::vector<int> y;
+  MakeData(12, &x, &y, 9);
+  const double loss = EvaluateLoss(net, x, y, /*batch_size=*/5);
+  // Compare against one full-batch forward.
+  std::vector<int> all(12);
+  for (int i = 0; i < 12; ++i) all[i] = i;
+  const Variable logits = net.Forward(Variable(GatherBatch(x, all)));
+  const double direct = SoftmaxCrossEntropy(logits, y).value().scalar();
+  EXPECT_NEAR(loss, direct, 1e-9);
+}
+
+TEST(EvaluateAccuracy, PerfectAndChanceBounds) {
+  core::Rng rng(10);
+  TinyNet net(1, 2, rng);
+  Tensor x;
+  std::vector<int> y;
+  MakeData(10, &x, &y, 11);
+  const double accuracy = EvaluateAccuracy(net, x, y);
+  EXPECT_GE(accuracy, 0.0);
+  EXPECT_LE(accuracy, 1.0);
+}
+
+TEST(PredictLabels, BatchBoundaryExact) {
+  // n not divisible by batch size: every instance still predicted.
+  core::Rng rng(12);
+  TinyNet net(1, 3, rng);
+  Tensor x({7, 1, 8}, 0.5);
+  const std::vector<int> predictions = PredictLabels(net, x, /*batch_size=*/3);
+  EXPECT_EQ(predictions.size(), 7u);
+  for (int p : predictions) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 3);
+  }
+}
+
+}  // namespace
+}  // namespace tsaug::nn
