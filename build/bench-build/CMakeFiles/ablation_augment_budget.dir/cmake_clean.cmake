@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_augment_budget"
+  "../bench/ablation_augment_budget.pdb"
+  "CMakeFiles/ablation_augment_budget.dir/ablation_augment_budget.cc.o"
+  "CMakeFiles/ablation_augment_budget.dir/ablation_augment_budget.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_augment_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_classifiers"
+  "../bench/ablation_classifiers.pdb"
+  "CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cc.o"
+  "CMakeFiles/ablation_classifiers.dir/ablation_classifiers.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_noise_level"
+  "../bench/ablation_noise_level.pdb"
+  "CMakeFiles/ablation_noise_level.dir/ablation_noise_level.cc.o"
+  "CMakeFiles/ablation_noise_level.dir/ablation_noise_level.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_noise_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

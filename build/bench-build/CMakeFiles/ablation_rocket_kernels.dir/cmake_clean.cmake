@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rocket_kernels"
+  "../bench/ablation_rocket_kernels.pdb"
+  "CMakeFiles/ablation_rocket_kernels.dir/ablation_rocket_kernels.cc.o"
+  "CMakeFiles/ablation_rocket_kernels.dir/ablation_rocket_kernels.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rocket_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

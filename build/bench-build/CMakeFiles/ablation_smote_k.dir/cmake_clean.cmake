@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_smote_k"
+  "../bench/ablation_smote_k.pdb"
+  "CMakeFiles/ablation_smote_k.dir/ablation_smote_k.cc.o"
+  "CMakeFiles/ablation_smote_k.dir/ablation_smote_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_smote_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/analysis_gain_vs_properties"
+  "../bench/analysis_gain_vs_properties.pdb"
+  "CMakeFiles/analysis_gain_vs_properties.dir/analysis_gain_vs_properties.cc.o"
+  "CMakeFiles/analysis_gain_vs_properties.dir/analysis_gain_vs_properties.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_gain_vs_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for analysis_gain_vs_properties.
+# This may be replaced when dependencies are built.

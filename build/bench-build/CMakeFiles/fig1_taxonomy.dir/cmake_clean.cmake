@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_taxonomy"
+  "../bench/fig1_taxonomy.pdb"
+  "CMakeFiles/fig1_taxonomy.dir/fig1_taxonomy.cc.o"
+  "CMakeFiles/fig1_taxonomy.dir/fig1_taxonomy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

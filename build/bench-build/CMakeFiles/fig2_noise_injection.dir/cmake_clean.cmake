@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_noise_injection"
+  "../bench/fig2_noise_injection.pdb"
+  "CMakeFiles/fig2_noise_injection.dir/fig2_noise_injection.cc.o"
+  "CMakeFiles/fig2_noise_injection.dir/fig2_noise_injection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_noise_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

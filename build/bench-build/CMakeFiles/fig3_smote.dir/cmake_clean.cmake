@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_smote"
+  "../bench/fig3_smote.pdb"
+  "CMakeFiles/fig3_smote.dir/fig3_smote.cc.o"
+  "CMakeFiles/fig3_smote.dir/fig3_smote.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_smote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

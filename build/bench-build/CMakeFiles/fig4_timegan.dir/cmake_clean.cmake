@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_timegan"
+  "../bench/fig4_timegan.pdb"
+  "CMakeFiles/fig4_timegan.dir/fig4_timegan.cc.o"
+  "CMakeFiles/fig4_timegan.dir/fig4_timegan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_timegan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_label_preserving"
+  "../bench/fig5_label_preserving.pdb"
+  "CMakeFiles/fig5_label_preserving.dir/fig5_label_preserving.cc.o"
+  "CMakeFiles/fig5_label_preserving.dir/fig5_label_preserving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_label_preserving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

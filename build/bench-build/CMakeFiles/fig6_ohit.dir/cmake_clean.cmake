@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_ohit"
+  "../bench/fig6_ohit.pdb"
+  "CMakeFiles/fig6_ohit.dir/fig6_ohit.cc.o"
+  "CMakeFiles/fig6_ohit.dir/fig6_ohit.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_ohit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

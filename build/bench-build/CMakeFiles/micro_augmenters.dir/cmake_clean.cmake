@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_augmenters"
+  "../bench/micro_augmenters.pdb"
+  "CMakeFiles/micro_augmenters.dir/micro_augmenters.cc.o"
+  "CMakeFiles/micro_augmenters.dir/micro_augmenters.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_augmenters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

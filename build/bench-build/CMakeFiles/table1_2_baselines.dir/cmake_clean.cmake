@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_2_baselines"
+  "../bench/table1_2_baselines.pdb"
+  "CMakeFiles/table1_2_baselines.dir/table1_2_baselines.cc.o"
+  "CMakeFiles/table1_2_baselines.dir/table1_2_baselines.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_2_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table3_dataset_properties"
+  "../bench/table3_dataset_properties.pdb"
+  "CMakeFiles/table3_dataset_properties.dir/table3_dataset_properties.cc.o"
+  "CMakeFiles/table3_dataset_properties.dir/table3_dataset_properties.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_dataset_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table4_rocket"
+  "../bench/table4_rocket.pdb"
+  "CMakeFiles/table4_rocket.dir/table4_rocket.cc.o"
+  "CMakeFiles/table4_rocket.dir/table4_rocket.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_rocket.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_inceptiontime"
+  "../bench/table5_inceptiontime.pdb"
+  "CMakeFiles/table5_inceptiontime.dir/table5_inceptiontime.cc.o"
+  "CMakeFiles/table5_inceptiontime.dir/table5_inceptiontime.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_inceptiontime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

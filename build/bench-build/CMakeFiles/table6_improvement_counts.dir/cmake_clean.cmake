@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_improvement_counts"
+  "../bench/table6_improvement_counts.pdb"
+  "CMakeFiles/table6_improvement_counts.dir/table6_improvement_counts.cc.o"
+  "CMakeFiles/table6_improvement_counts.dir/table6_improvement_counts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_improvement_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augmentation_gallery.dir/augmentation_gallery.cpp.o"
+  "CMakeFiles/augmentation_gallery.dir/augmentation_gallery.cpp.o.d"
+  "augmentation_gallery"
+  "augmentation_gallery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augmentation_gallery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

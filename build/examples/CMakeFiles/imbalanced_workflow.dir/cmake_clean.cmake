@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/imbalanced_workflow.dir/imbalanced_workflow.cpp.o"
+  "CMakeFiles/imbalanced_workflow.dir/imbalanced_workflow.cpp.o.d"
+  "imbalanced_workflow"
+  "imbalanced_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/imbalanced_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

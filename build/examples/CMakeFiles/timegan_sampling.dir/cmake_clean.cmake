@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timegan_sampling.dir/timegan_sampling.cpp.o"
+  "CMakeFiles/timegan_sampling.dir/timegan_sampling.cpp.o.d"
+  "timegan_sampling"
+  "timegan_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timegan_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/augment/augmenter.cc" "src/CMakeFiles/tsaug_augment.dir/augment/augmenter.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/augmenter.cc.o.d"
+  "/root/repo/src/augment/basic_time.cc" "src/CMakeFiles/tsaug_augment.dir/augment/basic_time.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/basic_time.cc.o.d"
+  "/root/repo/src/augment/dba.cc" "src/CMakeFiles/tsaug_augment.dir/augment/dba.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/dba.cc.o.d"
+  "/root/repo/src/augment/decompose.cc" "src/CMakeFiles/tsaug_augment.dir/augment/decompose.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/decompose.cc.o.d"
+  "/root/repo/src/augment/emd.cc" "src/CMakeFiles/tsaug_augment.dir/augment/emd.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/emd.cc.o.d"
+  "/root/repo/src/augment/frequency.cc" "src/CMakeFiles/tsaug_augment.dir/augment/frequency.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/frequency.cc.o.d"
+  "/root/repo/src/augment/generative.cc" "src/CMakeFiles/tsaug_augment.dir/augment/generative.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/generative.cc.o.d"
+  "/root/repo/src/augment/guided_warp.cc" "src/CMakeFiles/tsaug_augment.dir/augment/guided_warp.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/guided_warp.cc.o.d"
+  "/root/repo/src/augment/meboot.cc" "src/CMakeFiles/tsaug_augment.dir/augment/meboot.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/meboot.cc.o.d"
+  "/root/repo/src/augment/noise.cc" "src/CMakeFiles/tsaug_augment.dir/augment/noise.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/noise.cc.o.d"
+  "/root/repo/src/augment/oversample.cc" "src/CMakeFiles/tsaug_augment.dir/augment/oversample.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/oversample.cc.o.d"
+  "/root/repo/src/augment/pipeline.cc" "src/CMakeFiles/tsaug_augment.dir/augment/pipeline.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/pipeline.cc.o.d"
+  "/root/repo/src/augment/preserving.cc" "src/CMakeFiles/tsaug_augment.dir/augment/preserving.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/preserving.cc.o.d"
+  "/root/repo/src/augment/timegan.cc" "src/CMakeFiles/tsaug_augment.dir/augment/timegan.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/timegan.cc.o.d"
+  "/root/repo/src/augment/vae.cc" "src/CMakeFiles/tsaug_augment.dir/augment/vae.cc.o" "gcc" "src/CMakeFiles/tsaug_augment.dir/augment/vae.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsaug_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_augment.dir/augment/augmenter.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/augmenter.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/basic_time.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/basic_time.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/dba.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/dba.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/decompose.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/decompose.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/emd.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/emd.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/frequency.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/frequency.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/generative.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/generative.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/guided_warp.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/guided_warp.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/meboot.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/meboot.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/noise.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/noise.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/oversample.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/oversample.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/pipeline.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/pipeline.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/preserving.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/preserving.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/timegan.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/timegan.cc.o.d"
+  "CMakeFiles/tsaug_augment.dir/augment/vae.cc.o"
+  "CMakeFiles/tsaug_augment.dir/augment/vae.cc.o.d"
+  "libtsaug_augment.a"
+  "libtsaug_augment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_augment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classify/boss.cc" "src/CMakeFiles/tsaug_classify.dir/classify/boss.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/boss.cc.o.d"
+  "/root/repo/src/classify/classifier.cc" "src/CMakeFiles/tsaug_classify.dir/classify/classifier.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/classifier.cc.o.d"
+  "/root/repo/src/classify/inception_time.cc" "src/CMakeFiles/tsaug_classify.dir/classify/inception_time.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/inception_time.cc.o.d"
+  "/root/repo/src/classify/minirocket.cc" "src/CMakeFiles/tsaug_classify.dir/classify/minirocket.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/minirocket.cc.o.d"
+  "/root/repo/src/classify/nearest_neighbor.cc" "src/CMakeFiles/tsaug_classify.dir/classify/nearest_neighbor.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/nearest_neighbor.cc.o.d"
+  "/root/repo/src/classify/random_forest.cc" "src/CMakeFiles/tsaug_classify.dir/classify/random_forest.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/random_forest.cc.o.d"
+  "/root/repo/src/classify/resnet.cc" "src/CMakeFiles/tsaug_classify.dir/classify/resnet.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/resnet.cc.o.d"
+  "/root/repo/src/classify/rocket.cc" "src/CMakeFiles/tsaug_classify.dir/classify/rocket.cc.o" "gcc" "src/CMakeFiles/tsaug_classify.dir/classify/rocket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsaug_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_classify.dir/classify/boss.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/boss.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/classifier.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/classifier.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/inception_time.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/inception_time.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/minirocket.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/minirocket.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/nearest_neighbor.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/nearest_neighbor.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/random_forest.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/random_forest.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/resnet.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/resnet.cc.o.d"
+  "CMakeFiles/tsaug_classify.dir/classify/rocket.cc.o"
+  "CMakeFiles/tsaug_classify.dir/classify/rocket.cc.o.d"
+  "libtsaug_classify.a"
+  "libtsaug_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

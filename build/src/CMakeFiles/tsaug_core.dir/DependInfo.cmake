@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dataset.cc" "src/CMakeFiles/tsaug_core.dir/core/dataset.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/dataset.cc.o.d"
+  "/root/repo/src/core/io.cc" "src/CMakeFiles/tsaug_core.dir/core/io.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/io.cc.o.d"
+  "/root/repo/src/core/preprocess.cc" "src/CMakeFiles/tsaug_core.dir/core/preprocess.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/preprocess.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/CMakeFiles/tsaug_core.dir/core/rng.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/rng.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/CMakeFiles/tsaug_core.dir/core/stats.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/stats.cc.o.d"
+  "/root/repo/src/core/time_series.cc" "src/CMakeFiles/tsaug_core.dir/core/time_series.cc.o" "gcc" "src/CMakeFiles/tsaug_core.dir/core/time_series.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

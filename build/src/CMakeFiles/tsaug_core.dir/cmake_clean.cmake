@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_core.dir/core/dataset.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/dataset.cc.o.d"
+  "CMakeFiles/tsaug_core.dir/core/io.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/io.cc.o.d"
+  "CMakeFiles/tsaug_core.dir/core/preprocess.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/preprocess.cc.o.d"
+  "CMakeFiles/tsaug_core.dir/core/rng.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/rng.cc.o.d"
+  "CMakeFiles/tsaug_core.dir/core/stats.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/stats.cc.o.d"
+  "CMakeFiles/tsaug_core.dir/core/time_series.cc.o"
+  "CMakeFiles/tsaug_core.dir/core/time_series.cc.o.d"
+  "libtsaug_core.a"
+  "libtsaug_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

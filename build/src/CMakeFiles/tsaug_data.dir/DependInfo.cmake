@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/tsaug_data.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/tsaug_data.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/data/ts_format.cc" "src/CMakeFiles/tsaug_data.dir/data/ts_format.cc.o" "gcc" "src/CMakeFiles/tsaug_data.dir/data/ts_format.cc.o.d"
+  "/root/repo/src/data/uea_catalog.cc" "src/CMakeFiles/tsaug_data.dir/data/uea_catalog.cc.o" "gcc" "src/CMakeFiles/tsaug_data.dir/data/uea_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsaug_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

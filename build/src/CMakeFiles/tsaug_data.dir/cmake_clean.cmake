@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_data.dir/data/synthetic.cc.o"
+  "CMakeFiles/tsaug_data.dir/data/synthetic.cc.o.d"
+  "CMakeFiles/tsaug_data.dir/data/ts_format.cc.o"
+  "CMakeFiles/tsaug_data.dir/data/ts_format.cc.o.d"
+  "CMakeFiles/tsaug_data.dir/data/uea_catalog.cc.o"
+  "CMakeFiles/tsaug_data.dir/data/uea_catalog.cc.o.d"
+  "libtsaug_data.a"
+  "libtsaug_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

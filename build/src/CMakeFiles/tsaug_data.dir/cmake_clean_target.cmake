@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsaug_data.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/tsaug_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/tsaug_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/tsaug_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/tsaug_eval.dir/eval/report.cc.o"
+  "CMakeFiles/tsaug_eval.dir/eval/report.cc.o.d"
+  "libtsaug_eval.a"
+  "libtsaug_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_fft.dir/fft/fft.cc.o"
+  "CMakeFiles/tsaug_fft.dir/fft/fft.cc.o.d"
+  "libtsaug_fft.a"
+  "libtsaug_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/decomposition.cc" "src/CMakeFiles/tsaug_linalg.dir/linalg/decomposition.cc.o" "gcc" "src/CMakeFiles/tsaug_linalg.dir/linalg/decomposition.cc.o.d"
+  "/root/repo/src/linalg/distance.cc" "src/CMakeFiles/tsaug_linalg.dir/linalg/distance.cc.o" "gcc" "src/CMakeFiles/tsaug_linalg.dir/linalg/distance.cc.o.d"
+  "/root/repo/src/linalg/knn.cc" "src/CMakeFiles/tsaug_linalg.dir/linalg/knn.cc.o" "gcc" "src/CMakeFiles/tsaug_linalg.dir/linalg/knn.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "src/CMakeFiles/tsaug_linalg.dir/linalg/matrix.cc.o" "gcc" "src/CMakeFiles/tsaug_linalg.dir/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/ridge.cc" "src/CMakeFiles/tsaug_linalg.dir/linalg/ridge.cc.o" "gcc" "src/CMakeFiles/tsaug_linalg.dir/linalg/ridge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsaug_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

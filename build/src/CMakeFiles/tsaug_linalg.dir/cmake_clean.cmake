@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_linalg.dir/linalg/decomposition.cc.o"
+  "CMakeFiles/tsaug_linalg.dir/linalg/decomposition.cc.o.d"
+  "CMakeFiles/tsaug_linalg.dir/linalg/distance.cc.o"
+  "CMakeFiles/tsaug_linalg.dir/linalg/distance.cc.o.d"
+  "CMakeFiles/tsaug_linalg.dir/linalg/knn.cc.o"
+  "CMakeFiles/tsaug_linalg.dir/linalg/knn.cc.o.d"
+  "CMakeFiles/tsaug_linalg.dir/linalg/matrix.cc.o"
+  "CMakeFiles/tsaug_linalg.dir/linalg/matrix.cc.o.d"
+  "CMakeFiles/tsaug_linalg.dir/linalg/ridge.cc.o"
+  "CMakeFiles/tsaug_linalg.dir/linalg/ridge.cc.o.d"
+  "libtsaug_linalg.a"
+  "libtsaug_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

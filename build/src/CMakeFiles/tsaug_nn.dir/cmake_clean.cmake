@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsaug_nn.dir/nn/autograd.cc.o"
+  "CMakeFiles/tsaug_nn.dir/nn/autograd.cc.o.d"
+  "CMakeFiles/tsaug_nn.dir/nn/layers.cc.o"
+  "CMakeFiles/tsaug_nn.dir/nn/layers.cc.o.d"
+  "CMakeFiles/tsaug_nn.dir/nn/ops.cc.o"
+  "CMakeFiles/tsaug_nn.dir/nn/ops.cc.o.d"
+  "CMakeFiles/tsaug_nn.dir/nn/optimizer.cc.o"
+  "CMakeFiles/tsaug_nn.dir/nn/optimizer.cc.o.d"
+  "CMakeFiles/tsaug_nn.dir/nn/trainer.cc.o"
+  "CMakeFiles/tsaug_nn.dir/nn/trainer.cc.o.d"
+  "libtsaug_nn.a"
+  "libtsaug_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsaug_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_basic_test.dir/augment_basic_test.cc.o"
+  "CMakeFiles/augment_basic_test.dir/augment_basic_test.cc.o.d"
+  "augment_basic_test"
+  "augment_basic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_dba_test.dir/augment_dba_test.cc.o"
+  "CMakeFiles/augment_dba_test.dir/augment_dba_test.cc.o.d"
+  "augment_dba_test"
+  "augment_dba_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_dba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

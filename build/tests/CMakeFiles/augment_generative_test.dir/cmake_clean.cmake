@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_generative_test.dir/augment_generative_test.cc.o"
+  "CMakeFiles/augment_generative_test.dir/augment_generative_test.cc.o.d"
+  "augment_generative_test"
+  "augment_generative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_generative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

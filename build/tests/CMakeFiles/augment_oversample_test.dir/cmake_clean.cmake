@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_oversample_test.dir/augment_oversample_test.cc.o"
+  "CMakeFiles/augment_oversample_test.dir/augment_oversample_test.cc.o.d"
+  "augment_oversample_test"
+  "augment_oversample_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_oversample_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

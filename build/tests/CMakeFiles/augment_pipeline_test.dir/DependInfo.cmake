@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/augment_pipeline_test.cc" "tests/CMakeFiles/augment_pipeline_test.dir/augment_pipeline_test.cc.o" "gcc" "tests/CMakeFiles/augment_pipeline_test.dir/augment_pipeline_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/tsaug_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_augment.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/tsaug_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

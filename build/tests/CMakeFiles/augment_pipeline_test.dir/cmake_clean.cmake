@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_pipeline_test.dir/augment_pipeline_test.cc.o"
+  "CMakeFiles/augment_pipeline_test.dir/augment_pipeline_test.cc.o.d"
+  "augment_pipeline_test"
+  "augment_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_preserving_test.dir/augment_preserving_test.cc.o"
+  "CMakeFiles/augment_preserving_test.dir/augment_preserving_test.cc.o.d"
+  "augment_preserving_test"
+  "augment_preserving_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_preserving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_properties_test.dir/augment_properties_test.cc.o"
+  "CMakeFiles/augment_properties_test.dir/augment_properties_test.cc.o.d"
+  "augment_properties_test"
+  "augment_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

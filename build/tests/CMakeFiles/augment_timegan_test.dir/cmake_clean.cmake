@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/augment_timegan_test.dir/augment_timegan_test.cc.o"
+  "CMakeFiles/augment_timegan_test.dir/augment_timegan_test.cc.o.d"
+  "augment_timegan_test"
+  "augment_timegan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/augment_timegan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

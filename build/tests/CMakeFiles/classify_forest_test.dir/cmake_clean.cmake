@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_forest_test.dir/classify_forest_test.cc.o"
+  "CMakeFiles/classify_forest_test.dir/classify_forest_test.cc.o.d"
+  "classify_forest_test"
+  "classify_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

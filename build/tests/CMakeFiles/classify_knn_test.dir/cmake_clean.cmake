@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_knn_test.dir/classify_knn_test.cc.o"
+  "CMakeFiles/classify_knn_test.dir/classify_knn_test.cc.o.d"
+  "classify_knn_test"
+  "classify_knn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_knn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

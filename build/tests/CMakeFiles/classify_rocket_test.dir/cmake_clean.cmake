@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_rocket_test.dir/classify_rocket_test.cc.o"
+  "CMakeFiles/classify_rocket_test.dir/classify_rocket_test.cc.o.d"
+  "classify_rocket_test"
+  "classify_rocket_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_rocket_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

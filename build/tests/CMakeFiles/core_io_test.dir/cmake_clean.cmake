@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_io_test.dir/core_io_test.cc.o"
+  "CMakeFiles/core_io_test.dir/core_io_test.cc.o.d"
+  "core_io_test"
+  "core_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_time_series_test.dir/core_time_series_test.cc.o"
+  "CMakeFiles/core_time_series_test.dir/core_time_series_test.cc.o.d"
+  "core_time_series_test"
+  "core_time_series_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_time_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

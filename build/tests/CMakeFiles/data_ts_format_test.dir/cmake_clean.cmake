@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_ts_format_test.dir/data_ts_format_test.cc.o"
+  "CMakeFiles/data_ts_format_test.dir/data_ts_format_test.cc.o.d"
+  "data_ts_format_test"
+  "data_ts_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_ts_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

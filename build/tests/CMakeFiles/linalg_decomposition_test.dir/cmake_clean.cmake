@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_decomposition_test.dir/linalg_decomposition_test.cc.o"
+  "CMakeFiles/linalg_decomposition_test.dir/linalg_decomposition_test.cc.o.d"
+  "linalg_decomposition_test"
+  "linalg_decomposition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

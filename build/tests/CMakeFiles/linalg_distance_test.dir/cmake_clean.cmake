@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_distance_test.dir/linalg_distance_test.cc.o"
+  "CMakeFiles/linalg_distance_test.dir/linalg_distance_test.cc.o.d"
+  "linalg_distance_test"
+  "linalg_distance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_distance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
