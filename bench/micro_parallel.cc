@@ -1,0 +1,78 @@
+// Thread-scaling microbenchmarks for the shared-pool hot paths: ROCKET
+// transform, MatMul and the pairwise DTW matrix, each at 1/2/4/8 threads
+// (the thread count is the benchmark argument). Results are bitwise
+// identical across thread counts; only wall time changes. On a 1-core
+// container all configurations time alike — run on real hardware to see
+// the scaling curve.
+#include <benchmark/benchmark.h>
+
+#include "classify/rocket.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "linalg/distance.h"
+#include "linalg/matrix.h"
+
+namespace {
+
+using tsaug::core::Rng;
+using tsaug::core::TimeSeries;
+
+void BM_RocketTransformThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  tsaug::core::SetNumThreads(threads);
+  tsaug::classify::RocketTransform transform(/*num_kernels=*/500, /*seed=*/3);
+  transform.Fit(/*num_channels=*/3, /*series_length=*/128);
+  Rng rng(7);
+  tsaug::nn::Tensor x({32, 3, 128});
+  for (double& v : x.data()) v = rng.Normal();
+  for (auto _ : state) {
+    tsaug::linalg::Matrix features = transform.Transform(x);
+    benchmark::DoNotOptimize(features);
+  }
+  tsaug::core::SetNumThreads(1);
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_RocketTransformThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_MatMulThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  tsaug::core::SetNumThreads(threads);
+  Rng rng(11);
+  tsaug::linalg::Matrix a(256, 256), b(256, 256);
+  for (double& v : a.data()) v = rng.Normal();
+  for (double& v : b.data()) v = rng.Normal();
+  for (auto _ : state) {
+    tsaug::linalg::Matrix c = tsaug::linalg::MatMul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  tsaug::core::SetNumThreads(1);
+  state.SetItemsProcessed(state.iterations() * 256ll * 256 * 256);
+}
+BENCHMARK(BM_MatMulThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+void BM_PairwiseDtwThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  tsaug::core::SetNumThreads(threads);
+  Rng rng(13);
+  std::vector<TimeSeries> series;
+  for (int i = 0; i < 24; ++i) {
+    TimeSeries s(2, 64);
+    for (double& v : s.values()) v = rng.Normal();
+    series.push_back(std::move(s));
+  }
+  for (auto _ : state) {
+    std::vector<double> d =
+        tsaug::linalg::PairwiseDtwDistances(series, /*window=*/8);
+    benchmark::DoNotOptimize(d);
+  }
+  tsaug::core::SetNumThreads(1);
+  state.SetItemsProcessed(state.iterations() * (24 * 23) / 2);
+}
+BENCHMARK(BM_PairwiseDtwThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

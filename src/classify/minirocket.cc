@@ -4,6 +4,7 @@
 #include <array>
 #include <cmath>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace tsaug::classify {
@@ -33,7 +34,7 @@ std::vector<double> MiniRocketTransform::Convolve(const nn::Tensor& x,
                                                   int instance,
                                                   const Feature& feature) const {
   const int time = x.dim(2);
-  const auto positions = KernelPositions();
+  static const std::vector<std::array<int, 3>> positions = KernelPositions();
   const std::array<int, 3>& two_positions = positions[feature.kernel];
 
   // Kernel weights: -1 everywhere, +2 at the three chosen taps.
@@ -130,7 +131,9 @@ linalg::Matrix MiniRocketTransform::Transform(const nn::Tensor& x) const {
   TSAUG_CHECK(x.ndim() == 3);
   const int n = x.dim(0);
   linalg::Matrix out(n, num_features());
-  for (int i = 0; i < n; ++i) {
+  // Each sample fills its own output row: deterministic sample-parallelism.
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+  for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
     // Group features sharing (kernel, dilation, padding, channels) so the
     // convolution is computed once per group.
     size_t f = 0;
@@ -159,6 +162,7 @@ linalg::Matrix MiniRocketTransform::Transform(const nn::Tensor& x) const {
       f = group_end;
     }
   }
+  });
   return out;
 }
 

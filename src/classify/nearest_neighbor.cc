@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/parallel.h"
 #include "core/preprocess.h"
 #include "linalg/distance.h"
 
@@ -33,7 +34,10 @@ void KnnClassifier::Fit(const core::Dataset& train) {
 std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
   TSAUG_CHECK(!train_.empty());
   std::vector<int> predictions(test.size());
-  for (int i = 0; i < test.size(); ++i) {
+  // Each query owns its prediction slot; the train scan per query is
+  // read-only, so query-parallelism is deterministic.
+  core::ParallelFor(0, test.size(), 1, [&](std::int64_t lo, std::int64_t hi) {
+  for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
     core::TimeSeries query = core::ImputeLinear(test.series(i));
     if (z_normalize_) query = core::ZNormalize(query);
 
@@ -58,6 +62,7 @@ std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
     }
     predictions[i] = best;
   }
+  });
   return predictions;
 }
 

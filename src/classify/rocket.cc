@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/parallel.h"
 #include "core/rng.h"
 
 namespace tsaug::classify {
@@ -63,6 +64,35 @@ void RocketTransform::Fit(int num_channels, int series_length) {
   }
 }
 
+namespace {
+
+/// Accumulates PPV / max statistics over a range of convolution positions.
+/// `Checked` guards every tap against the series bounds (needed only for
+/// padded boundary positions); interior positions skip the test entirely.
+template <bool Checked>
+void AccumulatePositions(const nn::Tensor& data, int i, int time,
+                         const RocketKernel& kernel, int pos_lo, int pos_hi,
+                         int& positive, double& max_activation) {
+  for (int pos = pos_lo; pos < pos_hi; ++pos) {
+    double activation = kernel.bias;
+    for (size_t c = 0; c < kernel.channels.size(); ++c) {
+      const int channel = kernel.channels[c];
+      const double* w = kernel.weights.data() + c * kernel.length;
+      for (int tap = 0; tap < kernel.length; ++tap) {
+        const int t = pos + tap * kernel.dilation;
+        if constexpr (Checked) {
+          if (t < 0 || t >= time) continue;
+        }
+        activation += w[tap] * data.at(i, channel, t);
+      }
+    }
+    if (activation > 0.0) ++positive;
+    max_activation = std::max(max_activation, activation);
+  }
+}
+
+}  // namespace
+
 linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   TSAUG_CHECK(fitted());
   TSAUG_CHECK(data.ndim() == 3);
@@ -70,38 +100,39 @@ linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   const int time = data.dim(2);
 
   linalg::Matrix features(n, 2 * num_kernels_);
-  for (int i = 0; i < n; ++i) {
-    for (int k = 0; k < num_kernels_; ++k) {
-      const RocketKernel& kernel = kernels_[k];
-      const int span = (kernel.length - 1) * kernel.dilation;
-      const int out_len = time + 2 * kernel.padding - span;
-      if (out_len <= 0) {
-        features(i, 2 * k) = 0.0;
-        features(i, 2 * k + 1) = 0.0;
-        continue;
-      }
-      int positive = 0;
-      double max_activation = -std::numeric_limits<double>::infinity();
-      for (int pos = -kernel.padding; pos < time + kernel.padding - span;
-           ++pos) {
-        double activation = kernel.bias;
-        for (size_t c = 0; c < kernel.channels.size(); ++c) {
-          const int channel = kernel.channels[c];
-          const double* w = kernel.weights.data() + c * kernel.length;
-          for (int tap = 0; tap < kernel.length; ++tap) {
-            const int t = pos + tap * kernel.dilation;
-            if (t >= 0 && t < time) {
-              activation += w[tap] * data.at(i, channel, t);
-            }
-          }
+  // Each sample fills its own feature row, so sample-parallelism is
+  // bitwise deterministic at any thread count.
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+      for (int k = 0; k < num_kernels_; ++k) {
+        const RocketKernel& kernel = kernels_[k];
+        const int span = (kernel.length - 1) * kernel.dilation;
+        const int out_len = time + 2 * kernel.padding - span;
+        if (out_len <= 0) {
+          features(i, 2 * k) = 0.0;
+          features(i, 2 * k + 1) = 0.0;
+          continue;
         }
-        if (activation > 0.0) ++positive;
-        max_activation = std::max(max_activation, activation);
+        int positive = 0;
+        double max_activation = -std::numeric_limits<double>::infinity();
+        // Split the position range so the steady-state (interior) kernel
+        // has no per-tap bounds check: positions in [0, time - span) read
+        // taps pos .. pos + span, all inside [0, time).
+        const int pos_lo = -kernel.padding;
+        const int pos_hi = time + kernel.padding - span;
+        const int interior_lo = std::clamp(0, pos_lo, pos_hi);
+        const int interior_hi = std::clamp(time - span, interior_lo, pos_hi);
+        AccumulatePositions<true>(data, i, time, kernel, pos_lo, interior_lo,
+                                  positive, max_activation);
+        AccumulatePositions<false>(data, i, time, kernel, interior_lo,
+                                   interior_hi, positive, max_activation);
+        AccumulatePositions<true>(data, i, time, kernel, interior_hi, pos_hi,
+                                  positive, max_activation);
+        features(i, 2 * k) = static_cast<double>(positive) / out_len;  // PPV
+        features(i, 2 * k + 1) = max_activation;
       }
-      features(i, 2 * k) = static_cast<double>(positive) / out_len;  // PPV
-      features(i, 2 * k + 1) = max_activation;
     }
-  }
+  });
   return features;
 }
 

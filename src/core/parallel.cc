@@ -1,0 +1,240 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/check.h"
+
+namespace tsaug::core {
+namespace {
+
+thread_local bool t_in_parallel_region = false;
+
+/// One ParallelFor invocation: a chunked range claimed via an atomic
+/// cursor by the submitting thread and the pool workers.
+struct Batch {
+  const std::function<void(std::int64_t, std::int64_t)>* fn = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t chunk = 1;
+  std::int64_t num_chunks = 0;
+  std::atomic<std::int64_t> next_chunk{0};
+  std::atomic<bool> stop{false};
+  /// Pool workers currently inside Work() for this batch. Incremented
+  /// under the pool's wake mutex (before the batch is unpublished), so
+  /// once the submitter unpublishes the batch and observes zero it can
+  /// never rise again.
+  std::atomic<int> active_workers{0};
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::exception_ptr error;  // first exception only, guarded by mu
+
+  /// Claims and runs chunks until the range is drained or an error
+  /// stopped the batch.
+  void Work() {
+    for (;;) {
+      if (stop.load(std::memory_order_relaxed)) break;
+      const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) break;
+      const std::int64_t lo = begin + c * chunk;
+      const std::int64_t hi = std::min(end, lo + chunk);
+      t_in_parallel_region = true;
+      try {
+        (*fn)(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        stop.store(true, std::memory_order_relaxed);
+      }
+      t_in_parallel_region = false;
+    }
+  }
+
+  bool Drained() const {
+    return stop.load(std::memory_order_relaxed) ||
+           next_chunk.load(std::memory_order_relaxed) >= num_chunks;
+  }
+};
+
+/// Process-wide worker pool. Workers sleep until a Batch is published,
+/// drain it cooperatively with the submitting thread, then go back to
+/// sleep. Submission is serialised: only one Batch is live at a time
+/// (nested ParallelFor calls run inline and never reach the pool).
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    static ThreadPool* pool = new ThreadPool();  // leaked: lives for process
+    return *pool;
+  }
+
+  int num_threads() {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    return num_threads_;
+  }
+
+  void set_num_threads(int n) {
+    std::lock_guard<std::mutex> lock(config_mu_);
+    num_threads_ = std::clamp(n, 1, kMaxThreads);
+  }
+
+  void Run(Batch& batch) {
+    std::unique_lock<std::mutex> submit(submit_mu_);
+    EnsureWorkers(num_threads() - 1);
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      current_ = &batch;
+      ++epoch_;
+    }
+    wake_cv_.notify_all();
+
+    // The submitting thread works too; often it drains the whole range
+    // before a worker even wakes up.
+    batch.Work();
+
+    // Unpublish first: after this no new worker can attach, so once
+    // active_workers reaches zero the batch is finished for good.
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      current_ = nullptr;
+    }
+    {
+      std::unique_lock<std::mutex> lock(batch.mu);
+      batch.done_cv.wait(lock, [&] {
+        return batch.active_workers.load(std::memory_order_acquire) == 0 &&
+               batch.Drained();
+      });
+    }
+    if (batch.error) std::rethrow_exception(batch.error);
+  }
+
+ private:
+  ThreadPool() = default;
+
+  void EnsureWorkers(int target) {
+    const int have = static_cast<int>(workers_.size());
+    if (have == target) return;
+    if (have > target) StopWorkers();
+    while (static_cast<int>(workers_.size()) < target) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void StopWorkers() {
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      stopping_ = true;
+    }
+    wake_cv_.notify_all();
+    for (std::thread& t : workers_) t.join();
+    workers_.clear();
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      stopping_ = false;
+    }
+  }
+
+  void WorkerLoop() {
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+      Batch* batch = nullptr;
+      {
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait(lock, [&] {
+          return stopping_ || (current_ != nullptr && epoch_ != seen_epoch);
+        });
+        if (stopping_) return;
+        seen_epoch = epoch_;
+        batch = current_;
+        // Attach while the batch is still published (wake_mu_ held).
+        batch->active_workers.fetch_add(1, std::memory_order_acq_rel);
+      }
+      batch->Work();
+      {
+        // Notify under the lock: the submitter destroys the Batch as soon
+        // as its predicate holds, so touching batch after releasing mu
+        // (even just cv.notify) would race with that destruction.
+        std::lock_guard<std::mutex> lock(batch->mu);
+        batch->active_workers.fetch_sub(1, std::memory_order_acq_rel);
+        batch->done_cv.notify_all();
+      }
+    }
+  }
+
+  std::mutex config_mu_;
+  int num_threads_ =
+      ParseNumThreads(std::getenv("TSAUG_NUM_THREADS"),
+                      static_cast<int>(
+                          std::max(1u, std::thread::hardware_concurrency())));
+
+  std::mutex submit_mu_;  // one live batch at a time
+  std::mutex wake_mu_;    // guards current_/epoch_/stopping_
+  std::condition_variable wake_cv_;
+  Batch* current_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+int ParseNumThreads(const char* value, int fallback) {
+  fallback = std::clamp(fallback, 1, kMaxThreads);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const long parsed = std::strtol(value, &end, 10);
+  if (end == value || *end != '\0' || parsed < 1) return fallback;
+  return static_cast<int>(std::min<long>(parsed, kMaxThreads));
+}
+
+int GetNumThreads() { return ThreadPool::Instance().num_threads(); }
+
+void SetNumThreads(int num_threads) {
+  ThreadPool::Instance().set_num_threads(num_threads);
+}
+
+bool InParallelRegion() { return t_in_parallel_region; }
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  if (end <= begin) return;
+  grain = std::max<std::int64_t>(1, grain);
+  const std::int64_t range = end - begin;
+  const int threads = GetNumThreads();
+
+  // Inline fast path: nested regions, single-threaded configuration, or
+  // ranges too small to be worth waking workers. Running the whole range
+  // as one chunk is bitwise identical to any chunked execution because
+  // call sites compute independent output slices per index.
+  if (t_in_parallel_region || threads == 1 || range <= grain) {
+    const bool was_in_region = t_in_parallel_region;
+    t_in_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      t_in_parallel_region = was_in_region;
+      throw;
+    }
+    t_in_parallel_region = was_in_region;
+    return;
+  }
+
+  Batch batch;
+  batch.fn = &fn;
+  batch.begin = begin;
+  batch.end = end;
+  // At least `grain` indices per chunk, but no more chunks than ~4 per
+  // thread needed for dynamic balancing of uneven per-index cost.
+  batch.chunk = std::max<std::int64_t>(
+      grain, (range + static_cast<std::int64_t>(threads) * 4 - 1) /
+                 (static_cast<std::int64_t>(threads) * 4));
+  batch.num_chunks = (range + batch.chunk - 1) / batch.chunk;
+  ThreadPool::Instance().Run(batch);
+}
+
+}  // namespace tsaug::core

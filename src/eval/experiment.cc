@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "classify/rocket.h"
+#include "core/parallel.h"
 
 namespace tsaug::eval {
 
@@ -127,10 +128,12 @@ DatasetRow RunDatasetGrid(
       validation = std::move(split.second);
     }
 
-    row.baseline_accuracy +=
-        TrainAndScore(config, train_part, validation, data.test, run_seed) /
-        config.runs;
-
+    // Serial setup phase: every RNG draw (splits above, augmentation
+    // below) happens here, with per-cell seeds derived up front, so the
+    // evaluation phase is free of shared mutable state.
+    std::vector<core::Dataset> cell_train;
+    cell_train.reserve(techniques.size() + 1);
+    cell_train.push_back(train_part);  // cell 0 = baseline
     for (size_t i = 0; i < techniques.size(); ++i) {
       augment::Augmenter& technique = *techniques[i];
       technique.Invalidate();  // train_part changes per run/dataset
@@ -146,9 +149,28 @@ DatasetRow RunDatasetGrid(
         augmented =
             augment::ExpandWithAugmenter(train_part, technique, 0.5, aug_rng);
       }
-      row.cells[i].accuracy +=
-          TrainAndScore(config, augmented, validation, data.test, run_seed) /
-          config.runs;
+      cell_train.push_back(std::move(augmented));
+    }
+
+    // Parallel evaluation phase: each grid cell trains and scores an
+    // independent classifier into its own slot. Training seeds are fixed
+    // per run, so scores — and hence the row — are identical at any
+    // thread count. Nested ParallelFor calls inside the classifiers run
+    // inline on the worker evaluating that cell.
+    std::vector<double> scores(cell_train.size(), 0.0);
+    core::ParallelFor(
+        0, static_cast<std::int64_t>(cell_train.size()), 1,
+        [&](std::int64_t lo, std::int64_t hi) {
+          for (std::int64_t cell = lo; cell < hi; ++cell) {
+            scores[cell] = TrainAndScore(config, cell_train[cell], validation,
+                                         data.test, run_seed);
+          }
+        });
+
+    // Deterministic reduction in fixed cell order.
+    row.baseline_accuracy += scores[0] / config.runs;
+    for (size_t i = 0; i < techniques.size(); ++i) {
+      row.cells[i].accuracy += scores[i + 1] / config.runs;
     }
   }
   return row;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/check.h"
+#include "core/parallel.h"
 #include "linalg/distance.h"
 
 namespace tsaug::linalg {
@@ -31,13 +32,18 @@ std::vector<double> PairwiseDistances(
     const std::vector<std::vector<double>>& points) {
   const int n = static_cast<int>(points.size());
   std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
-  for (int i = 0; i < n; ++i) {
-    for (int j = i + 1; j < n; ++j) {
-      const double dist = EuclideanDistance(points[i], points[j]);
-      d[static_cast<size_t>(i) * n + j] = dist;
-      d[static_cast<size_t>(j) * n + i] = dist;
+  // Row i owns cells (i, j) and (j, i) for j > i — disjoint across rows,
+  // so the triangular loop parallelises deterministically; dynamic chunk
+  // claiming balances the shrinking row lengths.
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dist = EuclideanDistance(points[i], points[j]);
+        d[static_cast<size_t>(i) * n + j] = dist;
+        d[static_cast<size_t>(j) * n + i] = dist;
+      }
     }
-  }
+  });
   return d;
 }
 
@@ -45,12 +51,15 @@ std::vector<int> SharedNearestNeighborSimilarity(
     const std::vector<std::vector<double>>& points, int k) {
   const int n = static_cast<int>(points.size());
   std::vector<std::vector<int>> neighbor_sets(n);
-  for (int i = 0; i < n; ++i) {
-    neighbor_sets[i] = KNearestNeighbors(points, points[i], k, i);
-    std::sort(neighbor_sets[i].begin(), neighbor_sets[i].end());
-  }
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+      neighbor_sets[i] = KNearestNeighbors(points, points[i], k, i);
+      std::sort(neighbor_sets[i].begin(), neighbor_sets[i].end());
+    }
+  });
   std::vector<int> similarity(static_cast<size_t>(n) * n, 0);
-  for (int i = 0; i < n; ++i) {
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
     for (int j = i + 1; j < n; ++j) {
       std::vector<int> common;
       std::set_intersection(neighbor_sets[i].begin(), neighbor_sets[i].end(),
@@ -60,7 +69,8 @@ std::vector<int> SharedNearestNeighborSimilarity(
       similarity[static_cast<size_t>(i) * n + j] = count;
       similarity[static_cast<size_t>(j) * n + i] = count;
     }
-  }
+    }
+  });
   return similarity;
 }
 

@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace tsaug::linalg {
+namespace {
+
+// Rows per ParallelFor chunk so each chunk carries at least ~32k
+// multiply-adds; tiny products run inline with zero pool overhead.
+std::int64_t RowGrain(std::int64_t flops_per_row) {
+  constexpr std::int64_t kMinFlopsPerChunk = 32768;
+  return std::max<std::int64_t>(1,
+                                kMinFlopsPerChunk / std::max<std::int64_t>(
+                                                        1, flops_per_row));
+}
+
+}  // namespace
 
 Matrix Matrix::Identity(int n) {
   Matrix m(n, n);
@@ -76,61 +90,84 @@ void Matrix::CenterColumns(const std::vector<double>& means) {
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order keeps the inner loop streaming over contiguous rows.
-  for (int i = 0; i < a.rows(); ++i) {
-    double* ci = c.row_data(i);
-    const double* ai = a.row_data(i);
-    for (int k = 0; k < a.cols(); ++k) {
-      const double aik = ai[k];
-      if (aik == 0.0) continue;
-      const double* bk = b.row_data(k);
-      for (int j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-    }
-  }
+  // i-k-j loop order keeps the inner loop streaming over contiguous rows;
+  // each output row is an independent slice, so row-block parallelism is
+  // bitwise deterministic at any thread count.
+  core::ParallelFor(
+      0, a.rows(),
+      RowGrain(static_cast<std::int64_t>(a.cols()) * b.cols()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+          double* ci = c.row_data(i);
+          const double* ai = a.row_data(i);
+          for (int k = 0; k < a.cols(); ++k) {
+            const double aik = ai[k];
+            if (aik == 0.0) continue;
+            const double* bk = b.row_data(k);
+            for (int j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  for (int k = 0; k < a.rows(); ++k) {
-    const double* ak = a.row_data(k);
-    const double* bk = b.row_data(k);
-    for (int i = 0; i < a.cols(); ++i) {
-      const double aki = ak[i];
-      if (aki == 0.0) continue;
-      double* ci = c.row_data(i);
-      for (int j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
-    }
-  }
+  // Iterate output rows (columns of A) so each row of C is written by
+  // exactly one chunk; for a fixed (i, j) the accumulation over k stays
+  // in ascending-k order, independent of the chunking.
+  core::ParallelFor(
+      0, a.cols(),
+      RowGrain(static_cast<std::int64_t>(a.rows()) * b.cols()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+          double* ci = c.row_data(i);
+          for (int k = 0; k < a.rows(); ++k) {
+            const double aki = a.row_data(k)[i];
+            if (aki == 0.0) continue;
+            const double* bk = b.row_data(k);
+            for (int j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
+          }
+        }
+      });
   return c;
 }
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_data(i);
-    double* ci = c.row_data(i);
-    for (int j = 0; j < b.rows(); ++j) {
-      const double* bj = b.row_data(j);
-      double sum = 0.0;
-      for (int k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
-      ci[j] = sum;
-    }
-  }
+  core::ParallelFor(
+      0, a.rows(),
+      RowGrain(static_cast<std::int64_t>(a.cols()) * b.rows()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+          const double* ai = a.row_data(i);
+          double* ci = c.row_data(i);
+          for (int j = 0; j < b.rows(); ++j) {
+            const double* bj = b.row_data(j);
+            double sum = 0.0;
+            for (int k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
+            ci[j] = sum;
+          }
+        }
+      });
   return c;
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   TSAUG_CHECK(a.cols() == static_cast<int>(x.size()));
   std::vector<double> y(a.rows(), 0.0);
-  for (int i = 0; i < a.rows(); ++i) {
-    const double* ai = a.row_data(i);
-    double sum = 0.0;
-    for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
-    y[i] = sum;
-  }
+  core::ParallelFor(
+      0, a.rows(), RowGrain(a.cols()),
+      [&](std::int64_t lo, std::int64_t hi) {
+        for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+          const double* ai = a.row_data(i);
+          double sum = 0.0;
+          for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
+          y[i] = sum;
+        }
+      });
   return y;
 }
 

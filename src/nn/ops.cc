@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/parallel.h"
+
 namespace tsaug::nn {
 namespace {
 
@@ -34,28 +36,50 @@ Variable MatMul(const Variable& a, const Variable& b) {
   TSAUG_CHECK(b.value().dim(0) == k);
 
   Tensor out({n, m});
-  for (int i = 0; i < n; ++i) {
-    for (int p = 0; p < k; ++p) {
-      const double aip = a.value().at(i, p);
-      if (aip == 0.0) continue;
-      for (int j = 0; j < m; ++j) out.at(i, j) += aip * b.value().at(p, j);
+  // Row-parallel forward: each output row i is an independent slice.
+  core::ParallelFor(0, n, std::max<std::int64_t>(1, 32768 / std::max(1, k * m)),
+                    [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+      for (int p = 0; p < k; ++p) {
+        const double aip = a.value().at(i, p);
+        if (aip == 0.0) continue;
+        for (int j = 0; j < m; ++j) out.at(i, j) += aip * b.value().at(p, j);
+      }
     }
-  }
+  });
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [n, k, m](Node& self) {
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
-    // dA = dOut * B^T ; dB = A^T * dOut.
-    for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < m; ++j) {
-        const double g = self.grad.at(i, j);
-        if (g == 0.0) continue;
-        for (int p = 0; p < k; ++p) {
-          pa.grad.at(i, p) += g * pb.value.at(p, j);
-          pb.grad.at(p, j) += g * pa.value.at(i, p);
+    const std::int64_t grain =
+        std::max<std::int64_t>(1, 32768 / std::max(1, k * m));
+    // dA = dOut * B^T: row i of dA touches only row i of pa.grad.
+    core::ParallelFor(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
+      for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+        for (int j = 0; j < m; ++j) {
+          const double g = self.grad.at(i, j);
+          if (g == 0.0) continue;
+          for (int p = 0; p < k; ++p) {
+            pa.grad.at(i, p) += g * pb.value.at(p, j);
+          }
         }
       }
-    }
+    });
+    // dB = A^T * dOut: row p of dB is owned by one chunk; the inner sum
+    // over i runs in ascending order regardless of chunking, so the
+    // result is bitwise identical at any thread count.
+    core::ParallelFor(0, k, std::max<std::int64_t>(1, 32768 / std::max(1, n * m)),
+                      [&](std::int64_t lo, std::int64_t hi) {
+      for (int p = static_cast<int>(lo); p < static_cast<int>(hi); ++p) {
+        for (int i = 0; i < n; ++i) {
+          const double aip = pa.value.at(i, p);
+          if (aip == 0.0) continue;
+          for (int j = 0; j < m; ++j) {
+            pb.grad.at(p, j) += aip * self.grad.at(i, j);
+          }
+        }
+      }
+    });
   });
 }
 
@@ -289,46 +313,70 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
 
   const int pad_left = (k - 1) * dilation / 2;
   Tensor out({n, f, time});
-  for (int i = 0; i < n; ++i) {
-    for (int o = 0; o < f; ++o) {
-      for (int ch = 0; ch < c; ++ch) {
-        for (int tap = 0; tap < k; ++tap) {
-          const double wv = w.value().at(o, ch, tap);
-          if (wv == 0.0) continue;
-          const int shift = tap * dilation - pad_left;
-          const int t_lo = std::max(0, -shift);
-          const int t_hi = std::min(time, time - shift);
-          for (int t = t_lo; t < t_hi; ++t) {
-            out.at(i, o, t) += wv * x.value().at(i, ch, t + shift);
+  // Sample-parallel forward: out[i, :, :] is an independent slice.
+  core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+      for (int o = 0; o < f; ++o) {
+        for (int ch = 0; ch < c; ++ch) {
+          for (int tap = 0; tap < k; ++tap) {
+            const double wv = w.value().at(o, ch, tap);
+            if (wv == 0.0) continue;
+            const int shift = tap * dilation - pad_left;
+            const int t_lo = std::max(0, -shift);
+            const int t_hi = std::min(time, time - shift);
+            for (int t = t_lo; t < t_hi; ++t) {
+              out.at(i, o, t) += wv * x.value().at(i, ch, t + shift);
+            }
           }
         }
       }
     }
-  }
+  });
   return Variable::FromOp(
       std::move(out), {x.node(), w.node()},
       [n, c, time, f, k, pad_left, dilation](Node& self) {
         Node& px = *self.parents[0];
         Node& pw = *self.parents[1];
-        for (int i = 0; i < n; ++i) {
-          for (int o = 0; o < f; ++o) {
-            for (int ch = 0; ch < c; ++ch) {
-              for (int tap = 0; tap < k; ++tap) {
-                const int shift = tap * dilation - pad_left;
-                const int t_lo = std::max(0, -shift);
-                const int t_hi = std::min(time, time - shift);
-                const double wv = pw.value.at(o, ch, tap);
-                double dw = 0.0;
-                for (int t = t_lo; t < t_hi; ++t) {
-                  const double g = self.grad.at(i, o, t);
-                  dw += g * px.value.at(i, ch, t + shift);
-                  px.grad.at(i, ch, t + shift) += g * wv;
+        // Two passes with disjoint gradient ownership: dX slices by
+        // sample, dW slices by output filter. Within each owned element
+        // the accumulation order is fixed, so both passes are bitwise
+        // deterministic at any thread count.
+        core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+          for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+            for (int o = 0; o < f; ++o) {
+              for (int ch = 0; ch < c; ++ch) {
+                for (int tap = 0; tap < k; ++tap) {
+                  const int shift = tap * dilation - pad_left;
+                  const int t_lo = std::max(0, -shift);
+                  const int t_hi = std::min(time, time - shift);
+                  const double wv = pw.value.at(o, ch, tap);
+                  if (wv == 0.0) continue;
+                  for (int t = t_lo; t < t_hi; ++t) {
+                    px.grad.at(i, ch, t + shift) += self.grad.at(i, o, t) * wv;
+                  }
                 }
-                pw.grad.at(o, ch, tap) += dw;
               }
             }
           }
-        }
+        });
+        core::ParallelFor(0, f, 1, [&](std::int64_t lo, std::int64_t hi) {
+          for (int o = static_cast<int>(lo); o < static_cast<int>(hi); ++o) {
+            for (int i = 0; i < n; ++i) {
+              for (int ch = 0; ch < c; ++ch) {
+                for (int tap = 0; tap < k; ++tap) {
+                  const int shift = tap * dilation - pad_left;
+                  const int t_lo = std::max(0, -shift);
+                  const int t_hi = std::min(time, time - shift);
+                  double dw = 0.0;
+                  for (int t = t_lo; t < t_hi; ++t) {
+                    dw += self.grad.at(i, o, t) * px.value.at(i, ch, t + shift);
+                  }
+                  pw.grad.at(o, ch, tap) += dw;
+                }
+              }
+            }
+          }
+        });
       });
 }
 

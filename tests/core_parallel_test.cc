@@ -1,0 +1,199 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::core {
+namespace {
+
+/// Restores the configured thread count when a test exits.
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(GetNumThreads()) {}
+  ~ThreadCountGuard() { SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+// Must run before anything calls SetNumThreads: checks that the pool's
+// initial size honours TSAUG_NUM_THREADS when the harness sets it (ctest
+// registers a second run of this binary with TSAUG_NUM_THREADS=5).
+TEST(ParallelConfig, InitialThreadCountHonorsEnv) {
+  const char* env = std::getenv("TSAUG_NUM_THREADS");
+  if (env == nullptr || *env == '\0') {
+    GTEST_SKIP() << "TSAUG_NUM_THREADS not set";
+  }
+  EXPECT_EQ(GetNumThreads(), ParseNumThreads(env, /*fallback=*/1));
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceSerial) {
+  ThreadCountGuard guard;
+  SetNumThreads(1);
+  std::vector<int> hits(1000, 0);
+  ParallelFor(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelFor, CoversRangeExactlyOnceParallel) {
+  ThreadCountGuard guard;
+  for (int threads : {2, 4, 8}) {
+    SetNumThreads(threads);
+    std::vector<std::atomic<int>> hits(977);  // prime length, uneven chunks
+    for (auto& h : hits) h = 0;
+    ParallelFor(0, 977, 3, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, ChunksAreDisjointAndRespectGrain) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  std::mutex mu;
+  std::vector<std::pair<std::int64_t, std::int64_t>> chunks;
+  constexpr std::int64_t kGrain = 10;
+  ParallelFor(5, 505, kGrain, [&](std::int64_t lo, std::int64_t hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    chunks.emplace_back(lo, hi);
+  });
+  std::sort(chunks.begin(), chunks.end());
+  std::int64_t covered = 5;
+  for (const auto& [lo, hi] : chunks) {
+    EXPECT_EQ(lo, covered);  // contiguous, no overlap, no gap
+    EXPECT_LT(lo, hi);
+    // Every chunk except the last carries at least `grain` indices.
+    if (hi != 505) EXPECT_GE(hi - lo, kGrain);
+    covered = hi;
+  }
+  EXPECT_EQ(covered, 505);
+}
+
+TEST(ParallelFor, EmptyAndReversedRangesAreNoOps) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  int calls = 0;
+  ParallelFor(3, 3, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  ParallelFor(10, 2, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SmallRangeRunsInlineAsSingleChunk) {
+  ThreadCountGuard guard;
+  SetNumThreads(8);
+  int calls = 0;
+  ParallelFor(0, 5, 16, [&](std::int64_t lo, std::int64_t hi) {
+    ++calls;
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 5);
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, NestedCallsRunInline) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h = 0;
+  ParallelFor(0, 8, 1, [&](std::int64_t lo, std::int64_t hi) {
+    EXPECT_TRUE(InParallelRegion());
+    for (std::int64_t i = lo; i < hi; ++i) {
+      int inner_calls = 0;
+      ParallelFor(0, 8, 1, [&](std::int64_t ilo, std::int64_t ihi) {
+        ++inner_calls;
+        EXPECT_TRUE(InParallelRegion());
+        for (std::int64_t j = ilo; j < ihi; ++j) {
+          hits[i * 8 + j].fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+      EXPECT_EQ(inner_calls, 1);  // nested => one inline chunk
+    }
+  });
+  EXPECT_FALSE(InParallelRegion());
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ExceptionPropagatesToCaller) {
+  ThreadCountGuard guard;
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    EXPECT_THROW(
+        ParallelFor(0, 100, 1,
+                    [&](std::int64_t lo, std::int64_t hi) {
+                      // Exactly the chunk holding index 40 throws, so the
+                      // test works for any chunking (including inline).
+                      if (lo <= 40 && 40 < hi) throw std::runtime_error("boom");
+                    }),
+        std::runtime_error);
+    // The pool must stay usable after an exception.
+    std::atomic<int> sum{0};
+    ParallelFor(0, 10, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        sum.fetch_add(static_cast<int>(i), std::memory_order_relaxed);
+      }
+    });
+    EXPECT_EQ(sum.load(), 45);
+  }
+}
+
+TEST(ParallelFor, PerIndexOutputsIdenticalAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  auto compute = [](int threads) {
+    SetNumThreads(threads);
+    std::vector<double> out(512);
+    ParallelFor(0, 512, 1, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) {
+        double acc = 0.0;
+        for (int k = 0; k < 100; ++k) acc += 1.0 / (1.0 + i + k);
+        out[i] = acc;
+      }
+    });
+    return out;
+  };
+  const std::vector<double> serial = compute(1);
+  EXPECT_EQ(serial, compute(2));
+  EXPECT_EQ(serial, compute(8));
+}
+
+TEST(SetNumThreads, ClampsAndRoundTrips) {
+  ThreadCountGuard guard;
+  SetNumThreads(4);
+  EXPECT_EQ(GetNumThreads(), 4);
+  SetNumThreads(0);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(-3);
+  EXPECT_EQ(GetNumThreads(), 1);
+  SetNumThreads(kMaxThreads + 100);
+  EXPECT_EQ(GetNumThreads(), kMaxThreads);
+}
+
+TEST(ParseNumThreads, EnvVarGrammar) {
+  EXPECT_EQ(ParseNumThreads(nullptr, 3), 3);
+  EXPECT_EQ(ParseNumThreads("", 3), 3);
+  EXPECT_EQ(ParseNumThreads("4", 3), 4);
+  EXPECT_EQ(ParseNumThreads("1", 3), 1);
+  EXPECT_EQ(ParseNumThreads("0", 3), 3);    // non-positive -> fallback
+  EXPECT_EQ(ParseNumThreads("-2", 3), 3);
+  EXPECT_EQ(ParseNumThreads("abc", 3), 3);
+  EXPECT_EQ(ParseNumThreads("4x", 3), 3);   // trailing junk -> fallback
+  EXPECT_EQ(ParseNumThreads("99999", 3), kMaxThreads);
+  EXPECT_EQ(ParseNumThreads("8", 0), 8);    // fallback itself is clamped
+  EXPECT_EQ(ParseNumThreads("bad", 0), 1);
+}
+
+}  // namespace
+}  // namespace tsaug::core
