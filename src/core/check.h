@@ -19,6 +19,24 @@
     }                                                                      \
   } while (0)
 
+/// Per-element bounds check for hot accessor paths (Matrix::operator(),
+/// Tensor::at, TimeSeries::at). Active in debug builds (no NDEBUG) and in
+/// builds configured with -DTSAUG_BOUNDS_CHECK=ON, so the ctest debug job and
+/// sanitizer builds catch out-of-bounds element access; compiles to nothing
+/// in plain release builds so element access stays branch-free in hot loops.
+/// Structural checks (shape validation, API contracts) use TSAUG_CHECK and
+/// stay on in every build type.
+#if !defined(NDEBUG) || defined(TSAUG_BOUNDS_CHECK)
+#define TSAUG_DCHECK(cond) TSAUG_CHECK(cond)
+#else
+#define TSAUG_DCHECK(cond) \
+  do {                     \
+    if (false) {           \
+      (void)(cond);        \
+    }                      \
+  } while (0)
+#endif
+
 /// Like TSAUG_CHECK but with a printf-style message appended.
 #define TSAUG_CHECK_MSG(cond, ...)                                         \
   do {                                                                     \

@@ -31,15 +31,15 @@ class Dataset {
 
   const TimeSeries& series(int i) const {
     TSAUG_CHECK(i >= 0 && i < size());
-    return series_[i];
+    return series_[static_cast<size_t>(i)];
   }
   TimeSeries& mutable_series(int i) {
     TSAUG_CHECK(i >= 0 && i < size());
-    return series_[i];
+    return series_[static_cast<size_t>(i)];
   }
   int label(int i) const {
     TSAUG_CHECK(i >= 0 && i < size());
-    return labels_[i];
+    return labels_[static_cast<size_t>(i)];
   }
   const std::vector<int>& labels() const { return labels_; }
 

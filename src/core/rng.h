@@ -50,14 +50,15 @@ class Rng {
   template <typename T>
   const T& Choice(const std::vector<T>& items) {
     TSAUG_CHECK(!items.empty());
-    return items[Index(static_cast<int>(items.size()))];
+    return items[static_cast<size_t>(Index(static_cast<int>(items.size())))];
   }
 
   /// Fisher-Yates shuffle of `items`.
   template <typename T>
   void Shuffle(std::vector<T>& items) {
     for (int i = static_cast<int>(items.size()) - 1; i > 0; --i) {
-      std::swap(items[i], items[Int(0, i)]);
+      std::swap(items[static_cast<size_t>(i)],
+                items[static_cast<size_t>(Int(0, i))]);
     }
   }
 

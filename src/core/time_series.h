@@ -34,25 +34,24 @@ class TimeSeries {
   bool empty() const { return values_.empty(); }
 
   /// Mutable/const access to the sample of channel `c` at step `t`.
+  /// Bounds are verified in debug / TSAUG_BOUNDS_CHECK builds.
   double& at(int c, int t) {
-    TSAUG_CHECK(c >= 0 && c < num_channels_ && t >= 0 && t < length_);
-    return values_[static_cast<size_t>(c) * length_ + t];
+    TSAUG_DCHECK(c >= 0 && c < num_channels_ && t >= 0 && t < length_);
+    return values_[offset(c, t)];
   }
   double at(int c, int t) const {
-    TSAUG_CHECK(c >= 0 && c < num_channels_ && t >= 0 && t < length_);
-    return values_[static_cast<size_t>(c) * length_ + t];
+    TSAUG_DCHECK(c >= 0 && c < num_channels_ && t >= 0 && t < length_);
+    return values_[offset(c, t)];
   }
 
   /// Contiguous view of one channel.
   std::span<double> channel(int c) {
     TSAUG_CHECK(c >= 0 && c < num_channels_);
-    return {values_.data() + static_cast<size_t>(c) * length_,
-            static_cast<size_t>(length_)};
+    return {values_.data() + offset(c, 0), static_cast<size_t>(length_)};
   }
   std::span<const double> channel(int c) const {
     TSAUG_CHECK(c >= 0 && c < num_channels_);
-    return {values_.data() + static_cast<size_t>(c) * length_,
-            static_cast<size_t>(length_)};
+    return {values_.data() + offset(c, 0), static_cast<size_t>(length_)};
   }
 
   /// Raw channel-major buffer (size num_channels * length).
@@ -80,6 +79,11 @@ class TimeSeries {
   bool operator==(const TimeSeries& other) const = default;
 
  private:
+  size_t offset(int c, int t) const {
+    return static_cast<size_t>(c) * static_cast<size_t>(length_) +
+           static_cast<size_t>(t);
+  }
+
   int num_channels_ = 0;
   int length_ = 0;
   std::vector<double> values_;  // channel-major

@@ -18,7 +18,7 @@ class Matrix {
   Matrix() = default;
   Matrix(int rows, int cols, double fill = 0.0)
       : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), fill) {
     TSAUG_CHECK(rows >= 0 && cols >= 0);
   }
 
@@ -31,23 +31,24 @@ class Matrix {
   size_t size() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Element access; bounds verified in debug / TSAUG_BOUNDS_CHECK builds.
   double& operator()(int r, int c) {
-    TSAUG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    TSAUG_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[offset(r, c)];
   }
   double operator()(int r, int c) const {
-    TSAUG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
-    return data_[static_cast<size_t>(r) * cols_ + c];
+    TSAUG_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[offset(r, c)];
   }
 
   /// Pointer to the start of row `r` (rows are contiguous).
   double* row_data(int r) {
     TSAUG_CHECK(r >= 0 && r < rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.data() + offset(r, 0);
   }
   const double* row_data(int r) const {
     TSAUG_CHECK(r >= 0 && r < rows_);
-    return data_.data() + static_cast<size_t>(r) * cols_;
+    return data_.data() + offset(r, 0);
   }
 
   const std::vector<double>& data() const { return data_; }
@@ -71,6 +72,11 @@ class Matrix {
   bool operator==(const Matrix& other) const = default;
 
  private:
+  size_t offset(int r, int c) const {
+    return static_cast<size_t>(r) * static_cast<size_t>(cols_) +
+           static_cast<size_t>(c);
+  }
+
   int rows_ = 0;
   int cols_ = 0;
   std::vector<double> data_;

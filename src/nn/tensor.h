@@ -35,38 +35,46 @@ class Tensor {
   int ndim() const { return static_cast<int>(shape_.size()); }
   int dim(int i) const {
     TSAUG_CHECK(i >= 0 && i < ndim());
-    return shape_[i];
+    return shape_[static_cast<size_t>(i)];
   }
   size_t numel() const { return data_.size(); }
   bool empty() const { return data_.empty(); }
 
+  /// Flat element access; bounds verified in debug / TSAUG_BOUNDS_CHECK
+  /// builds.
   double& operator[](size_t i) {
-    TSAUG_CHECK(i < data_.size());
+    TSAUG_DCHECK(i < data_.size());
     return data_[i];
   }
   double operator[](size_t i) const {
-    TSAUG_CHECK(i < data_.size());
+    TSAUG_DCHECK(i < data_.size());
     return data_[i];
   }
 
-  /// 2-D accessor (checked against rank).
+  /// 2-D accessor; rank and index bounds verified in debug /
+  /// TSAUG_BOUNDS_CHECK builds.
   double& at(int i, int j) {
-    TSAUG_CHECK(ndim() == 2);
-    return data_[static_cast<size_t>(i) * shape_[1] + j];
+    TSAUG_DCHECK(ndim() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1]);
+    return data_[offset2(i, j)];
   }
   double at(int i, int j) const {
-    TSAUG_CHECK(ndim() == 2);
-    return data_[static_cast<size_t>(i) * shape_[1] + j];
+    TSAUG_DCHECK(ndim() == 2 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1]);
+    return data_[offset2(i, j)];
   }
 
-  /// 3-D accessor (checked against rank).
+  /// 3-D accessor; rank and index bounds verified in debug /
+  /// TSAUG_BOUNDS_CHECK builds.
   double& at(int i, int j, int k) {
-    TSAUG_CHECK(ndim() == 3);
-    return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+    TSAUG_DCHECK(ndim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1] && k >= 0 && k < shape_[2]);
+    return data_[offset3(i, j, k)];
   }
   double at(int i, int j, int k) const {
-    TSAUG_CHECK(ndim() == 3);
-    return data_[(static_cast<size_t>(i) * shape_[1] + j) * shape_[2] + k];
+    TSAUG_DCHECK(ndim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1] && k >= 0 && k < shape_[2]);
+    return data_[offset3(i, j, k)];
   }
 
   /// Scalar value (rank-0 or single-element tensor).
@@ -83,6 +91,17 @@ class Tensor {
   bool operator==(const Tensor& other) const = default;
 
  private:
+  size_t offset2(int i, int j) const {
+    return static_cast<size_t>(i) * static_cast<size_t>(shape_[1]) +
+           static_cast<size_t>(j);
+  }
+  size_t offset3(int i, int j, int k) const {
+    return (static_cast<size_t>(i) * static_cast<size_t>(shape_[1]) +
+            static_cast<size_t>(j)) *
+               static_cast<size_t>(shape_[2]) +
+           static_cast<size_t>(k);
+  }
+
   std::vector<int> shape_;
   std::vector<double> data_;
 };
