@@ -100,8 +100,8 @@ int main() {
   }
   std::printf("\nmean of per-dataset oracle-best: %.2f%%   "
               "mean of validation-selected: %.2f%%\n",
-              100.0 * fixed_best_total / settings.datasets.size(),
-              100.0 * selected_total / settings.datasets.size());
+              100.0 * fixed_best_total / static_cast<double>(settings.datasets.size()),
+              100.0 * selected_total / static_cast<double>(settings.datasets.size()));
   std::printf("Selection recovers most of the oracle gain without test-set "
               "peeking.\n");
   return 0;

@@ -52,9 +52,9 @@ int main() {
   auto moments = [&](const std::vector<TimeSeries>& set, int t) {
     double mean = 0.0;
     double var = 0.0;
-    for (const TimeSeries& s : set) mean += s.at(0, t) / set.size();
+    for (const TimeSeries& s : set) mean += s.at(0, t) / static_cast<double>(set.size());
     for (const TimeSeries& s : set) {
-      var += std::pow(s.at(0, t) - mean, 2) / set.size();
+      var += std::pow(s.at(0, t) - mean, 2) / static_cast<double>(set.size());
     }
     return std::pair<double, double>(mean, std::sqrt(var));
   };
@@ -83,8 +83,8 @@ int main() {
       }
       crossing_sum += crossings;
     }
-    *std_out = std_sum / set.size();
-    *crossings_out = crossing_sum / set.size();
+    *std_out = std_sum / static_cast<double>(set.size());
+    *crossings_out = crossing_sum / static_cast<double>(set.size());
   };
   double real_std = 0.0;
   double real_crossings = 0.0;

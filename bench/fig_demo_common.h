@@ -55,8 +55,8 @@ inline bool CrossesBoundary(const core::TimeSeries& point, int label,
 inline void PrintPoints(const char* tag,
                         const std::vector<core::TimeSeries>& points,
                         int limit = 12) {
-  for (int i = 0; i < std::min<int>(limit, points.size()); ++i) {
-    std::printf("%s,%.4f,%.4f\n", tag, PointX(points[i]), PointY(points[i]));
+  for (int i = 0; i < std::min(limit, static_cast<int>(points.size())); ++i) {
+    std::printf("%s,%.4f,%.4f\n", tag, PointX(points[static_cast<size_t>(i)]), PointY(points[static_cast<size_t>(i)]));
   }
 }
 

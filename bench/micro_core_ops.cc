@@ -17,7 +17,7 @@ using tsaug::core::TimeSeries;
 void BM_Fft(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Rng rng(1);
-  std::vector<tsaug::fft::Complex> data(n);
+  std::vector<tsaug::fft::Complex> data(static_cast<size_t>(n));
   for (auto& v : data) v = {rng.Normal(), rng.Normal()};
   for (auto _ : state) {
     std::vector<tsaug::fft::Complex> copy = data;
@@ -58,8 +58,8 @@ void BM_RidgeFit(benchmark::State& state) {
   Rng rng(3);
   tsaug::linalg::Matrix x(n, d);
   for (double& v : x.data()) v = rng.Normal();
-  std::vector<int> labels(n);
-  for (int i = 0; i < n; ++i) labels[i] = i % 2;
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) labels[static_cast<size_t>(i)] = i % 2;
   for (auto _ : state) {
     tsaug::linalg::RidgeClassifierCV clf;
     clf.Fit(x, labels, 2);

@@ -68,13 +68,13 @@ int main() {
     double sm = 0.0;
     double rv = 0.0;
     double sv = 0.0;
-    for (const auto& s : minority) rm += s.ChannelMean(c) / minority.size();
-    for (const auto& s : synthetic) sm += s.ChannelMean(c) / synthetic.size();
+    for (const auto& s : minority) rm += s.ChannelMean(c) / static_cast<double>(minority.size());
+    for (const auto& s : synthetic) sm += s.ChannelMean(c) / static_cast<double>(synthetic.size());
     for (const auto& s : minority) {
-      rv += std::pow(s.ChannelStdDev(c), 2) / minority.size();
+      rv += std::pow(s.ChannelStdDev(c), 2) / static_cast<double>(minority.size());
     }
     for (const auto& s : synthetic) {
-      sv += std::pow(s.ChannelStdDev(c), 2) / synthetic.size();
+      sv += std::pow(s.ChannelStdDev(c), 2) / static_cast<double>(synthetic.size());
     }
     std::printf("%-10d %12.3f %12.3f %12.3f %12.3f\n", c, rm, sm,
                 std::sqrt(rv), std::sqrt(sv));

@@ -32,11 +32,11 @@ std::vector<core::TimeSeries> TransformAugmenter::Generate(
   TSAUG_CHECK(count >= 0);
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     const int seed_index = rng.Choice(members);
     out.push_back(Transform(train.series(seed_index), rng));
@@ -48,12 +48,12 @@ core::Dataset BalanceWithAugmenter(const core::Dataset& train,
                                    Augmenter& augmenter, core::Rng& rng) {
   TSAUG_CHECK(!train.empty());
   const std::vector<int> counts = train.ClassCounts();
-  const int majority = counts[train.MajorityClass()];
+  const int majority = counts[static_cast<size_t>(train.MajorityClass())];
 
   core::Dataset augmented = train;
   for (int label = 0; label < train.num_classes(); ++label) {
-    if (counts[label] == 0) continue;  // label space may have gaps
-    const int deficit = majority - counts[label];
+    if (counts[static_cast<size_t>(label)] == 0) continue;  // label space may have gaps
+    const int deficit = majority - counts[static_cast<size_t>(label)];
     if (deficit <= 0) continue;
     for (core::TimeSeries& series :
          augmenter.Generate(train, label, deficit, rng)) {
@@ -70,8 +70,8 @@ core::Dataset ExpandWithAugmenter(const core::Dataset& train,
   const std::vector<int> counts = train.ClassCounts();
   core::Dataset augmented = train;
   for (int label = 0; label < train.num_classes(); ++label) {
-    if (counts[label] == 0) continue;
-    const int extra = static_cast<int>(counts[label] * factor + 0.5);
+    if (counts[static_cast<size_t>(label)] == 0) continue;
+    const int extra = static_cast<int>(counts[static_cast<size_t>(label)] * factor + 0.5);
     if (extra <= 0) continue;
     for (core::TimeSeries& series :
          augmenter.Generate(train, label, extra, rng)) {

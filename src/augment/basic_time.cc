@@ -12,14 +12,14 @@ namespace {
 // positions, evaluated at `length` points.
 std::vector<double> KnotCurve(const std::vector<double>& knots, int length) {
   const int k = static_cast<int>(knots.size());
-  std::vector<double> curve(length);
+  std::vector<double> curve(static_cast<size_t>(length));
   for (int t = 0; t < length; ++t) {
     const double pos = length == 1
                            ? 0.0
                            : static_cast<double>(t) * (k - 1) / (length - 1);
     const int lo = std::min(static_cast<int>(pos), k - 2);
     const double frac = pos - lo;
-    curve[t] = (1.0 - frac) * knots[lo] + frac * knots[lo + 1];
+    curve[static_cast<size_t>(t)] = (1.0 - frac) * knots[static_cast<size_t>(lo)] + frac * knots[static_cast<size_t>(lo + 1)];
   }
   return curve;
 }
@@ -106,14 +106,14 @@ core::TimeSeries Permutation::Transform(const core::TimeSeries& series,
                                         core::Rng& rng) const {
   const int length = series.length();
   const int segments = std::min(num_segments_, length);
-  std::vector<int> order(segments);
-  for (int s = 0; s < segments; ++s) order[s] = s;
+  std::vector<int> order(static_cast<size_t>(segments));
+  for (int s = 0; s < segments; ++s) order[static_cast<size_t>(s)] = s;
   rng.Shuffle(order);
 
   core::TimeSeries out(series.num_channels(), length);
   int write = 0;
   for (int s = 0; s < segments; ++s) {
-    const int src = order[s];
+    const int src = order[static_cast<size_t>(s)];
     const int begin = src * length / segments;
     const int end = (src + 1) * length / segments;
     for (int t = begin; t < end; ++t, ++write) {
@@ -166,12 +166,12 @@ core::TimeSeries MagnitudeWarp::Transform(const core::TimeSeries& series,
                                           core::Rng& rng) const {
   core::TimeSeries out = series;
   for (int c = 0; c < out.num_channels(); ++c) {
-    std::vector<double> knots(num_knots_);
+    std::vector<double> knots(static_cast<size_t>(num_knots_));
     for (double& k : knots) k = rng.Normal(1.0, sigma_);
     const std::vector<double> curve = KnotCurve(knots, series.length());
     auto channel = out.channel(c);
     for (int t = 0; t < series.length(); ++t) {
-      if (!std::isnan(channel[t])) channel[t] *= curve[t];
+      if (!std::isnan(channel[static_cast<size_t>(t)])) channel[static_cast<size_t>(t)] *= curve[static_cast<size_t>(t)];
     }
   }
   return out;
@@ -189,23 +189,23 @@ core::TimeSeries TimeWarp::Transform(const core::TimeSeries& series,
 
   // Random positive "speeds" at the knots; their cumulative integral,
   // renormalised to end at length-1, is a monotone warp of the time axis.
-  std::vector<double> speeds(num_knots_);
+  std::vector<double> speeds(static_cast<size_t>(num_knots_));
   for (double& s : speeds) s = std::max(0.1, rng.Normal(1.0, sigma_));
   const std::vector<double> speed_curve = KnotCurve(speeds, length);
-  std::vector<double> warped(length);
+  std::vector<double> warped(static_cast<size_t>(length));
   double cumulative = 0.0;
   for (int t = 0; t < length; ++t) {
-    warped[t] = cumulative;
-    cumulative += speed_curve[t];
+    warped[static_cast<size_t>(t)] = cumulative;
+    cumulative += speed_curve[static_cast<size_t>(t)];
   }
-  const double scale = warped[length - 1] > 0.0
-                           ? static_cast<double>(length - 1) / warped[length - 1]
+  const double scale = warped[static_cast<size_t>(length - 1)] > 0.0
+                           ? static_cast<double>(length - 1) / warped[static_cast<size_t>(length - 1)]
                            : 1.0;
 
   core::TimeSeries out(series.num_channels(), length);
   for (int c = 0; c < series.num_channels(); ++c) {
     for (int t = 0; t < length; ++t) {
-      out.at(c, t) = SampleAt(source, c, warped[t] * scale);
+      out.at(c, t) = SampleAt(source, c, warped[static_cast<size_t>(t)] * scale);
     }
   }
   return out;

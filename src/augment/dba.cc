@@ -30,7 +30,7 @@ core::TimeSeries DtwBarycenterAverage(
     // Accumulate, per barycenter position, the weighted values of every
     // member sample aligned to it.
     core::TimeSeries sums(channels, length, 0.0);
-    std::vector<double> mass(length, 0.0);
+    std::vector<double> mass(static_cast<size_t>(length), 0.0);
     for (size_t m = 0; m < clean.size(); ++m) {
       if (weights[m] <= 0.0) continue;
       const auto path = linalg::DtwPath(barycenter, clean[m], window);
@@ -38,13 +38,13 @@ core::TimeSeries DtwBarycenterAverage(
         for (int c = 0; c < channels; ++c) {
           sums.at(c, i) += weights[m] * clean[m].at(c, j);
         }
-        mass[i] += weights[m];
+        mass[static_cast<size_t>(i)] += weights[m];
       }
     }
     for (int t = 0; t < length; ++t) {
-      TSAUG_CHECK(mass[t] > 0.0);  // DTW paths cover every position
+      TSAUG_CHECK(mass[static_cast<size_t>(t)] > 0.0);  // DTW paths cover every position
       for (int c = 0; c < channels; ++c) {
-        barycenter.at(c, t) = sums.at(c, t) / mass[t];
+        barycenter.at(c, t) = sums.at(c, t) / mass[static_cast<size_t>(t)];
       }
     }
   }
@@ -63,12 +63,12 @@ std::vector<core::TimeSeries> DbaAugmenter::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
   const int target_length = train.max_length();
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int n = 0; n < count; ++n) {
     const int reference = rng.Choice(members);
     // Weight the reference heavily, spread the rest over a random subset.
@@ -77,7 +77,7 @@ std::vector<core::TimeSeries> DbaAugmenter::Generate(
     const int extra =
         std::min<int>(max_neighbors_, static_cast<int>(members.size()) - 1);
     if (extra > 0) {
-      std::vector<double> raw(extra);
+      std::vector<double> raw(static_cast<size_t>(extra));
       double total = 0.0;
       for (double& w : raw) {
         w = rng.Uniform(0.05, 1.0);
@@ -89,7 +89,7 @@ std::vector<core::TimeSeries> DbaAugmenter::Generate(
           pick = rng.Choice(members);
         }
         pool.push_back(train.series(pick));
-        weights.push_back((1.0 - reference_weight_) * raw[e] / total);
+        weights.push_back((1.0 - reference_weight_) * raw[static_cast<size_t>(e)] / total);
       }
     } else {
       weights[0] = 1.0;

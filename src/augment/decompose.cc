@@ -11,16 +11,16 @@ Decomposition MovingAverageDecompose(const std::vector<double>& signal,
   TSAUG_CHECK(window >= 1);
   const int n = static_cast<int>(signal.size());
   Decomposition out;
-  out.trend.resize(n);
-  out.residual.resize(n);
+  out.trend.resize(static_cast<size_t>(n));
+  out.residual.resize(static_cast<size_t>(n));
   const int half = window / 2;
   for (int t = 0; t < n; ++t) {
     const int lo = std::max(0, t - half);
     const int hi = std::min(n - 1, t + half);
     double sum = 0.0;
-    for (int s = lo; s <= hi; ++s) sum += signal[s];
-    out.trend[t] = sum / (hi - lo + 1);
-    out.residual[t] = signal[t] - out.trend[t];
+    for (int s = lo; s <= hi; ++s) sum += signal[static_cast<size_t>(s)];
+    out.trend[static_cast<size_t>(t)] = sum / (hi - lo + 1);
+    out.residual[static_cast<size_t>(t)] = signal[static_cast<size_t>(t)] - out.trend[static_cast<size_t>(t)];
   }
   return out;
 }
@@ -44,16 +44,16 @@ core::TimeSeries DecompositionAugmenter::Transform(
 
     // Block bootstrap of the residual: fill the series with random
     // contiguous residual blocks.
-    std::vector<double> boot(length);
+    std::vector<double> boot(static_cast<size_t>(length));
     const int block = std::min(block_size_, length);
     int write = 0;
     while (write < length) {
       const int start = rng.Index(std::max(1, length - block + 1));
       for (int s = 0; s < block && write < length; ++s, ++write) {
-        boot[write] = parts.residual[start + s];
+        boot[static_cast<size_t>(write)] = parts.residual[static_cast<size_t>(start + s)];
       }
     }
-    for (int t = 0; t < length; ++t) out.at(c, t) = parts.trend[t] + boot[t];
+    for (int t = 0; t < length; ++t) out.at(c, t) = parts.trend[static_cast<size_t>(t)] + boot[static_cast<size_t>(t)];
   }
   return out;
 }

@@ -15,8 +15,8 @@ std::vector<int> Extrema(const std::vector<double>& x, bool minima) {
   std::vector<int> indices;
   indices.push_back(0);
   for (int t = 1; t + 1 < n; ++t) {
-    const bool is_extremum = minima ? (x[t] <= x[t - 1] && x[t] <= x[t + 1])
-                                    : (x[t] >= x[t - 1] && x[t] >= x[t + 1]);
+    const bool is_extremum = minima ? (x[static_cast<size_t>(t)] <= x[static_cast<size_t>(t - 1)] && x[static_cast<size_t>(t)] <= x[static_cast<size_t>(t + 1)])
+                                    : (x[static_cast<size_t>(t)] >= x[static_cast<size_t>(t - 1)] && x[static_cast<size_t>(t)] >= x[static_cast<size_t>(t + 1)]);
     if (is_extremum) indices.push_back(t);
   }
   indices.push_back(n - 1);
@@ -27,14 +27,14 @@ std::vector<int> Extrema(const std::vector<double>& x, bool minima) {
 std::vector<double> Envelope(const std::vector<double>& x,
                              const std::vector<int>& knots) {
   const int n = static_cast<int>(x.size());
-  std::vector<double> envelope(n, 0.0);
+  std::vector<double> envelope(static_cast<size_t>(n), 0.0);
   for (size_t k = 0; k + 1 < knots.size(); ++k) {
     const int lo = knots[k];
     const int hi = knots[k + 1];
     for (int t = lo; t <= hi; ++t) {
       const double frac = hi == lo ? 0.0
                                    : static_cast<double>(t - lo) / (hi - lo);
-      envelope[t] = (1.0 - frac) * x[lo] + frac * x[hi];
+      envelope[static_cast<size_t>(t)] = (1.0 - frac) * x[static_cast<size_t>(lo)] + frac * x[static_cast<size_t>(hi)];
     }
   }
   return envelope;
@@ -93,12 +93,12 @@ core::TimeSeries EmdAugmenter::Transform(const core::TimeSeries& series,
         std::vector<double>(channel.begin(), channel.end()), max_imfs_);
     // Recombine with per-IMF random scales around 1.
     for (int t = 0; t < source.length(); ++t) {
-      out.at(c, t) = decomposition.residual[t];
+      out.at(c, t) = decomposition.residual[static_cast<size_t>(t)];
     }
     for (const std::vector<double>& imf : decomposition.imfs) {
       const double scale = std::max(0.0, rng.Normal(1.0, sigma_));
       for (int t = 0; t < source.length(); ++t) {
-        out.at(c, t) += scale * imf[t];
+        out.at(c, t) += scale * imf[static_cast<size_t>(t)];
       }
     }
   }

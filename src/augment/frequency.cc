@@ -32,19 +32,19 @@ core::TimeSeries FrequencyPerturbation::Transform(
     const int half = length / 2;
     for (int k = 1; k <= half; ++k) {
       const double magnitude =
-          std::abs(spectrum[k]) * std::max(0.0, rng.Normal(1.0, amplitude_sigma_));
-      const double phase = std::arg(spectrum[k]) + rng.Normal(0.0, phase_sigma_);
-      spectrum[k] = std::polar(magnitude, phase);
+          std::abs(spectrum[static_cast<size_t>(k)]) * std::max(0.0, rng.Normal(1.0, amplitude_sigma_));
+      const double phase = std::arg(spectrum[static_cast<size_t>(k)]) + rng.Normal(0.0, phase_sigma_);
+      spectrum[static_cast<size_t>(k)] = std::polar(magnitude, phase);
       if (k != length - k && length - k < length) {
-        spectrum[length - k] = std::conj(spectrum[k]);
+        spectrum[static_cast<size_t>(length - k)] = std::conj(spectrum[static_cast<size_t>(k)]);
       }
     }
     // Nyquist bin (even lengths) must remain real.
     if (length % 2 == 0 && half >= 1) {
-      spectrum[half] = fft::Complex(spectrum[half].real(), 0.0);
+      spectrum[static_cast<size_t>(half)] = fft::Complex(spectrum[static_cast<size_t>(half)].real(), 0.0);
     }
     const std::vector<double> rebuilt = fft::InverseRealFft(spectrum);
-    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[t];
+    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[static_cast<size_t>(t)];
   }
   return out;
 }
@@ -82,8 +82,8 @@ core::TimeSeries SpectrogramMasking::Transform(const core::TimeSeries& series,
       const int f0 = 1 + rng.Index(half - freq_width);
       for (auto& frame : frames) {
         for (int k = f0; k < f0 + freq_width; ++k) {
-          frame[k] = fft::Complex(0.0, 0.0);
-          frame[window - k] = fft::Complex(0.0, 0.0);
+          frame[static_cast<size_t>(k)] = fft::Complex(0.0, 0.0);
+          frame[static_cast<size_t>(window - k)] = fft::Complex(0.0, 0.0);
         }
       }
     }
@@ -93,13 +93,13 @@ core::TimeSeries SpectrogramMasking::Transform(const core::TimeSeries& series,
     if (num_frames > time_width) {
       const int t0 = rng.Index(num_frames - time_width + 1);
       for (int f = t0; f < t0 + time_width; ++f) {
-        std::fill(frames[f].begin(), frames[f].end(), fft::Complex(0.0, 0.0));
+        std::fill(frames[static_cast<size_t>(f)].begin(), frames[static_cast<size_t>(f)].end(), fft::Complex(0.0, 0.0));
       }
     }
 
     const std::vector<double> rebuilt =
         fft::InverseStft(frames, window, hop, length);
-    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[t];
+    for (int t = 0; t < length; ++t) out.at(c, t) = rebuilt[static_cast<size_t>(t)];
   }
   return out;
 }

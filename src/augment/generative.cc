@@ -36,7 +36,7 @@ std::vector<core::TimeSeries> GaussianGenerator::Generate(
   const std::vector<double> mean = points.ColMeans();
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   if (points.rows() < 2) {
     // One sample: no covariance; jitter lightly.
     for (int i = 0; i < count; ++i) {
@@ -57,14 +57,14 @@ std::vector<core::TimeSeries> GaussianGenerator::Generate(
   }
 
   for (int i = 0; i < count; ++i) {
-    std::vector<double> z(dims);
+    std::vector<double> z(static_cast<size_t>(dims));
     for (double& v : z) v = rng.Normal();
     std::vector<double> sample = mean;
     for (int row = 0; row < dims; ++row) {
       double dot = 0.0;
       const double* l = factor.row_data(row);
-      for (int col = 0; col <= row; ++col) dot += l[col] * z[col];
-      sample[row] += dot;
+      for (int col = 0; col <= row; ++col) dot += l[col] * z[static_cast<size_t>(col)];
+      sample[static_cast<size_t>(row)] += dot;
     }
     out.push_back(core::TimeSeries::FromFlat(sample, channels, length));
   }
@@ -79,32 +79,32 @@ std::vector<double> FitAutoregressive(const std::vector<double>& signal,
   TSAUG_CHECK(n > order + 1);
 
   // Autocovariances r_0..r_p.
-  std::vector<double> r(order + 1, 0.0);
+  std::vector<double> r(static_cast<size_t>(order + 1), 0.0);
   for (int lag = 0; lag <= order; ++lag) {
-    for (int t = lag; t < n; ++t) r[lag] += signal[t] * signal[t - lag];
-    r[lag] /= n;
+    for (int t = lag; t < n; ++t) r[static_cast<size_t>(lag)] += signal[static_cast<size_t>(t)] * signal[static_cast<size_t>(t - lag)];
+    r[static_cast<size_t>(lag)] /= n;
   }
   if (r[0] <= 1e-12) {
     // Flat signal: no dynamics.
     if (innovation_variance != nullptr) *innovation_variance = 0.0;
-    return std::vector<double>(order, 0.0);
+    return std::vector<double>(static_cast<size_t>(order), 0.0);
   }
 
   // Yule-Walker: R phi = r[1..p], R Toeplitz of r[0..p-1].
   linalg::Matrix toeplitz(order, order);
   linalg::Matrix rhs(order, 1);
   for (int i = 0; i < order; ++i) {
-    for (int j = 0; j < order; ++j) toeplitz(i, j) = r[std::abs(i - j)];
-    rhs(i, 0) = r[i + 1];
+    for (int j = 0; j < order; ++j) toeplitz(i, j) = r[static_cast<size_t>(std::abs(i - j))];
+    rhs(i, 0) = r[static_cast<size_t>(i + 1)];
   }
   const linalg::Matrix solution =
       linalg::CholeskySolveJittered(toeplitz, rhs, 1e-8 * r[0]);
 
-  std::vector<double> phi(order);
+  std::vector<double> phi(static_cast<size_t>(order));
   double variance = r[0];
   for (int i = 0; i < order; ++i) {
-    phi[i] = solution(i, 0);
-    variance -= phi[i] * r[i + 1];
+    phi[static_cast<size_t>(i)] = solution(i, 0);
+    variance -= phi[static_cast<size_t>(i)] * r[static_cast<size_t>(i + 1)];
   }
   if (innovation_variance != nullptr) {
     *innovation_variance = std::max(0.0, variance);
@@ -126,41 +126,41 @@ std::vector<core::TimeSeries> ArGenerator::Generate(const core::Dataset& train,
 
   // Per-channel AR fit on the pooled residuals around the class mean.
   const int order = std::min(order_, std::max(1, length / 4));
-  std::vector<std::vector<double>> phis(channels);
-  std::vector<double> innovation_std(channels, 0.0);
+  std::vector<std::vector<double>> phis(static_cast<size_t>(channels));
+  std::vector<double> innovation_std(static_cast<size_t>(channels), 0.0);
   for (int c = 0; c < channels; ++c) {
     std::vector<double> pooled;
-    pooled.reserve(static_cast<size_t>(points.rows()) * length);
+    pooled.reserve(static_cast<size_t>(points.rows()) * static_cast<size_t>(length));
     for (int i = 0; i < points.rows(); ++i) {
       for (int t = 0; t < length; ++t) {
         const int d = c * length + t;
-        pooled.push_back(points(i, d) - mean[d]);
+        pooled.push_back(points(i, d) - mean[static_cast<size_t>(d)]);
       }
     }
     double variance = 0.0;
     if (static_cast<int>(pooled.size()) > order + 1) {
-      phis[c] = FitAutoregressive(pooled, order, &variance);
+      phis[static_cast<size_t>(c)] = FitAutoregressive(pooled, order, &variance);
     } else {
-      phis[c].assign(order, 0.0);
+      phis[static_cast<size_t>(c)].assign(static_cast<size_t>(order), 0.0);
       for (double v : pooled) variance += v * v;
-      variance /= std::max<size_t>(1, pooled.size());
+      variance /= static_cast<double>(std::max<size_t>(1, pooled.size()));
     }
-    innovation_std[c] = std::sqrt(std::max(0.0, variance));
+    innovation_std[static_cast<size_t>(c)] = std::sqrt(std::max(0.0, variance));
   }
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     core::TimeSeries series(channels, length);
     for (int c = 0; c < channels; ++c) {
-      std::vector<double> residual(length, 0.0);
+      std::vector<double> residual(static_cast<size_t>(length), 0.0);
       for (int t = 0; t < length; ++t) {
-        double v = rng.Normal(0.0, innovation_std[c]);
+        double v = rng.Normal(0.0, innovation_std[static_cast<size_t>(c)]);
         for (int lag = 1; lag <= order && t - lag >= 0; ++lag) {
-          v += phis[c][lag - 1] * residual[t - lag];
+          v += phis[static_cast<size_t>(c)][static_cast<size_t>(lag - 1)] * residual[static_cast<size_t>(t - lag)];
         }
-        residual[t] = v;
-        series.at(c, t) = mean[c * length + t] + v;
+        residual[static_cast<size_t>(t)] = v;
+        series.at(c, t) = mean[static_cast<size_t>(c * length + t)] + v;
       }
     }
     out.push_back(std::move(series));

@@ -22,16 +22,16 @@ core::TimeSeries DtwGuidedWarp::WarpOnto(const core::TimeSeries& seed,
 
   // For each reference step j, average the seed values aligned to it.
   core::TimeSeries out(seed.num_channels(), ref_clean.length(), 0.0);
-  std::vector<int> hits(ref_clean.length(), 0);
+  std::vector<int> hits(static_cast<size_t>(ref_clean.length()), 0);
   for (const auto& [i, j] : path) {
     for (int c = 0; c < out.num_channels(); ++c) {
       out.at(c, j) += seed_clean.at(c, i);
     }
-    ++hits[j];
+    ++hits[static_cast<size_t>(j)];
   }
   for (int j = 0; j < out.length(); ++j) {
-    TSAUG_CHECK(hits[j] > 0);  // a full DTW path covers every j
-    for (int c = 0; c < out.num_channels(); ++c) out.at(c, j) /= hits[j];
+    TSAUG_CHECK(hits[static_cast<size_t>(j)] > 0);  // a full DTW path covers every j
+    for (int c = 0; c < out.num_channels(); ++c) out.at(c, j) /= hits[static_cast<size_t>(j)];
   }
   return out;
 }
@@ -40,12 +40,12 @@ std::vector<core::TimeSeries> DtwGuidedWarp::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
   const int target_length = train.max_length();
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int n = 0; n < count; ++n) {
     const int seed_index = rng.Choice(members);
     int ref_index = rng.Choice(members);
@@ -77,7 +77,7 @@ std::vector<core::TimeSeries> Inos::Generate(const core::Dataset& train,
   const int sampled = count - interpolated;
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   if (interpolated > 0) {
     // Boundary-protecting portion: SMOTE-style neighbour interpolation.
     Smote smote(k_neighbors_);

@@ -27,38 +27,38 @@ core::TimeSeries MaximumEntropyBootstrap::Transform(
     }
 
     // Rank of each time position in the sorted order.
-    std::vector<int> order(n);
+    std::vector<int> order(static_cast<size_t>(n));
     std::iota(order.begin(), order.end(), 0);
     std::stable_sort(order.begin(), order.end(),
-                     [&](int a, int b) { return values[a] < values[b]; });
+                     [&](int a, int b) { return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)]; });
 
-    std::vector<double> sorted(n);
-    for (int r = 0; r < n; ++r) sorted[r] = values[order[r]];
+    std::vector<double> sorted(static_cast<size_t>(n));
+    for (int r = 0; r < n; ++r) sorted[static_cast<size_t>(r)] = values[static_cast<size_t>(order[static_cast<size_t>(r)])];
 
     // Interval boundaries: z_0 < z_1 < ... < z_n with midpoints between
     // consecutive order statistics and trimmed-mean-expanded tails.
     double mad = 0.0;
-    for (int r = 1; r < n; ++r) mad += std::fabs(sorted[r] - sorted[r - 1]);
+    for (int r = 1; r < n; ++r) mad += std::fabs(sorted[static_cast<size_t>(r)] - sorted[static_cast<size_t>(r - 1)]);
     mad /= (n - 1);
-    std::vector<double> z(n + 1);
+    std::vector<double> z(static_cast<size_t>(n + 1));
     z[0] = sorted[0] - trim_ * mad;
-    for (int r = 1; r < n; ++r) z[r] = 0.5 * (sorted[r - 1] + sorted[r]);
-    z[n] = sorted[n - 1] + trim_ * mad;
+    for (int r = 1; r < n; ++r) z[static_cast<size_t>(r)] = 0.5 * (sorted[static_cast<size_t>(r - 1)] + sorted[static_cast<size_t>(r)]);
+    z[static_cast<size_t>(n)] = sorted[static_cast<size_t>(n - 1)] + trim_ * mad;
 
     // Draw n uniforms, map each through the piecewise-uniform maximum-
     // entropy quantile function (interval r has probability mass 1/n).
-    std::vector<double> draws(n);
+    std::vector<double> draws(static_cast<size_t>(n));
     for (int r = 0; r < n; ++r) {
       const double u = rng.Uniform(0.0, 1.0);
       const int interval = std::min(n - 1, static_cast<int>(u * n));
       const double within = u * n - interval;
-      draws[r] = z[interval] + within * (z[interval + 1] - z[interval]);
+      draws[static_cast<size_t>(r)] = z[static_cast<size_t>(interval)] + within * (z[static_cast<size_t>(interval + 1)] - z[static_cast<size_t>(interval)]);
     }
     std::sort(draws.begin(), draws.end());
 
     // Re-impose the original rank order: the time position that held the
     // r-th smallest value receives the r-th smallest draw.
-    for (int r = 0; r < n; ++r) out.at(c, order[r]) = draws[r];
+    for (int r = 0; r < n; ++r) out.at(c, order[static_cast<size_t>(r)]) = draws[static_cast<size_t>(r)];
   }
   return out;
 }

@@ -22,7 +22,7 @@ FlatView Flatten(const core::Dataset& train, int label) {
   FlatView view;
   view.channels = train.num_channels();
   view.length = train.max_length();
-  view.points.reserve(train.size());
+  view.points.reserve(static_cast<size_t>(train.size()));
   for (int i = 0; i < train.size(); ++i) {
     core::TimeSeries s = core::ImputeLinear(train.series(i));
     if (s.length() != view.length) s = core::ResampleToLength(s, view.length);
@@ -52,7 +52,7 @@ std::vector<double> Interpolate(const std::vector<double>& a,
 std::vector<std::vector<int>> ClassNeighborLists(const FlatView& view, int k) {
   std::vector<std::vector<double>> class_points;
   class_points.reserve(view.class_members.size());
-  for (int idx : view.class_members) class_points.push_back(view.points[idx]);
+  for (int idx : view.class_members) class_points.push_back(view.points[static_cast<size_t>(idx)]);
   std::vector<std::vector<int>> lists(class_points.size());
   for (size_t i = 0; i < class_points.size(); ++i) {
     lists[i] = linalg::KNearestNeighbors(class_points, class_points[i], k,
@@ -68,13 +68,13 @@ std::vector<double> EnemyFractions(const FlatView& view, int label, int k) {
   for (size_t i = 0; i < view.class_members.size(); ++i) {
     const int self = view.class_members[i];
     const std::vector<int> neighbors =
-        linalg::KNearestNeighbors(view.points, view.points[self], k, self);
+        linalg::KNearestNeighbors(view.points, view.points[static_cast<size_t>(self)], k, self);
     if (neighbors.empty()) continue;
     int enemies = 0;
     for (int n : neighbors) {
-      if (view.labels[n] != label) ++enemies;
+      if (view.labels[static_cast<size_t>(n)] != label) ++enemies;
     }
-    fractions[i] = static_cast<double>(enemies) / neighbors.size();
+    fractions[i] = static_cast<double>(enemies) / static_cast<double>(neighbors.size());
   }
   return fractions;
 }
@@ -93,11 +93,11 @@ std::vector<core::TimeSeries> Smote::Generate(const core::Dataset& train,
   TSAUG_CHECK_MSG(class_size >= 1, "class %d has no instances", label);
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   if (class_size == 1) {
     // Degenerate: no neighbour to interpolate toward; duplicate.
     for (int i = 0; i < count; ++i) {
-      out.push_back(Unflatten(view.points[view.class_members[0]], view));
+      out.push_back(Unflatten(view.points[static_cast<size_t>(view.class_members[0])], view));
     }
     return out;
   }
@@ -109,11 +109,11 @@ std::vector<core::TimeSeries> Smote::Generate(const core::Dataset& train,
 
   for (int i = 0; i < count; ++i) {
     const int seed = rng.Index(class_size);
-    const std::vector<int>& neighbors = neighbor_lists[seed];
-    const int partner = view.class_members[rng.Choice(neighbors)];
+    const std::vector<int>& neighbors = neighbor_lists[static_cast<size_t>(seed)];
+    const int partner = view.class_members[static_cast<size_t>(rng.Choice(neighbors))];
     out.push_back(Unflatten(
-        Interpolate(view.points[view.class_members[seed]],
-                    view.points[partner], rng.Uniform()),
+        Interpolate(view.points[static_cast<size_t>(view.class_members[static_cast<size_t>(seed)])],
+                    view.points[static_cast<size_t>(partner)], rng.Uniform()),
         view));
   }
   return out;
@@ -151,14 +151,14 @@ std::vector<core::TimeSeries> BorderlineSmote::Generate(
       ClassNeighborLists(view, k_class);
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     const int seed = rng.Choice(danger);
-    const std::vector<int>& neighbors = neighbor_lists[seed];
-    const int partner = view.class_members[rng.Choice(neighbors)];
+    const std::vector<int>& neighbors = neighbor_lists[static_cast<size_t>(seed)];
+    const int partner = view.class_members[static_cast<size_t>(rng.Choice(neighbors))];
     out.push_back(Unflatten(
-        Interpolate(view.points[view.class_members[seed]],
-                    view.points[partner], rng.Uniform()),
+        Interpolate(view.points[static_cast<size_t>(view.class_members[static_cast<size_t>(seed)])],
+                    view.points[static_cast<size_t>(partner)], rng.Uniform()),
         view));
   }
   return out;
@@ -193,7 +193,7 @@ std::vector<core::TimeSeries> Adasyn::Generate(const core::Dataset& train,
       ClassNeighborLists(view, k_class);
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     // Sample a seed proportionally to its enemy weight.
     double pick = rng.Uniform(0.0, total);
@@ -205,11 +205,11 @@ std::vector<core::TimeSeries> Adasyn::Generate(const core::Dataset& train,
         break;
       }
     }
-    const std::vector<int>& neighbors = neighbor_lists[seed];
-    const int partner = view.class_members[rng.Choice(neighbors)];
+    const std::vector<int>& neighbors = neighbor_lists[static_cast<size_t>(seed)];
+    const int partner = view.class_members[static_cast<size_t>(rng.Choice(neighbors))];
     out.push_back(Unflatten(
-        Interpolate(view.points[view.class_members[seed]],
-                    view.points[partner], rng.Uniform()),
+        Interpolate(view.points[static_cast<size_t>(view.class_members[static_cast<size_t>(seed)])],
+                    view.points[static_cast<size_t>(partner)], rng.Uniform()),
         view));
   }
   return out;
@@ -221,12 +221,12 @@ std::vector<core::TimeSeries> RandomInterpolation::Generate(
   const int class_size = static_cast<int>(view.class_members.size());
   TSAUG_CHECK(class_size >= 1);
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
-    const int a = view.class_members[rng.Index(class_size)];
-    const int b = view.class_members[rng.Index(class_size)];
+    const int a = view.class_members[static_cast<size_t>(rng.Index(class_size))];
+    const int b = view.class_members[static_cast<size_t>(rng.Index(class_size))];
     out.push_back(
-        Unflatten(Interpolate(view.points[a], view.points[b], rng.Uniform()),
+        Unflatten(Interpolate(view.points[static_cast<size_t>(a)], view.points[static_cast<size_t>(b)], rng.Uniform()),
                   view));
   }
   return out;
@@ -236,10 +236,10 @@ std::vector<core::TimeSeries> RandomOversampling::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK(!members.empty());
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     out.push_back(train.series(rng.Choice(members)));
   }

@@ -29,7 +29,7 @@ TaxonomyBranch RandomChoiceAugmenter::branch() const {
 std::vector<core::TimeSeries> RandomChoiceAugmenter::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     Augmenter& member = *rng.Choice(members_);
     std::vector<core::TimeSeries> one = member.Generate(train, label, 1, rng);

@@ -48,10 +48,10 @@ std::vector<core::TimeSeries> RangeNoise::Generate(const core::Dataset& train,
   TSAUG_CHECK_MSG(!view.class_points.empty(), "class %d empty", label);
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     const int seed = rng.Index(static_cast<int>(view.class_points.size()));
-    const std::vector<double>& x = view.class_points[seed];
+    const std::vector<double>& x = view.class_points[static_cast<size_t>(seed)];
 
     // Safe radius: distance to the nearest enemy, scaled down.
     double nearest_enemy = std::numeric_limits<double>::infinity();
@@ -96,7 +96,7 @@ std::vector<int> Ohit::ClusterClass(const core::Dataset& train,
                                     int label) const {
   const FlatClass view = FlattenByClass(train, label);
   const int n = static_cast<int>(view.class_points.size());
-  std::vector<int> assignment(n, -1);
+  std::vector<int> assignment(static_cast<size_t>(n), -1);
   if (n <= 2) {
     // Too small to cluster: one cluster.
     std::fill(assignment.begin(), assignment.end(), 0);
@@ -112,16 +112,16 @@ std::vector<int> Ohit::ClusterClass(const core::Dataset& train,
   int next_cluster = 0;
   std::vector<int> stack;
   for (int i = 0; i < n; ++i) {
-    if (assignment[i] != -1) continue;
-    assignment[i] = next_cluster;
+    if (assignment[static_cast<size_t>(i)] != -1) continue;
+    assignment[static_cast<size_t>(i)] = next_cluster;
     stack.push_back(i);
     while (!stack.empty()) {
       const int current = stack.back();
       stack.pop_back();
       for (int j = 0; j < n; ++j) {
-        if (assignment[j] == -1 &&
-            snn[static_cast<size_t>(current) * n + j] >= eps) {
-          assignment[j] = next_cluster;
+        if (assignment[static_cast<size_t>(j)] == -1 &&
+            snn[static_cast<size_t>(current) * static_cast<size_t>(n) + static_cast<size_t>(j)] >= eps) {
+          assignment[static_cast<size_t>(j)] = next_cluster;
           stack.push_back(j);
         }
       }
@@ -142,40 +142,40 @@ std::vector<core::TimeSeries> Ohit::Generate(const core::Dataset& train,
       1 + *std::max_element(assignment.begin(), assignment.end());
 
   // Group members per cluster.
-  std::vector<std::vector<int>> clusters(num_clusters);
-  for (int i = 0; i < n; ++i) clusters[assignment[i]].push_back(i);
+  std::vector<std::vector<int>> clusters(static_cast<size_t>(num_clusters));
+  for (int i = 0; i < n; ++i) clusters[static_cast<size_t>(assignment[static_cast<size_t>(i)])].push_back(i);
 
   // Allocate the requested count proportionally to cluster sizes.
-  std::vector<int> quota(num_clusters, 0);
+  std::vector<int> quota(static_cast<size_t>(num_clusters), 0);
   int assigned = 0;
   for (int c = 0; c < num_clusters; ++c) {
-    quota[c] = count * static_cast<int>(clusters[c].size()) / n;
-    assigned += quota[c];
+    quota[static_cast<size_t>(c)] = count * static_cast<int>(clusters[static_cast<size_t>(c)].size()) / n;
+    assigned += quota[static_cast<size_t>(c)];
   }
   for (int c = 0; assigned < count; c = (c + 1) % num_clusters) {
-    ++quota[c];
+    ++quota[static_cast<size_t>(c)];
     ++assigned;
   }
 
   const int dims = view.channels * view.length;
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int c = 0; c < num_clusters; ++c) {
-    if (quota[c] == 0) continue;
-    const std::vector<int>& members = clusters[c];
+    if (quota[static_cast<size_t>(c)] == 0) continue;
+    const std::vector<int>& members = clusters[static_cast<size_t>(c)];
 
     // Cluster mean.
-    std::vector<double> mean(dims, 0.0);
+    std::vector<double> mean(static_cast<size_t>(dims), 0.0);
     for (int m : members) {
-      for (int d = 0; d < dims; ++d) mean[d] += view.class_points[m][d];
+      for (int d = 0; d < dims; ++d) mean[static_cast<size_t>(d)] += view.class_points[static_cast<size_t>(m)][static_cast<size_t>(d)];
     }
-    for (double& v : mean) v /= members.size();
+    for (double& v : mean) v /= static_cast<double>(members.size());
 
     if (members.size() < 2) {
       // Singleton cluster: jitter around the point at 5% of its scale.
-      const std::vector<double>& x = view.class_points[members[0]];
+      const std::vector<double>& x = view.class_points[static_cast<size_t>(members[0])];
       const double scale = 0.05 * linalg::Norm(x) / std::sqrt(dims);
-      for (int q = 0; q < quota[c]; ++q) {
+      for (int q = 0; q < quota[static_cast<size_t>(c)]; ++q) {
         std::vector<double> sample = x;
         for (double& v : sample) v += rng.Normal(0.0, std::max(1e-6, scale));
         out.push_back(
@@ -187,7 +187,7 @@ std::vector<core::TimeSeries> Ohit::Generate(const core::Dataset& train,
     // Shrinkage covariance of the cluster, factored once per cluster.
     linalg::Matrix points(static_cast<int>(members.size()), dims);
     for (size_t r = 0; r < members.size(); ++r) {
-      points.SetRow(static_cast<int>(r), view.class_points[members[r]]);
+      points.SetRow(static_cast<int>(r), view.class_points[static_cast<size_t>(members[r])]);
     }
     linalg::Matrix sigma = linalg::ShrinkageCovariance(points);
     linalg::AddDiagonal(sigma, 1e-9);
@@ -198,16 +198,16 @@ std::vector<core::TimeSeries> Ohit::Generate(const core::Dataset& train,
       TSAUG_CHECK(linalg::CholeskyFactor(factor));
     }
 
-    for (int q = 0; q < quota[c]; ++q) {
+    for (int q = 0; q < quota[static_cast<size_t>(c)]; ++q) {
       // sample = mean + L z with z ~ N(0, I).
-      std::vector<double> z(dims);
+      std::vector<double> z(static_cast<size_t>(dims));
       for (double& v : z) v = rng.Normal();
       std::vector<double> sample = mean;
       for (int row = 0; row < dims; ++row) {
         double dot = 0.0;
         const double* l = factor.row_data(row);
-        for (int col = 0; col <= row; ++col) dot += l[col] * z[col];
-        sample[row] += dot;
+        for (int col = 0; col <= row; ++col) dot += l[col] * z[static_cast<size_t>(col)];
+        sample[static_cast<size_t>(row)] += dot;
       }
       out.push_back(
           core::TimeSeries::FromFlat(sample, view.channels, view.length));

@@ -52,7 +52,7 @@ Variable TimeGan::SupervisedLoss(const Variable& h) const {
   TSAUG_CHECK(time >= 2);
   const Variable predicted = Supervise(h);
   std::vector<Variable> errors;
-  errors.reserve(time - 1);
+  errors.reserve(static_cast<size_t>(time - 1));
   for (int t = 0; t + 1 < time; ++t) {
     const Variable diff =
         nn::Sub(nn::SelectTime(predicted, t), nn::SelectTime(h, t + 1));
@@ -60,14 +60,14 @@ Variable TimeGan::SupervisedLoss(const Variable& h) const {
   }
   Variable total = errors[0];
   for (size_t i = 1; i < errors.size(); ++i) total = nn::Add(total, errors[i]);
-  return nn::ScaleBy(total, 1.0 / errors.size());
+  return nn::ScaleBy(total, 1.0 / static_cast<double>(errors.size()));
 }
 
 Tensor TimeGan::SampleBatch(int batch, core::Rng& rng) const {
   Tensor out({batch, sequence_length_, num_features_});
   for (int b = 0; b < batch; ++b) {
     const Tensor& instance =
-        scaled_[rng.Index(static_cast<int>(scaled_.size()))];
+        scaled_[static_cast<size_t>(rng.Index(static_cast<int>(scaled_.size())))];
     for (int t = 0; t < sequence_length_; ++t) {
       for (int f = 0; f < num_features_; ++f) {
         out.at(b, t, f) = instance.at(t, f);
@@ -97,8 +97,8 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
   sequence_length_ = std::min(max_length, config_.max_sequence_length);
   TSAUG_CHECK(sequence_length_ >= 2);
 
-  feature_min_.assign(num_features_, std::numeric_limits<double>::infinity());
-  feature_max_.assign(num_features_,
+  feature_min_.assign(static_cast<size_t>(num_features_), std::numeric_limits<double>::infinity());
+  feature_max_.assign(static_cast<size_t>(num_features_),
                       -std::numeric_limits<double>::infinity());
   std::vector<core::TimeSeries> prepared;
   prepared.reserve(series.size());
@@ -109,8 +109,8 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     }
     for (int f = 0; f < num_features_; ++f) {
       for (double v : p.channel(f)) {
-        feature_min_[f] = std::min(feature_min_[f], v);
-        feature_max_[f] = std::max(feature_max_[f], v);
+        feature_min_[static_cast<size_t>(f)] = std::min(feature_min_[static_cast<size_t>(f)], v);
+        feature_max_[static_cast<size_t>(f)] = std::max(feature_max_[static_cast<size_t>(f)], v);
       }
     }
     prepared.push_back(std::move(p));
@@ -120,9 +120,9 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     Tensor instance({sequence_length_, num_features_});
     for (int t = 0; t < sequence_length_; ++t) {
       for (int f = 0; f < num_features_; ++f) {
-        const double range = feature_max_[f] - feature_min_[f];
+        const double range = feature_max_[static_cast<size_t>(f)] - feature_min_[static_cast<size_t>(f)];
         instance.at(t, f) =
-            range > 1e-12 ? (p.at(f, t) - feature_min_[f]) / range : 0.5;
+            range > 1e-12 ? (p.at(f, t) - feature_min_[static_cast<size_t>(f)]) / range : 0.5;
       }
     }
     scaled_.push_back(std::move(instance));
@@ -216,21 +216,21 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
       const Tensor ones(y_fake.value().shape(), 1.0);
 
       // Moment matching against the real batch's per-feature statistics.
-      std::vector<double> target_mean(num_features_, 0.0);
-      std::vector<double> target_std(num_features_, 0.0);
+      std::vector<double> target_mean(static_cast<size_t>(num_features_), 0.0);
+      std::vector<double> target_std(static_cast<size_t>(num_features_), 0.0);
       const int cells = batch * sequence_length_;
       for (int b = 0; b < batch; ++b) {
         for (int t = 0; t < sequence_length_; ++t) {
           for (int f = 0; f < num_features_; ++f) {
-            target_mean[f] += x.at(b, t, f) / cells;
+            target_mean[static_cast<size_t>(f)] += x.at(b, t, f) / cells;
           }
         }
       }
       for (int b = 0; b < batch; ++b) {
         for (int t = 0; t < sequence_length_; ++t) {
           for (int f = 0; f < num_features_; ++f) {
-            const double d = x.at(b, t, f) - target_mean[f];
-            target_std[f] += d * d / cells;
+            const double d = x.at(b, t, f) - target_mean[static_cast<size_t>(f)];
+            target_std[static_cast<size_t>(f)] += d * d / cells;
           }
         }
       }
@@ -256,11 +256,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     {
       zero_all();
       const Tensor x = SampleBatch(batch, rng);
-      const Variable h = Embed(Variable(x));
-      const Variable reconstruction = Recover(h);
+      const Variable h_emb = Embed(Variable(x));
+      const Variable reconstruction = Recover(h_emb);
       Variable loss =
           nn::Add(nn::ScaleBy(nn::Sqrt(nn::MseLoss(reconstruction, x)), 10.0),
-                  nn::ScaleBy(SupervisedLoss(h), 0.1));
+                  nn::ScaleBy(SupervisedLoss(h_emb), 0.1));
       loss.Backward();
       embedder_joint_opt.Step();
     }
@@ -269,11 +269,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     {
       zero_all();
       const Tensor x = SampleBatch(batch, rng);
-      const Variable h = Embed(Variable(x));
+      const Variable h_real = Embed(Variable(x));
       const Variable e_hat = Generate(Variable(SampleNoise(batch, rng)));
       const Variable h_hat = Supervise(e_hat);
 
-      const Variable y_real = Discriminate(h);
+      const Variable y_real = Discriminate(h_real);
       const Variable y_fake = Discriminate(h_hat);
       const Variable y_fake_e = Discriminate(e_hat);
       const Tensor ones(y_real.value().shape(), 1.0);
@@ -296,7 +296,7 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
 std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
   TSAUG_CHECK(fitted_);
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int start = 0; start < count; start += config_.batch_size) {
     const int batch = std::min(config_.batch_size, count - start);
     const Variable x_hat =
@@ -304,12 +304,12 @@ std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
     for (int b = 0; b < batch; ++b) {
       core::TimeSeries series(num_features_, sequence_length_);
       for (int f = 0; f < num_features_; ++f) {
-        const double range = feature_max_[f] - feature_min_[f];
+        const double range = feature_max_[static_cast<size_t>(f)] - feature_min_[static_cast<size_t>(f)];
         for (int t = 0; t < sequence_length_; ++t) {
           const double scaled = x_hat.value().at(b, t, f);
           series.at(f, t) =
-              range > 1e-12 ? feature_min_[f] + scaled * range
-                            : feature_min_[f];
+              range > 1e-12 ? feature_min_[static_cast<size_t>(f)] + scaled * range
+                            : feature_min_[static_cast<size_t>(f)];
         }
       }
       out.push_back(std::move(series));
@@ -325,7 +325,7 @@ std::vector<core::TimeSeries> TimeGanAugmenter::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
 
   auto it = models_.find(label);
@@ -336,7 +336,7 @@ std::vector<core::TimeSeries> TimeGanAugmenter::Generate(
     class_series.reserve(members.size());
     for (int i : members) class_series.push_back(train.series(i));
     TimeGanConfig config = config_;
-    config.seed = config_.seed ^ (0x5eedull + label * 1000003ull);
+    config.seed = config_.seed ^ (0x5eedull + static_cast<unsigned long long>(label) * 1000003ull);
     auto model = std::make_unique<TimeGan>(config);
     model->Fit(class_series);
     it = models_.emplace(label, std::move(model)).first;

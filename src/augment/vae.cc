@@ -23,15 +23,15 @@ void Vae::Fit(const std::vector<std::vector<double>>& instances) {
   core::Rng rng(config_.seed ^ 0xfae5ull);
 
   // Per-feature standardisation.
-  feature_mean_.assign(input_dim_, 0.0);
-  feature_std_.assign(input_dim_, 0.0);
+  feature_mean_.assign(static_cast<size_t>(input_dim_), 0.0);
+  feature_std_.assign(static_cast<size_t>(input_dim_), 0.0);
   for (const auto& row : instances) {
     TSAUG_CHECK(static_cast<int>(row.size()) == input_dim_);
-    for (int d = 0; d < input_dim_; ++d) feature_mean_[d] += row[d] / n;
+    for (int d = 0; d < input_dim_; ++d) feature_mean_[static_cast<size_t>(d)] += row[static_cast<size_t>(d)] / n;
   }
   for (const auto& row : instances) {
     for (int d = 0; d < input_dim_; ++d) {
-      feature_std_[d] += std::pow(row[d] - feature_mean_[d], 2) / n;
+      feature_std_[static_cast<size_t>(d)] += std::pow(row[static_cast<size_t>(d)] - feature_mean_[static_cast<size_t>(d)], 2) / n;
     }
   }
   for (double& s : feature_std_) s = std::max(1e-6, std::sqrt(s));
@@ -39,7 +39,7 @@ void Vae::Fit(const std::vector<std::vector<double>>& instances) {
   Tensor data({n, input_dim_});
   for (int i = 0; i < n; ++i) {
     for (int d = 0; d < input_dim_; ++d) {
-      data.at(i, d) = (instances[i][d] - feature_mean_[d]) / feature_std_[d];
+      data.at(i, d) = (instances[static_cast<size_t>(i)][static_cast<size_t>(d)] - feature_mean_[static_cast<size_t>(d)]) / feature_std_[static_cast<size_t>(d)];
     }
   }
 
@@ -105,12 +105,12 @@ std::vector<std::vector<double>> Vae::Sample(int count, core::Rng& rng) {
   for (double& v : z.data()) v = rng.Normal();
   const Variable decoded =
       decoder_out_->Forward(nn::Relu(decoder_hidden_->Forward(Variable(z))));
-  std::vector<std::vector<double>> out(count,
-                                       std::vector<double>(input_dim_));
+  std::vector<std::vector<double>> out(static_cast<size_t>(count),
+                                       std::vector<double>(static_cast<size_t>(input_dim_)));
   for (int i = 0; i < count; ++i) {
     for (int d = 0; d < input_dim_; ++d) {
-      out[i][d] =
-          decoded.value().at(i, d) * feature_std_[d] + feature_mean_[d];
+      out[static_cast<size_t>(i)][static_cast<size_t>(d)] =
+          decoded.value().at(i, d) * feature_std_[static_cast<size_t>(d)] + feature_mean_[static_cast<size_t>(d)];
     }
   }
   return out;
@@ -122,7 +122,7 @@ std::vector<core::TimeSeries> VaeAugmenter::Generate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
-  const std::vector<int>& members = by_class[label];
+  const std::vector<int>& members = by_class[static_cast<size_t>(label)];
   TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
 
   const int channels = train.num_channels();
@@ -137,14 +137,14 @@ std::vector<core::TimeSeries> VaeAugmenter::Generate(
       instances.push_back(s.Flatten());
     }
     VaeConfig config = config_;
-    config.seed = config_.seed ^ (0x5eedull + 1000003ull * label);
+    config.seed = config_.seed ^ (0x5eedull + 1000003ull * static_cast<unsigned long long>(label));
     auto model = std::make_unique<Vae>(config);
     model->Fit(instances);
     it = models_.emplace(label, std::move(model)).first;
   }
 
   std::vector<core::TimeSeries> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (std::vector<double>& flat : it->second->Sample(count, rng)) {
     out.push_back(core::TimeSeries::FromFlat(flat, channels, length));
   }

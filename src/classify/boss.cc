@@ -26,7 +26,7 @@ std::vector<double> SfaTransform::WindowFeatures(
                              signal.begin() + start + window_size_);
   if (mean_normalize_) {
     double mean = 0.0;
-    for (double v : window) mean += v / window.size();
+    for (double v : window) mean += v / static_cast<double>(window.size());
     for (double& v : window) v -= mean;
   }
   const std::vector<fft::Complex> spectrum = fft::RealFft(window);
@@ -34,42 +34,42 @@ std::vector<double> SfaTransform::WindowFeatures(
   // Leading coefficients, real and imaginary interleaved. With mean
   // normalisation the DC bin is ~0, so start from bin 1.
   std::vector<double> features;
-  features.reserve(word_length_);
+  features.reserve(static_cast<size_t>(word_length_));
   int bin = mean_normalize_ ? 1 : 0;
   while (static_cast<int>(features.size()) < word_length_ &&
          bin < static_cast<int>(spectrum.size())) {
-    features.push_back(spectrum[bin].real());
+    features.push_back(spectrum[static_cast<size_t>(bin)].real());
     if (static_cast<int>(features.size()) < word_length_) {
-      features.push_back(spectrum[bin].imag());
+      features.push_back(spectrum[static_cast<size_t>(bin)].imag());
     }
     ++bin;
   }
-  features.resize(word_length_, 0.0);
+  features.resize(static_cast<size_t>(word_length_), 0.0);
   return features;
 }
 
 void SfaTransform::Fit(const std::vector<std::vector<double>>& signals) {
   // Pool features per coefficient across every training window.
-  std::vector<std::vector<double>> pooled(word_length_);
+  std::vector<std::vector<double>> pooled(static_cast<size_t>(word_length_));
   for (const std::vector<double>& signal : signals) {
     const int positions = static_cast<int>(signal.size()) - window_size_ + 1;
     for (int start = 0; start < positions; ++start) {
       const std::vector<double> features = WindowFeatures(signal, start);
-      for (int k = 0; k < word_length_; ++k) pooled[k].push_back(features[k]);
+      for (int k = 0; k < word_length_; ++k) pooled[static_cast<size_t>(k)].push_back(features[static_cast<size_t>(k)]);
     }
   }
   TSAUG_CHECK_MSG(!pooled[0].empty(),
                   "no training windows (series shorter than window?)");
 
   // Equi-depth MCB bins.
-  bins_.assign(word_length_, {});
+  bins_.assign(static_cast<size_t>(word_length_), {});
   for (int k = 0; k < word_length_; ++k) {
-    std::sort(pooled[k].begin(), pooled[k].end());
+    std::sort(pooled[static_cast<size_t>(k)].begin(), pooled[static_cast<size_t>(k)].end());
     for (int edge = 1; edge < alphabet_size_; ++edge) {
       const size_t idx =
-          std::min(pooled[k].size() - 1,
-                   pooled[k].size() * edge / alphabet_size_);
-      bins_[k].push_back(pooled[k][idx]);
+          std::min(pooled[static_cast<size_t>(k)].size() - 1,
+                   pooled[static_cast<size_t>(k)].size() * static_cast<size_t>(edge) / static_cast<size_t>(alphabet_size_));
+      bins_[static_cast<size_t>(k)].push_back(pooled[static_cast<size_t>(k)][idx]);
     }
   }
 }
@@ -80,16 +80,17 @@ std::vector<std::uint32_t> SfaTransform::Words(
   const int positions = static_cast<int>(signal.size()) - window_size_ + 1;
   std::vector<std::uint32_t> words;
   if (positions <= 0) return words;
-  words.reserve(positions);
+  words.reserve(static_cast<size_t>(positions));
   for (int start = 0; start < positions; ++start) {
     const std::vector<double> features = WindowFeatures(signal, start);
     std::uint32_t word = 0;
     for (int k = 0; k < word_length_; ++k) {
       int symbol = 0;
-      for (double edge : bins_[k]) {
-        if (features[k] > edge) ++symbol;
+      for (double edge : bins_[static_cast<size_t>(k)]) {
+        if (features[static_cast<size_t>(k)] > edge) ++symbol;
       }
-      word = word * alphabet_size_ + static_cast<std::uint32_t>(symbol);
+      word = word * static_cast<std::uint32_t>(alphabet_size_) +
+             static_cast<std::uint32_t>(symbol);
     }
     words.push_back(word);
   }
@@ -112,7 +113,7 @@ std::map<std::uint64_t, int> BossClassifier::Histogram(
   std::map<std::uint64_t, int> histogram;
   for (int c = 0; c < prepared.num_channels(); ++c) {
     const auto channel = prepared.channel(c);
-    const std::vector<std::uint32_t> words = channel_transforms_[c].Words(
+    const std::vector<std::uint32_t> words = channel_transforms_[static_cast<size_t>(c)].Words(
         std::vector<double>(channel.begin(), channel.end()));
     // Numerosity reduction: consecutive duplicate words count once.
     std::uint32_t previous = std::numeric_limits<std::uint32_t>::max();
@@ -138,7 +139,7 @@ void BossClassifier::Fit(const core::Dataset& train) {
   channel_transforms_.clear();
   for (int c = 0; c < channels; ++c) {
     std::vector<std::vector<double>> signals;
-    signals.reserve(train.size());
+    signals.reserve(static_cast<size_t>(train.size()));
     for (int i = 0; i < train.size(); ++i) {
       core::TimeSeries prepared = core::ImputeLinear(train.series(i));
       if (prepared.length() != train_length_) {
@@ -162,7 +163,7 @@ void BossClassifier::Fit(const core::Dataset& train) {
 
 std::vector<int> BossClassifier::Predict(const core::Dataset& test) {
   TSAUG_CHECK(!train_histograms_.empty());
-  std::vector<int> predictions(test.size());
+  std::vector<int> predictions(static_cast<size_t>(test.size()));
   for (int i = 0; i < test.size(); ++i) {
     const std::map<std::uint64_t, int> query = Histogram(test.series(i));
     double best = std::numeric_limits<double>::infinity();
@@ -182,7 +183,7 @@ std::vector<int> BossClassifier::Predict(const core::Dataset& test) {
         best_label = train_labels_[j];
       }
     }
-    predictions[i] = best_label;
+    predictions[static_cast<size_t>(i)] = best_label;
   }
   return predictions;
 }

@@ -12,7 +12,7 @@ double Accuracy(const std::vector<int>& predicted,
   for (size_t i = 0; i < labels.size(); ++i) {
     if (predicted[i] == labels[i]) ++correct;
   }
-  return static_cast<double>(correct) / labels.size();
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
 double Classifier::Score(const core::Dataset& test) {

@@ -125,7 +125,7 @@ void InceptionTimeClassifier::FitWithValidation(
   ensemble_.clear();
   train_results_.clear();
   for (int member = 0; member < config_.ensemble_size; ++member) {
-    core::Rng rng(seed_ + 1000003ull * (member + 1));
+    core::Rng rng(seed_ + 1000003ull * static_cast<unsigned long long>((member + 1)));
     auto net = std::make_unique<InceptionNetwork>(
         train.num_channels(), num_classes_, config_, rng);
     train_results_.push_back(
@@ -148,8 +148,8 @@ std::vector<int> InceptionTimeClassifier::Predict(const core::Dataset& test) {
     net->SetTraining(false);
     for (int start = 0; start < n; start += kBatch) {
       const int end = std::min(n, start + kBatch);
-      std::vector<int> idx(end - start);
-      for (int i = start; i < end; ++i) idx[i - start] = i;
+      std::vector<int> idx(static_cast<size_t>(end - start));
+      for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
       const nn::Tensor logits =
           net->Forward(Variable(nn::GatherBatch(x, idx))).value();
       const nn::Tensor probs = nn::Softmax(logits);
@@ -161,13 +161,13 @@ std::vector<int> InceptionTimeClassifier::Predict(const core::Dataset& test) {
       }
     }
   }
-  std::vector<int> predictions(n);
+  std::vector<int> predictions(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     int best = 0;
     for (int k = 1; k < num_classes_; ++k) {
       if (mean_probs.at(i, k) > mean_probs.at(i, best)) best = k;
     }
-    predictions[i] = best;
+    predictions[static_cast<size_t>(i)] = best;
   }
   return predictions;
 }

@@ -35,19 +35,19 @@ std::vector<double> MiniRocketTransform::Convolve(const nn::Tensor& x,
                                                   const Feature& feature) const {
   const int time = x.dim(2);
   static const std::vector<std::array<int, 3>> positions = KernelPositions();
-  const std::array<int, 3>& two_positions = positions[feature.kernel];
+  const std::array<int, 3>& two_positions = positions[static_cast<size_t>(feature.kernel)];
 
   // Kernel weights: -1 everywhere, +2 at the three chosen taps.
   std::array<double, kKernelLength> weights;
   weights.fill(-1.0);
-  for (int p : two_positions) weights[p] = 2.0;
+  for (int p : two_positions) weights[static_cast<size_t>(p)] = 2.0;
 
   const int span = (kKernelLength - 1) * feature.dilation;
   const int pad = feature.padding ? span / 2 : 0;
   const int out_len = time + 2 * pad - span;
   std::vector<double> activations;
   if (out_len <= 0) return activations;
-  activations.reserve(out_len);
+  activations.reserve(static_cast<size_t>(out_len));
 
   for (int pos = -pad; pos < time + pad - span; ++pos) {
     double value = 0.0;
@@ -55,7 +55,7 @@ std::vector<double> MiniRocketTransform::Convolve(const nn::Tensor& x,
       const int t = pos + tap * feature.dilation;
       if (t < 0 || t >= time) continue;
       for (int channel : feature.channels) {
-        value += weights[tap] * x.at(instance, channel, t);
+        value += weights[static_cast<size_t>(tap)] * x.at(instance, channel, t);
       }
     }
     activations.push_back(value);
@@ -92,7 +92,7 @@ void MiniRocketTransform::Fit(const nn::Tensor& train_x) {
       std::max(1, requested_features_ / pairs);
 
   features_.clear();
-  features_.reserve(static_cast<size_t>(pairs) * biases_per_pair);
+  features_.reserve(static_cast<size_t>(pairs) * static_cast<size_t>(biases_per_pair));
   int pair_index = 0;
   for (int kernel = 0; kernel < 84; ++kernel) {
     for (size_t d = 0; d < dilations.size(); ++d, ++pair_index) {
@@ -118,7 +118,7 @@ void MiniRocketTransform::Fit(const nn::Tensor& train_x) {
         const double quantile = (q + 0.5) / biases_per_pair;
         const size_t idx = std::min(
             activations.size() - 1,
-            static_cast<size_t>(quantile * activations.size()));
+            static_cast<size_t>(quantile * static_cast<double>(activations.size())));
         feature.bias = activations[idx];
         features_.push_back(std::move(feature));
       }
@@ -157,7 +157,7 @@ linalg::Matrix MiniRocketTransform::Transform(const nn::Tensor& x) const {
           if (a > features_[g].bias) ++positive;
         }
         out(i, static_cast<int>(g)) =
-            static_cast<double>(positive) / activations.size();
+            static_cast<double>(positive) / static_cast<double>(activations.size());
       }
       f = group_end;
     }

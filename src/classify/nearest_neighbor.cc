@@ -33,7 +33,7 @@ void KnnClassifier::Fit(const core::Dataset& train) {
 
 std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
   TSAUG_CHECK(!train_.empty());
-  std::vector<int> predictions(test.size());
+  std::vector<int> predictions(static_cast<size_t>(test.size()));
   // Each query owns its prediction slot; the train scan per query is
   // read-only, so query-parallelism is deterministic.
   core::ParallelFor(0, test.size(), 1, [&](std::int64_t lo, std::int64_t hi) {
@@ -42,7 +42,7 @@ std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
     if (z_normalize_) query = core::ZNormalize(query);
 
     std::vector<std::pair<double, int>> neighbors;  // (distance, label)
-    neighbors.reserve(train_.size());
+    neighbors.reserve(static_cast<size_t>(train_.size()));
     for (int j = 0; j < train_.size(); ++j) {
       const double d =
           distance_ == NnDistance::kDtw
@@ -54,13 +54,15 @@ std::vector<int> KnnClassifier::Predict(const core::Dataset& test) {
     std::partial_sort(neighbors.begin(), neighbors.begin() + take,
                       neighbors.end());
     // Majority vote among the k nearest; ties break toward the closer one.
-    std::vector<int> votes(train_.num_classes(), 0);
-    for (int v = 0; v < take; ++v) ++votes[neighbors[v].second];
+    std::vector<int> votes(static_cast<size_t>(train_.num_classes()), 0);
+    for (int v = 0; v < take; ++v) {
+      ++votes[static_cast<size_t>(neighbors[static_cast<size_t>(v)].second)];
+    }
     int best = neighbors[0].second;
     for (int label = 0; label < train_.num_classes(); ++label) {
-      if (votes[label] > votes[best]) best = label;
+      if (votes[static_cast<size_t>(label)] > votes[static_cast<size_t>(best)]) best = label;
     }
-    predictions[i] = best;
+    predictions[static_cast<size_t>(i)] = best;
   }
   });
   return predictions;

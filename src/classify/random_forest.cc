@@ -26,8 +26,8 @@ void DecisionTree::Fit(const linalg::Matrix& x, const std::vector<int>& labels,
   TSAUG_CHECK(x.rows() >= 1 && num_classes >= 2);
   num_classes_ = num_classes;
   nodes_.clear();
-  std::vector<int> indices(x.rows());
-  for (int i = 0; i < x.rows(); ++i) indices[i] = i;
+  std::vector<int> indices(static_cast<size_t>(x.rows()));
+  for (int i = 0; i < x.rows(); ++i) indices[static_cast<size_t>(i)] = i;
   Build(x, labels, indices, 0, x.rows(), 0, config, rng);
 }
 
@@ -37,14 +37,14 @@ int DecisionTree::Build(const linalg::Matrix& x, const std::vector<int>& labels,
   const int node_index = static_cast<int>(nodes_.size());
   nodes_.emplace_back();
 
-  std::vector<int> counts(num_classes_, 0);
-  for (int i = begin; i < end; ++i) ++counts[labels[indices[i]]];
+  std::vector<int> counts(static_cast<size_t>(num_classes_), 0);
+  for (int i = begin; i < end; ++i) ++counts[static_cast<size_t>(labels[static_cast<size_t>(indices[static_cast<size_t>(i)])])];
   const int total = end - begin;
   {
-    Node& node = nodes_[node_index];
-    node.distribution.assign(num_classes_, 0.0);
+    Node& node = nodes_[static_cast<size_t>(node_index)];
+    node.distribution.assign(static_cast<size_t>(num_classes_), 0.0);
     for (int k = 0; k < num_classes_; ++k) {
-      node.distribution[k] = static_cast<double>(counts[k]) / total;
+      node.distribution[static_cast<size_t>(k)] = static_cast<double>(counts[static_cast<size_t>(k)]) / total;
     }
   }
 
@@ -65,21 +65,21 @@ int DecisionTree::Build(const linalg::Matrix& x, const std::vector<int>& labels,
   double best_gain = 1e-12;
   int best_feature = -1;
   double best_threshold = 0.0;
-  std::vector<double> values(total);
+  std::vector<double> values(static_cast<size_t>(total));
   for (int feature : candidate_features) {
-    for (int i = 0; i < total; ++i) values[i] = x(indices[begin + i], feature);
-    std::vector<int> order(total);
-    for (int i = 0; i < total; ++i) order[i] = i;
+    for (int i = 0; i < total; ++i) values[static_cast<size_t>(i)] = x(indices[static_cast<size_t>(begin + i)], feature);
+    std::vector<int> order(static_cast<size_t>(total));
+    for (int i = 0; i < total; ++i) order[static_cast<size_t>(i)] = i;
     std::sort(order.begin(), order.end(),
-              [&](int a, int b) { return values[a] < values[b]; });
+              [&](int a, int b) { return values[static_cast<size_t>(a)] < values[static_cast<size_t>(b)]; });
 
-    std::vector<int> left_counts(num_classes_, 0);
+    std::vector<int> left_counts(static_cast<size_t>(num_classes_), 0);
     std::vector<int> right_counts = counts;
     for (int split = 1; split < total; ++split) {
-      const int moved = labels[indices[begin + order[split - 1]]];
-      ++left_counts[moved];
-      --right_counts[moved];
-      if (values[order[split]] == values[order[split - 1]]) continue;
+      const int moved = labels[static_cast<size_t>(indices[static_cast<size_t>(begin + order[static_cast<size_t>(split - 1)])])];
+      ++left_counts[static_cast<size_t>(moved)];
+      --right_counts[static_cast<size_t>(moved)];
+      if (values[static_cast<size_t>(order[static_cast<size_t>(split)])] == values[static_cast<size_t>(order[static_cast<size_t>(split - 1)])]) continue;
       if (split < config.min_samples_leaf ||
           total - split < config.min_samples_leaf) {
         continue;
@@ -93,7 +93,7 @@ int DecisionTree::Build(const linalg::Matrix& x, const std::vector<int>& labels,
         best_gain = gain;
         best_feature = feature;
         best_threshold =
-            0.5 * (values[order[split]] + values[order[split - 1]]);
+            0.5 * (values[static_cast<size_t>(order[static_cast<size_t>(split)])] + values[static_cast<size_t>(order[static_cast<size_t>(split - 1)])]);
       }
     }
   }
@@ -110,7 +110,7 @@ int DecisionTree::Build(const linalg::Matrix& x, const std::vector<int>& labels,
       Build(x, labels, indices, begin, split_point, depth + 1, config, rng);
   const int right =
       Build(x, labels, indices, split_point, end, depth + 1, config, rng);
-  Node& node = nodes_[node_index];  // re-fetch: vector may have grown
+  Node& node = nodes_[static_cast<size_t>(node_index)];  // re-fetch: vector may have grown
   node.feature = best_feature;
   node.threshold = best_threshold;
   node.left = left;
@@ -122,12 +122,12 @@ const std::vector<double>& DecisionTree::PredictDistribution(
     const double* row) const {
   TSAUG_CHECK(fitted());
   int current = 0;
-  while (nodes_[current].feature >= 0) {
-    current = row[nodes_[current].feature] <= nodes_[current].threshold
-                  ? nodes_[current].left
-                  : nodes_[current].right;
+  while (nodes_[static_cast<size_t>(current)].feature >= 0) {
+    current = row[nodes_[static_cast<size_t>(current)].feature] <= nodes_[static_cast<size_t>(current)].threshold
+                  ? nodes_[static_cast<size_t>(current)].left
+                  : nodes_[static_cast<size_t>(current)].right;
   }
-  return nodes_[current].distribution;
+  return nodes_[static_cast<size_t>(current)].distribution;
 }
 
 int DecisionTree::Predict(const double* row) const {
@@ -148,16 +148,16 @@ void RandomForest::Fit(const linalg::Matrix& x, const std::vector<int>& labels,
                        int num_classes) {
   TSAUG_CHECK(x.rows() == static_cast<int>(labels.size()));
   num_classes_ = num_classes;
-  trees_.assign(config_.num_trees, DecisionTree());
+  trees_.assign(static_cast<size_t>(config_.num_trees), DecisionTree());
   core::Rng rng(seed_ ^ 0xf02e57ull);
   for (DecisionTree& tree : trees_) {
     if (config_.bootstrap) {
       linalg::Matrix sample_x(x.rows(), x.cols());
-      std::vector<int> sample_y(x.rows());
+      std::vector<int> sample_y(static_cast<size_t>(x.rows()));
       for (int i = 0; i < x.rows(); ++i) {
         const int pick = rng.Index(x.rows());
         sample_x.SetRow(i, x.Row(pick));
-        sample_y[i] = labels[pick];
+        sample_y[static_cast<size_t>(i)] = labels[static_cast<size_t>(pick)];
       }
       tree.Fit(sample_x, sample_y, num_classes, config_.tree, rng);
     } else {
@@ -168,15 +168,15 @@ void RandomForest::Fit(const linalg::Matrix& x, const std::vector<int>& labels,
 
 std::vector<int> RandomForest::Predict(const linalg::Matrix& x) const {
   TSAUG_CHECK(fitted());
-  std::vector<int> predictions(x.rows());
+  std::vector<int> predictions(static_cast<size_t>(x.rows()));
   for (int i = 0; i < x.rows(); ++i) {
-    std::vector<double> votes(num_classes_, 0.0);
+    std::vector<double> votes(static_cast<size_t>(num_classes_), 0.0);
     for (const DecisionTree& tree : trees_) {
       const std::vector<double>& distribution =
           tree.PredictDistribution(x.row_data(i));
-      for (int k = 0; k < num_classes_; ++k) votes[k] += distribution[k];
+      for (int k = 0; k < num_classes_; ++k) votes[static_cast<size_t>(k)] += distribution[static_cast<size_t>(k)];
     }
-    predictions[i] = static_cast<int>(
+    predictions[static_cast<size_t>(i)] = static_cast<int>(
         std::max_element(votes.begin(), votes.end()) - votes.begin());
   }
   return predictions;

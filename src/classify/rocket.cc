@@ -19,7 +19,7 @@ void RocketTransform::Fit(int num_channels, int series_length) {
   series_length_ = series_length;
   core::Rng rng(seed_);
   kernels_.clear();
-  kernels_.reserve(num_kernels_);
+  kernels_.reserve(static_cast<size_t>(num_kernels_));
 
   const std::vector<int> candidate_lengths = {7, 9, 11};
   for (int k = 0; k < num_kernels_; ++k) {
@@ -39,7 +39,7 @@ void RocketTransform::Fit(int num_channels, int series_length) {
     kernel.channels =
         rng.SampleWithoutReplacement(num_channels, std::max(1, num_selected));
 
-    kernel.weights.resize(kernel.channels.size() * kernel.length);
+    kernel.weights.resize(kernel.channels.size() * static_cast<size_t>(kernel.length));
     double mean = 0.0;
     for (double& w : kernel.weights) {
       w = rng.Normal();
@@ -77,7 +77,7 @@ void AccumulatePositions(const nn::Tensor& data, int i, int time,
     double activation = kernel.bias;
     for (size_t c = 0; c < kernel.channels.size(); ++c) {
       const int channel = kernel.channels[c];
-      const double* w = kernel.weights.data() + c * kernel.length;
+      const double* w = kernel.weights.data() + c * static_cast<size_t>(kernel.length);
       for (int tap = 0; tap < kernel.length; ++tap) {
         const int t = pos + tap * kernel.dilation;
         if constexpr (Checked) {
@@ -105,7 +105,7 @@ linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int k = 0; k < num_kernels_; ++k) {
-        const RocketKernel& kernel = kernels_[k];
+        const RocketKernel& kernel = kernels_[static_cast<size_t>(k)];
         const int span = (kernel.length - 1) * kernel.dilation;
         const int out_len = time + 2 * kernel.padding - span;
         if (out_len <= 0) {

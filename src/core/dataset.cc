@@ -47,14 +47,14 @@ bool Dataset::IsRectangular() const {
 }
 
 std::vector<int> Dataset::ClassCounts() const {
-  std::vector<int> counts(num_classes_, 0);
-  for (int label : labels_) ++counts[label];
+  std::vector<int> counts(static_cast<size_t>(num_classes_), 0);
+  for (int label : labels_) ++counts[static_cast<size_t>(label)];
   return counts;
 }
 
 std::vector<std::vector<int>> Dataset::IndicesByClass() const {
-  std::vector<std::vector<int>> by_class(num_classes_);
-  for (int i = 0; i < size(); ++i) by_class[labels_[i]].push_back(i);
+  std::vector<std::vector<int>> by_class(static_cast<size_t>(num_classes_));
+  for (int i = 0; i < size(); ++i) by_class[static_cast<size_t>(labels_[static_cast<size_t>(i)])].push_back(i);
   return by_class;
 }
 
@@ -75,7 +75,7 @@ int Dataset::MinorityClass() const {
 Dataset Dataset::FilterClass(int label) const {
   Dataset out(num_classes_);
   for (int i = 0; i < size(); ++i) {
-    if (labels_[i] == label) out.Add(series_[i], label);
+    if (labels_[static_cast<size_t>(i)] == label) out.Add(series_[static_cast<size_t>(i)], label);
   }
   return out;
 }
@@ -96,20 +96,20 @@ std::pair<Dataset, Dataset> Dataset::StratifiedSplit(double first_fraction,
     rng.Shuffle(members);
     // At least one instance goes to each side when the class has >= 2
     // members, so a stratified validation split never empties a class.
-    int cut = static_cast<int>(members.size() * first_fraction + 0.5);
+    int cut = static_cast<int>(static_cast<double>(members.size()) * first_fraction + 0.5);
     if (members.size() >= 2) {
       cut = std::clamp(cut, 1, static_cast<int>(members.size()) - 1);
     }
     for (int j = 0; j < static_cast<int>(members.size()); ++j) {
-      (j < cut ? first : second).Add(series(members[j]), label(members[j]));
+      (j < cut ? first : second).Add(series(members[static_cast<size_t>(j)]), label(members[static_cast<size_t>(j)]));
     }
   }
   return {std::move(first), std::move(second)};
 }
 
 Dataset Dataset::Shuffled(Rng& rng) const {
-  std::vector<int> order(size());
-  for (int i = 0; i < size(); ++i) order[i] = i;
+  std::vector<int> order(static_cast<size_t>(size()));
+  for (int i = 0; i < size(); ++i) order[static_cast<size_t>(i)] = i;
   rng.Shuffle(order);
   return Subset(order);
 }

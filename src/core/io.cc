@@ -107,9 +107,9 @@ bool ReadDatasetCsv(std::istream& in, Dataset* dataset) {
     label = values[1];
     std::vector<double>& samples = channels[values[2]];
     if (static_cast<int>(samples.size()) <= values[3]) {
-      samples.resize(values[3] + 1, std::nan(""));
+      samples.resize(static_cast<size_t>(values[3] + 1), std::nan(""));
     }
-    samples[values[3]] = sample;
+    samples[static_cast<size_t>(values[3])] = sample;
   }
   for (auto& [instance, entry] : rows) {
     (void)instance;

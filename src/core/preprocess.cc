@@ -32,16 +32,16 @@ TimeSeries ImputeLinear(const TimeSeries& series) {
     const int length = static_cast<int>(channel.size());
     int prev_observed = -1;
     for (int t = 0; t < length; ++t) {
-      if (std::isnan(channel[t])) continue;
+      if (std::isnan(channel[static_cast<size_t>(t)])) continue;
       if (prev_observed < 0) {
         // Leading gap: backfill with the first observed value.
-        for (int s = 0; s < t; ++s) channel[s] = channel[t];
+        for (int s = 0; s < t; ++s) channel[static_cast<size_t>(s)] = channel[static_cast<size_t>(t)];
       } else if (prev_observed < t - 1) {
-        const double lo = channel[prev_observed];
-        const double hi = channel[t];
+        const double lo = channel[static_cast<size_t>(prev_observed)];
+        const double hi = channel[static_cast<size_t>(t)];
         const int gap = t - prev_observed;
         for (int s = prev_observed + 1; s < t; ++s) {
-          channel[s] = lo + (hi - lo) * (s - prev_observed) / gap;
+          channel[static_cast<size_t>(s)] = lo + (hi - lo) * (s - prev_observed) / gap;
         }
       }
       prev_observed = t;
@@ -52,7 +52,7 @@ TimeSeries ImputeLinear(const TimeSeries& series) {
     } else {
       // Trailing gap: forward-fill with the last observed value.
       for (int s = prev_observed + 1; s < length; ++s) {
-        channel[s] = channel[prev_observed];
+        channel[static_cast<size_t>(s)] = channel[static_cast<size_t>(prev_observed)];
       }
     }
   }

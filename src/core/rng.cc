@@ -6,13 +6,13 @@ namespace tsaug::core {
 
 std::vector<int> Rng::SampleWithoutReplacement(int size, int count) {
   TSAUG_CHECK(count >= 0 && count <= size);
-  std::vector<int> indices(size);
+  std::vector<int> indices(static_cast<size_t>(size));
   std::iota(indices.begin(), indices.end(), 0);
   // Partial Fisher-Yates: the first `count` slots become the sample.
   for (int i = 0; i < count; ++i) {
-    std::swap(indices[i], indices[Int(i, size - 1)]);
+    std::swap(indices[static_cast<size_t>(i)], indices[static_cast<size_t>(Int(i, size - 1))]);
   }
-  indices.resize(count);
+  indices.resize(static_cast<size_t>(count));
   return indices;
 }
 

@@ -77,9 +77,9 @@ double ImbalanceDegree(const std::vector<int>& class_counts) {
   for (int c : class_counts) total += c;
   TSAUG_CHECK(total > 0);
 
-  std::vector<double> eta(k);
-  for (int i = 0; i < k; ++i) eta[i] = static_cast<double>(class_counts[i]) / total;
-  const std::vector<double> uniform(k, 1.0 / k);
+  std::vector<double> eta(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) eta[static_cast<size_t>(i)] = static_cast<double>(class_counts[static_cast<size_t>(i)]) / total;
+  const std::vector<double> uniform(static_cast<size_t>(k), 1.0 / k);
 
   // Number of minority classes: frequency strictly below 1/K.
   int m = 0;
@@ -91,9 +91,9 @@ double ImbalanceDegree(const std::vector<int>& class_counts) {
   // iota_m: m classes at probability 0, K-m-1 classes at 1/K, one majority
   // class absorbing the rest -- the most imbalanced distribution that still
   // has exactly m minority classes.
-  std::vector<double> iota(k, 0.0);
-  for (int i = m; i < k - 1; ++i) iota[i] = 1.0 / k;
-  iota[k - 1] = static_cast<double>(m + 1) / k;
+  std::vector<double> iota(static_cast<size_t>(k), 0.0);
+  for (int i = m; i < k - 1; ++i) iota[static_cast<size_t>(i)] = 1.0 / k;
+  iota[static_cast<size_t>(k - 1)] = static_cast<double>(m + 1) / k;
 
   const double d_eta = HellingerDistance(eta, uniform);
   const double d_iota = HellingerDistance(iota, uniform);
@@ -137,7 +137,7 @@ double MissingProportion(const Dataset& train, const Dataset& test) {
                set->series(i).length();
     }
   }
-  return total > 0 ? static_cast<double>(missing) / total : 0.0;
+  return total > 0 ? static_cast<double>(missing) / static_cast<double>(total) : 0.0;
 }
 
 DatasetProperties ComputeProperties(const std::string& name,

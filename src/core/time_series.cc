@@ -7,7 +7,7 @@ namespace tsaug::core {
 TimeSeries::TimeSeries(int num_channels, int length, double fill)
     : num_channels_(num_channels), length_(length) {
   TSAUG_CHECK(num_channels >= 0 && length >= 0);
-  values_.assign(static_cast<size_t>(num_channels) * length, fill);
+  values_.assign(static_cast<size_t>(num_channels) * static_cast<size_t>(length), fill);
 }
 
 TimeSeries TimeSeries::FromChannels(
@@ -16,8 +16,8 @@ TimeSeries TimeSeries::FromChannels(
   const int length = static_cast<int>(channels[0].size());
   TimeSeries series(static_cast<int>(channels.size()), length);
   for (int c = 0; c < series.num_channels_; ++c) {
-    TSAUG_CHECK(static_cast<int>(channels[c].size()) == length);
-    for (int t = 0; t < length; ++t) series.at(c, t) = channels[c][t];
+    TSAUG_CHECK(static_cast<int>(channels[static_cast<size_t>(c)].size()) == length);
+    for (int t = 0; t < length; ++t) series.at(c, t) = channels[static_cast<size_t>(c)][static_cast<size_t>(t)];
   }
   return series;
 }
@@ -28,7 +28,7 @@ TimeSeries TimeSeries::FromValues(const std::vector<double>& values) {
 
 TimeSeries TimeSeries::FromFlat(const std::vector<double>& flat,
                                 int num_channels, int length) {
-  TSAUG_CHECK(static_cast<size_t>(num_channels) * length == flat.size());
+  TSAUG_CHECK(static_cast<size_t>(num_channels) * static_cast<size_t>(length) == flat.size());
   TimeSeries series(num_channels, length);
   series.values_ = flat;
   return series;

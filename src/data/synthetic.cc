@@ -38,11 +38,11 @@ struct ClassSignature {
 // diverge strongly, near 0 they are nearly indistinguishable.
 ClassSignature DrawBaseSignature(const SyntheticSpec& spec, core::Rng& rng) {
   ClassSignature sig;
-  sig.harmonics.resize(spec.num_channels);
+  sig.harmonics.resize(static_cast<size_t>(spec.num_channels));
   for (int c = 0; c < spec.num_channels; ++c) {
     const int count = rng.Int(2, 3);
     for (int h = 0; h < count; ++h) {
-      sig.harmonics[c].push_back(
+      sig.harmonics[static_cast<size_t>(c)].push_back(
           {rng.Uniform(1.0, 8.0), rng.Uniform(0.4, 1.4),
            rng.Uniform(0.0, 2.0 * std::numbers::pi)});
     }
@@ -84,13 +84,13 @@ core::TimeSeries DrawSeries(const SyntheticSpec& spec,
   core::TimeSeries series(spec.num_channels, spec.length);
   // Shared latent AR(1) noise induces inter-channel correlation; each
   // channel adds its own independent component on top.
-  std::vector<double> shared(spec.length);
+  std::vector<double> shared(static_cast<size_t>(spec.length));
   double state = 0.0;
   for (int t = 0; t < spec.length; ++t) {
     state = sig.ar_coefficient * state +
             rng.Normal(0.0, std::sqrt(1.0 - sig.ar_coefficient *
                                                 sig.ar_coefficient));
-    shared[t] = state;
+    shared[static_cast<size_t>(t)] = state;
   }
   // Per-instance random variation: the harder the dataset, the more each
   // instance deviates from its class signature.
@@ -114,8 +114,8 @@ core::TimeSeries DrawSeries(const SyntheticSpec& spec,
   for (int c = 0; c < spec.num_channels; ++c) {
     for (int t = 0; t < spec.length; ++t) {
       const double u = static_cast<double>(t) / std::max(1, spec.length - 1);
-      double v = sig.channel_offsets[c] + drift;
-      for (const Harmonic& h : harmonics[c]) {
+      double v = sig.channel_offsets[static_cast<size_t>(c)] + drift;
+      for (const Harmonic& h : harmonics[static_cast<size_t>(c)]) {
         v += amp_scale * h.amplitude *
              std::sin(2.0 * std::numbers::pi * h.cycles * u * time_scale +
                       h.phase);
@@ -126,7 +126,7 @@ core::TimeSeries DrawSeries(const SyntheticSpec& spec,
           v += amp_scale * s.amplitude * std::exp(-0.5 * z * z);
         }
       }
-      v += spec.noise_level * (0.6 * shared[t] + 0.4 * rng.Normal());
+      v += spec.noise_level * (0.6 * shared[static_cast<size_t>(t)] + 0.4 * rng.Normal());
       series.at(c, t) = v;
     }
   }
@@ -160,7 +160,7 @@ TrainTest MakeSynthetic(const SyntheticSpec& spec) {
   core::Rng rng(spec.seed ^ 0xda7a5e7ull);
   const ClassSignature base = DrawBaseSignature(spec, rng);
   std::vector<ClassSignature> signatures;
-  signatures.reserve(spec.num_classes);
+  signatures.reserve(static_cast<size_t>(spec.num_classes));
   for (int k = 0; k < spec.num_classes; ++k) {
     signatures.push_back(DeriveClassSignature(base, spec, rng));
   }
@@ -169,11 +169,11 @@ TrainTest MakeSynthetic(const SyntheticSpec& spec) {
   out.train = core::Dataset(spec.num_classes);
   out.test = core::Dataset(spec.num_classes);
   for (int k = 0; k < spec.num_classes; ++k) {
-    for (int i = 0; i < spec.train_counts[k]; ++i) {
-      out.train.Add(DrawSeries(spec, signatures[k], 0.0, rng), k);
+    for (int i = 0; i < spec.train_counts[static_cast<size_t>(k)]; ++i) {
+      out.train.Add(DrawSeries(spec, signatures[static_cast<size_t>(k)], 0.0, rng), k);
     }
-    for (int i = 0; i < spec.test_counts[k]; ++i) {
-      out.test.Add(DrawSeries(spec, signatures[k], spec.drift, rng), k);
+    for (int i = 0; i < spec.test_counts[static_cast<size_t>(k)]; ++i) {
+      out.test.Add(DrawSeries(spec, signatures[static_cast<size_t>(k)], spec.drift, rng), k);
     }
   }
   return out;
@@ -183,19 +183,19 @@ std::vector<int> GeometricCounts(int total, int num_classes, double ratio,
                                  int min_count) {
   TSAUG_CHECK(num_classes >= 1 && total >= num_classes * min_count);
   TSAUG_CHECK(ratio >= 1.0);
-  std::vector<double> weights(num_classes);
+  std::vector<double> weights(static_cast<size_t>(num_classes));
   for (int k = 0; k < num_classes; ++k) {
-    weights[k] = std::pow(ratio, -static_cast<double>(k));
+    weights[static_cast<size_t>(k)] = std::pow(ratio, -static_cast<double>(k));
   }
   double weight_sum = 0.0;
   for (double w : weights) weight_sum += w;
 
-  std::vector<int> counts(num_classes);
+  std::vector<int> counts(static_cast<size_t>(num_classes));
   int assigned = 0;
   for (int k = 0; k < num_classes; ++k) {
-    counts[k] = std::max(
-        min_count, static_cast<int>(total * weights[k] / weight_sum + 0.5));
-    assigned += counts[k];
+    counts[static_cast<size_t>(k)] = std::max(
+        min_count, static_cast<int>(total * weights[static_cast<size_t>(k)] / weight_sum + 0.5));
+    assigned += counts[static_cast<size_t>(k)];
   }
   // Adjust the majority class so totals match.
   counts[0] = std::max(min_count, counts[0] + (total - assigned));
@@ -231,10 +231,10 @@ std::vector<int> CountsForImbalanceDegree(int total, int num_classes,
       improved = false;
       for (int from = 0; from < num_classes; ++from) {
         for (int to = 0; to < num_classes; ++to) {
-          if (from == to || best[from] - step < min_count) continue;
+          if (from == to || best[static_cast<size_t>(from)] - step < min_count) continue;
           std::vector<int> candidate = best;
-          candidate[from] -= step;
-          candidate[to] += step;
+          candidate[static_cast<size_t>(from)] -= step;
+          candidate[static_cast<size_t>(to)] += step;
           const double error =
               std::fabs(core::ImbalanceDegree(candidate) - target_id);
           if (error + 1e-12 < best_error) {

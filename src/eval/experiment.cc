@@ -41,7 +41,7 @@ double StudyResult::AverageImprovement() const {
   if (rows.empty()) return 0.0;
   double total = 0.0;
   for (const DatasetRow& row : rows) total += row.ImprovementPercent();
-  return total / rows.size();
+  return total / static_cast<double>(rows.size());
 }
 
 namespace {
@@ -112,7 +112,7 @@ DatasetRow RunDatasetGrid(
   }
 
   for (int run = 0; run < config.runs; ++run) {
-    const std::uint64_t run_seed = config.seed + 7919ull * (run + 1);
+    const std::uint64_t run_seed = config.seed + 7919ull * static_cast<unsigned long long>((run + 1));
     core::Rng rng(run_seed);
 
     // The paper's protocol: InceptionTime validates on original samples
@@ -162,7 +162,7 @@ DatasetRow RunDatasetGrid(
         0, static_cast<std::int64_t>(cell_train.size()), 1,
         [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t cell = lo; cell < hi; ++cell) {
-            scores[cell] = TrainAndScore(config, cell_train[cell], validation,
+            scores[static_cast<size_t>(cell)] = TrainAndScore(config, cell_train[static_cast<size_t>(cell)], validation,
                                          data.test, run_seed);
           }
         });

@@ -23,21 +23,21 @@ linalg::Matrix ConfusionMatrix(const std::vector<int>& predicted,
 }
 
 std::vector<double> PerClassRecall(const linalg::Matrix& confusion) {
-  std::vector<double> recall(confusion.rows(), 0.0);
+  std::vector<double> recall(static_cast<size_t>(confusion.rows()), 0.0);
   for (int k = 0; k < confusion.rows(); ++k) {
     double total = 0.0;
     for (int j = 0; j < confusion.cols(); ++j) total += confusion(k, j);
-    recall[k] = total > 0.0 ? confusion(k, k) / total : 0.0;
+    recall[static_cast<size_t>(k)] = total > 0.0 ? confusion(k, k) / total : 0.0;
   }
   return recall;
 }
 
 std::vector<double> PerClassPrecision(const linalg::Matrix& confusion) {
-  std::vector<double> precision(confusion.cols(), 0.0);
+  std::vector<double> precision(static_cast<size_t>(confusion.cols()), 0.0);
   for (int k = 0; k < confusion.cols(); ++k) {
     double total = 0.0;
     for (int i = 0; i < confusion.rows(); ++i) total += confusion(i, k);
-    precision[k] = total > 0.0 ? confusion(k, k) / total : 0.0;
+    precision[static_cast<size_t>(k)] = total > 0.0 ? confusion(k, k) / total : 0.0;
   }
   return precision;
 }
@@ -55,8 +55,8 @@ double MacroF1(const std::vector<int>& predicted,
     for (int j = 0; j < num_classes; ++j) support += confusion(k, j);
     if (support == 0.0) continue;
     ++present;
-    const double denom = precision[k] + recall[k];
-    f1_sum += denom > 0.0 ? 2.0 * precision[k] * recall[k] / denom : 0.0;
+    const double denom = precision[static_cast<size_t>(k)] + recall[static_cast<size_t>(k)];
+    f1_sum += denom > 0.0 ? 2.0 * precision[static_cast<size_t>(k)] * recall[static_cast<size_t>(k)] / denom : 0.0;
   }
   return present > 0 ? f1_sum / present : 0.0;
 }
@@ -69,8 +69,8 @@ double PearsonCorrelation(const std::vector<double>& a,
   double mean_a = 0.0;
   double mean_b = 0.0;
   for (size_t i = 0; i < n; ++i) {
-    mean_a += a[i] / n;
-    mean_b += b[i] / n;
+    mean_a += a[i] / static_cast<double>(n);
+    mean_b += b[i] / static_cast<double>(n);
   }
   double cov = 0.0;
   double var_a = 0.0;
@@ -91,14 +91,14 @@ std::vector<double> AverageRanks(const std::vector<double>& values) {
   std::vector<int> order(n);
   std::iota(order.begin(), order.end(), 0);
   std::sort(order.begin(), order.end(),
-            [&](int i, int j) { return values[i] < values[j]; });
+            [&](int i, int j) { return values[static_cast<size_t>(i)] < values[static_cast<size_t>(j)]; });
   std::vector<double> ranks(n, 0.0);
   size_t i = 0;
   while (i < n) {
     size_t j = i;
-    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) ++j;
-    const double average = (static_cast<double>(i) + j) / 2.0 + 1.0;
-    for (size_t k = i; k <= j; ++k) ranks[order[k]] = average;
+    while (j + 1 < n && values[static_cast<size_t>(order[j + 1])] == values[static_cast<size_t>(order[i])]) ++j;
+    const double average = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) ranks[static_cast<size_t>(order[k])] = average;
     i = j + 1;
   }
   return ranks;
@@ -124,7 +124,7 @@ double BalancedAccuracy(const std::vector<int>& predicted,
     for (int j = 0; j < num_classes; ++j) support += confusion(k, j);
     if (support == 0.0) continue;
     ++present;
-    sum += recall[k];
+    sum += recall[static_cast<size_t>(k)];
   }
   return present > 0 ? sum / present : 0.0;
 }

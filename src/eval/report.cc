@@ -146,7 +146,7 @@ BenchSettings ReadBenchSettings() {
   settings.inception_epochs = EnvInt("TSAUG_EPOCHS", settings.inception_epochs);
   settings.timegan_iterations =
       EnvInt("TSAUG_TIMEGAN_ITERS", settings.timegan_iterations);
-  settings.seed = EnvInt("TSAUG_SEED", 42);
+  settings.seed = static_cast<size_t>(EnvInt("TSAUG_SEED", 42));
   if (const char* names = std::getenv("TSAUG_DATASETS"); names != nullptr) {
     std::stringstream stream(names);
     std::string name;

@@ -76,9 +76,9 @@ void FftBluestein(std::vector<Complex>& a, bool inverse) {
 }
 
 std::vector<double> HannWindow(int size) {
-  std::vector<double> window(size);
+  std::vector<double> window(static_cast<size_t>(size));
   for (int i = 0; i < size; ++i) {
-    window[i] =
+    window[static_cast<size_t>(i)] =
         0.5 - 0.5 * std::cos(2.0 * std::numbers::pi * i / std::max(1, size - 1));
   }
   return window;
@@ -122,10 +122,10 @@ std::vector<std::vector<Complex>> Stft(const std::vector<double>& signal,
   const std::vector<double> window = HannWindow(window_size);
   std::vector<std::vector<Complex>> frames;
   for (int start = 0; start < n; start += hop) {
-    std::vector<Complex> frame(window_size, Complex(0.0, 0.0));
+    std::vector<Complex> frame(static_cast<size_t>(window_size), Complex(0.0, 0.0));
     for (int i = 0; i < window_size; ++i) {
       const int t = start + i;
-      if (t < n) frame[i] = Complex(signal[t] * window[i], 0.0);
+      if (t < n) frame[static_cast<size_t>(i)] = Complex(signal[static_cast<size_t>(t)] * window[static_cast<size_t>(i)], 0.0);
     }
     Fft(frame, /*inverse=*/false);
     frames.push_back(std::move(frame));
@@ -139,8 +139,8 @@ std::vector<double> InverseStft(
     int signal_length) {
   TSAUG_CHECK(window_size > 0 && hop > 0 && signal_length >= 0);
   const std::vector<double> window = HannWindow(window_size);
-  std::vector<double> signal(signal_length, 0.0);
-  std::vector<double> weight(signal_length, 0.0);
+  std::vector<double> signal(static_cast<size_t>(signal_length), 0.0);
+  std::vector<double> weight(static_cast<size_t>(signal_length), 0.0);
   int start = 0;
   for (const std::vector<Complex>& spectrum : frames) {
     TSAUG_CHECK(static_cast<int>(spectrum.size()) == window_size);
@@ -149,14 +149,14 @@ std::vector<double> InverseStft(
     for (int i = 0; i < window_size; ++i) {
       const int t = start + i;
       if (t < signal_length) {
-        signal[t] += frame[i].real() * window[i];
-        weight[t] += window[i] * window[i];
+        signal[static_cast<size_t>(t)] += frame[static_cast<size_t>(i)].real() * window[static_cast<size_t>(i)];
+        weight[static_cast<size_t>(t)] += window[static_cast<size_t>(i)] * window[static_cast<size_t>(i)];
       }
     }
     start += hop;
   }
   for (int t = 0; t < signal_length; ++t) {
-    if (weight[t] > 1e-12) signal[t] /= weight[t];
+    if (weight[static_cast<size_t>(t)] > 1e-12) signal[static_cast<size_t>(t)] /= weight[static_cast<size_t>(t)];
   }
   return signal;
 }

@@ -109,16 +109,16 @@ void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,
   }
 
   // Sort eigenpairs ascending.
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
   std::sort(order.begin(), order.end(),
             [&](int i, int j) { return d(i, i) < d(j, j); });
 
-  eigenvalues->resize(n);
+  eigenvalues->resize(static_cast<size_t>(n));
   *eigenvectors = Matrix(n, n);
   for (int j = 0; j < n; ++j) {
-    (*eigenvalues)[j] = d(order[j], order[j]);
-    for (int i = 0; i < n; ++i) (*eigenvectors)(i, j) = v(i, order[j]);
+    (*eigenvalues)[static_cast<size_t>(j)] = d(order[static_cast<size_t>(j)], order[static_cast<size_t>(j)]);
+    for (int i = 0; i < n; ++i) (*eigenvectors)(i, j) = v(i, order[static_cast<size_t>(j)]);
   }
 }
 

@@ -34,16 +34,16 @@ std::vector<std::vector<double>> DtwCostMatrix(const core::TimeSeries& a,
   const int band =
       window < 0 ? std::max(n, m) : std::max(window, std::abs(n - m));
 
-  std::vector<std::vector<double>> cost(n + 1,
-                                        std::vector<double>(m + 1, kInf));
+  std::vector<std::vector<double>> cost(static_cast<size_t>(n + 1),
+                                        std::vector<double>(static_cast<size_t>(m + 1), kInf));
   cost[0][0] = 0.0;
   for (int i = 1; i <= n; ++i) {
     const int j_lo = std::max(1, i - band);
     const int j_hi = std::min(m, i + band);
     for (int j = j_lo; j <= j_hi; ++j) {
       const double local = StepCost(a, b, i - 1, j - 1);
-      cost[i][j] = local + std::min({cost[i - 1][j - 1], cost[i - 1][j],
-                                     cost[i][j - 1]});
+      cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = local + std::min({cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)], cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j)],
+                                     cost[static_cast<size_t>(i)][static_cast<size_t>(j - 1)]});
     }
   }
   return cost;
@@ -78,7 +78,7 @@ double DtwDistance(const core::TimeSeries& a, const core::TimeSeries& b,
   TSAUG_CHECK(a.num_channels() == b.num_channels());
   TSAUG_CHECK(a.length() > 0 && b.length() > 0);
   const auto cost = DtwCostMatrix(a, b, window);
-  return std::sqrt(cost[a.length()][b.length()]);
+  return std::sqrt(cost[static_cast<size_t>(a.length())][static_cast<size_t>(b.length())]);
 }
 
 std::vector<std::pair<int, int>> DtwPath(const core::TimeSeries& a,
@@ -96,18 +96,18 @@ std::vector<std::pair<int, int>> DtwPath(const core::TimeSeries& a,
     double best = std::numeric_limits<double>::infinity();
     int next_i = i;
     int next_j = j;
-    if (i > 1 && j > 1 && cost[i - 1][j - 1] < best) {
-      best = cost[i - 1][j - 1];
+    if (i > 1 && j > 1 && cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)] < best) {
+      best = cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)];
       next_i = i - 1;
       next_j = j - 1;
     }
-    if (i > 1 && cost[i - 1][j] < best) {
-      best = cost[i - 1][j];
+    if (i > 1 && cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j)] < best) {
+      best = cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j)];
       next_i = i - 1;
       next_j = j;
     }
-    if (j > 1 && cost[i][j - 1] < best) {
-      best = cost[i][j - 1];
+    if (j > 1 && cost[static_cast<size_t>(i)][static_cast<size_t>(j - 1)] < best) {
+      best = cost[static_cast<size_t>(i)][static_cast<size_t>(j - 1)];
       next_i = i;
       next_j = j - 1;
     }
@@ -122,15 +122,15 @@ std::vector<std::pair<int, int>> DtwPath(const core::TimeSeries& a,
 std::vector<double> PairwiseDtwDistances(
     const std::vector<core::TimeSeries>& series, int window) {
   const int n = static_cast<int>(series.size());
-  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> d(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
   // Row i owns cells (i, j) and (j, i) for j > i; rows are disjoint, so
   // the triangular sweep is deterministic under any chunking.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int j = i + 1; j < n; ++j) {
-        const double dist = DtwDistance(series[i], series[j], window);
-        d[static_cast<size_t>(i) * n + j] = dist;
-        d[static_cast<size_t>(j) * n + i] = dist;
+        const double dist = DtwDistance(series[static_cast<size_t>(i)], series[static_cast<size_t>(j)], window);
+        d[static_cast<size_t>(i) * static_cast<size_t>(n) + static_cast<size_t>(j)] = dist;
+        d[static_cast<size_t>(j) * static_cast<size_t>(n) + static_cast<size_t>(i)] = dist;
       }
     }
   });

@@ -15,32 +15,32 @@ std::vector<int> KNearestNeighbors(
   const int n = static_cast<int>(points.size());
   TSAUG_CHECK(k >= 0);
   std::vector<std::pair<double, int>> distances;
-  distances.reserve(n);
+  distances.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     if (i == exclude) continue;
-    distances.emplace_back(EuclideanDistance(points[i], query), i);
+    distances.emplace_back(EuclideanDistance(points[static_cast<size_t>(i)], query), i);
   }
   const int take = std::min<int>(k, static_cast<int>(distances.size()));
   std::partial_sort(distances.begin(), distances.begin() + take,
                     distances.end());
-  std::vector<int> neighbors(take);
-  for (int i = 0; i < take; ++i) neighbors[i] = distances[i].second;
+  std::vector<int> neighbors(static_cast<size_t>(take));
+  for (int i = 0; i < take; ++i) neighbors[static_cast<size_t>(i)] = distances[static_cast<size_t>(i)].second;
   return neighbors;
 }
 
 std::vector<double> PairwiseDistances(
     const std::vector<std::vector<double>>& points) {
   const int n = static_cast<int>(points.size());
-  std::vector<double> d(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> d(static_cast<size_t>(n) * static_cast<size_t>(n), 0.0);
   // Row i owns cells (i, j) and (j, i) for j > i — disjoint across rows,
   // so the triangular loop parallelises deterministically; dynamic chunk
   // claiming balances the shrinking row lengths.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int j = i + 1; j < n; ++j) {
-        const double dist = EuclideanDistance(points[i], points[j]);
-        d[static_cast<size_t>(i) * n + j] = dist;
-        d[static_cast<size_t>(j) * n + i] = dist;
+        const double dist = EuclideanDistance(points[static_cast<size_t>(i)], points[static_cast<size_t>(j)]);
+        d[static_cast<size_t>(i) * static_cast<size_t>(n) + static_cast<size_t>(j)] = dist;
+        d[static_cast<size_t>(j) * static_cast<size_t>(n) + static_cast<size_t>(i)] = dist;
       }
     }
   });
@@ -50,24 +50,28 @@ std::vector<double> PairwiseDistances(
 std::vector<int> SharedNearestNeighborSimilarity(
     const std::vector<std::vector<double>>& points, int k) {
   const int n = static_cast<int>(points.size());
-  std::vector<std::vector<int>> neighbor_sets(n);
+  std::vector<std::vector<int>> neighbor_sets(static_cast<size_t>(n));
+  // Each query i owns neighbor_sets[i]; the point scan is read-only, so
+  // query-parallelism is deterministic.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-      neighbor_sets[i] = KNearestNeighbors(points, points[i], k, i);
-      std::sort(neighbor_sets[i].begin(), neighbor_sets[i].end());
+      neighbor_sets[static_cast<size_t>(i)] = KNearestNeighbors(points, points[static_cast<size_t>(i)], k, i);
+      std::sort(neighbor_sets[static_cast<size_t>(i)].begin(), neighbor_sets[static_cast<size_t>(i)].end());
     }
   });
-  std::vector<int> similarity(static_cast<size_t>(n) * n, 0);
+  std::vector<int> similarity(static_cast<size_t>(n) * static_cast<size_t>(n), 0);
+  // Row i owns cells (i, j) and (j, i) for j > i — disjoint across rows,
+  // and neighbor_sets is read-only here, so the sweep is deterministic.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
     for (int j = i + 1; j < n; ++j) {
       std::vector<int> common;
-      std::set_intersection(neighbor_sets[i].begin(), neighbor_sets[i].end(),
-                            neighbor_sets[j].begin(), neighbor_sets[j].end(),
+      std::set_intersection(neighbor_sets[static_cast<size_t>(i)].begin(), neighbor_sets[static_cast<size_t>(i)].end(),
+                            neighbor_sets[static_cast<size_t>(j)].begin(), neighbor_sets[static_cast<size_t>(j)].end(),
                             std::back_inserter(common));
       const int count = static_cast<int>(common.size());
-      similarity[static_cast<size_t>(i) * n + j] = count;
-      similarity[static_cast<size_t>(j) * n + i] = count;
+      similarity[static_cast<size_t>(i) * static_cast<size_t>(n) + static_cast<size_t>(j)] = count;
+      similarity[static_cast<size_t>(j) * static_cast<size_t>(n) + static_cast<size_t>(i)] = count;
     }
     }
   });

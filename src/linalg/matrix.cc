@@ -37,8 +37,8 @@ Matrix Matrix::FromRowVectors(const std::vector<std::vector<double>>& rows) {
   TSAUG_CHECK(!rows.empty());
   Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
   for (int r = 0; r < m.rows(); ++r) {
-    TSAUG_CHECK(static_cast<int>(rows[r].size()) == m.cols());
-    for (int c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+    TSAUG_CHECK(static_cast<int>(rows[static_cast<size_t>(r)].size()) == m.cols());
+    for (int c = 0; c < m.cols(); ++c) m(r, c) = rows[static_cast<size_t>(r)][static_cast<size_t>(c)];
   }
   return m;
 }
@@ -50,8 +50,8 @@ std::vector<double> Matrix::Row(int r) const {
 
 std::vector<double> Matrix::Col(int c) const {
   TSAUG_CHECK(c >= 0 && c < cols_);
-  std::vector<double> out(rows_);
-  for (int r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+  std::vector<double> out(static_cast<size_t>(rows_));
+  for (int r = 0; r < rows_; ++r) out[static_cast<size_t>(r)] = (*this)(r, c);
   return out;
 }
 
@@ -69,11 +69,11 @@ Matrix Matrix::Transposed() const {
 }
 
 std::vector<double> Matrix::ColMeans() const {
-  std::vector<double> means(cols_, 0.0);
+  std::vector<double> means(static_cast<size_t>(cols_), 0.0);
   if (rows_ == 0) return means;
   for (int r = 0; r < rows_; ++r) {
     const double* p = row_data(r);
-    for (int c = 0; c < cols_; ++c) means[c] += p[c];
+    for (int c = 0; c < cols_; ++c) means[static_cast<size_t>(c)] += p[c];
   }
   for (double& m : means) m /= rows_;
   return means;
@@ -83,7 +83,7 @@ void Matrix::CenterColumns(const std::vector<double>& means) {
   TSAUG_CHECK(static_cast<int>(means.size()) == cols_);
   for (int r = 0; r < rows_; ++r) {
     double* p = row_data(r);
-    for (int c = 0; c < cols_; ++c) p[c] -= means[c];
+    for (int c = 0; c < cols_; ++c) p[c] -= means[static_cast<size_t>(c)];
   }
 }
 
@@ -137,6 +137,8 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
+  // Each output row i is owned by one chunk; the inner k-sum runs in
+  // ascending order, so the result is deterministic at any thread count.
   core::ParallelFor(
       0, a.rows(),
       RowGrain(static_cast<std::int64_t>(a.cols()) * b.rows()),
@@ -157,15 +159,17 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   TSAUG_CHECK(a.cols() == static_cast<int>(x.size()));
-  std::vector<double> y(a.rows(), 0.0);
+  std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
+  // Each y[i] is owned by one chunk and accumulated in ascending-j order:
+  // deterministic at any thread count.
   core::ParallelFor(
       0, a.rows(), RowGrain(a.cols()),
       [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
           const double* ai = a.row_data(i);
           double sum = 0.0;
-          for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[j];
-          y[i] = sum;
+          for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[static_cast<size_t>(j)];
+          y[static_cast<size_t>(i)] = sum;
         }
       });
   return y;

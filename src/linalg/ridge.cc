@@ -33,11 +33,11 @@ void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
     weights_ = MatMulTransposeA(xc, dual);
   }
 
-  intercept_.assign(y.cols(), 0.0);
+  intercept_.assign(static_cast<size_t>(y.cols()), 0.0);
   for (int k = 0; k < y.cols(); ++k) {
-    double shift = y_means[k];
-    for (int d = 0; d < x.cols(); ++d) shift -= x_means[d] * weights_(d, k);
-    intercept_[k] = shift;
+    double shift = y_means[static_cast<size_t>(k)];
+    for (int d = 0; d < x.cols(); ++d) shift -= x_means[static_cast<size_t>(d)] * weights_(d, k);
+    intercept_[static_cast<size_t>(k)] = shift;
   }
 }
 
@@ -46,7 +46,7 @@ Matrix RidgeRegression::Predict(const Matrix& x) const {
   TSAUG_CHECK(x.cols() == weights_.rows());
   Matrix out = MatMul(x, weights_);
   for (int i = 0; i < out.rows(); ++i) {
-    for (int k = 0; k < out.cols(); ++k) out(i, k) += intercept_[k];
+    for (int k = 0; k < out.cols(); ++k) out(i, k) += intercept_[static_cast<size_t>(k)];
   }
   return out;
 }
@@ -54,8 +54,8 @@ Matrix RidgeRegression::Predict(const Matrix& x) const {
 Matrix EncodeLabels(const std::vector<int>& labels, int num_classes) {
   Matrix y(static_cast<int>(labels.size()), num_classes, -1.0);
   for (int i = 0; i < y.rows(); ++i) {
-    TSAUG_CHECK(labels[i] >= 0 && labels[i] < num_classes);
-    y(i, labels[i]) = 1.0;
+    TSAUG_CHECK(labels[static_cast<size_t>(i)] >= 0 && labels[static_cast<size_t>(i)] < num_classes);
+    y(i, labels[static_cast<size_t>(i)]) = 1.0;
   }
   return y;
 }
@@ -91,15 +91,15 @@ double LooError(const Matrix& q, const std::vector<double>& eigenvalues,
   const int n = q.rows();
   const int k = qty.cols();
 
-  std::vector<double> inv_eig(n);
+  std::vector<double> inv_eig(static_cast<size_t>(n));
   for (int j = 0; j < n; ++j) {
-    inv_eig[j] = j == intercept_dim ? 0.0 : 1.0 / (eigenvalues[j] + alpha);
+    inv_eig[static_cast<size_t>(j)] = j == intercept_dim ? 0.0 : 1.0 / (eigenvalues[static_cast<size_t>(j)] + alpha);
   }
 
   // c = Q diag(w) Q^T Yc with w = inv_eig.
   Matrix scaled = qty;  // rows indexed by eigenvalue
   for (int j = 0; j < n; ++j) {
-    for (int t = 0; t < k; ++t) scaled(j, t) *= inv_eig[j];
+    for (int t = 0; t < k; ++t) scaled(j, t) *= inv_eig[static_cast<size_t>(j)];
   }
   const Matrix dual = MatMul(q, scaled);  // n x k
 
@@ -107,7 +107,7 @@ double LooError(const Matrix& q, const std::vector<double>& eigenvalues,
   for (int i = 0; i < n; ++i) {
     double ginv_ii = 0.0;
     for (int j = 0; j < n; ++j) {
-      ginv_ii += q(i, j) * q(i, j) * inv_eig[j];
+      ginv_ii += q(i, j) * q(i, j) * inv_eig[static_cast<size_t>(j)];
     }
     if (ginv_ii <= 0.0) return std::numeric_limits<double>::infinity();
     for (int t = 0; t < k; ++t) {
@@ -176,13 +176,13 @@ Matrix RidgeClassifierCV::DecisionFunction(const Matrix& x) const {
 
 std::vector<int> RidgeClassifierCV::Predict(const Matrix& x) const {
   const Matrix scores = DecisionFunction(x);
-  std::vector<int> labels(scores.rows());
+  std::vector<int> labels(static_cast<size_t>(scores.rows()));
   for (int i = 0; i < scores.rows(); ++i) {
     int best = 0;
     for (int k = 1; k < scores.cols(); ++k) {
       if (scores(i, k) > scores(i, best)) best = k;
     }
-    labels[i] = best;
+    labels[static_cast<size_t>(i)] = best;
   }
   return labels;
 }
@@ -196,7 +196,7 @@ double RidgeClassifierCV::Score(const Matrix& x,
   for (size_t i = 0; i < labels.size(); ++i) {
     if (predicted[i] == labels[i]) ++correct;
   }
-  return static_cast<double>(correct) / labels.size();
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
 }  // namespace tsaug::linalg

@@ -94,8 +94,8 @@ std::vector<Variable> Conv1dLayer::Parameters() const {
 }
 
 BatchNorm1d::BatchNorm1d(int channels, double momentum, double eps)
-    : running_mean_(channels, 0.0),
-      running_var_(channels, 1.0),
+    : running_mean_(static_cast<size_t>(channels), 0.0),
+      running_var_(static_cast<size_t>(channels), 1.0),
       momentum_(momentum),
       eps_(eps) {
   gamma_ = Variable(Tensor({channels}, 1.0), /*requires_grad=*/true);
@@ -194,15 +194,15 @@ Variable Gru::Forward(const Variable& x) const {
   const int time = x.value().dim(1);
 
   std::vector<Variable> layer_input;
-  layer_input.reserve(time);
+  layer_input.reserve(static_cast<size_t>(time));
   for (int t = 0; t < time; ++t) layer_input.push_back(SelectTime(x, t));
 
   for (const auto& cell : cells_) {
     Variable h(Tensor({n, hidden_size_}));  // zero initial state, constant
     std::vector<Variable> outputs;
-    outputs.reserve(time);
+    outputs.reserve(static_cast<size_t>(time));
     for (int t = 0; t < time; ++t) {
-      h = cell->Step(layer_input[t], h);
+      h = cell->Step(layer_input[static_cast<size_t>(t)], h);
       outputs.push_back(h);
     }
     layer_input = std::move(outputs);
@@ -224,7 +224,7 @@ Variable TimeDistributed::Forward(const Variable& x) const {
   TSAUG_CHECK(x.value().ndim() == 3);
   const int time = x.value().dim(1);
   std::vector<Variable> steps;
-  steps.reserve(time);
+  steps.reserve(static_cast<size_t>(time));
   for (int t = 0; t < time; ++t) {
     steps.push_back(linear_.Forward(SelectTime(x, t)));
   }

@@ -103,7 +103,7 @@ Variable AddRowBias(const Variable& x, const Variable& bias) {
   TSAUG_CHECK(bias.value().dim(0) == f);
   Tensor out = x.value();
   for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < f; ++j) out.at(i, j) += bias.value()[j];
+    for (int j = 0; j < f; ++j) out.at(i, j) += bias.value()[static_cast<size_t>(j)];
   }
   return Variable::FromOp(std::move(out), {x.node(), bias.node()},
                           [n, f](Node& self) {
@@ -111,7 +111,7 @@ Variable AddRowBias(const Variable& x, const Variable& bias) {
       for (int j = 0; j < f; ++j) {
         const double g = self.grad.at(i, j);
         self.parents[0]->grad.at(i, j) += g;
-        self.parents[1]->grad[j] += g;
+        self.parents[1]->grad[static_cast<size_t>(j)] += g;
       }
     }
   });
@@ -281,17 +281,17 @@ Variable StackTime(const std::vector<Variable>& steps) {
   Tensor out({n, time, f});
   std::vector<NodePtr> nodes;
   for (int t = 0; t < time; ++t) {
-    TSAUG_CHECK(steps[t].value().ndim() == 2 && steps[t].value().dim(0) == n &&
-                steps[t].value().dim(1) == f);
+    TSAUG_CHECK(steps[static_cast<size_t>(t)].value().ndim() == 2 && steps[static_cast<size_t>(t)].value().dim(0) == n &&
+                steps[static_cast<size_t>(t)].value().dim(1) == f);
     for (int i = 0; i < n; ++i) {
-      for (int j = 0; j < f; ++j) out.at(i, t, j) = steps[t].value().at(i, j);
+      for (int j = 0; j < f; ++j) out.at(i, t, j) = steps[static_cast<size_t>(t)].value().at(i, j);
     }
-    nodes.push_back(steps[t].node());
+    nodes.push_back(steps[static_cast<size_t>(t)].node());
   }
   return Variable::FromOp(std::move(out), std::move(nodes),
                           [n, f, time](Node& self) {
     for (int t = 0; t < time; ++t) {
-      Node& parent = *self.parents[t];
+      Node& parent = *self.parents[static_cast<size_t>(t)];
       for (int i = 0; i < n; ++i) {
         for (int j = 0; j < f; ++j) {
           parent.grad.at(i, j) += self.grad.at(i, t, j);
@@ -359,6 +359,8 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
             }
           }
         });
+        // dW pass: each output filter o owns pw.grad[o, :, :]; the sample
+        // sum runs in ascending-i order, so it is deterministic.
         core::ParallelFor(0, f, 1, [&](std::int64_t lo, std::int64_t hi) {
           for (int o = static_cast<int>(lo); o < static_cast<int>(hi); ++o) {
             for (int i = 0; i < n; ++i) {
@@ -389,7 +391,7 @@ Variable AddChannelBias(const Variable& x, const Variable& bias) {
   Tensor out = x.value();
   for (int i = 0; i < n; ++i) {
     for (int ch = 0; ch < c; ++ch) {
-      for (int t = 0; t < time; ++t) out.at(i, ch, t) += bias.value()[ch];
+      for (int t = 0; t < time; ++t) out.at(i, ch, t) += bias.value()[static_cast<size_t>(ch)];
     }
   }
   return Variable::FromOp(std::move(out), {x.node(), bias.node()},
@@ -399,7 +401,7 @@ Variable AddChannelBias(const Variable& x, const Variable& bias) {
         for (int t = 0; t < time; ++t) {
           const double g = self.grad.at(i, ch, t);
           self.parents[0]->grad.at(i, ch, t) += g;
-          self.parents[1]->grad[ch] += g;
+          self.parents[1]->grad[static_cast<size_t>(ch)] += g;
         }
       }
     }
@@ -530,19 +532,19 @@ Variable BatchNormTrain(const Variable& x, const Variable& gamma,
   const double m = static_cast<double>(n) * time;
   TSAUG_CHECK(m >= 1.0);
 
-  std::vector<double> mean(c, 0.0);
-  std::vector<double> var(c, 0.0);
+  std::vector<double> mean(static_cast<size_t>(c), 0.0);
+  std::vector<double> var(static_cast<size_t>(c), 0.0);
   for (int i = 0; i < n; ++i) {
     for (int ch = 0; ch < c; ++ch) {
-      for (int t = 0; t < time; ++t) mean[ch] += x.value().at(i, ch, t);
+      for (int t = 0; t < time; ++t) mean[static_cast<size_t>(ch)] += x.value().at(i, ch, t);
     }
   }
   for (double& v : mean) v /= m;
   for (int i = 0; i < n; ++i) {
     for (int ch = 0; ch < c; ++ch) {
       for (int t = 0; t < time; ++t) {
-        const double d = x.value().at(i, ch, t) - mean[ch];
-        var[ch] += d * d;
+        const double d = x.value().at(i, ch, t) - mean[static_cast<size_t>(ch)];
+        var[static_cast<size_t>(ch)] += d * d;
       }
     }
   }
@@ -552,7 +554,7 @@ Variable BatchNormTrain(const Variable& x, const Variable& gamma,
 
   auto invstd = std::make_shared<std::vector<double>>(c);
   for (int ch = 0; ch < c; ++ch) {
-    (*invstd)[ch] = 1.0 / std::sqrt(var[ch] + eps);
+    (*invstd)[static_cast<size_t>(ch)] = 1.0 / std::sqrt(var[static_cast<size_t>(ch)] + eps);
   }
   // Save the normalised activations for the backward pass.
   auto xhat = std::make_shared<Tensor>(std::vector<int>{n, c, time});
@@ -561,9 +563,9 @@ Variable BatchNormTrain(const Variable& x, const Variable& gamma,
     for (int ch = 0; ch < c; ++ch) {
       for (int t = 0; t < time; ++t) {
         const double norm =
-            (x.value().at(i, ch, t) - mean[ch]) * (*invstd)[ch];
+            (x.value().at(i, ch, t) - mean[static_cast<size_t>(ch)]) * (*invstd)[static_cast<size_t>(ch)];
         xhat->at(i, ch, t) = norm;
-        out.at(i, ch, t) = gamma.value()[ch] * norm + beta.value()[ch];
+        out.at(i, ch, t) = gamma.value()[static_cast<size_t>(ch)] * norm + beta.value()[static_cast<size_t>(ch)];
       }
     }
   }
@@ -583,9 +585,9 @@ Variable BatchNormTrain(const Variable& x, const Variable& gamma,
               sum_dy_xhat += g * xhat->at(i, ch, t);
             }
           }
-          pgamma.grad[ch] += sum_dy_xhat;
-          pbeta.grad[ch] += sum_dy;
-          const double scale = pgamma.value[ch] * (*invstd)[ch];
+          pgamma.grad[static_cast<size_t>(ch)] += sum_dy_xhat;
+          pbeta.grad[static_cast<size_t>(ch)] += sum_dy;
+          const double scale = pgamma.value[static_cast<size_t>(ch)] * (*invstd)[static_cast<size_t>(ch)];
           for (int i = 0; i < n; ++i) {
             for (int t = 0; t < time; ++t) {
               const double g = self.grad.at(i, ch, t);
@@ -609,16 +611,16 @@ Variable BatchNormInference(const Variable& x, const Variable& gamma,
   TSAUG_CHECK(static_cast<int>(mean.size()) == c &&
               static_cast<int>(var.size()) == c);
   auto invstd = std::make_shared<std::vector<double>>(c);
-  for (int ch = 0; ch < c; ++ch) (*invstd)[ch] = 1.0 / std::sqrt(var[ch] + eps);
+  for (int ch = 0; ch < c; ++ch) (*invstd)[static_cast<size_t>(ch)] = 1.0 / std::sqrt(var[static_cast<size_t>(ch)] + eps);
 
   Tensor out({n, c, time});
   auto xhat = std::make_shared<Tensor>(std::vector<int>{n, c, time});
   for (int i = 0; i < n; ++i) {
     for (int ch = 0; ch < c; ++ch) {
       for (int t = 0; t < time; ++t) {
-        const double norm = (x.value().at(i, ch, t) - mean[ch]) * (*invstd)[ch];
+        const double norm = (x.value().at(i, ch, t) - mean[static_cast<size_t>(ch)]) * (*invstd)[static_cast<size_t>(ch)];
         xhat->at(i, ch, t) = norm;
-        out.at(i, ch, t) = gamma.value()[ch] * norm + beta.value()[ch];
+        out.at(i, ch, t) = gamma.value()[static_cast<size_t>(ch)] * norm + beta.value()[static_cast<size_t>(ch)];
       }
     }
   }
@@ -630,13 +632,13 @@ Variable BatchNormInference(const Variable& x, const Variable& gamma,
         Node& pgamma = *self.parents[1];
         Node& pbeta = *self.parents[2];
         for (int ch = 0; ch < c; ++ch) {
-          const double scale = pgamma.value[ch] * (*invstd)[ch];
+          const double scale = pgamma.value[static_cast<size_t>(ch)] * (*invstd)[static_cast<size_t>(ch)];
           for (int i = 0; i < n; ++i) {
             for (int t = 0; t < time; ++t) {
               const double g = self.grad.at(i, ch, t);
               px.grad.at(i, ch, t) += g * scale;
-              pgamma.grad[ch] += g * xhat->at(i, ch, t);
-              pbeta.grad[ch] += g;
+              pgamma.grad[static_cast<size_t>(ch)] += g * xhat->at(i, ch, t);
+              pbeta.grad[static_cast<size_t>(ch)] += g;
             }
           }
         }
@@ -671,8 +673,8 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
   auto probs = std::make_shared<Tensor>(Softmax(logits.value()));
   double loss = 0.0;
   for (int i = 0; i < n; ++i) {
-    TSAUG_CHECK(labels[i] >= 0 && labels[i] < k);
-    loss -= std::log(std::max(probs->at(i, labels[i]), 1e-12));
+    TSAUG_CHECK(labels[static_cast<size_t>(i)] >= 0 && labels[static_cast<size_t>(i)] < k);
+    loss -= std::log(std::max(probs->at(i, labels[static_cast<size_t>(i)]), 1e-12));
   }
   loss /= n;
   auto labels_copy = std::make_shared<std::vector<int>>(labels);
@@ -681,7 +683,7 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
     const double g = self.grad[0] / n;
     for (int i = 0; i < n; ++i) {
       for (int j = 0; j < k; ++j) {
-        const double indicator = (*labels_copy)[i] == j ? 1.0 : 0.0;
+        const double indicator = (*labels_copy)[static_cast<size_t>(i)] == j ? 1.0 : 0.0;
         self.parents[0]->grad.at(i, j) += g * (probs->at(i, j) - indicator);
       }
     }
@@ -757,13 +759,13 @@ Variable MomentMatchLoss(const Variable& x,
       v += d * d;
     }
     v /= n;
-    (*mean)[j] = m;
-    (*stddev)[j] = std::sqrt(v + kEps);
+    (*mean)[static_cast<size_t>(j)] = m;
+    (*stddev)[static_cast<size_t>(j)] = std::sqrt(v + kEps);
   }
   double loss = 0.0;
   for (int j = 0; j < f; ++j) {
-    loss += std::fabs((*stddev)[j] - target_std[j]);
-    loss += std::fabs((*mean)[j] - target_mean[j]);
+    loss += std::fabs((*stddev)[static_cast<size_t>(j)] - target_std[static_cast<size_t>(j)]);
+    loss += std::fabs((*mean)[static_cast<size_t>(j)] - target_mean[static_cast<size_t>(j)]);
   }
   loss /= f;
 
@@ -775,14 +777,14 @@ Variable MomentMatchLoss(const Variable& x,
         const double g = self.grad[0] / f;
         for (int j = 0; j < f; ++j) {
           const double sign_std =
-              (*stddev)[j] > (*tstd)[j] ? 1.0 : ((*stddev)[j] < (*tstd)[j] ? -1.0 : 0.0);
+              (*stddev)[static_cast<size_t>(j)] > (*tstd)[static_cast<size_t>(j)] ? 1.0 : ((*stddev)[static_cast<size_t>(j)] < (*tstd)[static_cast<size_t>(j)] ? -1.0 : 0.0);
           const double sign_mean =
-              (*mean)[j] > (*tmean)[j] ? 1.0 : ((*mean)[j] < (*tmean)[j] ? -1.0 : 0.0);
+              (*mean)[static_cast<size_t>(j)] > (*tmean)[static_cast<size_t>(j)] ? 1.0 : ((*mean)[static_cast<size_t>(j)] < (*tmean)[static_cast<size_t>(j)] ? -1.0 : 0.0);
           for (int i = 0; i < n; ++i) {
             const double centered =
-                self.parents[0]->value.at(i, j) - (*mean)[j];
+                self.parents[0]->value.at(i, j) - (*mean)[static_cast<size_t>(j)];
             self.parents[0]->grad.at(i, j) +=
-                g * (sign_std * centered / (n * (*stddev)[j]) + sign_mean / n);
+                g * (sign_std * centered / (n * (*stddev)[static_cast<size_t>(j)]) + sign_mean / n);
           }
         }
       });

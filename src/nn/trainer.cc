@@ -10,8 +10,8 @@ namespace {
 
 std::vector<std::vector<int>> MakeBatches(int n, int batch_size,
                                           core::Rng& rng) {
-  std::vector<int> order(n);
-  for (int i = 0; i < n; ++i) order[i] = i;
+  std::vector<int> order(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<size_t>(i)] = i;
   rng.Shuffle(order);
   std::vector<std::vector<int>> batches;
   for (int start = 0; start < n; start += batch_size) {
@@ -25,7 +25,7 @@ std::vector<int> GatherLabels(const std::vector<int>& labels,
                               const std::vector<int>& indices) {
   std::vector<int> out;
   out.reserve(indices.size());
-  for (int i : indices) out.push_back(labels[i]);
+  for (int i : indices) out.push_back(labels[static_cast<size_t>(i)]);
   return out;
 }
 
@@ -172,11 +172,11 @@ std::vector<int> PredictLabels(SequenceClassifierNet& net, const Tensor& x,
                                int batch_size) {
   net.SetTraining(false);
   const int n = x.dim(0);
-  std::vector<int> predictions(n);
+  std::vector<int> predictions(static_cast<size_t>(n));
   for (int start = 0; start < n; start += batch_size) {
     const int end = std::min(n, start + batch_size);
-    std::vector<int> idx(end - start);
-    for (int i = start; i < end; ++i) idx[i - start] = i;
+    std::vector<int> idx(static_cast<size_t>(end - start));
+    for (int i = start; i < end; ++i) idx[static_cast<size_t>(i - start)] = i;
     Variable input(GatherBatch(x, idx));
     const Tensor logits = net.Forward(input).value();
     for (int i = 0; i < logits.dim(0); ++i) {
@@ -184,7 +184,7 @@ std::vector<int> PredictLabels(SequenceClassifierNet& net, const Tensor& x,
       for (int k = 1; k < logits.dim(1); ++k) {
         if (logits.at(i, k) > logits.at(i, best)) best = k;
       }
-      predictions[start + i] = best;
+      predictions[static_cast<size_t>(start + i)] = best;
     }
   }
   return predictions;
@@ -199,11 +199,11 @@ double EvaluateLoss(SequenceClassifierNet& net, const Tensor& x,
   double total = 0.0;
   for (int start = 0; start < n; start += batch_size) {
     const int end = std::min(n, start + batch_size);
-    std::vector<int> idx(end - start);
-    std::vector<int> batch_labels(end - start);
+    std::vector<int> idx(static_cast<size_t>(end - start));
+    std::vector<int> batch_labels(static_cast<size_t>(end - start));
     for (int i = start; i < end; ++i) {
-      idx[i - start] = i;
-      batch_labels[i - start] = labels[i];
+      idx[static_cast<size_t>(i - start)] = i;
+      batch_labels[static_cast<size_t>(i - start)] = labels[static_cast<size_t>(i)];
     }
     Variable input(GatherBatch(x, idx));
     const Variable loss = SoftmaxCrossEntropy(net.Forward(input), batch_labels);
@@ -221,7 +221,7 @@ double EvaluateAccuracy(SequenceClassifierNet& net, const Tensor& x,
   for (size_t i = 0; i < labels.size(); ++i) {
     if (predicted[i] == labels[i]) ++correct;
   }
-  return static_cast<double>(correct) / labels.size();
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
 }
 
 }  // namespace tsaug::nn

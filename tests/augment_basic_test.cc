@@ -225,18 +225,18 @@ TEST(SpectrogramMasking, ProducesFiniteSeriesOfSameShape) {
 
 TEST(MovingAverageDecompose, TrendPlusResidualIsIdentity) {
   std::vector<double> signal(50);
-  for (int t = 0; t < 50; ++t) signal[t] = 0.1 * t + std::sin(0.5 * t);
+  for (int t = 0; t < 50; ++t) signal[static_cast<size_t>(t)] = 0.1 * t + std::sin(0.5 * t);
   const Decomposition parts = MovingAverageDecompose(signal, 9);
   for (int t = 0; t < 50; ++t) {
-    EXPECT_NEAR(parts.trend[t] + parts.residual[t], signal[t], 1e-12);
+    EXPECT_NEAR(parts.trend[static_cast<size_t>(t)] + parts.residual[static_cast<size_t>(t)], signal[static_cast<size_t>(t)], 1e-12);
   }
 }
 
 TEST(MovingAverageDecompose, TrendTracksLinearSignalExactlyInInterior) {
   std::vector<double> signal(30);
-  for (int t = 0; t < 30; ++t) signal[t] = 2.0 * t;
+  for (int t = 0; t < 30; ++t) signal[static_cast<size_t>(t)] = 2.0 * t;
   const Decomposition parts = MovingAverageDecompose(signal, 5);
-  for (int t = 2; t < 28; ++t) EXPECT_NEAR(parts.trend[t], signal[t], 1e-9);
+  for (int t = 2; t < 28; ++t) EXPECT_NEAR(parts.trend[static_cast<size_t>(t)], signal[static_cast<size_t>(t)], 1e-9);
 }
 
 TEST(DecompositionAugmenter, PreservesTrendShape) {

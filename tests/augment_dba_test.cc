@@ -32,8 +32,8 @@ TEST(DtwBarycenterAverage, AlignsShiftedBumps) {
   // DTW) to both members than their pointwise mean is.
   std::vector<double> a(30, 0.0);
   std::vector<double> b(30, 0.0);
-  for (int t = 8; t < 13; ++t) a[t] = 1.0;
-  for (int t = 16; t < 21; ++t) b[t] = 1.0;
+  for (int t = 8; t < 13; ++t) a[static_cast<size_t>(t)] = 1.0;
+  for (int t = 16; t < 21; ++t) b[static_cast<size_t>(t)] = 1.0;
   const TimeSeries sa = TimeSeries::FromValues(a);
   const TimeSeries sb = TimeSeries::FromValues(b);
 
@@ -41,7 +41,7 @@ TEST(DtwBarycenterAverage, AlignsShiftedBumps) {
       DtwBarycenterAverage({sa, sb}, {0.5, 0.5}, sa, 6);
 
   std::vector<double> mean(30);
-  for (int t = 0; t < 30; ++t) mean[t] = 0.5 * (a[t] + b[t]);
+  for (int t = 0; t < 30; ++t) mean[static_cast<size_t>(t)] = 0.5 * (a[static_cast<size_t>(t)] + b[static_cast<size_t>(t)]);
   const TimeSeries pointwise = TimeSeries::FromValues(mean);
 
   const double dba_cost = linalg::DtwDistance(dba, sa) +

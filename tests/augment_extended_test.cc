@@ -19,9 +19,9 @@ namespace {
 using core::TimeSeries;
 
 std::vector<double> TwoToneSignal(int n) {
-  std::vector<double> x(n);
+  std::vector<double> x(static_cast<size_t>(n));
   for (int t = 0; t < n; ++t) {
-    x[t] = std::sin(0.8 * t) + 0.3 * std::sin(0.1 * t) + 0.02 * t;
+    x[static_cast<size_t>(t)] = std::sin(0.8 * t) + 0.3 * std::sin(0.1 * t) + 0.02 * t;
   }
   return x;
 }
@@ -164,8 +164,8 @@ TEST(DtwGuidedWarp, WarpOntoReferenceLengthAndValues) {
   // carry the seed's values on the reference's timing.
   std::vector<double> seed_values(30, 0.0);
   std::vector<double> ref_values(30, 0.0);
-  for (int t = 5; t < 10; ++t) seed_values[t] = 1.0;
-  for (int t = 18; t < 23; ++t) ref_values[t] = 1.0;
+  for (int t = 5; t < 10; ++t) seed_values[static_cast<size_t>(t)] = 1.0;
+  for (int t = 18; t < 23; ++t) ref_values[static_cast<size_t>(t)] = 1.0;
   const TimeSeries seed = TimeSeries::FromValues(seed_values);
   const TimeSeries reference = TimeSeries::FromValues(ref_values);
 

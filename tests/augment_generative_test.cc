@@ -33,13 +33,13 @@ TEST(GaussianGenerator, MatchesClassMeanAndSpread) {
   for (int i : by_class[0]) {
     const auto& values = train.series(i).values();
     for (size_t d = 0; d < values.size(); ++d) {
-      class_mean[d] += values[d] / by_class[0].size();
+      class_mean[d] += values[d] / static_cast<double>(by_class[0].size());
     }
   }
   std::vector<double> generated_mean(48, 0.0);
   for (const core::TimeSeries& s : generated) {
     for (size_t d = 0; d < 48; ++d) {
-      generated_mean[d] += s.values()[d] / generated.size();
+      generated_mean[d] += s.values()[d] / static_cast<double>(generated.size());
     }
   }
   double max_diff = 0.0;
@@ -105,11 +105,11 @@ TEST(ArGenerator, TracksClassMeanCurve) {
   const auto by_class = train.IndicesByClass();
   double class_mean_at = 0.0;
   for (int i : by_class[0]) {
-    class_mean_at += train.series(i).at(0, 10) / by_class[0].size();
+    class_mean_at += train.series(i).at(0, 10) / static_cast<double>(by_class[0].size());
   }
   double generated_mean_at = 0.0;
   for (const core::TimeSeries& s : generated) {
-    generated_mean_at += s.at(0, 10) / generated.size();
+    generated_mean_at += s.at(0, 10) / static_cast<double>(generated.size());
   }
   EXPECT_NEAR(generated_mean_at, class_mean_at, 0.4);
 }

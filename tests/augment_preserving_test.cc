@@ -92,8 +92,8 @@ TEST(Ohit, ClusersTwoModesSeparately) {
   const std::vector<int> assignment = ohit.ClusterClass(train, 0);
   ASSERT_EQ(assignment.size(), 12u);
   // Members 0-5 share a cluster, 6-11 share another, and they differ.
-  for (int i = 1; i < 6; ++i) EXPECT_EQ(assignment[i], assignment[0]);
-  for (int i = 7; i < 12; ++i) EXPECT_EQ(assignment[i], assignment[6]);
+  for (int i = 1; i < 6; ++i) EXPECT_EQ(assignment[static_cast<size_t>(i)], assignment[0]);
+  for (int i = 7; i < 12; ++i) EXPECT_EQ(assignment[static_cast<size_t>(i)], assignment[6]);
   EXPECT_NE(assignment[0], assignment[6]);
 }
 
@@ -135,12 +135,12 @@ TEST(Ohit, CovarianceStructurePreserved) {
   double mean_x = 0.0;
   double mean_y = 0.0;
   for (const core::TimeSeries& s : generated) {
-    mean_x += s.at(0, 0) / generated.size();
-    mean_y += s.at(1, 0) / generated.size();
+    mean_x += s.at(0, 0) / static_cast<double>(generated.size());
+    mean_y += s.at(1, 0) / static_cast<double>(generated.size());
   }
   for (const core::TimeSeries& s : generated) {
-    var_x += std::pow(s.at(0, 0) - mean_x, 2) / generated.size();
-    var_y += std::pow(s.at(1, 0) - mean_y, 2) / generated.size();
+    var_x += std::pow(s.at(0, 0) - mean_x, 2) / static_cast<double>(generated.size());
+    var_y += std::pow(s.at(1, 0) - mean_y, 2) / static_cast<double>(generated.size());
   }
   EXPECT_GT(var_x, 5.0 * var_y);
 }

@@ -109,8 +109,8 @@ TEST_P(AugmenterProperty, BalancingEqualizesCounts) {
 
 INSTANTIATE_TEST_SUITE_P(
     Taxonomy, AugmenterProperty, ::testing::ValuesIn(AllEntries()),
-    [](const ::testing::TestParamInfo<NamedEntry>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<NamedEntry>& param_info) {
+      std::string name = param_info.param.name;
       for (char& c : name) {
         if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
       }

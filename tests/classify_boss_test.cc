@@ -12,8 +12,8 @@ namespace tsaug::classify {
 namespace {
 
 std::vector<double> Tone(int n, double freq, double phase = 0.0) {
-  std::vector<double> x(n);
-  for (int t = 0; t < n; ++t) x[t] = std::sin(freq * t + phase);
+  std::vector<double> x(static_cast<size_t>(n));
+  for (int t = 0; t < n; ++t) x[static_cast<size_t>(t)] = std::sin(freq * t + phase);
   return x;
 }
 

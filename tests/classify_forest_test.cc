@@ -12,12 +12,12 @@ void MakeBlobs(int n, linalg::Matrix* x, std::vector<int>* y,
                std::uint64_t seed, double separation = 3.0) {
   core::Rng rng(seed);
   *x = linalg::Matrix(n, 2);
-  y->resize(n);
+  y->resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     const int label = i % 2;
     (*x)(i, 0) = label * separation + rng.Normal(0, 0.5);
     (*x)(i, 1) = rng.Normal(0, 0.5);
-    (*y)[i] = label;
+    (*y)[static_cast<size_t>(i)] = label;
   }
 }
 
@@ -32,7 +32,7 @@ TEST(DecisionTree, FitsSeparableBlobs) {
            rng);
   int correct = 0;
   for (int i = 0; i < x.rows(); ++i) {
-    correct += tree.Predict(x.row_data(i)) == y[i] ? 1 : 0;
+    correct += tree.Predict(x.row_data(i)) == y[static_cast<size_t>(i)] ? 1 : 0;
   }
   EXPECT_GE(correct, 58);
 }
@@ -58,7 +58,7 @@ TEST(DecisionTree, DepthLimitRespected) {
   std::vector<int> y(16);
   for (int i = 0; i < 16; ++i) {
     x(i, 0) = i;
-    y[i] = i % 2;
+    y[static_cast<size_t>(i)] = i % 2;
   }
   DecisionTree tree;
   core::Rng rng(4);
@@ -81,7 +81,7 @@ TEST(RandomForest, BeatsSingleStumpOnXor) {
     const int b = (i / 2) % 2;
     x(i, 0) = a * 2.0 + rng.Normal(0, 0.3);
     x(i, 1) = b * 2.0 + rng.Normal(0, 0.3);
-    y[i] = a ^ b;
+    y[static_cast<size_t>(i)] = a ^ b;
   }
   RandomForest::Config config;
   config.num_trees = 30;

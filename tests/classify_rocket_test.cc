@@ -36,7 +36,7 @@ TEST(RocketTransform, KernelGeometryWithinSpec) {
     // Weights are mean-centred per kernel.
     double mean = 0.0;
     for (double w : k.weights) mean += w;
-    EXPECT_NEAR(mean / k.weights.size(), 0.0, 1e-12);
+    EXPECT_NEAR(mean / static_cast<double>(k.weights.size()), 0.0, 1e-12);
   }
 }
 

@@ -39,7 +39,7 @@ TEST(ParallelFor, CoversRangeExactlyOnceSerial) {
   SetNumThreads(1);
   std::vector<int> hits(1000, 0);
   ParallelFor(0, 1000, 7, [&](std::int64_t lo, std::int64_t hi) {
-    for (std::int64_t i = lo; i < hi; ++i) ++hits[i];
+    for (std::int64_t i = lo; i < hi; ++i) ++hits[static_cast<size_t>(i)];
   });
   EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
                           [](int h) { return h == 1; }));
@@ -53,7 +53,7 @@ TEST(ParallelFor, CoversRangeExactlyOnceParallel) {
     for (auto& h : hits) h = 0;
     ParallelFor(0, 977, 3, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t i = lo; i < hi; ++i) {
-        hits[i].fetch_add(1, std::memory_order_relaxed);
+        hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
       }
     });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
@@ -76,7 +76,9 @@ TEST(ParallelFor, ChunksAreDisjointAndRespectGrain) {
     EXPECT_EQ(lo, covered);  // contiguous, no overlap, no gap
     EXPECT_LT(lo, hi);
     // Every chunk except the last carries at least `grain` indices.
-    if (hi != 505) EXPECT_GE(hi - lo, kGrain);
+    if (hi != 505) {
+      EXPECT_GE(hi - lo, kGrain);
+    }
     covered = hi;
   }
   EXPECT_EQ(covered, 505);
@@ -117,7 +119,7 @@ TEST(ParallelFor, NestedCallsRunInline) {
         ++inner_calls;
         EXPECT_TRUE(InParallelRegion());
         for (std::int64_t j = ilo; j < ihi; ++j) {
-          hits[i * 8 + j].fetch_add(1, std::memory_order_relaxed);
+          hits[static_cast<size_t>(i * 8 + j)].fetch_add(1, std::memory_order_relaxed);
         }
       });
       EXPECT_EQ(inner_calls, 1);  // nested => one inline chunk
@@ -158,8 +160,8 @@ TEST(ParallelFor, PerIndexOutputsIdenticalAcrossThreadCounts) {
     ParallelFor(0, 512, 1, [&](std::int64_t lo, std::int64_t hi) {
       for (std::int64_t i = lo; i < hi; ++i) {
         double acc = 0.0;
-        for (int k = 0; k < 100; ++k) acc += 1.0 / (1.0 + i + k);
-        out[i] = acc;
+        for (int k = 0; k < 100; ++k) acc += 1.0 / (1.0 + static_cast<double>(i) + k);
+        out[static_cast<size_t>(i)] = acc;
       }
     });
     return out;

@@ -58,11 +58,11 @@ TEST(MakeSynthetic, ClassesAreSeparable) {
   const auto by_class = data.train.IndicesByClass();
   std::vector<std::vector<double>> means(3);
   for (int k = 0; k < 3; ++k) {
-    means[k].assign(data.train.series(0).values().size(), 0.0);
-    for (int i : by_class[k]) {
+    means[static_cast<size_t>(k)].assign(data.train.series(0).values().size(), 0.0);
+    for (int i : by_class[static_cast<size_t>(k)]) {
       const auto& values = data.train.series(i).values();
       for (size_t d = 0; d < values.size(); ++d) {
-        means[k][d] += values[d] / by_class[k].size();
+        means[static_cast<size_t>(k)][d] += values[d] / static_cast<double>(by_class[static_cast<size_t>(k)].size());
       }
     }
   }
@@ -75,7 +75,7 @@ TEST(MakeSynthetic, ClassesAreSeparable) {
     for (int k = 0; k < 3; ++k) {
       double dist = 0.0;
       for (size_t d = 0; d < values.size(); ++d) {
-        const double diff = values[d] - means[k][d];
+        const double diff = values[d] - means[static_cast<size_t>(k)][d];
         dist += diff * diff;
       }
       if (dist < best) {

@@ -25,12 +25,12 @@ TEST(Fft, SinglePureToneConcentratesEnergy) {
   const int freq = 5;
   std::vector<Complex> data(n);
   for (int t = 0; t < n; ++t) {
-    data[t] = Complex(std::cos(2.0 * std::numbers::pi * freq * t / n), 0.0);
+    data[static_cast<size_t>(t)] = Complex(std::cos(2.0 * std::numbers::pi * freq * t / n), 0.0);
   }
   Fft(data);
   // Energy only at bins freq and n-freq, each amplitude n/2.
   for (int k = 0; k < n; ++k) {
-    const double mag = std::abs(data[k]);
+    const double mag = std::abs(data[static_cast<size_t>(k)]);
     if (k == freq || k == n - freq) {
       EXPECT_NEAR(mag, n / 2.0, 1e-9);
     } else {
@@ -43,18 +43,18 @@ class FftRoundTrip : public ::testing::TestWithParam<int> {};
 
 TEST_P(FftRoundTrip, InverseRecoversSignal) {
   const int n = GetParam();
-  core::Rng rng(n);
-  std::vector<Complex> data(n);
-  std::vector<Complex> original(n);
+  core::Rng rng(static_cast<size_t>(n));
+  std::vector<Complex> data(static_cast<size_t>(n));
+  std::vector<Complex> original(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    data[i] = Complex(rng.Normal(), rng.Normal());
-    original[i] = data[i];
+    data[static_cast<size_t>(i)] = Complex(rng.Normal(), rng.Normal());
+    original[static_cast<size_t>(i)] = data[static_cast<size_t>(i)];
   }
   Fft(data, /*inverse=*/false);
   Fft(data, /*inverse=*/true);
   for (int i = 0; i < n; ++i) {
-    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9) << "n=" << n;
-    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(data[static_cast<size_t>(i)].real(), original[static_cast<size_t>(i)].real(), 1e-9) << "n=" << n;
+    EXPECT_NEAR(data[static_cast<size_t>(i)].imag(), original[static_cast<size_t>(i)].imag(), 1e-9) << "n=" << n;
   }
 }
 
@@ -68,18 +68,18 @@ TEST(Fft, MatchesNaiveDftOnArbitraryLength) {
   const int n = 11;
   core::Rng rng(42);
   std::vector<Complex> data(n);
-  for (int i = 0; i < n; ++i) data[i] = Complex(rng.Normal(), 0.0);
+  for (int i = 0; i < n; ++i) data[static_cast<size_t>(i)] = Complex(rng.Normal(), 0.0);
   std::vector<Complex> naive(n, Complex(0, 0));
   for (int k = 0; k < n; ++k) {
     for (int t = 0; t < n; ++t) {
       const double angle = -2.0 * std::numbers::pi * k * t / n;
-      naive[k] += data[t] * Complex(std::cos(angle), std::sin(angle));
+      naive[static_cast<size_t>(k)] += data[static_cast<size_t>(t)] * Complex(std::cos(angle), std::sin(angle));
     }
   }
   Fft(data);
   for (int k = 0; k < n; ++k) {
-    EXPECT_NEAR(data[k].real(), naive[k].real(), 1e-9);
-    EXPECT_NEAR(data[k].imag(), naive[k].imag(), 1e-9);
+    EXPECT_NEAR(data[static_cast<size_t>(k)].real(), naive[static_cast<size_t>(k)].real(), 1e-9);
+    EXPECT_NEAR(data[static_cast<size_t>(k)].imag(), naive[static_cast<size_t>(k)].imag(), 1e-9);
   }
 }
 
@@ -124,7 +124,7 @@ TEST(Stft, InverseStftReconstructsInterior) {
   ASSERT_EQ(back.size(), signal.size());
   // Edges are attenuated by the window; check the interior.
   for (int t = window; t < 128 - window; ++t) {
-    EXPECT_NEAR(back[t], signal[t], 1e-6) << "t=" << t;
+    EXPECT_NEAR(back[static_cast<size_t>(t)], signal[static_cast<size_t>(t)], 1e-6) << "t=" << t;
   }
 }
 

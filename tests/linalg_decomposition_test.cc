@@ -73,7 +73,7 @@ TEST(SymmetricEigen, ReconstructsMatrix) {
   // A = V diag(w) V^T.
   Matrix vw = v;
   for (int i = 0; i < vw.rows(); ++i) {
-    for (int j = 0; j < vw.cols(); ++j) vw(i, j) *= w[j];
+    for (int j = 0; j < vw.cols(); ++j) vw(i, j) *= w[static_cast<size_t>(j)];
   }
   EXPECT_LT(MaxAbsDiff(MatMulTransposeB(vw, v), a), 1e-8);
 }

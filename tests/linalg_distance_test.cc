@@ -44,8 +44,8 @@ TEST(DtwDistance, InvariantToSmallShift) {
   // A shifted bump is far in Euclidean terms but near-zero for DTW.
   std::vector<double> base(20, 0.0);
   std::vector<double> shifted(20, 0.0);
-  for (int i = 5; i < 10; ++i) base[i] = 1.0;
-  for (int i = 7; i < 12; ++i) shifted[i] = 1.0;
+  for (int i = 5; i < 10; ++i) base[static_cast<size_t>(i)] = 1.0;
+  for (int i = 7; i < 12; ++i) shifted[static_cast<size_t>(i)] = 1.0;
   TimeSeries a = TimeSeries::FromValues(base);
   TimeSeries b = TimeSeries::FromValues(shifted);
   EXPECT_LT(DtwDistance(a, b), 0.25 * EuclideanDistance(a, b));
@@ -54,8 +54,8 @@ TEST(DtwDistance, InvariantToSmallShift) {
 TEST(DtwDistance, BandConstraintIncreasesCost) {
   std::vector<double> base(16, 0.0);
   std::vector<double> shifted(16, 0.0);
-  for (int i = 2; i < 6; ++i) base[i] = 1.0;
-  for (int i = 8; i < 12; ++i) shifted[i] = 1.0;
+  for (int i = 2; i < 6; ++i) base[static_cast<size_t>(i)] = 1.0;
+  for (int i = 8; i < 12; ++i) shifted[static_cast<size_t>(i)] = 1.0;
   TimeSeries a = TimeSeries::FromValues(base);
   TimeSeries b = TimeSeries::FromValues(shifted);
   EXPECT_LE(DtwDistance(a, b, /*window=*/-1), DtwDistance(a, b, /*window=*/1));

@@ -86,8 +86,8 @@ Matrix GaussianBlobs(const std::vector<int>& labels, double separation,
                      core::Rng& rng) {
   Matrix x(static_cast<int>(labels.size()), 2);
   for (int i = 0; i < x.rows(); ++i) {
-    x(i, 0) = labels[i] * separation + rng.Normal(0, 0.4);
-    x(i, 1) = (labels[i] % 2 == 0 ? 1 : -1) * separation / 2 + rng.Normal(0, 0.4);
+    x(i, 0) = labels[static_cast<size_t>(i)] * separation + rng.Normal(0, 0.4);
+    x(i, 1) = (labels[static_cast<size_t>(i)] % 2 == 0 ? 1 : -1) * separation / 2 + rng.Normal(0, 0.4);
   }
   return x;
 }

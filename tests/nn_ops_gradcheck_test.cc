@@ -137,7 +137,7 @@ class Conv1dGradCheck
 
 TEST_P(Conv1dGradCheck, MatchesNumerical) {
   const auto [kernel, dilation] = GetParam();
-  core::Rng rng(8 + kernel + dilation);
+  core::Rng rng(static_cast<size_t>(8 + kernel + dilation));
   std::vector<Tensor> leaves = {RandomTensor({2, 3, 9}, rng),
                                 RandomTensor({2, 3, kernel}, rng)};
   CheckGradients(leaves, [dilation = dilation](std::vector<Variable>& v) {
@@ -165,7 +165,7 @@ TEST(GradCheck, MaxPool1dSame) {
   core::Rng rng(10);
   std::vector<Tensor> leaves = {RandomTensor({2, 2, 7}, rng)};
   // Ensure distinct values so the argmax is stable under perturbation.
-  for (size_t i = 0; i < leaves[0].numel(); ++i) leaves[0][i] += 0.01 * i;
+  for (size_t i = 0; i < leaves[0].numel(); ++i) leaves[0][i] += 0.01 * static_cast<double>(i);
   CheckGradients(leaves, [](std::vector<Variable>& v) {
     return Mean(Mul(MaxPool1dSame(v[0], 3), MaxPool1dSame(v[0], 3)));
   });

@@ -28,10 +28,10 @@ class TinyNet : public SequenceClassifierNet {
 void MakeData(int n, Tensor* x, std::vector<int>* y, std::uint64_t seed) {
   core::Rng rng(seed);
   *x = Tensor({n, 1, 8});
-  y->resize(n);
+  y->resize(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
     const int label = i % 2;
-    (*y)[i] = label;
+    (*y)[static_cast<size_t>(i)] = label;
     for (int t = 0; t < 8; ++t) {
       x->at(i, 0, t) = 2.0 * label + rng.Normal(0, 0.3);
     }
@@ -103,7 +103,7 @@ TEST(EvaluateLoss, MatchesDirectCrossEntropy) {
   const double loss = EvaluateLoss(net, x, y, /*batch_size=*/5);
   // Compare against one full-batch forward.
   std::vector<int> all(12);
-  for (int i = 0; i < 12; ++i) all[i] = i;
+  for (int i = 0; i < 12; ++i) all[static_cast<size_t>(i)] = i;
   const Variable logits = net.Forward(Variable(GatherBatch(x, all)));
   const double direct = SoftmaxCrossEntropy(logits, y).value().scalar();
   EXPECT_NEAR(loss, direct, 1e-9);
