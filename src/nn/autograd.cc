@@ -4,6 +4,21 @@
 
 namespace tsaug::nn {
 
+Node::~Node() {
+  std::vector<std::shared_ptr<Node>> pending;
+  pending.swap(parents);
+  while (!pending.empty()) {
+    std::shared_ptr<Node> n = std::move(pending.back());
+    pending.pop_back();
+    // Only dismantle nodes this chain exclusively owns; shared nodes are
+    // still reachable from live Variables and must keep their parents.
+    if (n && n.use_count() == 1) {
+      for (auto& p : n->parents) pending.push_back(std::move(p));
+      n->parents.clear();
+    }
+  }
+}
+
 Variable::Variable(Tensor value, bool requires_grad) {
   node_ = std::make_shared<Node>();
   node_->value = std::move(value);

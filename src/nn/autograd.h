@@ -18,6 +18,11 @@ struct Node {
   std::vector<std::shared_ptr<Node>> parents;
   std::function<void(Node&)> backward_fn;  // may be empty for leaves
 
+  /// Tears the parent subgraph down iteratively: letting shared_ptr unwind a
+  /// BPTT-depth chain (tens of thousands of nodes) recursively overflows the
+  /// stack in unoptimised builds.
+  ~Node();
+
   void EnsureGrad() {
     if (grad.numel() != value.numel()) grad = Tensor(value.shape());
   }
