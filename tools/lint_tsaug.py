@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant linter for tsaug.
+
+Enforces correctness conventions that generic tools (compiler warnings,
+clang-tidy) cannot express:
+
+  rng-discipline        RNG engines are constructed only via src/core/rng.h:
+                        no raw std::mt19937 / std::random_device / rand() /
+                        srand() anywhere else. A second engine type or an
+                        unseeded source silently breaks experiment
+                        reproducibility.
+  check-macro           TSAUG_CHECK / TSAUG_DCHECK instead of bare assert():
+                        assert() vanishes under NDEBUG, so a release binary
+                        would silently skip API-contract checks.
+  test-registration     Every tests/*.cc is listed by name in
+                        tests/CMakeLists.txt, so a test cannot be written but
+                        never built/run.
+  no-iostream-header    No <iostream> in src/**/*.h: it injects static
+                        constructors into every TU and leaks std::cout into
+                        the library API surface.
+  no-wall-clock         No time(NULL)/std::time/gettimeofday anywhere, and no
+                        chrono clocks inside src/: wall-clock values reaching
+                        a seed make runs irreproducible. Timing belongs in
+                        bench/.
+  parallel-capture      Every ParallelFor whose body captures by reference
+                        carries a nearby comment stating why the shared state
+                        is safe (disjoint slices, fixed accumulation order,
+                        read-only, ...). Keeps the PR-1 determinism guarantee
+                        reviewable as call sites multiply.
+
+Exit status: 0 when clean, 1 when violations were found (one
+"file:line: [rule] message" per line on stdout), 2 on usage errors.
+
+--self-test runs the linter against the fixture tree in
+tools/testdata/lint_tree (asserting each planted violation is reported with
+its exact file:line) and then against the real tree (asserting it is clean).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
+
+# --- rule implementations ---------------------------------------------------
+
+RNG_EXEMPT = ("src/core/rng.h", "src/core/rng.cc")
+RNG_RE = re.compile(r"std::mt19937|std::random_device|\b(?:s)?rand\s*\(")
+ASSERT_RE = re.compile(r"(?<![_A-Za-z0-9])assert\s*\(")
+IOSTREAM_RE = re.compile(r'#\s*include\s*<iostream>')
+WALL_CLOCK_RE = re.compile(
+    r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|std::time\s*\(|\bgettimeofday\s*\(")
+CHRONO_CLOCK_RE = re.compile(
+    r"(?:system|steady|high_resolution)_clock::now")
+PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
+REF_CAPTURE_RE = re.compile(r"\[\s*&")
+SAFETY_COMMENT_RE = re.compile(
+    r"//.*(determinis|disjoint|independent|owns|owned|read-only|"
+    r"accumulation|touches only)", re.IGNORECASE)
+PARALLEL_EXEMPT = ("src/core/parallel.h", "src/core/parallel.cc")
+COMMENT_WINDOW = 6  # lines above a ParallelFor call searched for the comment
+
+
+def strip_line_comment(line):
+    """Drops // comments so banned tokens in prose don't trip the rules."""
+    pos = line.find("//")
+    return line if pos < 0 else line[:pos]
+
+
+def lint_file(rel, lines, violations):
+    is_header = rel.endswith((".h", ".hpp"))
+    in_src = rel.startswith("src/")
+    for i, raw in enumerate(lines, start=1):
+        line = strip_line_comment(raw)
+        if rel not in RNG_EXEMPT and RNG_RE.search(line):
+            violations.append((rel, i, "rng-discipline",
+                               "raw RNG engine/seed source; construct RNGs "
+                               "via core::Rng (src/core/rng.h)"))
+        if ASSERT_RE.search(line):
+            violations.append((rel, i, "check-macro",
+                               "bare assert() compiles out under NDEBUG; use "
+                               "TSAUG_CHECK or TSAUG_DCHECK"))
+        if is_header and in_src and IOSTREAM_RE.search(line):
+            violations.append((rel, i, "no-iostream-header",
+                               "<iostream> in a library header; use "
+                               "<cstdio> in the .cc instead"))
+        if WALL_CLOCK_RE.search(line):
+            violations.append((rel, i, "no-wall-clock",
+                               "wall-clock call; seeds must come from "
+                               "explicit config, timing belongs in bench/"))
+        elif in_src and CHRONO_CLOCK_RE.search(line):
+            violations.append((rel, i, "no-wall-clock",
+                               "chrono clock inside src/; wall-clock reads "
+                               "make library behaviour irreproducible"))
+        if in_src and rel not in PARALLEL_EXEMPT and \
+                PARALLEL_FOR_RE.search(line):
+            # The lambda usually starts on the call line or shortly after.
+            body = "".join(lines[i - 1:i + 3])
+            if REF_CAPTURE_RE.search(body):
+                window = lines[max(0, i - 1 - COMMENT_WINDOW):i]
+                if not any(SAFETY_COMMENT_RE.search(w) for w in window):
+                    violations.append(
+                        (rel, i, "parallel-capture",
+                         "ParallelFor body captures by reference without a "
+                         "nearby comment justifying determinism (say how "
+                         "writes are disjoint / order is fixed)"))
+
+
+def lint_test_registration(root, violations):
+    tests_dir = os.path.join(root, "tests")
+    cmake_path = os.path.join(tests_dir, "CMakeLists.txt")
+    if not os.path.isdir(tests_dir):
+        return
+    if not os.path.isfile(cmake_path):
+        violations.append(("tests/CMakeLists.txt", 1, "test-registration",
+                           "tests/ has no CMakeLists.txt"))
+        return
+    with open(cmake_path, encoding="utf-8") as f:
+        # Drop # comments: a test name mentioned in prose must not count as
+        # registered.
+        cmake_text = "\n".join(
+            line.split("#", 1)[0] for line in f.read().splitlines())
+    for name in sorted(os.listdir(tests_dir)):
+        if name.endswith(".cc") and name not in cmake_text:
+            violations.append(
+                (f"tests/{name}", 1, "test-registration",
+                 f"{name} is not registered in tests/CMakeLists.txt; it "
+                 "would never be built or run"))
+
+
+def lint_tree(root):
+    violations = []
+    for top in SOURCE_DIRS:
+        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+            for name in sorted(filenames):
+                if not name.endswith(CXX_EXTENSIONS):
+                    continue
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                with open(path, encoding="utf-8", errors="replace") as f:
+                    lines = f.readlines()
+                lint_file(rel, lines, violations)
+    lint_test_registration(root, violations)
+    return violations
+
+
+# --- self-test ---------------------------------------------------------------
+
+def self_test(repo_root):
+    fixture_root = os.path.join(repo_root, "tools", "testdata", "lint_tree")
+    expected_path = os.path.join(fixture_root, "expected_violations.txt")
+    with open(expected_path, encoding="utf-8") as f:
+        expected = set()
+        for raw in f:
+            raw = raw.strip()
+            if raw and not raw.startswith("#"):
+                rel, line, rule = raw.split(":")
+                expected.add((rel, int(line), rule))
+
+    got_full = lint_tree(fixture_root)
+    got = {(rel, line, rule) for (rel, line, rule, _) in got_full}
+    ok = True
+    for item in sorted(expected - got):
+        ok = False
+        print("self-test: expected violation not reported: %s:%d [%s]" % item)
+    for item in sorted(got - expected):
+        ok = False
+        print("self-test: unexpected violation: %s:%d [%s]" % item)
+    rules_covered = {rule for (_, _, rule) in expected}
+    all_rules = {"rng-discipline", "check-macro", "test-registration",
+                 "no-iostream-header", "no-wall-clock", "parallel-capture"}
+    for rule in sorted(all_rules - rules_covered):
+        ok = False
+        print(f"self-test: no fixture exercises rule [{rule}]")
+    if ok:
+        print(f"self-test: fixture tree OK ({len(expected)} violations, "
+              f"{len(rules_covered)} rules)")
+
+    real = lint_tree(repo_root)
+    for (rel, line, rule, msg) in real:
+        ok = False
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if real:
+        print(f"self-test: real tree has {len(real)} violations")
+    else:
+        print("self-test: real tree clean")
+    return 0 if ok else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=None,
+                        help="repository root (default: parent of tools/)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="validate the linter against its fixture tree, "
+                             "then require the real tree to be clean")
+    args = parser.parse_args()
+    root = args.root or os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    if args.self_test:
+        return self_test(root)
+    violations = lint_tree(root)
+    for (rel, line, rule, msg) in violations:
+        print(f"{rel}:{line}: [{rule}] {msg}")
+    if violations:
+        print(f"lint_tsaug: {len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

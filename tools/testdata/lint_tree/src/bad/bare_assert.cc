@@ -1,0 +1,7 @@
+// Fixture: uses assert(), which compiles out under NDEBUG.
+#include <cassert>
+
+int Half(int x) {
+  assert(x % 2 == 0);
+  return x / 2;
+}

@@ -1,0 +1,9 @@
+#ifndef FIXTURE_HEADER_IOSTREAM_H_
+#define FIXTURE_HEADER_IOSTREAM_H_
+
+// Fixture: pulls <iostream> into a library header.
+#include <iostream>
+
+inline void Hello() { std::cout << "hi\n"; }
+
+#endif  // FIXTURE_HEADER_IOSTREAM_H_

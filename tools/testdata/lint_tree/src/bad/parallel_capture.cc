@@ -1,0 +1,14 @@
+// Fixture: mutable by-reference capture with no determinism comment.
+#include <cstdint>
+#include <vector>
+
+namespace core {
+template <typename Body>
+void ParallelFor(std::int64_t, std::int64_t, std::int64_t, Body&&);
+}
+
+void Sum(std::vector<double>& out) {
+  core::ParallelFor(0, 100, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i) out[0] += static_cast<double>(i);
+  });
+}

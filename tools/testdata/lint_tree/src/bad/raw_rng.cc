@@ -1,0 +1,7 @@
+// Fixture: constructs a raw engine instead of going through core::Rng.
+#include <random>
+
+int Draw() {
+  std::mt19937 engine(42);
+  return static_cast<int>(engine());
+}

@@ -1,0 +1,6 @@
+// Fixture: seeds from the wall clock, making runs irreproducible.
+#include <ctime>
+
+unsigned Seed() {
+  return static_cast<unsigned>(std::time(nullptr));
+}

@@ -1,0 +1,3 @@
+// Fixture: never referenced by tests/CMakeLists.txt, so it would silently
+// never build or run.
+int main() { return 0; }

@@ -1,0 +1,2 @@
+// Fixture: a clean test that IS registered in tests/CMakeLists.txt.
+int main() { return 0; }
