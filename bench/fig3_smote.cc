@@ -7,7 +7,9 @@
 #include "augment/oversample.h"
 #include "fig_demo_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = tsaug::bench::EnableTraceFromArgs(argc, argv);
+
   constexpr double kSeparation = 3.0;
   const tsaug::core::Dataset data =
       tsaug::bench::TwoGaussians(40, 10, kSeparation, 0.8, /*seed=*/2);
@@ -32,5 +34,10 @@ int main() {
   std::printf("  noise_3.0: %3d / 500 (%.1f%%) for comparison\n",
               noise_violations, 100.0 * noise_violations / 500.0);
   std::printf("Convex combinations stay inside the class hull.\n");
+  if (!tsaug::bench::WriteTraceJson(trace_path)) {
+    std::fprintf(stderr, "failed to write trace JSON to %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
   return 0;
 }

@@ -8,7 +8,9 @@
 #include "augment/preserving.h"
 #include "fig_demo_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = tsaug::bench::EnableTraceFromArgs(argc, argv);
+
   // Classes closer together than in fig2: the regime where plain noise
   // actively mislabels.
   constexpr double kSeparation = 2.0;
@@ -43,5 +45,10 @@ int main() {
               100.0 * range_violations / 500.0);
   std::printf("The range method modulates the noise amplitude per seed so "
               "generated data keep their label (paper Sec. III-C).\n");
+  if (!tsaug::bench::WriteTraceJson(trace_path)) {
+    std::fprintf(stderr, "failed to write trace JSON to %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
   return 0;
 }

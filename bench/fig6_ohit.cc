@@ -10,7 +10,9 @@
 #include "augment/preserving.h"
 #include "fig_demo_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string trace_path = tsaug::bench::EnableTraceFromArgs(argc, argv);
+
   using tsaug::bench::Point2d;
   tsaug::core::Rng data_rng(5);
   tsaug::core::Dataset data;
@@ -62,5 +64,10 @@ int main() {
   std::printf("  naive interpolation:  %d\n", naive_gap);
   std::printf("OHIT keeps each cluster's covariance structure (paper "
               "Sec. III-C2).\n");
+  if (!tsaug::bench::WriteTraceJson(trace_path)) {
+    std::fprintf(stderr, "failed to write trace JSON to %s\n",
+                 trace_path.c_str());
+    return 1;
+  }
   return 0;
 }

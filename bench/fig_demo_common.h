@@ -6,14 +6,40 @@
 #define TSAUG_BENCH_FIG_DEMO_COMMON_H_
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "augment/augmenter.h"
 #include "core/dataset.h"
 #include "core/rng.h"
+#include "core/trace.h"
 #include "linalg/distance.h"
 
 namespace tsaug::bench {
+
+/// Parses `--trace-json <path>` from the bench's argv; when present,
+/// enables tracing (core/trace.h) and returns the output path (empty
+/// otherwise). Call once at the top of main().
+inline std::string EnableTraceFromArgs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--trace-json") {
+      core::trace::Enable();
+      return argv[i + 1];
+    }
+  }
+  return "";
+}
+
+/// Writes the merged JSON trace report to `path` (no-op on an empty path,
+/// i.e. when --trace-json was not given). Returns false on I/O failure.
+inline bool WriteTraceJson(const std::string& path) {
+  if (path.empty()) return true;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = core::trace::ReportJson();
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && wrote;
+}
 
 /// A 2-D point encoded as one channel with two steps: this keeps Eq. (6)'s
 /// per-dimension std well-defined (a length-1 channel has zero std, which

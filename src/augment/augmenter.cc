@@ -1,5 +1,7 @@
 #include "augment/augmenter.h"
 
+#include "core/trace.h"
+
 namespace tsaug::augment {
 
 std::string TaxonomyBranchName(TaxonomyBranch branch) {
@@ -27,7 +29,18 @@ std::string TaxonomyBranchName(TaxonomyBranch branch) {
   return "";
 }
 
-std::vector<core::TimeSeries> TransformAugmenter::Generate(
+std::vector<core::TimeSeries> Augmenter::Generate(const core::Dataset& train,
+                                                  int label, int count,
+                                                  core::Rng& rng) {
+  if (!core::trace::Enabled()) return DoGenerate(train, label, count, rng);
+  core::trace::Scope scope("augment." + name());
+  std::vector<core::TimeSeries> out = DoGenerate(train, label, count, rng);
+  core::trace::AddCount("augment.samples",
+                        static_cast<std::int64_t>(out.size()));
+  return out;
+}
+
+std::vector<core::TimeSeries> TransformAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   TSAUG_CHECK(count >= 0);
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();

@@ -42,27 +42,37 @@ class Augmenter {
   virtual TaxonomyBranch branch() const = 0;
 
   /// Generates `count` synthetic series of class `label` using the class's
-  /// members in `train` as source material.
-  virtual std::vector<core::TimeSeries> Generate(const core::Dataset& train,
-                                                 int label, int count,
-                                                 core::Rng& rng) = 0;
+  /// members in `train` as source material. Non-virtual: wraps the
+  /// technique's DoGenerate in a trace scope ("augment.<name()>") and
+  /// counts produced samples, so every technique is observable from one
+  /// choke point (see src/core/trace.h).
+  std::vector<core::TimeSeries> Generate(const core::Dataset& train,
+                                         int label, int count,
+                                         core::Rng& rng);
 
   /// Drops any state fitted to a previous training set (generative
   /// augmenters cache per-class models). Default: stateless no-op.
   virtual void Invalidate() {}
+
+ protected:
+  /// Technique implementation behind Generate() (same contract).
+  virtual std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train,
+                                                   int label, int count,
+                                                   core::Rng& rng) = 0;
 };
 
-/// Convenience base for label-free transforms: Generate() draws a random
+/// Convenience base for label-free transforms: generation draws a random
 /// seed series of the class and applies Transform().
 class TransformAugmenter : public Augmenter {
  public:
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train,
-                                         int label, int count,
-                                         core::Rng& rng) final;
-
   /// Produces one augmented copy of `series`.
   virtual core::TimeSeries Transform(const core::TimeSeries& series,
                                      core::Rng& rng) const = 0;
+
+ protected:
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train,
+                                           int label, int count,
+                                           core::Rng& rng) final;
 };
 
 /// The paper's augmentation protocol: every class is topped up with

@@ -59,7 +59,7 @@ DbaAugmenter::DbaAugmenter(double reference_weight, int max_neighbors,
   TSAUG_CHECK(max_neighbors >= 1 && iterations >= 1);
 }
 
-std::vector<core::TimeSeries> DbaAugmenter::Generate(
+std::vector<core::TimeSeries> DbaAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));

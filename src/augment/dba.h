@@ -29,7 +29,7 @@ class DbaAugmenter : public Augmenter {
                         int iterations = 3, int window = -1);
   std::string name() const override { return "dba"; }
   TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:

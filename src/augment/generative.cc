@@ -27,7 +27,7 @@ linalg::Matrix ClassMatrix(const core::Dataset& train, int label,
 
 }  // namespace
 
-std::vector<core::TimeSeries> GaussianGenerator::Generate(
+std::vector<core::TimeSeries> GaussianGenerator::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   int channels = 0;
   int length = 0;
@@ -116,7 +116,7 @@ ArGenerator::ArGenerator(int order) : order_(order) {
   TSAUG_CHECK(order >= 1);
 }
 
-std::vector<core::TimeSeries> ArGenerator::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> ArGenerator::DoGenerate(const core::Dataset& train,
                                                     int label, int count,
                                                     core::Rng& rng) {
   int channels = 0;

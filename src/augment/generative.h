@@ -17,7 +17,7 @@ class GaussianGenerator : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeStatistical;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 };
 
@@ -33,7 +33,7 @@ class ArGenerator : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeProbabilistic;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:

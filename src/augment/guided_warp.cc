@@ -36,7 +36,7 @@ core::TimeSeries DtwGuidedWarp::WarpOnto(const core::TimeSeries& seed,
   return out;
 }
 
-std::vector<core::TimeSeries> DtwGuidedWarp::Generate(
+std::vector<core::TimeSeries> DtwGuidedWarp::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
@@ -69,7 +69,7 @@ Inos::Inos(double interpolation_fraction, int k_neighbors)
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Inos::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> Inos::DoGenerate(const core::Dataset& train,
                                              int label, int count,
                                              core::Rng& rng) {
   const int interpolated =

@@ -85,7 +85,7 @@ Smote::Smote(int k_neighbors) : k_neighbors_(k_neighbors) {
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Smote::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> Smote::DoGenerate(const core::Dataset& train,
                                               int label, int count,
                                               core::Rng& rng) {
   const FlatView view = Flatten(train, label);
@@ -124,7 +124,7 @@ BorderlineSmote::BorderlineSmote(int k_neighbors)
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> BorderlineSmote::Generate(
+std::vector<core::TimeSeries> BorderlineSmote::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
@@ -168,7 +168,7 @@ Adasyn::Adasyn(int k_neighbors) : k_neighbors_(k_neighbors) {
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Adasyn::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> Adasyn::DoGenerate(const core::Dataset& train,
                                                int label, int count,
                                                core::Rng& rng) {
   const FlatView view = Flatten(train, label);
@@ -215,7 +215,7 @@ std::vector<core::TimeSeries> Adasyn::Generate(const core::Dataset& train,
   return out;
 }
 
-std::vector<core::TimeSeries> RandomInterpolation::Generate(
+std::vector<core::TimeSeries> RandomInterpolation::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
@@ -232,7 +232,7 @@ std::vector<core::TimeSeries> RandomInterpolation::Generate(
   return out;
 }
 
-std::vector<core::TimeSeries> RandomOversampling::Generate(
+std::vector<core::TimeSeries> RandomOversampling::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));

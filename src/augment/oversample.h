@@ -18,7 +18,7 @@ class Smote : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:
@@ -35,7 +35,7 @@ class BorderlineSmote : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:
@@ -52,7 +52,7 @@ class Adasyn : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:
@@ -68,7 +68,7 @@ class RandomInterpolation : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 };
 
@@ -81,7 +81,7 @@ class RandomOversampling : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 };
 

@@ -26,7 +26,7 @@ TaxonomyBranch RandomChoiceAugmenter::branch() const {
   return members_.front()->branch();
 }
 
-std::vector<core::TimeSeries> RandomChoiceAugmenter::Generate(
+std::vector<core::TimeSeries> RandomChoiceAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
@@ -47,7 +47,7 @@ ChainAugmenter::ChainAugmenter(
   TSAUG_CHECK(source_ != nullptr);
 }
 
-std::vector<core::TimeSeries> ChainAugmenter::Generate(
+std::vector<core::TimeSeries> ChainAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   std::vector<core::TimeSeries> out =
       source_->Generate(train, label, count, rng);

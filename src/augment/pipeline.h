@@ -23,7 +23,7 @@ class RandomChoiceAugmenter : public Augmenter {
   /// Reports the branch of its first member (a mix has no single branch).
   TaxonomyBranch branch() const override;
 
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:
@@ -43,7 +43,7 @@ class ChainAugmenter : public Augmenter {
   std::string name() const override { return name_; }
   TaxonomyBranch branch() const override { return source_->branch(); }
 
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
  private:

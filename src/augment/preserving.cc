@@ -41,7 +41,7 @@ RangeNoise::RangeNoise(double safety_factor) : safety_factor_(safety_factor) {
   TSAUG_CHECK(safety_factor > 0.0 && safety_factor <= 1.0);
 }
 
-std::vector<core::TimeSeries> RangeNoise::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> RangeNoise::DoGenerate(const core::Dataset& train,
                                                    int label, int count,
                                                    core::Rng& rng) {
   const FlatClass view = FlattenByClass(train, label);
@@ -131,7 +131,7 @@ std::vector<int> Ohit::ClusterClass(const core::Dataset& train,
   return assignment;
 }
 
-std::vector<core::TimeSeries> Ohit::Generate(const core::Dataset& train,
+std::vector<core::TimeSeries> Ohit::DoGenerate(const core::Dataset& train,
                                              int label, int count,
                                              core::Rng& rng) {
   const FlatClass view = FlattenByClass(train, label);

@@ -20,7 +20,7 @@ class RangeNoise : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kLabelPreserving;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
   double safety_factor() const { return safety_factor_; }
@@ -44,7 +44,7 @@ class Ohit : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kStructurePreserving;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
   /// Cluster assignment of the class's members (exposed for the Figure 6

@@ -321,7 +321,7 @@ std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
 TimeGanAugmenter::TimeGanAugmenter(TimeGanConfig config)
     : config_(std::move(config)) {}
 
-std::vector<core::TimeSeries> TimeGanAugmenter::Generate(
+std::vector<core::TimeSeries> TimeGanAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));

@@ -109,7 +109,7 @@ class TimeGanAugmenter : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeNeural;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
 
   /// Drops the per-class model cache (call when switching datasets).

@@ -118,7 +118,7 @@ std::vector<std::vector<double>> Vae::Sample(int count, core::Rng& rng) {
 
 VaeAugmenter::VaeAugmenter(VaeConfig config) : config_(std::move(config)) {}
 
-std::vector<core::TimeSeries> VaeAugmenter::Generate(
+std::vector<core::TimeSeries> VaeAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));

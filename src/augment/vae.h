@@ -65,7 +65,7 @@ class VaeAugmenter : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeNeural;
   }
-  std::vector<core::TimeSeries> Generate(const core::Dataset& train, int label,
+  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
                                          int count, core::Rng& rng) override;
   void Invalidate() override { models_.clear(); }
 

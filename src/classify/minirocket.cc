@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "core/trace.h"
 #include "core/rng.h"
 
 namespace tsaug::classify {
@@ -129,7 +130,9 @@ void MiniRocketTransform::Fit(const nn::Tensor& train_x) {
 linalg::Matrix MiniRocketTransform::Transform(const nn::Tensor& x) const {
   TSAUG_CHECK(fitted());
   TSAUG_CHECK(x.ndim() == 3);
+  TSAUG_TRACE_SCOPE("transform.minirocket");
   const int n = x.dim(0);
+  core::trace::AddCount("transform.minirocket.rows", n);
   linalg::Matrix out(n, num_features());
   // Each sample fills its own output row: deterministic sample-parallelism.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
@@ -173,6 +176,7 @@ MiniRocketClassifier::MiniRocketClassifier(int num_features,
 
 void MiniRocketClassifier::Fit(const core::Dataset& train) {
   TSAUG_CHECK(!train.empty());
+  TSAUG_TRACE_SCOPE("train.minirocket");
   train_length_ = train.max_length();
   const nn::Tensor x = DatasetToTensor(train, train_length_, z_normalize_);
   transform_.Fit(x);

@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/trace.h"
 
 namespace tsaug::classify {
 
@@ -96,7 +97,9 @@ void AccumulatePositions(const nn::Tensor& data, int i, int time,
 linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   TSAUG_CHECK(fitted());
   TSAUG_CHECK(data.ndim() == 3);
+  TSAUG_TRACE_SCOPE("transform.rocket");
   const int n = data.dim(0);
+  core::trace::AddCount("transform.rocket.rows", n);
   const int time = data.dim(2);
 
   linalg::Matrix features(n, 2 * num_kernels_);
@@ -142,6 +145,7 @@ RocketClassifier::RocketClassifier(int num_kernels, std::uint64_t seed,
 
 void RocketClassifier::Fit(const core::Dataset& train) {
   TSAUG_CHECK(!train.empty());
+  TSAUG_TRACE_SCOPE("train.rocket");
   train_length_ = train.max_length();
   const nn::Tensor x = DatasetToTensor(train, train_length_, z_normalize_);
   transform_.Fit(train.num_channels(), train_length_);
@@ -151,6 +155,7 @@ void RocketClassifier::Fit(const core::Dataset& train) {
 
 std::vector<int> RocketClassifier::Predict(const core::Dataset& test) {
   TSAUG_CHECK(transform_.fitted());
+  TSAUG_TRACE_SCOPE("predict.rocket");
   const nn::Tensor x = DatasetToTensor(test, train_length_, z_normalize_);
   return ridge_.Predict(transform_.Transform(x));
 }

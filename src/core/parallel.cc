@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/check.h"
+#include "core/trace.h"
 
 namespace tsaug::core {
 namespace {
@@ -36,12 +37,15 @@ struct Batch {
   std::exception_ptr error;  // first exception only, guarded by mu
 
   /// Claims and runs chunks until the range is drained or an error
-  /// stopped the batch.
-  void Work() {
+  /// stopped the batch. `from_worker` labels the trace stats: chunks a
+  /// pool worker steals vs. chunks the submitting thread drains itself.
+  void Work(bool from_worker) {
     for (;;) {
       if (stop.load(std::memory_order_relaxed)) break;
       const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
+      trace::AddCount(from_worker ? "parallel.chunks.worker"
+                                  : "parallel.chunks.caller");
       const std::int64_t lo = begin + c * chunk;
       const std::int64_t hi = std::min(end, lo + chunk);
       t_in_parallel_region = true;
@@ -95,7 +99,7 @@ class ThreadPool {
 
     // The submitting thread works too; often it drains the whole range
     // before a worker even wakes up.
-    batch.Work();
+    batch.Work(/*from_worker=*/false);
 
     // Unpublish first: after this no new worker can attach, so once
     // active_workers reaches zero the batch is finished for good.
@@ -154,7 +158,8 @@ class ThreadPool {
         // Attach while the batch is still published (wake_mu_ held).
         batch->active_workers.fetch_add(1, std::memory_order_acq_rel);
       }
-      batch->Work();
+      trace::AddCount("parallel.worker_wakes");
+      batch->Work(/*from_worker=*/true);
       {
         // Notify under the lock: the submitter destroys the Batch as soon
         // as its predicate holds, so touching batch after releasing mu
@@ -212,6 +217,7 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   // as one chunk is bitwise identical to any chunked execution because
   // call sites compute independent output slices per index.
   if (t_in_parallel_region || threads == 1 || range <= grain) {
+    trace::AddCount("parallel.inline_regions");
     const bool was_in_region = t_in_parallel_region;
     t_in_parallel_region = true;
     try {
@@ -234,6 +240,7 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
       grain, (range + static_cast<std::int64_t>(threads) * 4 - 1) /
                  (static_cast<std::int64_t>(threads) * 4));
   batch.num_chunks = (range + batch.chunk - 1) / batch.chunk;
+  trace::AddCount("parallel.pool_regions");
   ThreadPool::Instance().Run(batch);
 }
 

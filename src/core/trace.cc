@@ -1,0 +1,284 @@
+#include "core/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+
+namespace tsaug::core::trace {
+namespace {
+
+/// One node of a thread's profile tree. Owned by the ThreadState that
+/// created it; mutated only by that thread (under the state's mutex, so
+/// exporters can snapshot concurrently).
+struct TreeNode {
+  std::string name;
+  std::int64_t count = 0;
+  std::int64_t total_ns = 0;
+  TreeNode* parent = nullptr;
+  std::vector<std::unique_ptr<TreeNode>> children;
+
+  TreeNode* Child(const std::string& child_name) {
+    for (const auto& c : children) {
+      if (c->name == child_name) return c.get();
+    }
+    children.push_back(std::make_unique<TreeNode>());
+    children.back()->name = child_name;
+    children.back()->parent = this;
+    return children.back().get();
+  }
+};
+
+/// Per-thread recording state. The mutex is uncontended on the hot path
+/// (only the owning thread takes it while recording); exporters take it
+/// briefly to read a consistent snapshot.
+struct ThreadState {
+  std::mutex mu;
+  TreeNode root;  // sentinel: children are the thread's top-level scopes
+  TreeNode* current = &root;
+  std::map<std::string, std::int64_t> counters;
+};
+
+/// Registry of every thread that ever recorded. States are owned here and
+/// never freed, so data from exited pool workers survives to export time
+/// (the same leak-for-process-lifetime pattern as core/parallel.cc).
+struct Registry {
+  std::mutex mu;
+  std::vector<std::unique_ptr<ThreadState>> states;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: lives for process
+  return *registry;
+}
+
+ThreadState& LocalState() {
+  thread_local ThreadState* state = [] {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.states.push_back(std::make_unique<ThreadState>());
+    return registry.states.back().get();
+  }();
+  return *state;
+}
+
+bool InitialEnabledFromEnv() {
+  const char* value = std::getenv("TSAUG_TRACE");
+  if (value == nullptr || *value == '\0') return false;
+  return !(value[0] == '0' && value[1] == '\0');
+}
+
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> flag(InitialEnabledFromEnv());
+  return flag;
+}
+
+/// Sums `node`'s statistics into the ScopeStats child of `out` with the
+/// same name (creating it on first sight), then recurses.
+void MergeNodeInto(const TreeNode& node, std::vector<ScopeStats>& out) {
+  ScopeStats* target = nullptr;
+  for (ScopeStats& existing : out) {
+    if (existing.name == node.name) {
+      target = &existing;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    out.push_back(ScopeStats{});
+    target = &out.back();
+    target->name = node.name;
+  }
+  target->count += node.count;
+  target->total_ns += node.total_ns;
+  for (const auto& child : node.children) {
+    MergeNodeInto(*child, target->children);
+  }
+}
+
+void SortRecursive(std::vector<ScopeStats>& scopes) {
+  std::sort(scopes.begin(), scopes.end(),
+            [](const ScopeStats& a, const ScopeStats& b) {
+              return a.name < b.name;
+            });
+  for (ScopeStats& s : scopes) SortRecursive(s.children);
+}
+
+void AppendTextLines(const std::vector<ScopeStats>& scopes, int depth,
+                     std::string& out) {
+  for (const ScopeStats& s : scopes) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "%*s%-32s count=%lld total=%.3fms\n",
+                  2 * depth, "", s.name.c_str(),
+                  static_cast<long long>(s.count),
+                  static_cast<double>(s.total_ns) * 1e-6);
+    out += line;
+    AppendTextLines(s.children, depth + 1, out);
+  }
+}
+
+void AppendJsonString(const std::string& value, std::string& out) {
+  out += '"';
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendJsonScopes(const std::vector<ScopeStats>& scopes,
+                      std::string& out) {
+  out += '[';
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    if (i != 0) out += ',';
+    const ScopeStats& s = scopes[i];
+    out += "{\"name\":";
+    AppendJsonString(s.name, out);
+    out += ",\"count\":" + std::to_string(s.count);
+    out += ",\"total_ns\":" + std::to_string(s.total_ns);
+    out += ",\"children\":";
+    AppendJsonScopes(s.children, out);
+    out += '}';
+  }
+  out += ']';
+}
+
+}  // namespace
+
+bool Enabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void Enable() { EnabledFlag().store(true, std::memory_order_relaxed); }
+
+void Disable() { EnabledFlag().store(false, std::memory_order_relaxed); }
+
+void Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& state : registry.states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->root.children.clear();
+    state->root.count = 0;
+    state->root.total_ns = 0;
+    state->current = &state->root;
+    state->counters.clear();
+  }
+}
+
+void AddCount(const char* name, std::int64_t delta) {
+  if (!Enabled()) return;
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.counters[name] += delta;
+}
+
+std::int64_t CounterValue(const std::string& name) {
+  std::int64_t total = 0;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& state : registry.states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    const auto it = state->counters.find(name);
+    if (it != state->counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::map<std::string, std::int64_t> Counters() {
+  std::map<std::string, std::int64_t> merged;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& state : registry.states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (const auto& [name, value] : state->counters) merged[name] += value;
+  }
+  return merged;
+}
+
+Scope::Scope(const char* name) : Scope(std::string(name)) {}
+
+Scope::Scope(const std::string& name) {
+  if (!Enabled()) return;
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  TreeNode* node = state.current->Child(name);
+  state.current = node;
+  node_ = node;
+  start_ns_ = NowNanos();
+}
+
+Scope::~Scope() {
+  if (node_ == nullptr) return;
+  const std::int64_t elapsed = NowNanos() - start_ns_;
+  ThreadState& state = LocalState();
+  std::lock_guard<std::mutex> lock(state.mu);
+  TreeNode* node = static_cast<TreeNode*>(node_);
+  node->count += 1;
+  node->total_ns += elapsed;
+  state.current = node->parent != nullptr ? node->parent : &state.root;
+}
+
+std::vector<ScopeStats> MergedScopes() {
+  std::vector<ScopeStats> merged;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  for (const auto& state : registry.states) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    for (const auto& child : state->root.children) {
+      MergeNodeInto(*child, merged);
+    }
+  }
+  SortRecursive(merged);
+  return merged;
+}
+
+std::string ReportText() {
+  std::string out = "TSAUG trace report\nscopes:\n";
+  AppendTextLines(MergedScopes(), 1, out);
+  out += "counters:\n";
+  for (const auto& [name, value] : Counters()) {
+    out += "  " + name + " = " + std::to_string(value) + "\n";
+  }
+  return out;
+}
+
+std::string ReportJson() {
+  std::string out = "{\"trace_version\":1,\"enabled\":";
+  out += Enabled() ? "true" : "false";
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : Counters()) {
+    if (!first) out += ',';
+    first = false;
+    AppendJsonString(name, out);
+    out += ':' + std::to_string(value);
+  }
+  out += "},\"scopes\":";
+  AppendJsonScopes(MergedScopes(), out);
+  out += '}';
+  return out;
+}
+
+std::int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace tsaug::core::trace

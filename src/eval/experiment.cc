@@ -4,6 +4,7 @@
 
 #include "classify/rocket.h"
 #include "core/parallel.h"
+#include "core/trace.h"
 
 namespace tsaug::eval {
 
@@ -104,6 +105,7 @@ DatasetRow RunDatasetGrid(
     const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
     const ExperimentConfig& config) {
   TSAUG_CHECK(config.runs >= 1);
+  TSAUG_TRACE_SCOPE("eval.dataset_grid");
   DatasetRow row;
   row.dataset = name;
   row.cells.reserve(techniques.size());
@@ -162,6 +164,16 @@ DatasetRow RunDatasetGrid(
         0, static_cast<std::int64_t>(cell_train.size()), 1,
         [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t cell = lo; cell < hi; ++cell) {
+            // Per-cell wall time, keyed by technique so grid reports break
+            // down where the sweep's compute goes. Scoping is observation
+            // only: it reads a clock, never the RNG, so cell results stay
+            // bitwise identical with tracing on or off.
+            core::trace::Scope cell_scope(
+                cell == 0 ? std::string("eval.cell.baseline")
+                          : "eval.cell." +
+                                row.cells[static_cast<size_t>(cell - 1)]
+                                    .technique);
+            core::trace::AddCount("eval.cells");
             scores[static_cast<size_t>(cell)] = TrainAndScore(config, cell_train[static_cast<size_t>(cell)], validation,
                                          data.test, run_seed);
           }

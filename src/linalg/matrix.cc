@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "core/trace.h"
 
 namespace tsaug::linalg {
 namespace {
@@ -89,6 +90,7 @@ void Matrix::CenterColumns(const std::vector<double>& means) {
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.cols() == b.rows());
+  TSAUG_TRACE_SCOPE("linalg.matmul");
   Matrix c(a.rows(), b.cols());
   // i-k-j loop order keeps the inner loop streaming over contiguous rows;
   // each output row is an independent slice, so row-block parallelism is
@@ -113,6 +115,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.rows() == b.rows());
+  TSAUG_TRACE_SCOPE("linalg.matmul_ta");
   Matrix c(a.cols(), b.cols());
   // Iterate output rows (columns of A) so each row of C is written by
   // exactly one chunk; for a fixed (i, j) the accumulation over k stays
@@ -136,6 +139,7 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   TSAUG_CHECK(a.cols() == b.cols());
+  TSAUG_TRACE_SCOPE("linalg.matmul_tb");
   Matrix c(a.rows(), b.rows());
   // Each output row i is owned by one chunk; the inner k-sum runs in
   // ascending order, so the result is deterministic at any thread count.
@@ -159,6 +163,7 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   TSAUG_CHECK(a.cols() == static_cast<int>(x.size()));
+  TSAUG_TRACE_SCOPE("linalg.matvec");
   std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
   // Each y[i] is owned by one chunk and accumulated in ascending-j order:
   // deterministic at any thread count.

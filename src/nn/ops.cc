@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/parallel.h"
+#include "core/trace.h"
 
 namespace tsaug::nn {
 namespace {
@@ -35,6 +36,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
   const int m = b.value().dim(1);
   TSAUG_CHECK(b.value().dim(0) == k);
 
+  TSAUG_TRACE_SCOPE("nn.matmul");
   Tensor out({n, m});
   // Row-parallel forward: each output row i is an independent slice.
   core::ParallelFor(0, n, std::max<std::int64_t>(1, 32768 / std::max(1, k * m)),
@@ -49,6 +51,7 @@ Variable MatMul(const Variable& a, const Variable& b) {
   });
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [n, k, m](Node& self) {
+    TSAUG_TRACE_SCOPE("nn.matmul.bwd");
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
     const std::int64_t grain =
@@ -312,6 +315,7 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
   TSAUG_CHECK(w.value().dim(1) == c);
 
   const int pad_left = (k - 1) * dilation / 2;
+  TSAUG_TRACE_SCOPE("nn.conv1d");
   Tensor out({n, f, time});
   // Sample-parallel forward: out[i, :, :] is an independent slice.
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
@@ -335,6 +339,7 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
   return Variable::FromOp(
       std::move(out), {x.node(), w.node()},
       [n, c, time, f, k, pad_left, dilation](Node& self) {
+        TSAUG_TRACE_SCOPE("nn.conv1d.bwd");
         Node& px = *self.parents[0];
         Node& pw = *self.parents[1];
         // Two passes with disjoint gradient ownership: dX slices by

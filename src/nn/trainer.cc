@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <limits>
 
+#include "core/trace.h"
+
 namespace tsaug::nn {
 namespace {
 
@@ -52,6 +54,8 @@ double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
                         core::Rng& rng, double min_lr, double max_lr,
                         int steps) {
   TSAUG_CHECK(steps >= 2);
+  TSAUG_TRACE_SCOPE("train.find_lr");
+  core::trace::AddCount("train.lr_range_tests");
   const std::vector<Tensor> initial_state = net.GetState();
   net.SetTraining(true);
 
@@ -72,6 +76,7 @@ double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
       batch_cursor = 0;
     }
     const std::vector<int>& idx = batches[batch_cursor++];
+    core::trace::AddCount("train.lr_steps");
 
     optimizer.set_learning_rate(lr);
     optimizer.ZeroGrad();
@@ -106,11 +111,16 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
   TSAUG_CHECK(x_train.dim(0) == static_cast<int>(y_train.size()));
   TSAUG_CHECK(x_val.dim(0) == static_cast<int>(y_val.size()));
 
+  TSAUG_TRACE_SCOPE("train.classifier");
   TrainResult result;
-  result.learning_rate =
-      config.learning_rate > 0.0
-          ? config.learning_rate
-          : FindLearningRate(net, x_train, y_train, config.batch_size, rng);
+  if (config.learning_rate > 0.0) {
+    result.learning_rate = config.learning_rate;
+  } else {
+    const core::trace::Stopwatch lr_watch;
+    result.learning_rate =
+        FindLearningRate(net, x_train, y_train, config.batch_size, rng);
+    result.lr_search_seconds = lr_watch.Seconds();
+  }
 
   Adam optimizer(net.AllParameters(), result.learning_rate);
   std::vector<Tensor> best_state = net.GetState();
@@ -118,6 +128,8 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
   int epochs_since_best = 0;
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    TSAUG_TRACE_SCOPE("train.epoch");
+    const core::trace::Stopwatch epoch_watch;
     net.SetTraining(true);
     double epoch_loss = 0.0;
     int batches_run = 0;
@@ -134,6 +146,8 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
     }
     result.epoch_train_losses.push_back(epoch_loss / std::max(1, batches_run));
     result.epochs_run = epoch + 1;
+    core::trace::AddCount("train.epochs");
+    core::trace::AddCount("train.batches", batches_run);
 
     const double val_accuracy =
         EvaluateAccuracy(net, x_val, y_val, config.batch_size);
@@ -160,6 +174,7 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
       std::printf("epoch %3d loss %.4f val_acc %.4f\n", epoch,
                   result.epoch_train_losses.back(), val_accuracy);
     }
+    result.epoch_seconds.push_back(epoch_watch.Seconds());
     if (epochs_since_best >= config.early_stopping_patience) break;
   }
 

@@ -36,6 +36,13 @@ struct TrainResult {
   int epochs_run = 0;
   double learning_rate = 0.0;  // the rate actually used
   std::vector<double> epoch_train_losses;
+  /// Wall time of each epoch (train + validation), seconds on the steady
+  /// clock. Always populated — independent of the core::trace toggle —
+  /// and never fed back into training, so it cannot affect results.
+  std::vector<double> epoch_seconds;
+  /// Wall time of the learning-rate range test (0 when a fixed rate was
+  /// configured).
+  double lr_search_seconds = 0.0;
 };
 
 /// Gathers `indices` of `x` [N,C,T] into a batch tensor [b,C,T].

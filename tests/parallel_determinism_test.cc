@@ -14,6 +14,7 @@
 #include "classify/rocket.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/trace.h"
 #include "eval/experiment.h"
 #include "linalg/distance.h"
 #include "linalg/knn.h"
@@ -195,6 +196,53 @@ TEST(ParallelDeterminism, ExperimentGridIdentical) {
           << " threads";
     }
   }
+}
+
+TEST(ParallelDeterminism, TracingEnabledGridIdentical) {
+  // Tracing only reads the steady clock — never the RNG — so enabling it
+  // must leave every grid cell bitwise identical at any thread count.
+  // (CI also runs this whole binary under TSAUG_TRACE=1.)
+  ThreadCountGuard thread_guard;
+  const bool trace_was_enabled = core::trace::Enabled();
+  const data::TrainTest data = SmallData(2);
+  eval::ExperimentConfig config;
+  config.model = eval::ModelKind::kRocket;
+  config.runs = 2;
+  config.rocket_kernels = 80;
+  config.seed = 5;
+
+  auto run_grid = [&] {
+    // Fresh augmenters per call: they cache per-train-set state.
+    std::vector<std::shared_ptr<augment::Augmenter>> techniques = {
+        std::make_shared<augment::NoiseInjection>(1.0),
+        std::make_shared<augment::Smote>(),
+    };
+    return eval::RunDatasetGrid("toy", data, techniques, config);
+  };
+
+  // Reference row computed with tracing off.
+  core::trace::Disable();
+  core::SetNumThreads(1);
+  const eval::DatasetRow reference = run_grid();
+
+  core::trace::Enable();
+  for (int threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    const eval::DatasetRow row = run_grid();
+    EXPECT_EQ(reference.baseline_accuracy, row.baseline_accuracy)
+        << threads << " threads, tracing on";
+    ASSERT_EQ(reference.cells.size(), row.cells.size());
+    for (size_t i = 0; i < reference.cells.size(); ++i) {
+      EXPECT_EQ(reference.cells[i].accuracy, row.cells[i].accuracy)
+          << "cell " << reference.cells[i].technique << ", " << threads
+          << " threads, tracing on";
+    }
+  }
+
+  // The traced runs actually recorded something.
+  EXPECT_GT(core::trace::CounterValue("eval.cells"), 0);
+
+  if (!trace_was_enabled) core::trace::Disable();
 }
 
 }  // namespace

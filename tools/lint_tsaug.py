@@ -21,7 +21,10 @@ clang-tidy) cannot express:
   no-wall-clock         No time(NULL)/std::time/gettimeofday anywhere, and no
                         chrono clocks inside src/: wall-clock values reaching
                         a seed make runs irreproducible. Timing belongs in
-                        bench/.
+                        bench/. One exemption: src/core/trace.cc may call
+                        steady_clock::now (the observability subsystem's
+                        single sanctioned monotonic clock read); system and
+                        high_resolution clocks stay banned even there.
   parallel-capture      Every ParallelFor whose body captures by reference
                         carries a nearby comment stating why the shared state
                         is safe (disjoint slices, fixed accumulation order,
@@ -54,6 +57,10 @@ WALL_CLOCK_RE = re.compile(
     r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|std::time\s*\(|\bgettimeofday\s*\(")
 CHRONO_CLOCK_RE = re.compile(
     r"(?:system|steady|high_resolution)_clock::now")
+# src/core/trace.cc is the repo's one sanctioned monotonic clock read; a
+# non-steady clock is still a violation there (it can jump backwards).
+TRACE_CLOCK_EXEMPT = ("src/core/trace.cc",)
+NONSTEADY_CLOCK_RE = re.compile(r"(?:system|high_resolution)_clock::now")
 PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
 REF_CAPTURE_RE = re.compile(r"\[\s*&")
 SAFETY_COMMENT_RE = re.compile(
@@ -90,7 +97,13 @@ def lint_file(rel, lines, violations):
             violations.append((rel, i, "no-wall-clock",
                                "wall-clock call; seeds must come from "
                                "explicit config, timing belongs in bench/"))
-        elif in_src and CHRONO_CLOCK_RE.search(line):
+        elif in_src and rel in TRACE_CLOCK_EXEMPT and \
+                NONSTEADY_CLOCK_RE.search(line):
+            violations.append((rel, i, "no-wall-clock",
+                               "non-monotonic clock in the tracing subsystem; "
+                               "only steady_clock is sanctioned here"))
+        elif in_src and rel not in TRACE_CLOCK_EXEMPT and \
+                CHRONO_CLOCK_RE.search(line):
             violations.append((rel, i, "no-wall-clock",
                                "chrono clock inside src/; wall-clock reads "
                                "make library behaviour irreproducible"))

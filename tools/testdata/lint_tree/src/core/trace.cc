@@ -1,0 +1,17 @@
+// Fixture: the tracing subsystem's clock exemption. The steady_clock read
+// below is sanctioned (merely being this file is enough); the system_clock
+// read is still a violation — a non-monotonic clock can jump backwards.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t SanctionedMonotonicNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t BannedWallClockNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
