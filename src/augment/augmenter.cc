@@ -29,24 +29,39 @@ std::string TaxonomyBranchName(TaxonomyBranch branch) {
   return "";
 }
 
-std::vector<core::TimeSeries> Augmenter::Generate(const core::Dataset& train,
-                                                  int label, int count,
-                                                  core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> Augmenter::TryGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   if (!core::trace::Enabled()) return DoGenerate(train, label, count, rng);
   core::trace::Scope scope("augment." + name());
-  std::vector<core::TimeSeries> out = DoGenerate(train, label, count, rng);
-  core::trace::AddCount("augment.samples",
-                        static_cast<std::int64_t>(out.size()));
+  core::StatusOr<std::vector<core::TimeSeries>> out =
+      DoGenerate(train, label, count, rng);
+  if (out.ok()) {
+    core::trace::AddCount("augment.samples",
+                          static_cast<std::int64_t>(out->size()));
+  }
   return out;
 }
 
-std::vector<core::TimeSeries> TransformAugmenter::DoGenerate(
+std::vector<core::TimeSeries> Augmenter::Generate(const core::Dataset& train,
+                                                  int label, int count,
+                                                  core::Rng& rng) {
+  core::StatusOr<std::vector<core::TimeSeries>> out =
+      TryGenerate(train, label, count, rng);
+  TSAUG_CHECK_MSG(out.ok(), "augment.%s: %s", name().c_str(),
+                  out.status().ToString().c_str());
+  return std::move(out).value();
+}
+
+core::StatusOr<std::vector<core::TimeSeries>> TransformAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   TSAUG_CHECK(count >= 0);
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+  if (members.empty()) {
+    return core::DegenerateInputError("class " + std::to_string(label) +
+                                      " has no instances");
+  }
 
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
@@ -57,8 +72,8 @@ std::vector<core::TimeSeries> TransformAugmenter::DoGenerate(
   return out;
 }
 
-core::Dataset BalanceWithAugmenter(const core::Dataset& train,
-                                   Augmenter& augmenter, core::Rng& rng) {
+core::StatusOr<core::Dataset> TryBalanceWithAugmenter(
+    const core::Dataset& train, Augmenter& augmenter, core::Rng& rng) {
   TSAUG_CHECK(!train.empty());
   const std::vector<int> counts = train.ClassCounts();
   const int majority = counts[static_cast<size_t>(train.MajorityClass())];
@@ -68,8 +83,44 @@ core::Dataset BalanceWithAugmenter(const core::Dataset& train,
     if (counts[static_cast<size_t>(label)] == 0) continue;  // label space may have gaps
     const int deficit = majority - counts[static_cast<size_t>(label)];
     if (deficit <= 0) continue;
-    for (core::TimeSeries& series :
-         augmenter.Generate(train, label, deficit, rng)) {
+    core::StatusOr<std::vector<core::TimeSeries>> generated =
+        augmenter.TryGenerate(train, label, deficit, rng);
+    if (!generated.ok()) {
+      core::Status status = generated.status();
+      return status.AddContext("balance(" + augmenter.name() + ")");
+    }
+    for (core::TimeSeries& series : *generated) {
+      augmented.Add(std::move(series), label);
+    }
+  }
+  return augmented;
+}
+
+core::Dataset BalanceWithAugmenter(const core::Dataset& train,
+                                   Augmenter& augmenter, core::Rng& rng) {
+  core::StatusOr<core::Dataset> out =
+      TryBalanceWithAugmenter(train, augmenter, rng);
+  TSAUG_CHECK_MSG(out.ok(), "%s", out.status().ToString().c_str());
+  return std::move(out).value();
+}
+
+core::StatusOr<core::Dataset> TryExpandWithAugmenter(
+    const core::Dataset& train, Augmenter& augmenter, double factor,
+    core::Rng& rng) {
+  TSAUG_CHECK(factor >= 0.0);
+  const std::vector<int> counts = train.ClassCounts();
+  core::Dataset augmented = train;
+  for (int label = 0; label < train.num_classes(); ++label) {
+    if (counts[static_cast<size_t>(label)] == 0) continue;
+    const int extra = static_cast<int>(counts[static_cast<size_t>(label)] * factor + 0.5);
+    if (extra <= 0) continue;
+    core::StatusOr<std::vector<core::TimeSeries>> generated =
+        augmenter.TryGenerate(train, label, extra, rng);
+    if (!generated.ok()) {
+      core::Status status = generated.status();
+      return status.AddContext("expand(" + augmenter.name() + ")");
+    }
+    for (core::TimeSeries& series : *generated) {
       augmented.Add(std::move(series), label);
     }
   }
@@ -79,19 +130,10 @@ core::Dataset BalanceWithAugmenter(const core::Dataset& train,
 core::Dataset ExpandWithAugmenter(const core::Dataset& train,
                                   Augmenter& augmenter, double factor,
                                   core::Rng& rng) {
-  TSAUG_CHECK(factor >= 0.0);
-  const std::vector<int> counts = train.ClassCounts();
-  core::Dataset augmented = train;
-  for (int label = 0; label < train.num_classes(); ++label) {
-    if (counts[static_cast<size_t>(label)] == 0) continue;
-    const int extra = static_cast<int>(counts[static_cast<size_t>(label)] * factor + 0.5);
-    if (extra <= 0) continue;
-    for (core::TimeSeries& series :
-         augmenter.Generate(train, label, extra, rng)) {
-      augmented.Add(std::move(series), label);
-    }
-  }
-  return augmented;
+  core::StatusOr<core::Dataset> out =
+      TryExpandWithAugmenter(train, augmenter, factor, rng);
+  TSAUG_CHECK_MSG(out.ok(), "%s", out.status().ToString().c_str());
+  return std::move(out).value();
 }
 
 }  // namespace tsaug::augment

@@ -6,6 +6,7 @@
 
 #include "core/dataset.h"
 #include "core/rng.h"
+#include "core/status.h"
 #include "core/time_series.h"
 
 namespace tsaug::augment {
@@ -45,7 +46,14 @@ class Augmenter {
   /// members in `train` as source material. Non-virtual: wraps the
   /// technique's DoGenerate in a trace scope ("augment.<name()>") and
   /// counts produced samples, so every technique is observable from one
-  /// choke point (see src/core/trace.h).
+  /// choke point (see src/core/trace.h). Data-dependent failures — a
+  /// degenerate class, a diverged generative fit, an injected fault —
+  /// come back as a Status the caller can recover from.
+  core::StatusOr<std::vector<core::TimeSeries>> TryGenerate(
+      const core::Dataset& train, int label, int count, core::Rng& rng);
+
+  /// Aborting wrapper over TryGenerate for callers without a recovery
+  /// policy (tests, benches on known-good data).
   std::vector<core::TimeSeries> Generate(const core::Dataset& train,
                                          int label, int count,
                                          core::Rng& rng);
@@ -55,10 +63,9 @@ class Augmenter {
   virtual void Invalidate() {}
 
  protected:
-  /// Technique implementation behind Generate() (same contract).
-  virtual std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train,
-                                                   int label, int count,
-                                                   core::Rng& rng) = 0;
+  /// Technique implementation behind TryGenerate() (same contract).
+  virtual core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count, core::Rng& rng) = 0;
 };
 
 /// Convenience base for label-free transforms: generation draws a random
@@ -70,19 +77,27 @@ class TransformAugmenter : public Augmenter {
                                      core::Rng& rng) const = 0;
 
  protected:
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train,
-                                           int label, int count,
-                                           core::Rng& rng) final;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count, core::Rng& rng) final;
 };
 
 /// The paper's augmentation protocol: every class is topped up with
 /// synthetic instances until the dataset is perfectly balanced (all classes
 /// at the majority count). Returns original + synthetic instances.
+core::StatusOr<core::Dataset> TryBalanceWithAugmenter(
+    const core::Dataset& train, Augmenter& augmenter, core::Rng& rng);
+
+/// Aborting wrapper over TryBalanceWithAugmenter.
 core::Dataset BalanceWithAugmenter(const core::Dataset& train,
                                    Augmenter& augmenter, core::Rng& rng);
 
 /// Appends `factor` x class_count synthetic instances to every class
 /// (factor 1.0 doubles the data). Used by the ablation benches.
+core::StatusOr<core::Dataset> TryExpandWithAugmenter(
+    const core::Dataset& train, Augmenter& augmenter, double factor,
+    core::Rng& rng);
+
+/// Aborting wrapper over TryExpandWithAugmenter.
 core::Dataset ExpandWithAugmenter(const core::Dataset& train,
                                   Augmenter& augmenter, double factor,
                                   core::Rng& rng);

@@ -1,13 +1,15 @@
 #include "augment/dba.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "core/preprocess.h"
 #include "linalg/distance.h"
 
 namespace tsaug::augment {
 
-core::TimeSeries DtwBarycenterAverage(
+core::StatusOr<core::TimeSeries> TryDtwBarycenterAverage(
     const std::vector<core::TimeSeries>& members,
     const std::vector<double>& weights, const core::TimeSeries& initial,
     int iterations, int window) {
@@ -42,13 +44,29 @@ core::TimeSeries DtwBarycenterAverage(
       }
     }
     for (int t = 0; t < length; ++t) {
-      TSAUG_CHECK(mass[static_cast<size_t>(t)] > 0.0);  // DTW paths cover every position
+      // DTW paths normally cover every position; an uncovered one means
+      // every contributing weight was zero — a data condition, not a bug.
+      if (!(mass[static_cast<size_t>(t)] > 0.0)) {
+        return core::DegenerateInputError(
+            "dba: no alignment mass at barycenter position " +
+            std::to_string(t));
+      }
       for (int c = 0; c < channels; ++c) {
         barycenter.at(c, t) = sums.at(c, t) / mass[static_cast<size_t>(t)];
       }
     }
   }
   return barycenter;
+}
+
+core::TimeSeries DtwBarycenterAverage(
+    const std::vector<core::TimeSeries>& members,
+    const std::vector<double>& weights, const core::TimeSeries& initial,
+    int iterations, int window) {
+  core::StatusOr<core::TimeSeries> out =
+      TryDtwBarycenterAverage(members, weights, initial, iterations, window);
+  TSAUG_CHECK_MSG(out.ok(), "%s", out.status().ToString().c_str());
+  return std::move(out).value();
 }
 
 DbaAugmenter::DbaAugmenter(double reference_weight, int max_neighbors,
@@ -59,12 +77,15 @@ DbaAugmenter::DbaAugmenter(double reference_weight, int max_neighbors,
   TSAUG_CHECK(max_neighbors >= 1 && iterations >= 1);
 }
 
-std::vector<core::TimeSeries> DbaAugmenter::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> DbaAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+  if (members.empty()) {
+    return core::DegenerateInputError("dba: class " + std::to_string(label) +
+                                      " has no instances");
+  }
   const int target_length = train.max_length();
 
   std::vector<core::TimeSeries> out;
@@ -99,8 +120,10 @@ std::vector<core::TimeSeries> DbaAugmenter::DoGenerate(
     if (initial.length() != target_length) {
       initial = core::ResampleToLength(initial, target_length);
     }
-    out.push_back(DtwBarycenterAverage(pool, weights, initial, iterations_,
-                                       window_));
+    core::StatusOr<core::TimeSeries> barycenter =
+        TryDtwBarycenterAverage(pool, weights, initial, iterations_, window_);
+    if (!barycenter.ok()) return barycenter.status();
+    out.push_back(std::move(barycenter).value());
   }
   return out;
 }

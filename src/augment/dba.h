@@ -11,7 +11,15 @@ namespace tsaug::augment {
 /// DTW barycenter averaging (Petitjean et al., the paper's ref [78]):
 /// the Frechet-mean-like average of a set of series under DTW alignment.
 /// `weights` gives each member's contribution; the barycenter keeps
-/// `initial`'s length and is refined for `iterations` rounds.
+/// `initial`'s length and is refined for `iterations` rounds. Returns
+/// kDegenerateInput when the weighted alignment paths leave a barycenter
+/// position with no mass (all-zero effective weights on that position).
+core::StatusOr<core::TimeSeries> TryDtwBarycenterAverage(
+    const std::vector<core::TimeSeries>& members,
+    const std::vector<double>& weights, const core::TimeSeries& initial,
+    int iterations = 5, int window = -1);
+
+/// Aborting wrapper over TryDtwBarycenterAverage.
 core::TimeSeries DtwBarycenterAverage(
     const std::vector<core::TimeSeries>& members,
     const std::vector<double>& weights, const core::TimeSeries& initial,
@@ -29,8 +37,9 @@ class DbaAugmenter : public Augmenter {
                         int iterations = 3, int window = -1);
   std::string name() const override { return "dba"; }
   TaxonomyBranch branch() const override { return TaxonomyBranch::kBasicTime; }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   double reference_weight_;

@@ -21,17 +21,21 @@ linalg::Matrix ClassMatrix(const core::Dataset& train, int label,
     if (s.length() != *length) s = core::ResampleToLength(s, *length);
     rows.push_back(s.Flatten());
   }
-  TSAUG_CHECK_MSG(!rows.empty(), "class %d empty", label);
+  if (rows.empty()) return linalg::Matrix();  // callers report the Status
   return linalg::Matrix::FromRowVectors(rows);
 }
 
 }  // namespace
 
-std::vector<core::TimeSeries> GaussianGenerator::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> GaussianGenerator::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   int channels = 0;
   int length = 0;
   const linalg::Matrix points = ClassMatrix(train, label, &channels, &length);
+  if (points.empty()) {
+    return core::DegenerateInputError("gaussian_gen: class " +
+                                      std::to_string(label) + " empty");
+  }
   const int dims = points.cols();
   const std::vector<double> mean = points.ColMeans();
 
@@ -53,7 +57,10 @@ std::vector<core::TimeSeries> GaussianGenerator::DoGenerate(
   if (!linalg::CholeskyFactor(factor)) {
     linalg::AddDiagonal(sigma, 1e-4);
     factor = sigma;
-    TSAUG_CHECK(linalg::CholeskyFactor(factor));
+    if (!linalg::CholeskyFactor(factor)) {
+      return core::SingularError(
+          "gaussian_gen: class covariance not SPD after regularisation");
+    }
   }
 
   for (int i = 0; i < count; ++i) {
@@ -116,12 +123,15 @@ ArGenerator::ArGenerator(int order) : order_(order) {
   TSAUG_CHECK(order >= 1);
 }
 
-std::vector<core::TimeSeries> ArGenerator::DoGenerate(const core::Dataset& train,
-                                                    int label, int count,
-                                                    core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> ArGenerator::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   int channels = 0;
   int length = 0;
   const linalg::Matrix points = ClassMatrix(train, label, &channels, &length);
+  if (points.empty()) {
+    return core::DegenerateInputError("ar_gen: class " +
+                                      std::to_string(label) + " empty");
+  }
   const std::vector<double> mean = points.ColMeans();  // class mean curve
 
   // Per-channel AR fit on the pooled residuals around the class mean.

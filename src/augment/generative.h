@@ -17,8 +17,9 @@ class GaussianGenerator : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeStatistical;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 };
 
 /// Probabilistic autoregressive generator (the taxonomy's WaveNet/DeepAR
@@ -33,8 +34,9 @@ class ArGenerator : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeProbabilistic;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   int order_;

@@ -36,12 +36,16 @@ core::TimeSeries DtwGuidedWarp::WarpOnto(const core::TimeSeries& seed,
   return out;
 }
 
-std::vector<core::TimeSeries> DtwGuidedWarp::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> DtwGuidedWarp::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+  if (members.empty()) {
+    return core::DegenerateInputError("dtw_guided_warp: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
   const int target_length = train.max_length();
 
   std::vector<core::TimeSeries> out;
@@ -69,9 +73,8 @@ Inos::Inos(double interpolation_fraction, int k_neighbors)
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Inos::DoGenerate(const core::Dataset& train,
-                                             int label, int count,
-                                             core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> Inos::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   const int interpolated =
       static_cast<int>(count * interpolation_fraction_ + 0.5);
   const int sampled = count - interpolated;
@@ -81,17 +84,24 @@ std::vector<core::TimeSeries> Inos::DoGenerate(const core::Dataset& train,
   if (interpolated > 0) {
     // Boundary-protecting portion: SMOTE-style neighbour interpolation.
     Smote smote(k_neighbors_);
-    for (core::TimeSeries& s :
-         smote.Generate(train, label, interpolated, rng)) {
-      out.push_back(std::move(s));
+    core::StatusOr<std::vector<core::TimeSeries>> part =
+        smote.TryGenerate(train, label, interpolated, rng);
+    if (!part.ok()) {
+      core::Status status = part.status();
+      return status.AddContext("inos");
     }
+    for (core::TimeSeries& s : *part) out.push_back(std::move(s));
   }
   if (sampled > 0) {
     // Structure-preserving portion: regularized-covariance Gaussian.
     GaussianGenerator gaussian;
-    for (core::TimeSeries& s : gaussian.Generate(train, label, sampled, rng)) {
-      out.push_back(std::move(s));
+    core::StatusOr<std::vector<core::TimeSeries>> part =
+        gaussian.TryGenerate(train, label, sampled, rng);
+    if (!part.ok()) {
+      core::Status status = part.status();
+      return status.AddContext("inos");
     }
+    for (core::TimeSeries& s : *part) out.push_back(std::move(s));
   }
   return out;
 }

@@ -1,7 +1,10 @@
 #include "augment/oversample.h"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
+#include "core/faultpoint.h"
 #include "core/preprocess.h"
 #include "linalg/knn.h"
 
@@ -85,19 +88,39 @@ Smote::Smote(int k_neighbors) : k_neighbors_(k_neighbors) {
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Smote::DoGenerate(const core::Dataset& train,
-                                              int label, int count,
-                                              core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> Smote::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
+  if (core::fault::ShouldFail("smote.generate")) {
+    return core::fault::InjectedAt("smote.generate");
+  }
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
-  TSAUG_CHECK_MSG(class_size >= 1, "class %d has no instances", label);
+  if (class_size < 1) {
+    return core::DegenerateInputError("smote: class " + std::to_string(label) +
+                                      " has no instances");
+  }
 
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   if (class_size == 1) {
-    // Degenerate: no neighbour to interpolate toward; duplicate.
+    // Recovery policy for a singleton class: no neighbour exists to
+    // interpolate toward, so jitter-resample the lone member — Gaussian
+    // noise at 5% of its own spread — instead of duplicating it verbatim
+    // (duplicates add no variance and make downstream solves singular).
+    const std::vector<double>& base =
+        view.points[static_cast<size_t>(view.class_members[0])];
+    double mean = 0.0;
+    for (double v : base) mean += v;
+    mean /= static_cast<double>(base.size());
+    double var = 0.0;
+    for (double v : base) var += (v - mean) * (v - mean);
+    var /= static_cast<double>(base.size());
+    double sigma = 0.05 * std::sqrt(var);
+    if (!(sigma > 0.0) || !std::isfinite(sigma)) sigma = 0.05;
     for (int i = 0; i < count; ++i) {
-      out.push_back(Unflatten(view.points[static_cast<size_t>(view.class_members[0])], view));
+      std::vector<double> jittered = base;
+      for (double& v : jittered) v += rng.Normal(0.0, sigma);
+      out.push_back(Unflatten(jittered, view));
     }
     return out;
   }
@@ -124,13 +147,17 @@ BorderlineSmote::BorderlineSmote(int k_neighbors)
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> BorderlineSmote::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> BorderlineSmote::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
-  TSAUG_CHECK(class_size >= 1);
+  if (class_size < 1) {
+    return core::DegenerateInputError("borderline_smote: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
   if (class_size == 1) {
-    return Smote(k_neighbors_).Generate(train, label, count, rng);
+    return Smote(k_neighbors_).TryGenerate(train, label, count, rng);
   }
 
   const int k = std::min(k_neighbors_, static_cast<int>(view.points.size()) - 1);
@@ -143,7 +170,7 @@ std::vector<core::TimeSeries> BorderlineSmote::DoGenerate(
   }
   if (danger.empty()) {
     // No borderline region: fall back to plain SMOTE.
-    return Smote(k_neighbors_).Generate(train, label, count, rng);
+    return Smote(k_neighbors_).TryGenerate(train, label, count, rng);
   }
 
   const int k_class = std::min(k_neighbors_, class_size - 1);
@@ -168,14 +195,17 @@ Adasyn::Adasyn(int k_neighbors) : k_neighbors_(k_neighbors) {
   TSAUG_CHECK(k_neighbors >= 1);
 }
 
-std::vector<core::TimeSeries> Adasyn::DoGenerate(const core::Dataset& train,
-                                               int label, int count,
-                                               core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> Adasyn::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
-  TSAUG_CHECK(class_size >= 1);
+  if (class_size < 1) {
+    return core::DegenerateInputError("adasyn: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
   if (class_size == 1) {
-    return Smote(k_neighbors_).Generate(train, label, count, rng);
+    return Smote(k_neighbors_).TryGenerate(train, label, count, rng);
   }
 
   const int k = std::min(k_neighbors_, static_cast<int>(view.points.size()) - 1);
@@ -215,11 +245,15 @@ std::vector<core::TimeSeries> Adasyn::DoGenerate(const core::Dataset& train,
   return out;
 }
 
-std::vector<core::TimeSeries> RandomInterpolation::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> RandomInterpolation::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatView view = Flatten(train, label);
   const int class_size = static_cast<int>(view.class_members.size());
-  TSAUG_CHECK(class_size >= 1);
+  if (class_size < 1) {
+    return core::DegenerateInputError("interpolation: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
@@ -232,12 +266,16 @@ std::vector<core::TimeSeries> RandomInterpolation::DoGenerate(
   return out;
 }
 
-std::vector<core::TimeSeries> RandomOversampling::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> RandomOversampling::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK(!members.empty());
+  if (members.empty()) {
+    return core::DegenerateInputError("random_oversample: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {

@@ -10,7 +10,8 @@ namespace tsaug::augment {
 /// SMOTE (Chawla et al.): treats flattened series as spatial points; a
 /// synthetic sample is x + u * (nn - x) for a random same-class neighbour
 /// nn among the k nearest and u ~ U(0,1). Following the paper, the
-/// neighbour count is min(k, class_size - 1).
+/// neighbour count is min(k, class_size - 1); a singleton class falls back
+/// to jitter-resampling its lone member (fault point: "smote.generate").
 class Smote : public Augmenter {
  public:
   explicit Smote(int k_neighbors = 5);
@@ -18,8 +19,9 @@ class Smote : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   int k_neighbors_;
@@ -35,8 +37,9 @@ class BorderlineSmote : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   int k_neighbors_;
@@ -52,8 +55,9 @@ class Adasyn : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   int k_neighbors_;
@@ -68,8 +72,9 @@ class RandomInterpolation : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 };
 
 /// Random oversampling: duplicates random class members verbatim. The
@@ -81,8 +86,9 @@ class RandomOversampling : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kBasicOversampling;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 };
 
 }  // namespace tsaug::augment

@@ -1,5 +1,7 @@
 #include "augment/pipeline.h"
 
+#include <memory>
+
 #include "augment/basic_time.h"
 #include "augment/dba.h"
 #include "augment/decompose.h"
@@ -26,15 +28,20 @@ TaxonomyBranch RandomChoiceAugmenter::branch() const {
   return members_.front()->branch();
 }
 
-std::vector<core::TimeSeries> RandomChoiceAugmenter::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> RandomChoiceAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     Augmenter& member = *rng.Choice(members_);
-    std::vector<core::TimeSeries> one = member.Generate(train, label, 1, rng);
-    TSAUG_CHECK(one.size() == 1u);
-    out.push_back(std::move(one[0]));
+    core::StatusOr<std::vector<core::TimeSeries>> one =
+        member.TryGenerate(train, label, 1, rng);
+    if (!one.ok()) {
+      core::Status status = one.status();
+      return status.AddContext(name_);
+    }
+    TSAUG_CHECK(one->size() == 1u);
+    out.push_back(std::move((*one)[0]));
   }
   return out;
 }
@@ -47,10 +54,15 @@ ChainAugmenter::ChainAugmenter(
   TSAUG_CHECK(source_ != nullptr);
 }
 
-std::vector<core::TimeSeries> ChainAugmenter::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> ChainAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
-  std::vector<core::TimeSeries> out =
-      source_->Generate(train, label, count, rng);
+  core::StatusOr<std::vector<core::TimeSeries>> generated =
+      source_->TryGenerate(train, label, count, rng);
+  if (!generated.ok()) {
+    core::Status status = generated.status();
+    return status.AddContext(name_);
+  }
+  std::vector<core::TimeSeries> out = std::move(generated).value();
   for (core::TimeSeries& series : out) {
     for (const auto& stage : stages_) {
       series = stage->Transform(series, rng);
@@ -119,7 +131,10 @@ std::vector<std::shared_ptr<Augmenter>> PaperTechniques(
       std::make_shared<NoiseInjection>(3.0),
       std::make_shared<NoiseInjection>(5.0),
       std::make_shared<Smote>(),
-      std::make_shared<TimeGanAugmenter>(timegan_config),
+      // A diverged GAN degrades the cell to SMOTE samples (recorded via the
+      // "timegan.fallback" trace counter) instead of failing it outright.
+      std::make_shared<TimeGanAugmenter>(timegan_config,
+                                         std::make_unique<Smote>()),
   };
 }
 

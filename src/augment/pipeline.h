@@ -23,8 +23,9 @@ class RandomChoiceAugmenter : public Augmenter {
   /// Reports the branch of its first member (a mix has no single branch).
   TaxonomyBranch branch() const override;
 
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   std::vector<std::shared_ptr<Augmenter>> members_;
@@ -43,8 +44,9 @@ class ChainAugmenter : public Augmenter {
   std::string name() const override { return name_; }
   TaxonomyBranch branch() const override { return source_->branch(); }
 
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
  private:
   std::shared_ptr<Augmenter> source_;

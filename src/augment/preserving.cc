@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
 
 #include "core/preprocess.h"
 #include "linalg/decomposition.h"
@@ -41,11 +42,13 @@ RangeNoise::RangeNoise(double safety_factor) : safety_factor_(safety_factor) {
   TSAUG_CHECK(safety_factor > 0.0 && safety_factor <= 1.0);
 }
 
-std::vector<core::TimeSeries> RangeNoise::DoGenerate(const core::Dataset& train,
-                                                   int label, int count,
-                                                   core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> RangeNoise::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatClass view = FlattenByClass(train, label);
-  TSAUG_CHECK_MSG(!view.class_points.empty(), "class %d empty", label);
+  if (view.class_points.empty()) {
+    return core::DegenerateInputError("range_noise: class " +
+                                      std::to_string(label) + " empty");
+  }
 
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
@@ -131,12 +134,14 @@ std::vector<int> Ohit::ClusterClass(const core::Dataset& train,
   return assignment;
 }
 
-std::vector<core::TimeSeries> Ohit::DoGenerate(const core::Dataset& train,
-                                             int label, int count,
-                                             core::Rng& rng) {
+core::StatusOr<std::vector<core::TimeSeries>> Ohit::DoGenerate(
+    const core::Dataset& train, int label, int count, core::Rng& rng) {
   const FlatClass view = FlattenByClass(train, label);
   const int n = static_cast<int>(view.class_points.size());
-  TSAUG_CHECK(n >= 1);
+  if (n < 1) {
+    return core::DegenerateInputError("ohit: class " + std::to_string(label) +
+                                      " empty");
+  }
   const std::vector<int> assignment = ClusterClass(train, label);
   const int num_clusters =
       1 + *std::max_element(assignment.begin(), assignment.end());
@@ -195,7 +200,10 @@ std::vector<core::TimeSeries> Ohit::DoGenerate(const core::Dataset& train,
     if (!linalg::CholeskyFactor(factor)) {
       linalg::AddDiagonal(sigma, 1e-4);
       factor = sigma;
-      TSAUG_CHECK(linalg::CholeskyFactor(factor));
+      if (!linalg::CholeskyFactor(factor)) {
+        return core::SingularError(
+            "ohit: cluster covariance not SPD after regularisation");
+      }
     }
 
     for (int q = 0; q < quota[static_cast<size_t>(c)]; ++q) {

@@ -20,8 +20,9 @@ class RangeNoise : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kLabelPreserving;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
   double safety_factor() const { return safety_factor_; }
 
@@ -44,8 +45,9 @@ class Ohit : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kStructurePreserving;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
   /// Cluster assignment of the class's members (exposed for the Figure 6
   /// bench): -1 marks unclustered/noise points.

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <string>
+#include <utility>
 
+#include "core/faultpoint.h"
 #include "core/preprocess.h"
+#include "core/trace.h"
 #include "nn/optimizer.h"
 
 namespace tsaug::augment {
@@ -83,8 +87,13 @@ Tensor TimeGan::SampleNoise(int batch, core::Rng& rng) const {
   return z;
 }
 
-void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
-  TSAUG_CHECK(!series.empty());
+core::Status TimeGan::TryFit(const std::vector<core::TimeSeries>& series) {
+  if (core::fault::ShouldFail("timegan.fit")) {
+    return core::fault::InjectedAt("timegan.fit");
+  }
+  if (series.empty()) {
+    return core::DegenerateInputError("timegan: no training series");
+  }
   core::Rng rng(config_.seed ^ 0x7161a9ull);
 
   // ---- Data preparation: rectangularise, cap length, min-max scale. ----
@@ -95,7 +104,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     max_length = std::max(max_length, s.length());
   }
   sequence_length_ = std::min(max_length, config_.max_sequence_length);
-  TSAUG_CHECK(sequence_length_ >= 2);
+  if (sequence_length_ < 2) {
+    return core::DegenerateInputError(
+        "timegan: sequence length " + std::to_string(sequence_length_) +
+        " too short for stepwise dynamics");
+  }
 
   feature_min_.assign(static_cast<size_t>(num_features_), std::numeric_limits<double>::infinity());
   feature_max_.assign(static_cast<size_t>(num_features_),
@@ -189,6 +202,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     loss.Backward();
     autoencoder_opt.Step();
     diagnostics_.reconstruction_loss = loss.value().scalar();
+    if (!std::isfinite(diagnostics_.reconstruction_loss)) {
+      return core::DivergedError(
+          "timegan: non-finite reconstruction loss at embedding iteration " +
+          std::to_string(iter));
+    }
   }
 
   // ---- Phase 2: supervised loss on real embeddings. ----
@@ -199,6 +217,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     loss.Backward();
     supervisor_opt.Step();
     diagnostics_.supervised_loss = loss.value().scalar();
+    if (!std::isfinite(diagnostics_.supervised_loss)) {
+      return core::DivergedError(
+          "timegan: non-finite supervised loss at iteration " +
+          std::to_string(iter));
+    }
   }
 
   // ---- Phase 3: joint adversarial training. ----
@@ -250,6 +273,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
       loss.Backward();
       generator_opt.Step();
       diagnostics_.generator_loss = loss.value().scalar();
+      if (!std::isfinite(diagnostics_.generator_loss)) {
+        return core::DivergedError(
+            "timegan: non-finite generator loss at joint iteration " +
+            std::to_string(iter));
+      }
     }
 
     // Embedder refresh: reconstruction + a slice of the supervised loss.
@@ -284,6 +312,11 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
                   nn::ScaleBy(nn::BceWithLogitsLoss(y_fake_e, zeros),
                               config_.gamma)));
       diagnostics_.discriminator_loss = loss.value().scalar();
+      if (!std::isfinite(diagnostics_.discriminator_loss)) {
+        return core::DivergedError(
+            "timegan: non-finite discriminator loss at joint iteration " +
+            std::to_string(iter));
+      }
       if (diagnostics_.discriminator_loss > 0.15) {
         loss.Backward();
         discriminator_opt.Step();
@@ -291,6 +324,12 @@ void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
     }
   }
   fitted_ = true;
+  return core::OkStatus();
+}
+
+void TimeGan::Fit(const std::vector<core::TimeSeries>& series) {
+  const core::Status status = TryFit(series);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
 }
 
 std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
@@ -318,18 +357,26 @@ std::vector<core::TimeSeries> TimeGan::Sample(int count, core::Rng& rng) {
   return out;
 }
 
-TimeGanAugmenter::TimeGanAugmenter(TimeGanConfig config)
-    : config_(std::move(config)) {}
+TimeGanAugmenter::TimeGanAugmenter(TimeGanConfig config,
+                                   std::unique_ptr<Augmenter> fallback)
+    : config_(std::move(config)), fallback_(std::move(fallback)) {}
 
-std::vector<core::TimeSeries> TimeGanAugmenter::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> TimeGanAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+  if (members.empty()) {
+    return core::DegenerateInputError("timegan: class " +
+                                      std::to_string(label) +
+                                      " has no instances");
+  }
 
+  // A class whose GAN already failed to train goes straight to the
+  // fallback (or re-reports its Status) instead of retraining every call.
+  auto failed = failed_labels_.find(label);
   auto it = models_.find(label);
-  if (it == models_.end()) {
+  if (it == models_.end() && failed == failed_labels_.end()) {
     // Train this class's GAN on its members (the paper: "we provide to the
     // timeGANs, for each training, time series coming from a single class").
     std::vector<core::TimeSeries> class_series;
@@ -338,8 +385,26 @@ std::vector<core::TimeSeries> TimeGanAugmenter::DoGenerate(
     TimeGanConfig config = config_;
     config.seed = config_.seed ^ (0x5eedull + static_cast<unsigned long long>(label) * 1000003ull);
     auto model = std::make_unique<TimeGan>(config);
-    model->Fit(class_series);
-    it = models_.emplace(label, std::move(model)).first;
+    core::Status status = model->TryFit(class_series);
+    if (status.ok()) {
+      it = models_.emplace(label, std::move(model)).first;
+    } else {
+      failed = failed_labels_.emplace(label, std::move(status)).first;
+    }
+  }
+  if (failed != failed_labels_.end()) {
+    if (fallback_ == nullptr) {
+      core::Status status = failed->second;
+      return status.AddContext("timegan (no fallback)");
+    }
+    core::trace::AddCount("timegan.fallback");
+    core::StatusOr<std::vector<core::TimeSeries>> degraded =
+        fallback_->TryGenerate(train, label, count, rng);
+    if (!degraded.ok()) {
+      core::Status status = degraded.status();
+      return status.AddContext("timegan fallback(" + fallback_->name() + ")");
+    }
+    return degraded;
   }
 
   std::vector<core::TimeSeries> samples = it->second->Sample(count, rng);

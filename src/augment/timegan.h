@@ -48,6 +48,12 @@ class TimeGan {
 
   /// Trains on the given (single-class) series, as the paper does: one GAN
   /// per class so generated series follow that class's distribution.
+  /// Returns kDiverged when a training phase produces a non-finite loss,
+  /// kDegenerateInput for unusable inputs (empty class, length < 2), and
+  /// kInjectedFault under the "timegan.fit" fault point.
+  core::Status TryFit(const std::vector<core::TimeSeries>& series);
+
+  /// Aborting wrapper around TryFit() for callers without a recovery path.
   void Fit(const std::vector<core::TimeSeries>& series);
 
   bool fitted() const { return fitted_; }
@@ -101,23 +107,38 @@ class TimeGan {
 
 /// The taxonomy's generative/neural augmenter: one TimeGAN per class,
 /// trained lazily on first use and cached across Generate() calls.
+///
+/// When a fallback augmenter is configured, a class whose GAN training
+/// diverges degrades gracefully: the fallback generates that class's
+/// samples instead (counted under the "timegan.fallback" trace counter)
+/// and the failure is remembered so the GAN is not retrained every call.
+/// Without a fallback the Status is returned to the caller.
 class TimeGanAugmenter : public Augmenter {
  public:
-  explicit TimeGanAugmenter(TimeGanConfig config = {});
+  explicit TimeGanAugmenter(TimeGanConfig config = {},
+                            std::unique_ptr<Augmenter> fallback = nullptr);
 
   std::string name() const override { return "timegan"; }
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeNeural;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
 
   /// Drops the per-class model cache (call when switching datasets).
-  void Invalidate() override { models_.clear(); }
+  void Invalidate() override {
+    models_.clear();
+    failed_labels_.clear();
+    if (fallback_ != nullptr) fallback_->Invalidate();
+  }
 
  private:
   TimeGanConfig config_;
   std::map<int, std::unique_ptr<TimeGan>> models_;
+  /// Classes whose GAN training diverged; served by fallback_ from then on.
+  std::map<int, core::Status> failed_labels_;
+  std::unique_ptr<Augmenter> fallback_;
 };
 
 }  // namespace tsaug::augment

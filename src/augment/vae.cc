@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "core/preprocess.h"
 #include "nn/optimizer.h"
@@ -118,12 +119,15 @@ std::vector<std::vector<double>> Vae::Sample(int count, core::Rng& rng) {
 
 VaeAugmenter::VaeAugmenter(VaeConfig config) : config_(std::move(config)) {}
 
-std::vector<core::TimeSeries> VaeAugmenter::DoGenerate(
+core::StatusOr<std::vector<core::TimeSeries>> VaeAugmenter::DoGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
   const std::vector<std::vector<int>> by_class = train.IndicesByClass();
   TSAUG_CHECK(label >= 0 && label < static_cast<int>(by_class.size()));
   const std::vector<int>& members = by_class[static_cast<size_t>(label)];
-  TSAUG_CHECK_MSG(!members.empty(), "class %d has no instances", label);
+  if (members.empty()) {
+    return core::DegenerateInputError("vae: class " + std::to_string(label) +
+                                      " has no instances");
+  }
 
   const int channels = train.num_channels();
   const int length = train.max_length();

@@ -65,8 +65,9 @@ class VaeAugmenter : public Augmenter {
   TaxonomyBranch branch() const override {
     return TaxonomyBranch::kGenerativeNeural;
   }
-  std::vector<core::TimeSeries> DoGenerate(const core::Dataset& train, int label,
-                                         int count, core::Rng& rng) override;
+  core::StatusOr<std::vector<core::TimeSeries>> DoGenerate(
+      const core::Dataset& train, int label, int count,
+      core::Rng& rng) override;
   void Invalidate() override { models_.clear(); }
 
  private:

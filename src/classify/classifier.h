@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/dataset.h"
+#include "core/status.h"
 #include "nn/tensor.h"
 
 namespace tsaug::classify {
@@ -18,6 +19,15 @@ class Classifier {
 
   /// Trains on the (possibly augmented) training set.
   virtual void Fit(const core::Dataset& train) = 0;
+
+  /// Recoverable variant of Fit(): classifiers with a failure mode the
+  /// harness can degrade on (singular ridge solves, diverged training)
+  /// override this to return the Status instead of aborting. The default
+  /// delegates to Fit(), whose internal checks abort on programmer errors.
+  virtual core::Status TryFit(const core::Dataset& train) {
+    Fit(train);
+    return core::OkStatus();
+  }
 
   /// Predicted labels for every instance of `test`.
   virtual std::vector<int> Predict(const core::Dataset& test) = 0;

@@ -1,5 +1,8 @@
 #include "classify/inception_time.h"
 
+#include <string>
+#include <utility>
+
 namespace tsaug::classify {
 
 using nn::Variable;
@@ -111,7 +114,20 @@ void InceptionTimeClassifier::Fit(const core::Dataset& train) {
   FitWithValidation(train_part, val_part);
 }
 
+core::Status InceptionTimeClassifier::TryFit(const core::Dataset& train) {
+  core::Rng rng(seed_ ^ 0x9e3779b97f4a7c15ull);
+  const auto [train_part, val_part] =
+      train.StratifiedSplit(1.0 - config_.validation_fraction, rng);
+  return TryFitWithValidation(train_part, val_part);
+}
+
 void InceptionTimeClassifier::FitWithValidation(
+    const core::Dataset& train, const core::Dataset& validation) {
+  const core::Status status = TryFitWithValidation(train, validation);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+}
+
+core::Status InceptionTimeClassifier::TryFitWithValidation(
     const core::Dataset& train, const core::Dataset& validation) {
   TSAUG_CHECK(!train.empty() && !validation.empty());
   train_length_ = train.max_length();
@@ -128,11 +144,18 @@ void InceptionTimeClassifier::FitWithValidation(
     core::Rng rng(seed_ + 1000003ull * static_cast<unsigned long long>((member + 1)));
     auto net = std::make_unique<InceptionNetwork>(
         train.num_channels(), num_classes_, config_, rng);
-    train_results_.push_back(
-        nn::TrainClassifier(*net, x_train, train.labels(), x_val,
-                            validation.labels(), config_.trainer, rng));
+    core::StatusOr<nn::TrainResult> result =
+        nn::TryTrainClassifier(*net, x_train, train.labels(), x_val,
+                               validation.labels(), config_.trainer, rng);
+    if (!result.ok()) {
+      core::Status status = result.status();
+      return status.AddContext("inception_time member " +
+                               std::to_string(member));
+    }
+    train_results_.push_back(std::move(result).value());
     ensemble_.push_back(std::move(net));
   }
+  return core::OkStatus();
 }
 
 std::vector<int> InceptionTimeClassifier::Predict(const core::Dataset& test) {

@@ -83,10 +83,18 @@ class InceptionTimeClassifier : public Classifier {
   /// Fit with an internal stratified 2:1 train/validation split.
   void Fit(const core::Dataset& train) override;
 
+  /// Surfaces ensemble-member training divergence (after the trainer's
+  /// checkpoint-restore retries are exhausted) instead of aborting.
+  core::Status TryFit(const core::Dataset& train) override;
+
   /// The paper's protocol: train on `train` (possibly augmented), validate
   /// early stopping on `validation` (original samples only).
   void FitWithValidation(const core::Dataset& train,
                          const core::Dataset& validation);
+
+  /// Recoverable variant of FitWithValidation().
+  core::Status TryFitWithValidation(const core::Dataset& train,
+                                    const core::Dataset& validation);
 
   std::vector<int> Predict(const core::Dataset& test) override;
 

@@ -144,13 +144,21 @@ RocketClassifier::RocketClassifier(int num_kernels, std::uint64_t seed,
     : transform_(num_kernels, seed), z_normalize_(z_normalize) {}
 
 void RocketClassifier::Fit(const core::Dataset& train) {
+  const core::Status status = TryFit(train);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
+}
+
+core::Status RocketClassifier::TryFit(const core::Dataset& train) {
   TSAUG_CHECK(!train.empty());
   TSAUG_TRACE_SCOPE("train.rocket");
   train_length_ = train.max_length();
   const nn::Tensor x = DatasetToTensor(train, train_length_, z_normalize_);
   transform_.Fit(train.num_channels(), train_length_);
   const linalg::Matrix features = transform_.Transform(x);
-  ridge_.Fit(features, train.labels(), train.num_classes());
+  core::Status status =
+      ridge_.TryFit(features, train.labels(), train.num_classes());
+  if (!status.ok()) return status.AddContext("rocket");
+  return status;
 }
 
 std::vector<int> RocketClassifier::Predict(const core::Dataset& test) {

@@ -1,0 +1,85 @@
+#ifndef TSAUG_CORE_FAULTPOINT_H_
+#define TSAUG_CORE_FAULTPOINT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/status.h"
+
+namespace tsaug::core::fault {
+
+/// Deterministic fault injection for exercising recovery paths.
+///
+/// Data-path code declares named points ("ridge.solve", "trainer.step",
+/// "smote.generate", ...) by calling ShouldFail(point) where the natural
+/// failure would be detected; a firing point makes the site return a
+/// kInjectedFault Status through the same channel the real error would
+/// take, so every recovery policy is testable without manufacturing
+/// pathological inputs.
+///
+/// Injection is compiled in and runtime-toggled like tracing: the spec
+/// comes from the TSAUG_FAULTS environment variable (read once at first
+/// use) or SetSpec(); with no active spec, ShouldFail costs one relaxed
+/// atomic load. Spec syntax — comma-separated rules:
+///
+///   point[@domain_substring]:N[+]
+///
+///   ridge.solve:2                fire on the 2nd hit of ridge.solve in
+///                                every domain
+///   trainer.step@smote:5         fire on the 5th hit, but only in domains
+///                                containing "smote"
+///   timegan.fit@BasicMotions:1+  fire on every hit from the 1st on
+///                                (exhausts bounded retries)
+///
+/// Determinism: hits are counted per (rule, domain), where the domain is a
+/// thread-local label set by ScopedDomain. The experiment grid labels each
+/// cell (e.g. "cell/BasicMotions/run0/smote"), so whether a point fires
+/// depends only on the cell's own deterministic execution — never on how
+/// the pool schedules cells onto workers. A plain global counter would
+/// fire in a scheduling-dependent cell and break bitwise determinism.
+/// A cell body runs entirely on one worker (nested ParallelFor executes
+/// inline), so the thread-local label covers everything the cell calls.
+
+/// True when any injection rule is active.
+bool Enabled();
+
+/// Replaces the active spec (tests / tools). Malformed rules are skipped
+/// with a warning on stderr. Resets all hit counts. Empty string disables.
+void SetSpec(const std::string& spec);
+
+/// Disables injection and resets all hit counts.
+void Clear();
+
+/// True when `point` should fail now. Counts one hit of `point` in the
+/// calling thread's current domain against every matching rule; returns
+/// true when a rule's threshold is met (hit == N, or hit >= N for "N+").
+bool ShouldFail(const char* point);
+
+/// Total recorded hits of `point` summed over domains (0 while disabled —
+/// the zero-cost path records nothing).
+std::int64_t HitCount(const std::string& point);
+
+/// The calling thread's current domain label ("" when unset).
+const std::string& CurrentDomain();
+
+/// RAII label for the deterministic unit of work (grid cell, augmentation
+/// pass) the calling thread is executing; nests by save/restore.
+class ScopedDomain {
+ public:
+  explicit ScopedDomain(std::string name);
+  ~ScopedDomain();
+  ScopedDomain(const ScopedDomain&) = delete;
+  ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+ private:
+  std::string previous_;
+};
+
+/// Convenience for injection sites:
+///   if (fault::ShouldFail("ridge.solve"))
+///     return fault::InjectedAt("ridge.solve");
+Status InjectedAt(const char* point);
+
+}  // namespace tsaug::core::fault
+
+#endif  // TSAUG_CORE_FAULTPOINT_H_

@@ -1,0 +1,53 @@
+#include "core/status.h"
+
+namespace tsaug::core {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kSingular:
+      return "singular";
+    case StatusCode::kDiverged:
+      return "diverged";
+    case StatusCode::kDegenerateInput:
+      return "degenerate_input";
+    case StatusCode::kInjectedFault:
+      return "injected_fault";
+  }
+  return "unknown";
+}
+
+Status& Status::AddContext(const std::string& frame) {
+  if (ok()) return *this;
+  context_ = context_.empty() ? frame : frame + ": " + context_;
+  return *this;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  if (!context_.empty()) {
+    out += ": ";
+    out += context_;
+  }
+  return out;
+}
+
+Status SingularError(std::string context) {
+  return Status(StatusCode::kSingular, std::move(context));
+}
+
+Status DivergedError(std::string context) {
+  return Status(StatusCode::kDiverged, std::move(context));
+}
+
+Status DegenerateInputError(std::string context) {
+  return Status(StatusCode::kDegenerateInput, std::move(context));
+}
+
+Status InjectedFaultError(std::string context) {
+  return Status(StatusCode::kInjectedFault, std::move(context));
+}
+
+}  // namespace tsaug::core

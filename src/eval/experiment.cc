@@ -1,8 +1,11 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "classify/rocket.h"
+#include "core/faultpoint.h"
 #include "core/parallel.h"
 #include "core/trace.h"
 
@@ -82,22 +85,42 @@ double TrainAndScore(const ExperimentConfig& config,
                      const core::Dataset& train,
                      const core::Dataset& validation,
                      const core::Dataset& test, std::uint64_t run_seed) {
+  core::StatusOr<ScoreOutcome> outcome =
+      TryTrainAndScore(config, train, validation, test, run_seed);
+  TSAUG_CHECK_MSG(outcome.ok(), "%s", outcome.status().ToString().c_str());
+  return outcome.value().accuracy;
+}
+
+core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
+                                              const core::Dataset& train,
+                                              const core::Dataset& validation,
+                                              const core::Dataset& test,
+                                              std::uint64_t run_seed) {
   switch (config.model) {
     case ModelKind::kRocket: {
       classify::RocketClassifier model(config.rocket_kernels, run_seed);
-      model.Fit(train);
-      return model.Score(test);
+      TSAUG_RETURN_IF_ERROR(model.TryFit(train));
+      ScoreOutcome outcome;
+      outcome.accuracy = model.Score(test);
+      outcome.retries = model.ridge().solve_retries() +
+                        (model.ridge().loocv_fell_back() ? 1 : 0);
+      return outcome;
     }
     case ModelKind::kInceptionTime: {
       classify::InceptionTimeClassifier model(config.inception, run_seed);
       TSAUG_CHECK_MSG(!validation.empty(),
                       "InceptionTime requires a validation split");
-      model.FitWithValidation(train, validation);
-      return model.Score(test);
+      TSAUG_RETURN_IF_ERROR(model.TryFitWithValidation(train, validation));
+      ScoreOutcome outcome;
+      outcome.accuracy = model.Score(test);
+      for (const nn::TrainResult& result : model.train_results()) {
+        outcome.retries += result.divergence_retries;
+      }
+      return outcome;
     }
   }
   TSAUG_CHECK(false);
-  return 0.0;
+  return ScoreOutcome{};
 }
 
 DatasetRow RunDatasetGrid(
@@ -110,7 +133,9 @@ DatasetRow RunDatasetGrid(
   row.dataset = name;
   row.cells.reserve(techniques.size());
   for (const auto& technique : techniques) {
-    row.cells.push_back({technique->name(), 0.0});
+    CellResult cell;
+    cell.technique = technique->name();
+    row.cells.push_back(std::move(cell));
   }
 
   for (int run = 0; run < config.runs; ++run) {
@@ -130,40 +155,68 @@ DatasetRow RunDatasetGrid(
       validation = std::move(split.second);
     }
 
+    // Fault-point domains, one per cell: hit counters are keyed per
+    // (rule, domain), so a spec like "ridge.solve@run0/smote:1" targets
+    // one cell deterministically at any thread count.
+    std::vector<std::string> cell_domain;
+    cell_domain.reserve(techniques.size() + 1);
+    const std::string domain_prefix =
+        "cell/" + name + "/run" + std::to_string(run) + "/";
+    cell_domain.push_back(domain_prefix + "baseline");
+    for (const auto& technique : techniques) {
+      cell_domain.push_back(domain_prefix + technique->name());
+    }
+
     // Serial setup phase: every RNG draw (splits above, augmentation
     // below) happens here, with per-cell seeds derived up front, so the
-    // evaluation phase is free of shared mutable state.
+    // evaluation phase is free of shared mutable state. A cell whose
+    // augmentation fails (degenerate class, injected fault) is marked
+    // failed here and skipped by the evaluation phase; the grid goes on.
     std::vector<core::Dataset> cell_train;
+    std::vector<core::Status> cell_status(techniques.size() + 1);
     cell_train.reserve(techniques.size() + 1);
     cell_train.push_back(train_part);  // cell 0 = baseline
     for (size_t i = 0; i < techniques.size(); ++i) {
       augment::Augmenter& technique = *techniques[i];
       technique.Invalidate();  // train_part changes per run/dataset
+      core::fault::ScopedDomain domain(cell_domain[i + 1]);
       core::Rng aug_rng(run_seed ^ (0xabcdull + i));
-      core::Dataset augmented =
-          augment::BalanceWithAugmenter(train_part, technique, aug_rng);
-      if (augmented.size() == train_part.size()) {
+      core::StatusOr<core::Dataset> augmented =
+          augment::TryBalanceWithAugmenter(train_part, technique, aug_rng);
+      if (augmented.ok() && augmented.value().size() == train_part.size()) {
         // Already balanced (Table III lists three such datasets): the
         // paper still reports distinct augmented accuracies for them, so
         // synthetic data must have been added anyway. We grow every class
         // by 50%, the same augmenter budget a ~1:2 imbalanced dataset
         // receives from balancing.
         augmented =
-            augment::ExpandWithAugmenter(train_part, technique, 0.5, aug_rng);
+            augment::TryExpandWithAugmenter(train_part, technique, 0.5,
+                                            aug_rng);
       }
-      cell_train.push_back(std::move(augmented));
+      if (augmented.ok()) {
+        cell_train.push_back(std::move(augmented).value());
+      } else {
+        cell_status[i + 1] = augmented.status();
+        cell_train.push_back(train_part);  // placeholder, never trained on
+      }
     }
 
     // Parallel evaluation phase: each grid cell trains and scores an
     // independent classifier into its own slot. Training seeds are fixed
-    // per run, so scores — and hence the row — are identical at any
-    // thread count. Nested ParallelFor calls inside the classifiers run
-    // inline on the worker evaluating that cell.
+    // per run and fault-point counters are domain-keyed, so scores — and
+    // hence the row — are identical at any thread count, with injection
+    // on or off. Nested ParallelFor calls inside the classifiers run
+    // inline on the worker evaluating that cell. A failed cell records
+    // its Status and a deterministic 0 score; the other cells are
+    // unaffected.
     std::vector<double> scores(cell_train.size(), 0.0);
+    std::vector<int> retries(cell_train.size(), 0);
     core::ParallelFor(
         0, static_cast<std::int64_t>(cell_train.size()), 1,
         [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t cell = lo; cell < hi; ++cell) {
+            const size_t c = static_cast<size_t>(cell);
+            if (!cell_status[c].ok()) continue;  // augmentation failed
             // Per-cell wall time, keyed by technique so grid reports break
             // down where the sweep's compute goes. Scoping is observation
             // only: it reads a clock, never the RNG, so cell results stay
@@ -171,18 +224,40 @@ DatasetRow RunDatasetGrid(
             core::trace::Scope cell_scope(
                 cell == 0 ? std::string("eval.cell.baseline")
                           : "eval.cell." +
-                                row.cells[static_cast<size_t>(cell - 1)]
-                                    .technique);
+                                row.cells[c - 1].technique);
             core::trace::AddCount("eval.cells");
-            scores[static_cast<size_t>(cell)] = TrainAndScore(config, cell_train[static_cast<size_t>(cell)], validation,
-                                         data.test, run_seed);
+            core::fault::ScopedDomain domain(cell_domain[c]);
+            core::StatusOr<ScoreOutcome> outcome = TryTrainAndScore(
+                config, cell_train[c], validation, data.test, run_seed);
+            if (outcome.ok()) {
+              scores[c] = outcome.value().accuracy;
+              retries[c] = outcome.value().retries;
+            } else {
+              cell_status[c] = outcome.status();
+            }
           }
         });
 
-    // Deterministic reduction in fixed cell order.
+    // Deterministic reduction in fixed cell order. Failed cells
+    // contribute 0 accuracy so reruns with the same faults injected
+    // reproduce the row bit for bit.
+    for (size_t c = 0; c < cell_train.size(); ++c) {
+      if (!cell_status[c].ok()) core::trace::AddCount("grid.cell_failed");
+      if (retries[c] > 0) core::trace::AddCount("grid.cell_retried");
+    }
     row.baseline_accuracy += scores[0] / config.runs;
+    row.baseline_retries += retries[0];
+    if (!cell_status[0].ok()) {
+      ++row.baseline_failed_runs;
+      row.baseline_error = cell_status[0];
+    }
     for (size_t i = 0; i < techniques.size(); ++i) {
       row.cells[i].accuracy += scores[i + 1] / config.runs;
+      row.cells[i].recovered_retries += retries[i + 1];
+      if (!cell_status[i + 1].ok()) {
+        ++row.cells[i].failed_runs;
+        row.cells[i].last_error = cell_status[i + 1];
+      }
     }
   }
   return row;

@@ -4,11 +4,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "augment/augmenter.h"
 #include "augment/timegan.h"
 #include "classify/inception_time.h"
+#include "core/status.h"
 #include "data/synthetic.h"
 
 namespace tsaug::eval {
@@ -32,9 +34,24 @@ struct ExperimentConfig {
 };
 
 /// Accuracy of one augmentation technique on one dataset (mean over runs).
+/// A cell run that fails after every recovery policy is exhausted (singular
+/// ridge solve, diverged training, injected fault) contributes 0 accuracy,
+/// bumps `failed_runs` and keeps the final Status for the report; the rest
+/// of the grid is unaffected.
 struct CellResult {
+  CellResult() = default;
+  CellResult(std::string technique_name, double mean_accuracy)
+      : technique(std::move(technique_name)), accuracy(mean_accuracy) {}
+
   std::string technique;
   double accuracy = 0.0;
+  /// Runs of this cell that failed after retries were exhausted.
+  int failed_runs = 0;
+  /// Internal recoveries (alpha escalations, divergence restores, LOOCV
+  /// fallbacks) summed over this cell's successful runs.
+  int recovered_retries = 0;
+  /// Status of the most recent failed run (ok when failed_runs == 0).
+  core::Status last_error;
 };
 
 /// One row of Table IV/V: baseline accuracy plus one cell per technique
@@ -42,6 +59,9 @@ struct CellResult {
 struct DatasetRow {
   std::string dataset;
   double baseline_accuracy = 0.0;
+  int baseline_failed_runs = 0;
+  int baseline_retries = 0;
+  core::Status baseline_error;
   std::vector<CellResult> cells;
 
   double BestAugmentedAccuracy() const;
@@ -67,6 +87,14 @@ struct StudyResult {
 /// Eq. (3): relative gain of an augmented model over the baseline.
 double RelativeGain(double augmented_accuracy, double baseline_accuracy);
 
+/// Result of one successful train-and-score: the accuracy plus how many
+/// internal recoveries (ridge alpha escalations, LOOCV fallbacks, trainer
+/// divergence restores) the model needed to get there.
+struct ScoreOutcome {
+  double accuracy = 0.0;
+  int retries = 0;
+};
+
 /// Trains the configured model on `train` and scores it on `test`.
 /// For InceptionTime, `validation` holds the original stratified samples
 /// used for early stopping (the paper keeps augmented data out of it).
@@ -74,6 +102,14 @@ double TrainAndScore(const ExperimentConfig& config,
                      const core::Dataset& train,
                      const core::Dataset& validation,
                      const core::Dataset& test, std::uint64_t run_seed);
+
+/// Recoverable variant of TrainAndScore(): returns the Status of a model
+/// whose training failed after its recovery policies were exhausted.
+core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
+                                              const core::Dataset& train,
+                                              const core::Dataset& validation,
+                                              const core::Dataset& test,
+                                              std::uint64_t run_seed);
 
 /// Runs the full technique grid for one dataset: baseline plus every
 /// augmenter in `techniques` (each applied with the paper's

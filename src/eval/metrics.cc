@@ -64,18 +64,25 @@ double MacroF1(const std::vector<int>& predicted,
 double PearsonCorrelation(const std::vector<double>& a,
                           const std::vector<double>& b) {
   TSAUG_CHECK(a.size() == b.size());
-  const size_t n = a.size();
+  // A pair with a non-finite score (a failed grid cell, a diverged run)
+  // would poison the whole statistic; skip it and correlate the rest.
+  std::vector<size_t> keep;
+  keep.reserve(a.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isfinite(a[i]) && std::isfinite(b[i])) keep.push_back(i);
+  }
+  const size_t n = keep.size();
   if (n < 2) return 0.0;
   double mean_a = 0.0;
   double mean_b = 0.0;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i : keep) {
     mean_a += a[i] / static_cast<double>(n);
     mean_b += b[i] / static_cast<double>(n);
   }
   double cov = 0.0;
   double var_a = 0.0;
   double var_b = 0.0;
-  for (size_t i = 0; i < n; ++i) {
+  for (size_t i : keep) {
     cov += (a[i] - mean_a) * (b[i] - mean_b);
     var_a += (a[i] - mean_a) * (a[i] - mean_a);
     var_b += (b[i] - mean_b) * (b[i] - mean_b);
@@ -109,7 +116,19 @@ std::vector<double> AverageRanks(const std::vector<double>& values) {
 double SpearmanCorrelation(const std::vector<double>& a,
                            const std::vector<double>& b) {
   TSAUG_CHECK(a.size() == b.size());
-  return PearsonCorrelation(AverageRanks(a), AverageRanks(b));
+  // Drop non-finite pairs before ranking: a NaN would otherwise get an
+  // arbitrary (comparison-order-dependent) rank.
+  std::vector<double> finite_a;
+  std::vector<double> finite_b;
+  finite_a.reserve(a.size());
+  finite_b.reserve(b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::isfinite(a[i]) && std::isfinite(b[i])) {
+      finite_a.push_back(a[i]);
+      finite_b.push_back(b[i]);
+    }
+  }
+  return PearsonCorrelation(AverageRanks(finite_a), AverageRanks(finite_b));
 }
 
 double BalancedAccuracy(const std::vector<int>& predicted,

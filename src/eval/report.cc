@@ -5,6 +5,7 @@
 #include <cstring>
 #include <ostream>
 #include <sstream>
+#include <string>
 
 #include "augment/pipeline.h"
 #include "data/uea_catalog.h"
@@ -82,11 +83,27 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
   header.push_back("Improvement (%)");
   table.push_back(header);
 
+  // Cells that degraded are annotated rather than hidden: "!N" marks N
+  // runs that failed after retries were exhausted (they contribute 0
+  // accuracy), "~" marks a cell that recovered through internal retries.
+  bool any_failed = false;
+  auto annotate = [&](double accuracy, int failed_runs, int retried) {
+    std::string text = FormatDouble(100.0 * accuracy);
+    if (retried > 0) text += "~";
+    if (failed_runs > 0) {
+      text += "!" + std::to_string(failed_runs);
+      any_failed = true;
+    }
+    return text;
+  };
+
   for (const DatasetRow& row : result.rows) {
-    std::vector<std::string> line = {row.dataset,
-                                     FormatDouble(100.0 * row.baseline_accuracy)};
+    std::vector<std::string> line = {
+        row.dataset, annotate(row.baseline_accuracy, row.baseline_failed_runs,
+                              row.baseline_retries)};
     for (const CellResult& cell : row.cells) {
-      line.push_back(FormatDouble(100.0 * cell.accuracy));
+      line.push_back(
+          annotate(cell.accuracy, cell.failed_runs, cell.recovered_retries));
     }
     line.push_back(FormatDouble(row.ImprovementPercent()));
     table.push_back(line);
@@ -97,6 +114,26 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
   table.push_back(footer);
 
   PrintTable(table, out);
+
+  // One line per failed cell with its final Status, so a degraded sweep is
+  // diagnosable from the report alone.
+  if (any_failed) {
+    out << "Failed cells (accuracy counted as 0):\n";
+    for (const DatasetRow& row : result.rows) {
+      if (row.baseline_failed_runs > 0) {
+        out << "  " << row.dataset << "/baseline: " << row.baseline_failed_runs
+            << " run(s), last error: " << row.baseline_error.ToString()
+            << "\n";
+      }
+      for (const CellResult& cell : row.cells) {
+        if (cell.failed_runs > 0) {
+          out << "  " << row.dataset << "/" << cell.technique << ": "
+              << cell.failed_runs
+              << " run(s), last error: " << cell.last_error.ToString() << "\n";
+        }
+      }
+    }
+  }
 }
 
 void PrintImprovementCounts(const StudyResult& rocket,

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <utility>
 
 namespace tsaug::linalg {
 
@@ -46,8 +48,9 @@ Matrix CholeskySolve(Matrix a, const Matrix& b) {
   return x;
 }
 
-Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
-                             double initial_jitter) {
+core::StatusOr<Matrix> TryCholeskySolveJittered(const Matrix& a,
+                                                const Matrix& b,
+                                                double initial_jitter) {
   double jitter = 0.0;
   for (int attempt = 0; attempt < 12; ++attempt) {
     Matrix regularized = a;
@@ -56,8 +59,17 @@ Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
     if (!x.empty()) return x;
     jitter = jitter == 0.0 ? initial_jitter : jitter * 10.0;
   }
-  TSAUG_CHECK_MSG(false, "matrix not SPD even after jitter %g", jitter);
-  return Matrix();
+  char context[96];
+  std::snprintf(context, sizeof(context),
+                "matrix not SPD even after jitter %g", jitter);
+  return core::SingularError(context);
+}
+
+Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
+                             double initial_jitter) {
+  core::StatusOr<Matrix> x = TryCholeskySolveJittered(a, b, initial_jitter);
+  TSAUG_CHECK_MSG(x.ok(), "%s", x.status().ToString().c_str());
+  return std::move(x).value();
 }
 
 void SymmetricEigen(const Matrix& a, std::vector<double>* eigenvalues,

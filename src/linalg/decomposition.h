@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "linalg/matrix.h"
 
 namespace tsaug::linalg {
@@ -18,6 +19,15 @@ Matrix CholeskySolve(Matrix a, const Matrix& b);
 
 /// Like CholeskySolve but retries with growing diagonal jitter when A is
 /// numerically semi-definite (covariance matrices of small samples).
+/// Whether A factorises is a property of the input data, so exhausting the
+/// jitter schedule is a recoverable kSingular error, not an abort; callers
+/// with a recovery policy (e.g. ridge alpha escalation) use this form.
+core::StatusOr<Matrix> TryCholeskySolveJittered(const Matrix& a,
+                                                const Matrix& b,
+                                                double initial_jitter = 1e-10);
+
+/// Aborting convenience wrapper over TryCholeskySolveJittered for callers
+/// whose inputs are SPD by construction.
 Matrix CholeskySolveJittered(const Matrix& a, const Matrix& b,
                              double initial_jitter = 1e-10);
 

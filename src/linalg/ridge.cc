@@ -4,14 +4,21 @@
 #include <cmath>
 #include <limits>
 
+#include "core/faultpoint.h"
+#include "core/trace.h"
 #include "linalg/decomposition.h"
 
 namespace tsaug::linalg {
 
-void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
+core::Status RidgeRegression::TryFit(const Matrix& x, const Matrix& y,
+                                     double alpha) {
   TSAUG_CHECK(x.rows() == y.rows());
   TSAUG_CHECK(x.rows() > 0);
   TSAUG_CHECK(alpha >= 0.0);
+
+  if (core::fault::ShouldFail("ridge.solve")) {
+    return core::fault::InjectedAt("ridge.solve");
+  }
 
   const std::vector<double> x_means = x.ColMeans();
   const std::vector<double> y_means = y.ColMeans();
@@ -24,13 +31,23 @@ void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
     // Primal: (Xc^T Xc + aI) W = Xc^T Yc.
     Matrix gram = MatMulTransposeA(xc, xc);
     AddDiagonal(gram, alpha);
-    weights_ = CholeskySolveJittered(gram, MatMulTransposeA(xc, yc));
+    core::StatusOr<Matrix> solved =
+        TryCholeskySolveJittered(gram, MatMulTransposeA(xc, yc));
+    if (!solved.ok()) {
+      core::Status status = solved.status();
+      return status.AddContext("ridge.solve(primal)");
+    }
+    weights_ = std::move(solved).value();
   } else {
     // Dual: (Xc Xc^T + aI) C = Yc, W = Xc^T C.
     Matrix gram = MatMulTransposeB(xc, xc);
     AddDiagonal(gram, alpha);
-    const Matrix dual = CholeskySolveJittered(gram, yc);
-    weights_ = MatMulTransposeA(xc, dual);
+    core::StatusOr<Matrix> solved = TryCholeskySolveJittered(gram, yc);
+    if (!solved.ok()) {
+      core::Status status = solved.status();
+      return status.AddContext("ridge.solve(dual)");
+    }
+    weights_ = MatMulTransposeA(xc, std::move(solved).value());
   }
 
   intercept_.assign(static_cast<size_t>(y.cols()), 0.0);
@@ -39,6 +56,12 @@ void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
     for (int d = 0; d < x.cols(); ++d) shift -= x_means[static_cast<size_t>(d)] * weights_(d, k);
     intercept_[static_cast<size_t>(k)] = shift;
   }
+  return core::OkStatus();
+}
+
+void RidgeRegression::Fit(const Matrix& x, const Matrix& y, double alpha) {
+  const core::Status status = TryFit(x, y, alpha);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
 }
 
 Matrix RidgeRegression::Predict(const Matrix& x) const {
@@ -132,42 +155,89 @@ RidgeClassifierCV::RidgeClassifierCV(std::vector<double> alphas)
   TSAUG_CHECK(!alphas_.empty());
 }
 
-void RidgeClassifierCV::Fit(const Matrix& x, const std::vector<int>& labels,
-                            int num_classes) {
+core::Status RidgeClassifierCV::TryFit(const Matrix& x,
+                                       const std::vector<int>& labels,
+                                       int num_classes) {
   TSAUG_CHECK(x.rows() == static_cast<int>(labels.size()));
   TSAUG_CHECK(num_classes >= 2);
   num_classes_ = num_classes;
+  solve_retries_ = 0;
+  loocv_fallback_ = false;
   const Matrix y = EncodeLabels(labels, num_classes);
 
   best_alpha_ = alphas_[alphas_.size() / 2];
   if (x.rows() >= 3 && alphas_.size() > 1) {
-    const std::vector<double> x_means = x.ColMeans();
-    const std::vector<double> y_means = y.ColMeans();
-    Matrix xc = x;
-    xc.CenterColumns(x_means);
-    Matrix yc = y;
-    yc.CenterColumns(y_means);
+    // Recovery policy: LOOCV alpha selection is an optimisation, not a
+    // requirement — a non-finite eigendecomposition of a degenerate Gram
+    // matrix (or an injected "ridge.loocv" fault) falls back to the
+    // default mid-grid alpha rather than failing the fit.
+    bool loocv_usable = !core::fault::ShouldFail("ridge.loocv");
+    if (loocv_usable) {
+      const std::vector<double> x_means = x.ColMeans();
+      const std::vector<double> y_means = y.ColMeans();
+      Matrix xc = x;
+      xc.CenterColumns(x_means);
+      Matrix yc = y;
+      yc.CenterColumns(y_means);
 
-    Matrix gram = MatMulTransposeB(xc, xc);
-    std::vector<double> eigenvalues;
-    Matrix q;
-    SymmetricEigen(gram, &eigenvalues, &q);
-    // Clamp tiny negative eigenvalues from roundoff.
-    for (double& v : eigenvalues) v = std::max(v, 0.0);
-    const Matrix qty = MatMulTransposeA(q, yc);
-    const int intercept_dim = InterceptDimension(q);
-
-    double best_error = std::numeric_limits<double>::infinity();
-    for (double alpha : alphas_) {
-      const double error = LooError(q, eigenvalues, qty, alpha, intercept_dim);
-      if (error < best_error) {
-        best_error = error;
-        best_alpha_ = alpha;
+      Matrix gram = MatMulTransposeB(xc, xc);
+      std::vector<double> eigenvalues;
+      Matrix q;
+      SymmetricEigen(gram, &eigenvalues, &q);
+      // Clamp tiny negative eigenvalues from roundoff.
+      for (double& v : eigenvalues) v = std::max(v, 0.0);
+      for (double v : eigenvalues) {
+        if (!std::isfinite(v)) loocv_usable = false;
       }
+      if (loocv_usable) {
+        const Matrix qty = MatMulTransposeA(q, yc);
+        const int intercept_dim = InterceptDimension(q);
+
+        double best_error = std::numeric_limits<double>::infinity();
+        for (double alpha : alphas_) {
+          const double error =
+              LooError(q, eigenvalues, qty, alpha, intercept_dim);
+          if (error < best_error) {
+            best_error = error;
+            best_alpha_ = alpha;
+          }
+        }
+      }
+    }
+    if (!loocv_usable) {
+      loocv_fallback_ = true;
+      best_alpha_ = alphas_[alphas_.size() / 2];
+      core::trace::AddCount("ridge.loocv_fallback");
     }
   }
 
-  model_.Fit(x, y, best_alpha_);
+  // Recovery policy: a singular solve at the selected alpha escalates the
+  // regulariser tenfold per retry — each step makes the system strictly
+  // better conditioned — before giving up with kSingular.
+  constexpr int kMaxAlphaEscalations = 3;
+  double alpha = best_alpha_;
+  core::Status status;
+  for (int attempt = 0; attempt <= kMaxAlphaEscalations; ++attempt) {
+    status = model_.TryFit(x, y, alpha);
+    if (status.ok()) {
+      best_alpha_ = alpha;
+      return status;
+    }
+    if (status.code() != core::StatusCode::kSingular &&
+        status.code() != core::StatusCode::kInjectedFault) {
+      return status.AddContext("ridge.fit");
+    }
+    ++solve_retries_;
+    core::trace::AddCount("ridge.alpha_escalated");
+    alpha *= 10.0;
+  }
+  return status.AddContext("ridge.fit: alpha escalation exhausted");
+}
+
+void RidgeClassifierCV::Fit(const Matrix& x, const std::vector<int>& labels,
+                            int num_classes) {
+  const core::Status status = TryFit(x, labels, num_classes);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
 }
 
 Matrix RidgeClassifierCV::DecisionFunction(const Matrix& x) const {
@@ -178,11 +248,14 @@ std::vector<int> RidgeClassifierCV::Predict(const Matrix& x) const {
   const Matrix scores = DecisionFunction(x);
   std::vector<int> labels(static_cast<size_t>(scores.rows()));
   for (int i = 0; i < scores.rows(); ++i) {
-    int best = 0;
-    for (int k = 1; k < scores.cols(); ++k) {
-      if (scores(i, k) > scores(i, best)) best = k;
+    // Non-finite scores are skipped defensively: a NaN compares false
+    // against everything, which would otherwise silently elect class 0.
+    int best = -1;
+    for (int k = 0; k < scores.cols(); ++k) {
+      if (!std::isfinite(scores(i, k))) continue;
+      if (best < 0 || scores(i, k) > scores(i, best)) best = k;
     }
-    labels[static_cast<size_t>(i)] = best;
+    labels[static_cast<size_t>(i)] = best < 0 ? 0 : best;
   }
   return labels;
 }

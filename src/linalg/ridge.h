@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/status.h"
 #include "linalg/matrix.h"
 
 namespace tsaug::linalg {
@@ -16,7 +17,12 @@ namespace tsaug::linalg {
 /// ROCKET's 20k-dimensional feature spaces tractable.
 class RidgeRegression {
  public:
-  /// Fits on `x` (n x d) against targets `y` (n x k).
+  /// Fits on `x` (n x d) against targets `y` (n x k). Returns kSingular
+  /// when the regularised Gram matrix cannot be factorised even after the
+  /// jitter schedule (fault point: "ridge.solve").
+  core::Status TryFit(const Matrix& x, const Matrix& y, double alpha);
+
+  /// Aborting wrapper over TryFit for callers without a recovery policy.
   void Fit(const Matrix& x, const Matrix& y, double alpha);
 
   /// Predicted targets for `x` (n x d) -> (n x k).
@@ -45,6 +51,16 @@ class RidgeClassifierCV {
   explicit RidgeClassifierCV(std::vector<double> alphas);
 
   /// Fits on feature rows `x` with integer labels in [0, num_classes).
+  ///
+  /// Recovery policies (both observable through the accessors below):
+  ///  - a non-finite LOOCV eigendecomposition (or an injected "ridge.loocv"
+  ///    fault) degrades to the default mid-grid alpha instead of failing;
+  ///  - a singular final solve escalates alpha tenfold up to a bounded
+  ///    number of retries before reporting kSingular.
+  core::Status TryFit(const Matrix& x, const std::vector<int>& labels,
+                      int num_classes);
+
+  /// Aborting wrapper over TryFit for callers without a recovery policy.
   void Fit(const Matrix& x, const std::vector<int>& labels, int num_classes);
 
   /// Class decision scores, one row per instance (n x num_classes).
@@ -59,11 +75,18 @@ class RidgeClassifierCV {
   double best_alpha() const { return best_alpha_; }
   int num_classes() const { return num_classes_; }
 
+  /// Times the last TryFit escalated alpha after a singular solve.
+  int solve_retries() const { return solve_retries_; }
+  /// True when the last TryFit abandoned LOOCV alpha selection.
+  bool loocv_fell_back() const { return loocv_fallback_; }
+
  private:
   std::vector<double> alphas_;
   RidgeRegression model_;
   double best_alpha_ = 1.0;
   int num_classes_ = 0;
+  int solve_retries_ = 0;
+  bool loocv_fallback_ = false;
 };
 
 /// {-1,+1} one-vs-rest indicator targets for integer labels.

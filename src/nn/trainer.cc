@@ -4,7 +4,9 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <string>
 
+#include "core/faultpoint.h"
 #include "core/trace.h"
 
 namespace tsaug::nn {
@@ -102,11 +104,11 @@ double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
   return std::max(best_lr / 10.0, min_lr);
 }
 
-TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
-                            const std::vector<int>& y_train,
-                            const Tensor& x_val,
-                            const std::vector<int>& y_val,
-                            const TrainerConfig& config, core::Rng& rng) {
+core::StatusOr<TrainResult> TryTrainClassifier(
+    SequenceClassifierNet& net, const Tensor& x_train,
+    const std::vector<int>& y_train, const Tensor& x_val,
+    const std::vector<int>& y_val, const TrainerConfig& config,
+    core::Rng& rng) {
   TSAUG_CHECK(x_train.ndim() == 3);
   TSAUG_CHECK(x_train.dim(0) == static_cast<int>(y_train.size()));
   TSAUG_CHECK(x_val.dim(0) == static_cast<int>(y_val.size()));
@@ -133,6 +135,7 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
     net.SetTraining(true);
     double epoch_loss = 0.0;
     int batches_run = 0;
+    bool diverged = false;
     for (const std::vector<int>& idx :
          MakeBatches(x_train.dim(0), config.batch_size, rng)) {
       optimizer.ZeroGrad();
@@ -141,11 +144,46 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
           SoftmaxCrossEntropy(net.Forward(input), GatherLabels(y_train, idx));
       loss.Backward();
       optimizer.Step();
-      epoch_loss += loss.value().scalar();
+      double raw = loss.value().scalar();
+      if (core::fault::ShouldFail("trainer.step")) {
+        // Simulate a numerically blown-up batch through the same detection
+        // path a real one takes.
+        raw = std::numeric_limits<double>::quiet_NaN();
+      }
+      if (!std::isfinite(raw)) {
+        diverged = true;
+        break;
+      }
+      epoch_loss += raw;
       ++batches_run;
     }
-    result.epoch_train_losses.push_back(epoch_loss / std::max(1, batches_run));
+    const double mean_loss = epoch_loss / std::max(1, batches_run);
+    // "Exploding" = two orders of magnitude above the first epoch's loss
+    // level; relative, so it is scale-free across datasets.
+    if (!diverged && !result.epoch_train_losses.empty() &&
+        mean_loss >
+            100.0 * (std::fabs(result.epoch_train_losses.front()) + 1.0)) {
+      diverged = true;
+    }
     result.epochs_run = epoch + 1;
+    if (diverged) {
+      if (result.divergence_retries >= config.max_divergence_retries) {
+        return core::DivergedError(
+            "trainer: loss diverged at epoch " + std::to_string(epoch) +
+            " after " + std::to_string(result.divergence_retries) +
+            " recoveries");
+      }
+      // Recovery policy: back to the best checkpoint, half the step size,
+      // fresh Adam moments (the old ones chase the diverged trajectory).
+      ++result.divergence_retries;
+      core::trace::AddCount("train.divergence_recovered");
+      net.SetState(best_state);
+      result.learning_rate *= 0.5;
+      optimizer = Adam(net.AllParameters(), result.learning_rate);
+      epochs_since_best = 0;
+      continue;
+    }
+    result.epoch_train_losses.push_back(mean_loss);
     core::trace::AddCount("train.epochs");
     core::trace::AddCount("train.batches", batches_run);
 
@@ -181,6 +219,17 @@ TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
   net.SetState(best_state);
   net.SetTraining(false);
   return result;
+}
+
+TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
+                            const std::vector<int>& y_train,
+                            const Tensor& x_val,
+                            const std::vector<int>& y_val,
+                            const TrainerConfig& config, core::Rng& rng) {
+  core::StatusOr<TrainResult> result =
+      TryTrainClassifier(net, x_train, y_train, x_val, y_val, config, rng);
+  TSAUG_CHECK_MSG(result.ok(), "%s", result.status().ToString().c_str());
+  return std::move(result).value();
 }
 
 std::vector<int> PredictLabels(SequenceClassifierNet& net, const Tensor& x,

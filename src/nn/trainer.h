@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "nn/layers.h"
 #include "nn/optimizer.h"
 
@@ -27,6 +28,11 @@ struct TrainerConfig {
   /// 0 means: run the cyclical learning-rate range test (Smith 2017) and
   /// use the valley rule (lr at minimum smoothed loss / 10).
   double learning_rate = 0.0;
+  /// Divergence recovery budget: an epoch whose loss goes non-finite or
+  /// explodes restores the best checkpoint, halves the learning rate and
+  /// retries, up to this many times before TryTrainClassifier reports
+  /// kDiverged.
+  int max_divergence_retries = 2;
   bool verbose = false;
 };
 
@@ -34,7 +40,10 @@ struct TrainResult {
   double best_val_accuracy = 0.0;
   int best_epoch = -1;
   int epochs_run = 0;
-  double learning_rate = 0.0;  // the rate actually used
+  double learning_rate = 0.0;  // the rate actually used (after halvings)
+  /// Times training diverged and was recovered (checkpoint restored,
+  /// learning rate halved). Bounded by TrainerConfig::max_divergence_retries.
+  int divergence_retries = 0;
   std::vector<double> epoch_train_losses;
   /// Wall time of each epoch (train + validation), seconds on the steady
   /// clock. Always populated — independent of the core::trace toggle —
@@ -58,6 +67,21 @@ double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
 
 /// Trains `net` on (x_train, y_train), early-stopping on accuracy over
 /// (x_val, y_val), and leaves the best-validation weights loaded.
+///
+/// Recovery policy: when an epoch's training loss goes non-finite or
+/// explodes (also reachable via the "trainer.step" fault point, which
+/// poisons one batch loss), the best checkpoint is restored, the learning
+/// rate is halved, the Adam state is reset, and training continues; after
+/// TrainerConfig::max_divergence_retries such recoveries the next
+/// divergence returns kDiverged.
+core::StatusOr<TrainResult> TryTrainClassifier(
+    SequenceClassifierNet& net, const Tensor& x_train,
+    const std::vector<int>& y_train, const Tensor& x_val,
+    const std::vector<int>& y_val, const TrainerConfig& config,
+    core::Rng& rng);
+
+/// Aborting wrapper over TryTrainClassifier for callers without a
+/// recovery policy.
 TrainResult TrainClassifier(SequenceClassifierNet& net, const Tensor& x_train,
                             const std::vector<int>& y_train,
                             const Tensor& x_val,

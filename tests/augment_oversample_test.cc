@@ -9,6 +9,7 @@
 #include "core/stats.h"
 #include "data/synthetic.h"
 #include "linalg/distance.h"
+#include "linalg/matrix.h"
 
 namespace tsaug::augment {
 namespace {
@@ -57,7 +58,10 @@ TEST(Smote, SyntheticPointsOnSegmentsBetweenClassMembers) {
   }
 }
 
-TEST(Smote, SingletonClassDuplicates) {
+TEST(Smote, SingletonClassJitterResamples) {
+  // A singleton class cannot interpolate; exact duplicates would add no
+  // variance (and make downstream covariance solves singular), so the lone
+  // member is jitter-resampled: close to the seed but never identical.
   core::Dataset train;
   train.Add(core::TimeSeries::FromChannels({{1, 2, 3}}), 0);
   train.Add(core::TimeSeries::FromChannels({{5, 5, 5}}), 1);
@@ -65,7 +69,13 @@ TEST(Smote, SingletonClassDuplicates) {
   Smote smote;
   core::Rng rng(4);
   const auto generated = smote.Generate(train, 0, 3, rng);
-  for (const core::TimeSeries& s : generated) EXPECT_EQ(s, train.series(0));
+  ASSERT_EQ(generated.size(), 3u);
+  const double scale = linalg::Norm(train.series(0).Flatten());
+  for (const core::TimeSeries& s : generated) {
+    const double d = linalg::EuclideanDistance(s, train.series(0));
+    EXPECT_GT(d, 0.0);          // not a duplicate...
+    EXPECT_LT(d, 0.5 * scale);  // ...but still close to the seed
+  }
 }
 
 TEST(Smote, UsesPaperNeighborRule) {

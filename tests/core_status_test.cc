@@ -1,0 +1,132 @@
+// Tests for the recoverable-error layer (core/status.h): Status codes and
+// context chaining, StatusOr value/error duality, and the propagation
+// macro. The aborting paths (value() on error) are covered by the
+// TSAUG_CHECK death-test machinery elsewhere; here we exercise the
+// contract recovery policies rely on.
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+
+namespace tsaug::core {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "ok");
+  EXPECT_EQ(status, OkStatus());
+}
+
+TEST(Status, ErrorFactoriesCarryCodeAndContext) {
+  EXPECT_EQ(SingularError("gram").code(), StatusCode::kSingular);
+  EXPECT_EQ(DivergedError("loss").code(), StatusCode::kDiverged);
+  EXPECT_EQ(DegenerateInputError("empty").code(),
+            StatusCode::kDegenerateInput);
+  EXPECT_EQ(InjectedFaultError("test").code(), StatusCode::kInjectedFault);
+  EXPECT_FALSE(SingularError("gram").ok());
+  EXPECT_EQ(SingularError("gram").context(), "gram");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kSingular), "singular");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDiverged), "diverged");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDegenerateInput),
+               "degenerate_input");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInjectedFault), "injected_fault");
+}
+
+TEST(Status, AddContextPrependsFrames) {
+  Status status = SingularError("matrix not SPD");
+  status.AddContext("ridge.solve(primal)");
+  status.AddContext("ridge.fit");
+  EXPECT_EQ(status.context(),
+            "ridge.fit: ridge.solve(primal): matrix not SPD");
+  EXPECT_EQ(status.ToString(),
+            "singular: ridge.fit: ridge.solve(primal): matrix not SPD");
+  // The code survives context chaining.
+  EXPECT_EQ(status.code(), StatusCode::kSingular);
+}
+
+TEST(Status, AddContextReturnsSelfForReturnChaining) {
+  Status status = DivergedError("nan loss");
+  const Status& chained = status.AddContext("trainer");
+  EXPECT_EQ(&chained, &status);
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> x = 42;
+  ASSERT_TRUE(x.ok());
+  EXPECT_EQ(x.value(), 42);
+  EXPECT_EQ(*x, 42);
+  EXPECT_TRUE(x.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> x = SingularError("no solve");
+  EXPECT_FALSE(x.ok());
+  EXPECT_EQ(x.status().code(), StatusCode::kSingular);
+  EXPECT_EQ(x.status().context(), "no solve");
+}
+
+TEST(StatusOr, MovesValueOut) {
+  StatusOr<std::vector<int>> x = std::vector<int>{1, 2, 3};
+  ASSERT_TRUE(x.ok());
+  const std::vector<int> moved = std::move(x).value();
+  EXPECT_EQ(moved, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(StatusOr, ArrowOperatorReachesMembers) {
+  StatusOr<std::string> x = std::string("abc");
+  EXPECT_EQ(x->size(), 3u);
+}
+
+StatusOr<int> HalveEven(int n) {
+  if (n % 2 != 0) return DegenerateInputError("odd input");
+  return n / 2;
+}
+
+Status Pipeline(int n, int* out) {
+  StatusOr<int> halved = HalveEven(n);
+  if (!halved.ok()) {
+    Status status = halved.status();
+    return status.AddContext("pipeline");
+  }
+  *out = halved.value();
+  return OkStatus();
+}
+
+TEST(StatusOr, PropagationIdiom) {
+  int out = 0;
+  EXPECT_TRUE(Pipeline(8, &out).ok());
+  EXPECT_EQ(out, 4);
+  const Status failed = Pipeline(7, &out);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kDegenerateInput);
+  EXPECT_EQ(failed.context(), "pipeline: odd input");
+}
+
+Status ReturnIfErrorUser(const Status& status, bool* reached_end) {
+  TSAUG_RETURN_IF_ERROR(status);
+  *reached_end = true;
+  return OkStatus();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  bool reached_end = false;
+  const Status failed =
+      ReturnIfErrorUser(DivergedError("boom"), &reached_end);
+  EXPECT_FALSE(reached_end);
+  EXPECT_EQ(failed.code(), StatusCode::kDiverged);
+
+  EXPECT_TRUE(ReturnIfErrorUser(OkStatus(), &reached_end).ok());
+  EXPECT_TRUE(reached_end);
+}
+
+}  // namespace
+}  // namespace tsaug::core

@@ -137,6 +137,31 @@ TEST(Report, AccuracyTablePrintsAllRows) {
   EXPECT_NE(text.find("Average Improvement"), std::string::npos);
 }
 
+TEST(Report, AccuracyTableAnnotatesFailedAndRetriedCells) {
+  StudyResult study;
+  study.model = ModelKind::kRocket;
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.9;
+  row.baseline_retries = 1;
+  CellResult failed("smote", 0.45);
+  failed.failed_runs = 1;
+  failed.last_error = core::SingularError("ridge.fit: gram not SPD");
+  row.cells = {{"noise_1.0", 0.91}, failed};
+  study.rows = {row};
+
+  std::ostringstream out;
+  PrintAccuracyTable(study, out);
+  const std::string text = out.str();
+  // Recovered-retry marker on the baseline, failure marker on the cell.
+  EXPECT_NE(text.find("~"), std::string::npos);
+  EXPECT_NE(text.find("!1"), std::string::npos);
+  // The failure list names the cell and carries the Status.
+  EXPECT_NE(text.find("Failed cells"), std::string::npos);
+  EXPECT_NE(text.find("toy/smote"), std::string::npos);
+  EXPECT_NE(text.find("singular: ridge.fit: gram not SPD"), std::string::npos);
+}
+
 TEST(Report, PropertiesTableMatchesTableThreeLayout) {
   core::DatasetProperties props;
   props.name = "Heartbeat";

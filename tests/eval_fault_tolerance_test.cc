@@ -1,0 +1,249 @@
+// End-to-end fault tolerance of the experiment harness: faults injected
+// into the ridge solver, the nn trainer and SMOTE must degrade exactly the
+// targeted grid cells — recorded failed with the right Status code —
+// while the rest of the grid completes, and the whole (partially failed)
+// row must stay bitwise identical at any thread count.
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "augment/noise.h"
+#include "augment/oversample.h"
+#include "augment/timegan.h"
+#include "core/faultpoint.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "eval/experiment.h"
+
+namespace tsaug::eval {
+namespace {
+
+class ThreadCountGuard {
+ public:
+  ThreadCountGuard() : saved_(core::GetNumThreads()) {}
+  ~ThreadCountGuard() { core::SetNumThreads(saved_); }
+
+ private:
+  int saved_;
+};
+
+class FaultSpecGuard {
+ public:
+  explicit FaultSpecGuard(const std::string& spec) {
+    core::fault::SetSpec(spec);
+  }
+  ~FaultSpecGuard() { core::fault::Clear(); }
+};
+
+data::TrainTest SmallData(std::uint64_t seed = 1) {
+  data::SyntheticSpec spec;
+  spec.num_classes = 2;
+  spec.train_counts = {14, 6};
+  spec.test_counts = {6, 6};
+  spec.num_channels = 2;
+  spec.length = 24;
+  spec.class_separation = 1.4;
+  spec.seed = seed;
+  return data::MakeSynthetic(spec);
+}
+
+ExperimentConfig RocketConfig(int runs = 2) {
+  ExperimentConfig config;
+  config.model = ModelKind::kRocket;
+  config.runs = runs;
+  config.rocket_kernels = 80;
+  config.seed = 5;
+  return config;
+}
+
+ExperimentConfig InceptionConfig() {
+  ExperimentConfig config;
+  config.model = ModelKind::kInceptionTime;
+  config.runs = 1;
+  config.inception.num_filters = 3;
+  config.inception.depth = 3;
+  config.inception.kernel_sizes = {4, 8};
+  config.inception.bottleneck_channels = 3;
+  config.inception.ensemble_size = 1;
+  config.inception.trainer.max_epochs = 4;
+  config.inception.trainer.early_stopping_patience = 4;
+  config.inception.trainer.learning_rate = 5e-3;
+  config.seed = 5;
+  return config;
+}
+
+std::vector<std::shared_ptr<augment::Augmenter>> Techniques() {
+  // Fresh augmenters per grid run: they cache per-train-set state.
+  return {std::make_shared<augment::NoiseInjection>(1.0),
+          std::make_shared<augment::Smote>()};
+}
+
+DatasetRow RunToyGrid(const ExperimentConfig& config,
+                      const data::TrainTest& data) {
+  return RunDatasetGrid("toy", data, Techniques(), config);
+}
+
+TEST(FaultTolerance, CleanGridReportsNoFailuresOrRetries) {
+  core::fault::Clear();
+  const data::TrainTest data = SmallData(2);
+  const DatasetRow row = RunToyGrid(RocketConfig(), data);
+  EXPECT_EQ(row.baseline_failed_runs, 0);
+  EXPECT_EQ(row.baseline_retries, 0);
+  EXPECT_TRUE(row.baseline_error.ok());
+  for (const CellResult& cell : row.cells) {
+    EXPECT_EQ(cell.failed_runs, 0) << cell.technique;
+    EXPECT_EQ(cell.recovered_retries, 0) << cell.technique;
+    EXPECT_TRUE(cell.last_error.ok()) << cell.technique;
+  }
+}
+
+TEST(FaultTolerance, InjectedFaultsDegradeOnlyTargetedCells) {
+  const data::TrainTest data = SmallData(2);
+
+  core::fault::Clear();
+  const DatasetRow clean = RunToyGrid(RocketConfig(), data);
+
+  // run0/smote: the augmentation itself fails (SMOTE fault point).
+  // run1/noise_1.0: every ridge solve fails, exhausting alpha escalation.
+  // run0/baseline: one ridge solve fails, recovered by alpha escalation.
+  FaultSpecGuard faults(
+      "smote.generate@run0/smote:1,"
+      "ridge.solve@run1/noise_1.0:1+,"
+      "ridge.solve@run0/baseline:1");
+  const DatasetRow row = RunToyGrid(RocketConfig(), data);
+
+  ASSERT_EQ(row.cells.size(), 2u);
+  const CellResult& noise = row.cells[0];
+  const CellResult& smote = row.cells[1];
+
+  // The smote cell failed in the augmentation phase with the fault's code.
+  EXPECT_EQ(smote.failed_runs, 1);
+  EXPECT_EQ(smote.last_error.code(), core::StatusCode::kInjectedFault);
+  EXPECT_NE(smote.last_error.context().find("smote.generate"),
+            std::string::npos);
+
+  // The noise cell failed in training after alpha escalation ran dry.
+  EXPECT_EQ(noise.failed_runs, 1);
+  EXPECT_EQ(noise.last_error.code(), core::StatusCode::kInjectedFault);
+  EXPECT_NE(noise.last_error.context().find("alpha escalation exhausted"),
+            std::string::npos);
+
+  // The baseline recovered: no failure, but the retry is visible.
+  EXPECT_EQ(row.baseline_failed_runs, 0);
+  EXPECT_GE(row.baseline_retries, 1);
+
+  // Unaffected runs leave their cells' contributions untouched: each cell
+  // averages over 2 runs, exactly one of which was failed (counted as 0),
+  // so the mean is at most half the clean mean plus the clean half.
+  EXPECT_LT(smote.accuracy, clean.cells[1].accuracy);
+  EXPECT_LT(noise.accuracy, clean.cells[0].accuracy);
+}
+
+TEST(FaultTolerance, UnaffectedCellsBitwiseEqualCleanRun) {
+  const data::TrainTest data = SmallData(2);
+
+  core::fault::Clear();
+  const DatasetRow clean = RunToyGrid(RocketConfig(), data);
+
+  // Only the smote cells are targeted; baseline and noise must be
+  // bitwise identical to the clean run (recovery work happens inside the
+  // failed cell only).
+  FaultSpecGuard faults("smote.generate@/smote:1+");
+  const DatasetRow row = RunToyGrid(RocketConfig(), data);
+
+  EXPECT_EQ(row.baseline_accuracy, clean.baseline_accuracy);
+  EXPECT_EQ(row.cells[0].accuracy, clean.cells[0].accuracy);
+  EXPECT_EQ(row.cells[1].failed_runs, 2);
+  EXPECT_EQ(row.cells[1].accuracy, 0.0);
+}
+
+TEST(FaultTolerance, InjectedGridDeterministicAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  const data::TrainTest data = SmallData(2);
+  const std::string spec =
+      "smote.generate@run0/smote:1,ridge.solve@run1/noise_1.0:1+";
+
+  // SetSpec before every grid run: hit counters are keyed by (rule,
+  // domain) and the domains repeat across runs of the same grid.
+  core::fault::SetSpec(spec);
+  core::SetNumThreads(1);
+  const DatasetRow reference = RunToyGrid(RocketConfig(), data);
+
+  for (int threads : {2, 8}) {
+    core::SetNumThreads(threads);
+    core::fault::SetSpec(spec);
+    const DatasetRow row = RunToyGrid(RocketConfig(), data);
+    EXPECT_EQ(row.baseline_accuracy, reference.baseline_accuracy)
+        << threads << " threads";
+    ASSERT_EQ(row.cells.size(), reference.cells.size());
+    for (size_t i = 0; i < reference.cells.size(); ++i) {
+      EXPECT_EQ(row.cells[i].accuracy, reference.cells[i].accuracy)
+          << reference.cells[i].technique << ", " << threads << " threads";
+      EXPECT_EQ(row.cells[i].failed_runs, reference.cells[i].failed_runs)
+          << reference.cells[i].technique << ", " << threads << " threads";
+      EXPECT_EQ(row.cells[i].last_error, reference.cells[i].last_error)
+          << reference.cells[i].technique << ", " << threads << " threads";
+    }
+  }
+  core::fault::Clear();
+}
+
+TEST(FaultTolerance, TrainerDivergenceRecoversWithinBudget) {
+  const data::TrainTest data = SmallData(3);
+
+  // One poisoned training step: the trainer detects the non-finite loss,
+  // restores the best checkpoint, halves the learning rate and goes on.
+  FaultSpecGuard faults("trainer.step@run0/baseline:1");
+  const DatasetRow row = RunToyGrid(InceptionConfig(), data);
+  EXPECT_EQ(row.baseline_failed_runs, 0);
+  EXPECT_GE(row.baseline_retries, 1);
+}
+
+TEST(FaultTolerance, TrainerDivergenceExhaustionFailsOnlyThatCell) {
+  const data::TrainTest data = SmallData(3);
+
+  // Every step poisoned: retries run dry and the cell fails kDiverged;
+  // the augmented cells still complete.
+  FaultSpecGuard faults("trainer.step@run0/baseline:1+");
+  const DatasetRow row = RunToyGrid(InceptionConfig(), data);
+  EXPECT_EQ(row.baseline_failed_runs, 1);
+  EXPECT_EQ(row.baseline_error.code(), core::StatusCode::kDiverged);
+  EXPECT_EQ(row.baseline_accuracy, 0.0);
+  for (const CellResult& cell : row.cells) {
+    EXPECT_EQ(cell.failed_runs, 0) << cell.technique;
+    EXPECT_GT(cell.accuracy, 0.0) << cell.technique;
+  }
+}
+
+TEST(FaultTolerance, TimeGanFallbackDegradesGracefully) {
+  const data::TrainTest data = SmallData(4);
+  augment::TimeGanConfig config;
+  config.embedding_iterations = 2;
+  config.supervised_iterations = 2;
+  config.joint_iterations = 1;
+
+  // GAN training is injected to fail; the augmenter degrades to its
+  // configured fallback instead of failing the cell.
+  FaultSpecGuard faults("timegan.fit:1+");
+  augment::TimeGanAugmenter with_fallback(
+      config, std::make_unique<augment::Smote>());
+  core::Rng rng(7);
+  core::StatusOr<std::vector<core::TimeSeries>> generated =
+      with_fallback.TryGenerate(data.train, 0, 4, rng);
+  ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+  EXPECT_EQ(generated.value().size(), 4u);
+
+  // Without a fallback the Status propagates to the caller.
+  augment::TimeGanAugmenter no_fallback(config);
+  core::StatusOr<std::vector<core::TimeSeries>> failed =
+      no_fallback.TryGenerate(data.train, 0, 4, rng);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), core::StatusCode::kInjectedFault);
+}
+
+}  // namespace
+}  // namespace tsaug::eval

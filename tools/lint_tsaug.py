@@ -30,6 +30,15 @@ clang-tidy) cannot express:
                         is safe (disjoint slices, fixed accumulation order,
                         read-only, ...). Keeps the PR-1 determinism guarantee
                         reviewable as call sites multiply.
+  check-budget          Data-path code in src/{linalg,augment,nn} must not
+                        grow new TSAUG_CHECK / TSAUG_CHECK_MSG sites: per-file
+                        counts are frozen at the fault-tolerance refactor's
+                        level (existing sites are API-contract / structural
+                        invariants). A failure that depends on input data
+                        (singular solve, diverged loss, degenerate class)
+                        must be returned as core::Status so the experiment
+                        harness can recover or degrade the one affected cell,
+                        not abort the whole grid. TSAUG_DCHECK is not counted.
 
 Exit status: 0 when clean, 1 when violations were found (one
 "file:line: [rule] message" per line on stdout), 2 on usage errors.
@@ -69,6 +78,44 @@ SAFETY_COMMENT_RE = re.compile(
 PARALLEL_EXEMPT = ("src/core/parallel.h", "src/core/parallel.cc")
 COMMENT_WINDOW = 6  # lines above a ParallelFor call searched for the comment
 
+# check-budget: frozen per-file TSAUG_CHECK(_MSG) counts in the data-path
+# modules (captured after the Status refactor converted every data-dependent
+# abort into a returned core::Status). Files absent from this table have a
+# budget of 0. Lowering a count is always fine; raising one means a new
+# abort was added where a recoverable Status belongs — if the new site
+# really is a programmer-error invariant, update the budget in the same
+# change and say why in the review.
+CHECK_RE = re.compile(r"\bTSAUG_CHECK(?:_MSG)?\s*\(")
+CHECK_BUDGET_DIRS = ("src/linalg/", "src/augment/", "src/nn/")
+CHECK_BUDGET = {
+    "src/augment/augmenter.cc": 8,
+    "src/augment/basic_time.cc": 11,
+    "src/augment/dba.cc": 8,
+    "src/augment/decompose.cc": 2,
+    "src/augment/emd.cc": 2,
+    "src/augment/frequency.cc": 5,
+    "src/augment/generative.cc": 3,
+    "src/augment/guided_warp.cc": 5,
+    "src/augment/meboot.cc": 1,
+    "src/augment/noise.cc": 1,
+    "src/augment/oversample.cc": 4,
+    "src/augment/pipeline.cc": 3,
+    "src/augment/preserving.cc": 3,
+    "src/augment/timegan.cc": 7,
+    "src/augment/vae.cc": 6,
+    "src/linalg/decomposition.cc": 5,
+    "src/linalg/distance.cc": 6,
+    "src/linalg/knn.cc": 1,
+    "src/linalg/matrix.cc": 14,
+    "src/linalg/matrix.h": 3,
+    "src/linalg/ridge.cc": 12,
+    "src/nn/autograd.cc": 3,
+    "src/nn/layers.cc": 7,
+    "src/nn/ops.cc": 42,
+    "src/nn/tensor.h": 3,
+    "src/nn/trainer.cc": 9,
+}
+
 
 def strip_line_comment(line):
     """Drops // comments so banned tokens in prose don't trip the rules."""
@@ -79,6 +126,7 @@ def strip_line_comment(line):
 def lint_file(rel, lines, violations):
     is_header = rel.endswith((".h", ".hpp"))
     in_src = rel.startswith("src/")
+    check_lines = []
     for i, raw in enumerate(lines, start=1):
         line = strip_line_comment(raw)
         if rel not in RNG_EXEMPT and RNG_RE.search(line):
@@ -107,6 +155,8 @@ def lint_file(rel, lines, violations):
             violations.append((rel, i, "no-wall-clock",
                                "chrono clock inside src/; wall-clock reads "
                                "make library behaviour irreproducible"))
+        if rel.startswith(CHECK_BUDGET_DIRS) and CHECK_RE.search(line):
+            check_lines.append(i)
         if in_src and rel not in PARALLEL_EXEMPT and \
                 PARALLEL_FOR_RE.search(line):
             # The lambda usually starts on the call line or shortly after.
@@ -119,6 +169,17 @@ def lint_file(rel, lines, violations):
                          "ParallelFor body captures by reference without a "
                          "nearby comment justifying determinism (say how "
                          "writes are disjoint / order is fixed)"))
+    budget = CHECK_BUDGET.get(rel, 0)
+    if len(check_lines) > budget:
+        # Anchor the report on the first site beyond the budget: with an
+        # append-at-the-bottom edit that is the new check.
+        violations.append(
+            (rel, check_lines[budget], "check-budget",
+             f"{len(check_lines)} TSAUG_CHECK sites exceed this data-path "
+             f"file's frozen budget of {budget}; data-dependent failures "
+             "must return core::Status (see DESIGN.md, Error handling) — "
+             "if this is a genuine programmer-error invariant, raise the "
+             "budget in tools/lint_tsaug.py and justify it"))
 
 
 def lint_test_registration(root, violations):
@@ -183,7 +244,8 @@ def self_test(repo_root):
         print("self-test: unexpected violation: %s:%d [%s]" % item)
     rules_covered = {rule for (_, _, rule) in expected}
     all_rules = {"rng-discipline", "check-macro", "test-registration",
-                 "no-iostream-header", "no-wall-clock", "parallel-capture"}
+                 "no-iostream-header", "no-wall-clock", "parallel-capture",
+                 "check-budget"}
     for rule in sorted(all_rules - rules_covered):
         ok = False
         print(f"self-test: no fixture exercises rule [{rule}]")

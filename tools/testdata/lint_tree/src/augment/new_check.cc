@@ -1,0 +1,11 @@
+// Fixture: a data-path file (src/augment/) not in CHECK_BUDGET adds a
+// TSAUG_CHECK on an input-derived quantity — budget 0, so the first site
+// must be reported. A TSAUG_CHECK in a comment must not count; neither
+// must TSAUG_DCHECK (debug-only invariants stay free).
+#include "core/check.h"
+
+int CountMembers(int n) {
+  TSAUG_DCHECK(n >= 0);
+  TSAUG_CHECK(n > 0);  // line 9: data-dependent abort, should be a Status
+  return n;
+}
