@@ -6,16 +6,29 @@
 // Default settings run at TSAUG_SCALE=tiny with 1 run so the whole bench
 // suite fits one core; set TSAUG_SCALE=paper TSAUG_RUNS=5 (and hours of
 // CPU) for the paper's protocol. See EXPERIMENTS.md.
+//
+// Durable runs: --journal=PATH records completed cells so a killed or
+// interrupted sweep resumes where it stopped; --cell-budget-seconds=S
+// fails any single cell that overruns S seconds without aborting the
+// sweep. SIGINT/SIGTERM stop cooperatively: the journal is flushed and a
+// partial report marked INTERRUPTED is printed.
 #include <iostream>
 
+#include "core/cancel.h"
 #include "eval/report.h"
 
-int main() {
-  const tsaug::eval::BenchSettings settings = tsaug::eval::ReadBenchSettings();
+int main(int argc, char** argv) {
+  tsaug::core::InstallStopSignalHandlers();
+  tsaug::eval::BenchSettings settings = tsaug::eval::ReadBenchSettings();
+  tsaug::eval::ApplyGridFlags(argc, argv, settings);
   const tsaug::eval::StudyResult result =
       tsaug::eval::RunStudy(settings, tsaug::eval::ModelKind::kRocket);
   std::cout << "\nTABLE IV: Accuracy for ROCKET baseline model, and relative "
                "improvement\n";
+  if (result.rows.empty()) {
+    std::cout << "INTERRUPTED: stopped before any dataset completed.\n";
+    return 0;
+  }
   tsaug::eval::PrintAccuracyTable(result, std::cout);
 
   int improved = 0;

@@ -3,17 +3,27 @@
 // paper's protocol (2:1 train/validation split, augmented data only in the
 // training portion, early stopping on validation accuracy).
 //
-// Scaled by TSAUG_* environment knobs; see EXPERIMENTS.md.
+// Scaled by TSAUG_* environment knobs; see EXPERIMENTS.md. Durable runs:
+// --journal=PATH resumes a killed sweep, --cell-budget-seconds=S bounds
+// each cell's wall time, SIGINT/SIGTERM stop cooperatively with a flushed
+// journal and a partial report marked INTERRUPTED.
 #include <iostream>
 
+#include "core/cancel.h"
 #include "eval/report.h"
 
-int main() {
-  const tsaug::eval::BenchSettings settings = tsaug::eval::ReadBenchSettings();
+int main(int argc, char** argv) {
+  tsaug::core::InstallStopSignalHandlers();
+  tsaug::eval::BenchSettings settings = tsaug::eval::ReadBenchSettings();
+  tsaug::eval::ApplyGridFlags(argc, argv, settings);
   const tsaug::eval::StudyResult result =
       tsaug::eval::RunStudy(settings, tsaug::eval::ModelKind::kInceptionTime);
   std::cout << "\nTABLE V: Accuracy for InceptionTime baseline model, and "
                "relative improvement\n";
+  if (result.rows.empty()) {
+    std::cout << "INTERRUPTED: stopped before any dataset completed.\n";
+    return 0;
+  }
   tsaug::eval::PrintAccuracyTable(result, std::cout);
 
   int improved = 0;

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/cancel.h"
 #include "core/preprocess.h"
 #include "linalg/distance.h"
 
@@ -29,6 +30,7 @@ core::StatusOr<core::TimeSeries> TryDtwBarycenterAverage(
   }
 
   for (int iter = 0; iter < iterations; ++iter) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("dba.iteration"));
     // Accumulate, per barycenter position, the weighted values of every
     // member sample aligned to it.
     core::TimeSeries sums(channels, length, 0.0);

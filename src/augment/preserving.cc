@@ -5,6 +5,7 @@
 #include <limits>
 #include <string>
 
+#include "core/cancel.h"
 #include "core/preprocess.h"
 #include "linalg/decomposition.h"
 #include "linalg/distance.h"
@@ -166,6 +167,9 @@ core::StatusOr<std::vector<core::TimeSeries>> Ohit::DoGenerate(
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int c = 0; c < num_clusters; ++c) {
+    // SNN clustering + per-cluster covariance factorisation dominate OHIT's
+    // cost; polling per cluster keeps a cancelled cell responsive.
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("ohit.cluster"));
     if (quota[static_cast<size_t>(c)] == 0) continue;
     const std::vector<int>& members = clusters[static_cast<size_t>(c)];
 

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "core/cancel.h"
 #include "core/faultpoint.h"
 #include "core/preprocess.h"
 #include "core/trace.h"
@@ -195,6 +196,7 @@ core::Status TimeGan::TryFit(const std::vector<core::TimeSeries>& series) {
 
   // ---- Phase 1: embedding (autoencoder reconstruction). ----
   for (int iter = 0; iter < config_.embedding_iterations; ++iter) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("timegan.embed"));
     zero_all();
     const Tensor x = SampleBatch(batch, rng);
     const Variable reconstruction = Recover(Embed(Variable(x)));
@@ -211,6 +213,7 @@ core::Status TimeGan::TryFit(const std::vector<core::TimeSeries>& series) {
 
   // ---- Phase 2: supervised loss on real embeddings. ----
   for (int iter = 0; iter < config_.supervised_iterations; ++iter) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("timegan.supervise"));
     zero_all();
     const Tensor x = SampleBatch(batch, rng);
     Variable loss = SupervisedLoss(Embed(Variable(x)));
@@ -226,6 +229,7 @@ core::Status TimeGan::TryFit(const std::vector<core::TimeSeries>& series) {
 
   // ---- Phase 3: joint adversarial training. ----
   for (int iter = 0; iter < config_.joint_iterations; ++iter) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("timegan.joint"));
     // Generator (twice per discriminator step, as in the original).
     for (int g = 0; g < 2; ++g) {
       zero_all();

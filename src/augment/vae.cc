@@ -4,7 +4,9 @@
 #include <cmath>
 #include <string>
 
+#include "core/cancel.h"
 #include "core/preprocess.h"
+#include "core/status.h"
 #include "nn/optimizer.h"
 
 namespace tsaug::augment {
@@ -17,8 +19,10 @@ Vae::Vae(VaeConfig config) : config_(std::move(config)) {
   TSAUG_CHECK(config_.beta >= 0.0 && config_.epochs >= 1);
 }
 
-void Vae::Fit(const std::vector<std::vector<double>>& instances) {
-  TSAUG_CHECK(!instances.empty());
+core::Status Vae::TryFit(const std::vector<std::vector<double>>& instances) {
+  if (instances.empty()) {
+    return core::DegenerateInputError("vae: no instances to fit");
+  }
   input_dim_ = static_cast<int>(instances[0].size());
   const int n = static_cast<int>(instances.size());
   core::Rng rng(config_.seed ^ 0xfae5ull);
@@ -66,6 +70,7 @@ void Vae::Fit(const std::vector<std::vector<double>>& instances) {
 
   const int batch = std::min(config_.batch_size, n);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("vae.epoch"));
     optimizer.ZeroGrad();
     // Sample a batch with replacement.
     Tensor x({batch, input_dim_});
@@ -98,6 +103,12 @@ void Vae::Fit(const std::vector<std::vector<double>>& instances) {
     optimizer.Step();
     final_loss_ = loss.value().scalar();
   }
+  return core::OkStatus();
+}
+
+void Vae::Fit(const std::vector<std::vector<double>>& instances) {
+  const core::Status status = TryFit(instances);
+  TSAUG_CHECK_MSG(status.ok(), "%s", status.ToString().c_str());
 }
 
 std::vector<std::vector<double>> Vae::Sample(int count, core::Rng& rng) {
@@ -143,7 +154,7 @@ core::StatusOr<std::vector<core::TimeSeries>> VaeAugmenter::DoGenerate(
     VaeConfig config = config_;
     config.seed = config_.seed ^ (0x5eedull + 1000003ull * static_cast<unsigned long long>(label));
     auto model = std::make_unique<Vae>(config);
-    model->Fit(instances);
+    TSAUG_RETURN_IF_ERROR(model->TryFit(instances));
     it = models_.emplace(label, std::move(model)).first;
   }
 

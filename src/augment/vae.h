@@ -32,7 +32,12 @@ class Vae {
   explicit Vae(VaeConfig config);
 
   /// Trains on flattened instances (rows). Standardisation statistics are
-  /// learned here and inverted at sampling time.
+  /// learned here and inverted at sampling time. Polls the cooperative
+  /// stop token once per epoch, so a cancelled or over-deadline cell
+  /// returns kCancelled / kDeadlineExceeded instead of training to the end.
+  core::Status TryFit(const std::vector<std::vector<double>>& instances);
+
+  /// Crashing wrapper around TryFit for callers without a status channel.
   void Fit(const std::vector<std::vector<double>>& instances);
 
   bool fitted() const { return decoder_out_ != nullptr; }

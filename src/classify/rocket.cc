@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "core/cancel.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/trace.h"
@@ -150,11 +151,15 @@ void RocketClassifier::Fit(const core::Dataset& train) {
 
 core::Status RocketClassifier::TryFit(const core::Dataset& train) {
   TSAUG_CHECK(!train.empty());
+  TSAUG_RETURN_IF_ERROR(core::CheckStop("rocket.fit"));
   TSAUG_TRACE_SCOPE("train.rocket");
   train_length_ = train.max_length();
   const nn::Tensor x = DatasetToTensor(train, train_length_, z_normalize_);
   transform_.Fit(train.num_channels(), train_length_);
   const linalg::Matrix features = transform_.Transform(x);
+  // The ridge LOOCV sweep is the other expensive half of a ROCKET fit;
+  // one more poll bounds the latency of a stop to a single phase.
+  TSAUG_RETURN_IF_ERROR(core::CheckStop("rocket.ridge"));
   core::Status status =
       ridge_.TryFit(features, train.labels(), train.num_classes());
   if (!status.ok()) return status.AddContext("rocket");

@@ -1,0 +1,160 @@
+#include "core/cancel.h"
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <limits>
+#include <string>
+
+#include "core/faultpoint.h"
+
+namespace tsaug::core {
+
+namespace detail {
+
+/// Shared between a StopSource and its tokens. Plain atomics: a poll is
+/// one relaxed load (two with a deadline set), cheap enough for epoch- and
+/// iteration-granularity polling.
+struct StopState {
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::int64_t> deadline_ns{
+      std::numeric_limits<std::int64_t>::max()};
+};
+
+}  // namespace detail
+
+std::int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool StopToken::stop_requested() const {
+  return state_ != nullptr &&
+         state_->stop_requested.load(std::memory_order_relaxed);
+}
+
+bool StopToken::has_deadline() const {
+  return state_ != nullptr &&
+         state_->deadline_ns.load(std::memory_order_relaxed) !=
+             std::numeric_limits<std::int64_t>::max();
+}
+
+std::int64_t StopToken::deadline_nanos() const {
+  return state_ == nullptr ? std::numeric_limits<std::int64_t>::max()
+                           : state_->deadline_ns.load(std::memory_order_relaxed);
+}
+
+bool StopToken::deadline_exceeded() const {
+  if (state_ == nullptr) return false;
+  const std::int64_t deadline =
+      state_->deadline_ns.load(std::memory_order_relaxed);
+  if (deadline == std::numeric_limits<std::int64_t>::max()) return false;
+  return SteadyNowNanos() > deadline;
+}
+
+StopSource::StopSource() : state_(std::make_shared<detail::StopState>()) {}
+
+void StopSource::RequestStop() {
+  state_->stop_requested.store(true, std::memory_order_relaxed);
+}
+
+bool StopSource::stop_requested() const {
+  return state_->stop_requested.load(std::memory_order_relaxed);
+}
+
+void StopSource::SetDeadlineNanos(std::int64_t deadline_ns) {
+  state_->deadline_ns.store(deadline_ns, std::memory_order_relaxed);
+}
+
+void StopSource::SetDeadlineAfterSeconds(double seconds) {
+  const double ns = seconds * 1e9;
+  SetDeadlineNanos(SteadyNowNanos() +
+                   (ns > 0.0 ? static_cast<std::int64_t>(ns) : 0));
+}
+
+StopToken StopSource::token() const { return StopToken(state_); }
+
+namespace {
+
+/// Lock-free atomics: safe to store from a signal handler.
+std::atomic<bool> g_global_stop{false};
+std::atomic<int> g_global_stop_signal{0};
+
+void TsaugStopSignalHandler(int signal_number) {
+  RequestGlobalStop(signal_number);
+}
+
+}  // namespace
+
+bool GlobalStopRequested() {
+  return g_global_stop.load(std::memory_order_relaxed);
+}
+
+void RequestGlobalStop(int signal_number) {
+  g_global_stop_signal.store(signal_number, std::memory_order_relaxed);
+  g_global_stop.store(true, std::memory_order_relaxed);
+}
+
+void ClearGlobalStop() {
+  g_global_stop.store(false, std::memory_order_relaxed);
+  g_global_stop_signal.store(0, std::memory_order_relaxed);
+}
+
+int GlobalStopSignal() {
+  return g_global_stop_signal.load(std::memory_order_relaxed);
+}
+
+void InstallStopSignalHandlers() {
+  std::signal(SIGINT, TsaugStopSignalHandler);
+  std::signal(SIGTERM, TsaugStopSignalHandler);
+}
+
+namespace {
+
+StopToken& ThreadToken() {
+  thread_local StopToken token;
+  return token;
+}
+
+}  // namespace
+
+const StopToken& CurrentStopToken() { return ThreadToken(); }
+
+ScopedStopToken::ScopedStopToken(StopToken token)
+    : previous_(ThreadToken()) {
+  ThreadToken() = std::move(token);
+}
+
+ScopedStopToken::~ScopedStopToken() { ThreadToken() = previous_; }
+
+Status CheckStop(const char* where) {
+  if (GlobalStopRequested()) {
+    std::string context(where);
+    const int sig = GlobalStopSignal();
+    context += sig != 0 ? ": stop requested by signal " + std::to_string(sig)
+                        : ": stop requested";
+    return CancelledError(std::move(context));
+  }
+  const StopToken& token = ThreadToken();
+  if (token.stop_requested()) {
+    return CancelledError(std::string(where) + ": stop requested");
+  }
+  if (token.deadline_exceeded()) {
+    return DeadlineExceededError(std::string(where) + ": deadline exceeded");
+  }
+  // Deterministic test hooks: inject a cancellation/deadline at an exact
+  // poll site via TSAUG_FAULTS (counted per fault domain, so a rule like
+  // "cancel.deadline@run0/smote:1" hits one cell's first poll only).
+  if (fault::Enabled()) {
+    if (fault::ShouldFail("cancel.stop")) {
+      return CancelledError(std::string(where) + ": injected stop");
+    }
+    if (fault::ShouldFail("cancel.deadline")) {
+      return DeadlineExceededError(std::string(where) + ": injected deadline");
+    }
+  }
+  return OkStatus();
+}
+
+}  // namespace tsaug::core

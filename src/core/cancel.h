@@ -1,0 +1,132 @@
+#ifndef TSAUG_CORE_CANCEL_H_
+#define TSAUG_CORE_CANCEL_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/status.h"
+
+namespace tsaug::core {
+
+/// Cooperative cancellation with monotonic deadlines.
+///
+/// A StopSource owns a stop request and an optional deadline; StopTokens
+/// are cheap shared views of that state, handed to the work they bound.
+/// Long-running loops poll CheckStop() at natural boundaries (trainer
+/// epochs, TimeGAN/VAE iterations, DBA passes, grid cells) and propagate
+/// the returned kCancelled / kDeadlineExceeded Status through the same
+/// recoverable-error channel data failures use, so the experiment harness
+/// can record a timed-out cell as failed and keep the grid running.
+///
+/// Two stop channels compose:
+///   - per-scope: a StopSource installed thread-locally via
+///     ScopedStopToken (the grid installs one per cell, carrying the
+///     cell's wall budget);
+///   - process-wide: RequestGlobalStop(), wired to SIGINT/SIGTERM by
+///     InstallStopSignalHandlers(), which makes every poll site in every
+///     thread return kCancelled so a run can flush its journal and emit a
+///     partial report.
+///
+/// Deadlines read std::chrono::steady_clock — the only other sanctioned
+/// monotonic clock read besides core/trace.cc (lint rule no-wall-clock).
+/// Clock reads never feed seeds or results: a deadline only decides
+/// *whether* a cell completes, never *what* it computes, so completed
+/// cells stay bitwise deterministic.
+
+namespace detail {
+struct StopState;
+}  // namespace detail
+
+/// Monotonic nanoseconds since an arbitrary epoch (steady_clock).
+std::int64_t SteadyNowNanos();
+
+/// Shared view of a StopSource's state. Default-constructed tokens are
+/// empty: never stopped, no deadline. Copies share state.
+class StopToken {
+ public:
+  StopToken() = default;
+
+  /// True when this token is attached to a StopSource at all.
+  bool stop_possible() const { return state_ != nullptr; }
+  /// True when the source requested a stop.
+  bool stop_requested() const;
+  bool has_deadline() const;
+  /// True when the deadline has passed (false when no deadline is set).
+  bool deadline_exceeded() const;
+  /// The deadline in SteadyNowNanos() terms; INT64_MAX when unset.
+  std::int64_t deadline_nanos() const;
+
+ private:
+  friend class StopSource;
+  explicit StopToken(std::shared_ptr<const detail::StopState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<const detail::StopState> state_;
+};
+
+/// Owner side: requests stops and sets deadlines. Copies share state.
+class StopSource {
+ public:
+  StopSource();
+
+  void RequestStop();
+  bool stop_requested() const;
+
+  /// Absolute deadline in SteadyNowNanos() terms.
+  void SetDeadlineNanos(std::int64_t deadline_ns);
+  /// Deadline `seconds` from now; non-positive values expire immediately.
+  void SetDeadlineAfterSeconds(double seconds);
+
+  StopToken token() const;
+
+ private:
+  std::shared_ptr<detail::StopState> state_;
+};
+
+/// --- Process-wide stop (signals) ---------------------------------------
+
+/// True once RequestGlobalStop() ran (signal handler or direct call).
+bool GlobalStopRequested();
+/// Requests a process-wide cooperative stop. Async-signal-safe.
+void RequestGlobalStop(int signal_number = 0);
+/// Re-arms the process for another run (tests, REPL-style tools).
+void ClearGlobalStop();
+/// The signal number that requested the current global stop (0 when the
+/// stop was requested directly, or no stop is pending).
+int GlobalStopSignal();
+/// Routes SIGINT and SIGTERM to RequestGlobalStop(). Idempotent.
+void InstallStopSignalHandlers();
+
+/// --- Thread-local current token -----------------------------------------
+
+/// The token installed on this thread (empty token when none).
+const StopToken& CurrentStopToken();
+
+/// RAII install of a token as the calling thread's current one; nests by
+/// save/restore (same pattern as fault::ScopedDomain). The grid installs
+/// a per-cell token inside the evaluation worker, so every poll the cell's
+/// training reaches sees that cell's budget.
+class ScopedStopToken {
+ public:
+  explicit ScopedStopToken(StopToken token);
+  ~ScopedStopToken();
+  ScopedStopToken(const ScopedStopToken&) = delete;
+  ScopedStopToken& operator=(const ScopedStopToken&) = delete;
+
+ private:
+  StopToken previous_;
+};
+
+/// Poll site: OK to keep going, kCancelled when a stop was requested
+/// (globally or on the current token), kDeadlineExceeded when the current
+/// token's deadline passed. `where` labels the Status context.
+///
+/// For deterministic tests, two fault points are consulted (when fault
+/// injection is enabled): "cancel.stop" fires a kCancelled and
+/// "cancel.deadline" a kDeadlineExceeded, counted per fault domain like
+/// every other point — no real timing involved.
+Status CheckStop(const char* where);
+
+}  // namespace tsaug::core
+
+#endif  // TSAUG_CORE_CANCEL_H_

@@ -11,12 +11,13 @@
 namespace tsaug::core::fault {
 namespace {
 
-/// One parsed spec entry: `point[@domain_substring]:N[+]`.
+/// One parsed spec entry: `point[@domain_substring]:N[+|!]`.
 struct Rule {
   std::string point;
   std::string domain_substring;  // empty = matches every domain
   std::int64_t n = 0;            // fire on the Nth hit (1-based)
   bool every_after = false;      // "N+": fire on every hit >= N
+  bool abort_process = false;    // "N!": std::abort() at the Nth hit
 };
 
 /// All mutable injection state behind one mutex. ShouldFail only takes the
@@ -60,6 +61,10 @@ bool ParseRule(const std::string& entry, Rule& rule) {
     rule.every_after = true;
     count.pop_back();
     if (count.empty()) return false;
+  } else if (count.back() == '!') {
+    rule.abort_process = true;
+    count.pop_back();
+    if (count.empty()) return false;
   }
   for (char c : count) {
     if (c < '0' || c > '9') return false;
@@ -91,7 +96,7 @@ std::vector<Rule> ParseSpec(const std::string& spec) {
       } else {
         std::fprintf(stderr,
                      "TSAUG_FAULTS: ignoring malformed rule \"%s\" "
-                     "(expected point[@domain]:N[+])\n",
+                     "(expected point[@domain]:N[+|!])\n",
                      entry.c_str());
       }
     }
@@ -144,7 +149,19 @@ bool ShouldFail(const char* point) {
       continue;
     }
     const std::int64_t hit = ++state.rule_hits[{r, domain}];
-    if (hit == rule.n || (rule.every_after && hit > rule.n)) fire = true;
+    if (hit == rule.n || (rule.every_after && hit > rule.n)) {
+      if (rule.abort_process) {
+        // Kill/resume testing: simulate a crash/preemption at an exact,
+        // deterministic point. The message makes an expected abort
+        // distinguishable from a real one in test logs.
+        std::fprintf(stderr,
+                     "TSAUG_FAULTS: abort action at point %s (hit %lld, "
+                     "domain \"%s\")\n",
+                     point, static_cast<long long>(hit), domain.c_str());
+        std::abort();
+      }
+      fire = true;
+    }
   }
   return fire;
 }

@@ -22,7 +22,7 @@ namespace tsaug::core::fault {
 /// use) or SetSpec(); with no active spec, ShouldFail costs one relaxed
 /// atomic load. Spec syntax — comma-separated rules:
 ///
-///   point[@domain_substring]:N[+]
+///   point[@domain_substring]:N[+|!]
 ///
 ///   ridge.solve:2                fire on the 2nd hit of ridge.solve in
 ///                                every domain
@@ -30,6 +30,10 @@ namespace tsaug::core::fault {
 ///                                containing "smote"
 ///   timegan.fit@BasicMotions:1+  fire on every hit from the 1st on
 ///                                (exhausts bounded retries)
+///   journal.flush:3!             abort the whole process at the 3rd hit
+///                                (kill/resume testing: the durable-grid
+///                                tests kill a child grid mid-run this way
+///                                and verify it resumes from its journal)
 ///
 /// Determinism: hits are counted per (rule, domain), where the domain is a
 /// thread-local label set by ScopedDomain. The experiment grid labels each

@@ -8,6 +8,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/cancel.h"
 #include "core/check.h"
 #include "core/trace.h"
 
@@ -42,6 +43,16 @@ struct Batch {
   void Work(bool from_worker) {
     for (;;) {
       if (stop.load(std::memory_order_relaxed)) break;
+      // Cooperative cancellation (core/cancel.h): a process-wide stop
+      // request abandons the batch's remaining chunks at the next chunk
+      // boundary. Callers that keep going after a stop observe partial
+      // output, so status-bearing callers (the experiment grid, TryFit
+      // paths) re-poll CheckStop after every ParallelFor and discard the
+      // partial work. Nested ParallelFor calls run inline as one chunk
+      // and are never abandoned, so a grid cell either completes fully
+      // and deterministically or fails with kCancelled — never a torn
+      // in-between.
+      if (GlobalStopRequested()) break;
       const std::int64_t c = next_chunk.fetch_add(1, std::memory_order_relaxed);
       if (c >= num_chunks) break;
       trace::AddCount(from_worker ? "parallel.chunks.worker"

@@ -14,6 +14,10 @@ const char* StatusCodeName(StatusCode code) {
       return "degenerate_input";
     case StatusCode::kInjectedFault:
       return "injected_fault";
+    case StatusCode::kCancelled:
+      return "cancelled";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }
@@ -48,6 +52,14 @@ Status DegenerateInputError(std::string context) {
 
 Status InjectedFaultError(std::string context) {
   return Status(StatusCode::kInjectedFault, std::move(context));
+}
+
+Status CancelledError(std::string context) {
+  return Status(StatusCode::kCancelled, std::move(context));
+}
+
+Status DeadlineExceededError(std::string context) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(context));
 }
 
 }  // namespace tsaug::core

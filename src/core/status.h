@@ -21,10 +21,12 @@ namespace tsaug::core {
 /// failed and keep the experiment grid running.
 enum class StatusCode {
   kOk = 0,
-  kSingular,         // linear system not solvable (even after jitter)
-  kDiverged,         // iterative optimisation produced non-finite values
-  kDegenerateInput,  // data too small/degenerate for the requested op
-  kInjectedFault,    // fired fault-injection point (core/faultpoint.h)
+  kSingular,          // linear system not solvable (even after jitter)
+  kDiverged,          // iterative optimisation produced non-finite values
+  kDegenerateInput,   // data too small/degenerate for the requested op
+  kInjectedFault,     // fired fault-injection point (core/faultpoint.h)
+  kCancelled,         // cooperative stop requested (core/cancel.h)
+  kDeadlineExceeded,  // monotonic deadline passed (core/cancel.h)
 };
 
 /// Stable lowercase name ("ok", "singular", ...), for reports and tests.
@@ -64,6 +66,8 @@ Status SingularError(std::string context);
 Status DivergedError(std::string context);
 Status DegenerateInputError(std::string context);
 Status InjectedFaultError(std::string context);
+Status CancelledError(std::string context);
+Status DeadlineExceededError(std::string context);
 
 /// Value-or-Status. Implicitly constructible from either, so functions can
 /// `return value;` and `return SingularError(...);` symmetrically.

@@ -88,8 +88,9 @@ std::string ReportText();
 std::string ReportJson();
 
 /// Monotonic nanosecond stamp. Implemented on std::chrono::steady_clock in
-/// trace.cc — the repo's single sanctioned clock read (tools/lint_tsaug.py
-/// exempts exactly that file's steady_clock use from no-wall-clock).
+/// trace.cc — one of the repo's two sanctioned clock reads, the other
+/// being core/cancel.cc's deadlines (tools/lint_tsaug.py exempts exactly
+/// those files' steady_clock use from no-wall-clock).
 std::int64_t NowNanos();
 
 /// Free-standing monotonic stopwatch for code that records durations into

@@ -1,10 +1,14 @@
 #include "eval/experiment.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
 #include <string>
 #include <utility>
 
 #include "classify/rocket.h"
+#include "core/cancel.h"
 #include "core/faultpoint.h"
 #include "core/parallel.h"
 #include "core/trace.h"
@@ -23,29 +27,48 @@ std::string ModelKindName(ModelKind model) {
 }
 
 double DatasetRow::BestAugmentedAccuracy() const {
-  double best = 0.0;
-  for (const CellResult& cell : cells) best = std::max(best, cell.accuracy);
+  // Cells whose every run failed hold NaN; they must not masquerade as
+  // accuracy 0 (which would still "win" over an absent best and poison
+  // the improvement statistics).
+  double best = std::numeric_limits<double>::quiet_NaN();
+  for (const CellResult& cell : cells) {
+    if (!std::isfinite(cell.accuracy)) continue;
+    if (!std::isfinite(best) || cell.accuracy > best) best = cell.accuracy;
+  }
   return best;
 }
 
 std::string DatasetRow::BestTechnique() const {
   TSAUG_CHECK(!cells.empty());
-  const CellResult* best = &cells[0];
+  const CellResult* best = nullptr;
   for (const CellResult& cell : cells) {
-    if (cell.accuracy > best->accuracy) best = &cell;
+    if (!std::isfinite(cell.accuracy)) continue;
+    if (best == nullptr || cell.accuracy > best->accuracy) best = &cell;
   }
-  return best->technique;
+  return best == nullptr ? std::string() : best->technique;
 }
 
 double DatasetRow::ImprovementPercent() const {
-  return 100.0 * RelativeGain(BestAugmentedAccuracy(), baseline_accuracy);
+  const double best = BestAugmentedAccuracy();
+  // NaN baseline (all baseline runs failed) fails the > 0 test too, so
+  // the RelativeGain precondition never sees a non-finite denominator.
+  if (!(baseline_accuracy > 0.0) || !std::isfinite(best)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return 100.0 * RelativeGain(best, baseline_accuracy);
 }
 
 double StudyResult::AverageImprovement() const {
-  if (rows.empty()) return 0.0;
   double total = 0.0;
-  for (const DatasetRow& row : rows) total += row.ImprovementPercent();
-  return total / static_cast<double>(rows.size());
+  int counted = 0;
+  for (const DatasetRow& row : rows) {
+    const double improvement = row.ImprovementPercent();
+    if (!std::isfinite(improvement)) continue;
+    total += improvement;
+    ++counted;
+  }
+  if (counted == 0) return std::numeric_limits<double>::quiet_NaN();
+  return total / static_cast<double>(counted);
 }
 
 namespace {
@@ -61,15 +84,19 @@ std::string TechniqueFamily(const std::string& technique) {
 std::map<std::string, int> StudyResult::ImprovementCounts() const {
   std::map<std::string, int> counts;
   for (const DatasetRow& row : rows) {
-    // Best accuracy per family on this dataset.
+    // Best finite accuracy per family on this dataset. All-failed (NaN)
+    // cells are skipped: std::max against NaN is not a comparison we want
+    // deciding the table. The family still appears with a zero count.
     std::map<std::string, double> family_best;
     for (const CellResult& cell : row.cells) {
       const std::string family = TechniqueFamily(cell.technique);
+      counts.try_emplace(family, 0);
+      if (!std::isfinite(cell.accuracy)) continue;
       auto [it, inserted] = family_best.emplace(family, cell.accuracy);
       if (!inserted) it->second = std::max(it->second, cell.accuracy);
     }
+    if (!std::isfinite(row.baseline_accuracy)) continue;
     for (const auto& [family, accuracy] : family_best) {
-      counts.try_emplace(family, 0);
       if (accuracy > row.baseline_accuracy) ++counts[family];
     }
   }
@@ -123,10 +150,39 @@ core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
   return ScoreOutcome{};
 }
 
-DatasetRow RunDatasetGrid(
+std::string ConfigFingerprint(
+    const ExperimentConfig& config,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques) {
+  // Everything that changes what a cell computes belongs here; knobs that
+  // only shape *when* a grid stops (budget, journal path) do not — a cell
+  // completed under one budget is just as valid under another.
+  std::string fp = "model=" + ModelKindName(config.model) +
+                   ";runs=" + std::to_string(config.runs) +
+                   ";seed=" + std::to_string(config.seed);
+  if (config.model == ModelKind::kRocket) {
+    fp += ";kernels=" + std::to_string(config.rocket_kernels);
+  } else {
+    const classify::InceptionTimeConfig& inc = config.inception;
+    fp += ";filters=" + std::to_string(inc.num_filters) +
+          ";depth=" + std::to_string(inc.depth) +
+          ";ensemble=" + std::to_string(inc.ensemble_size) +
+          ";epochs=" + std::to_string(inc.trainer.max_epochs);
+  }
+  fp += ";techniques=";
+  for (size_t i = 0; i < techniques.size(); ++i) {
+    if (i > 0) fp += ",";
+    fp += techniques[i]->name();
+  }
+  return fp;
+}
+
+namespace {
+
+/// The grid body, with an already-open (or absent) journal.
+DatasetRow RunGridAgainstJournal(
     const std::string& name, const data::TrainTest& data,
     const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
-    const ExperimentConfig& config) {
+    const ExperimentConfig& config, Journal* journal) {
   TSAUG_CHECK(config.runs >= 1);
   TSAUG_TRACE_SCOPE("eval.dataset_grid");
   DatasetRow row;
@@ -138,8 +194,26 @@ DatasetRow RunDatasetGrid(
     row.cells.push_back(std::move(cell));
   }
 
+  const size_t num_cells = techniques.size() + 1;  // cell 0 = baseline
+  // Accuracy is the mean over *successful* runs, accumulated as sum +
+  // count and finalised after the run loop (NaN when no run succeeded).
+  std::vector<double> score_sum(num_cells, 0.0);
+  std::vector<int> ok_runs(num_cells, 0);
+
   for (int run = 0; run < config.runs; ++run) {
-    const std::uint64_t run_seed = config.seed + 7919ull * static_cast<unsigned long long>((run + 1));
+    {
+      // Run-boundary stop poll under its own fault domain, so a test can
+      // interrupt exactly run r of one dataset ("cancel.stop@grid/<name>/
+      // run<r>:1") without also tripping the per-cell polls.
+      core::fault::ScopedDomain run_domain("grid/" + name + "/run" +
+                                           std::to_string(run));
+      if (!core::CheckStop("grid.run").ok()) {
+        row.interrupted = true;
+        break;
+      }
+    }
+    const std::uint64_t run_seed =
+        config.seed + 7919ull * static_cast<unsigned long long>(run + 1);
     core::Rng rng(run_seed);
 
     // The paper's protocol: InceptionTime validates on original samples
@@ -159,7 +233,7 @@ DatasetRow RunDatasetGrid(
     // (rule, domain), so a spec like "ridge.solve@run0/smote:1" targets
     // one cell deterministically at any thread count.
     std::vector<std::string> cell_domain;
-    cell_domain.reserve(techniques.size() + 1);
+    cell_domain.reserve(num_cells);
     const std::string domain_prefix =
         "cell/" + name + "/run" + std::to_string(run) + "/";
     cell_domain.push_back(domain_prefix + "baseline");
@@ -167,19 +241,53 @@ DatasetRow RunDatasetGrid(
       cell_domain.push_back(domain_prefix + technique->name());
     }
 
+    // Cells already on disk are restored, not recomputed: the journal
+    // stores the score's bit pattern, so the resumed row is bitwise
+    // identical to the uninterrupted one.
+    std::vector<const JournalCell*> resumed(num_cells, nullptr);
+    if (journal != nullptr && journal->is_open()) {
+      for (size_t c = 0; c < num_cells; ++c) {
+        resumed[c] = journal->Find(name, run, static_cast<int>(c));
+      }
+    }
+
     // Serial setup phase: every RNG draw (splits above, augmentation
     // below) happens here, with per-cell seeds derived up front, so the
     // evaluation phase is free of shared mutable state. A cell whose
     // augmentation fails (degenerate class, injected fault) is marked
     // failed here and skipped by the evaluation phase; the grid goes on.
+    // `cell_done[c]` records that cell c's outcome was actually computed
+    // (as opposed to never claimed before an interruption) — only done
+    // cells are journaled.
     std::vector<core::Dataset> cell_train;
-    std::vector<core::Status> cell_status(techniques.size() + 1);
-    cell_train.reserve(techniques.size() + 1);
+    std::vector<core::Status> cell_status(num_cells);
+    std::vector<char> cell_done(num_cells, 0);
+    cell_train.reserve(num_cells);
     cell_train.push_back(train_part);  // cell 0 = baseline
     for (size_t i = 0; i < techniques.size(); ++i) {
+      if (resumed[i + 1] != nullptr) {
+        cell_train.push_back(train_part);  // placeholder, never trained on
+        continue;
+      }
       augment::Augmenter& technique = *techniques[i];
       technique.Invalidate();  // train_part changes per run/dataset
       core::fault::ScopedDomain domain(cell_domain[i + 1]);
+      // Per-cell wall budget: a fresh deadline for the augmentation phase
+      // (the training phase below gets its own). The token is installed
+      // thread-locally so every CheckStop poll inside the augmenter —
+      // VAE epochs, DBA iterations, OHIT clusters — sees it.
+      core::StopSource cell_stop;
+      if (config.cell_budget_seconds > 0.0) {
+        cell_stop.SetDeadlineAfterSeconds(config.cell_budget_seconds);
+      }
+      core::ScopedStopToken scoped(cell_stop.token());
+      const core::Status start = core::CheckStop("cell.start");
+      if (!start.ok()) {
+        cell_status[i + 1] = start;
+        cell_done[i + 1] = 1;
+        cell_train.push_back(train_part);
+        continue;
+      }
       core::Rng aug_rng(run_seed ^ (0xabcdull + i));
       core::StatusOr<core::Dataset> augmented =
           augment::TryBalanceWithAugmenter(train_part, technique, aug_rng);
@@ -197,6 +305,7 @@ DatasetRow RunDatasetGrid(
         cell_train.push_back(std::move(augmented).value());
       } else {
         cell_status[i + 1] = augmented.status();
+        cell_done[i + 1] = 1;
         cell_train.push_back(train_part);  // placeholder, never trained on
       }
     }
@@ -206,17 +315,18 @@ DatasetRow RunDatasetGrid(
     // per run and fault-point counters are domain-keyed, so scores — and
     // hence the row — are identical at any thread count, with injection
     // on or off. Nested ParallelFor calls inside the classifiers run
-    // inline on the worker evaluating that cell. A failed cell records
-    // its Status and a deterministic 0 score; the other cells are
-    // unaffected.
-    std::vector<double> scores(cell_train.size(), 0.0);
-    std::vector<int> retries(cell_train.size(), 0);
+    // inline on the worker evaluating that cell. Safe by-reference
+    // capture: every worker writes only its own cell's disjoint
+    // scores/retries/status slots, and the reduction order below is fixed.
+    std::vector<double> scores(num_cells, 0.0);
+    std::vector<int> retries(num_cells, 0);
     core::ParallelFor(
-        0, static_cast<std::int64_t>(cell_train.size()), 1,
+        0, static_cast<std::int64_t>(num_cells), 1,
         [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t cell = lo; cell < hi; ++cell) {
             const size_t c = static_cast<size_t>(cell);
-            if (!cell_status[c].ok()) continue;  // augmentation failed
+            if (resumed[c] != nullptr) continue;  // restored from journal
+            if (!cell_status[c].ok()) continue;   // augmentation failed
             // Per-cell wall time, keyed by technique so grid reports break
             // down where the sweep's compute goes. Scoping is observation
             // only: it reads a clock, never the RNG, so cell results stay
@@ -227,6 +337,20 @@ DatasetRow RunDatasetGrid(
                                 row.cells[c - 1].technique);
             core::trace::AddCount("eval.cells");
             core::fault::ScopedDomain domain(cell_domain[c]);
+            // Fresh deadline for the training phase of this cell. The
+            // ScopedStopToken is thread-local and restored on scope exit,
+            // so concurrent cells on other workers are unaffected.
+            core::StopSource cell_stop;
+            if (config.cell_budget_seconds > 0.0) {
+              cell_stop.SetDeadlineAfterSeconds(config.cell_budget_seconds);
+            }
+            core::ScopedStopToken scoped(cell_stop.token());
+            const core::Status start = core::CheckStop("cell.start");
+            if (!start.ok()) {
+              cell_status[c] = start;
+              cell_done[c] = 1;
+              continue;
+            }
             core::StatusOr<ScoreOutcome> outcome = TryTrainAndScore(
                 config, cell_train[c], validation, data.test, run_seed);
             if (outcome.ok()) {
@@ -235,32 +359,127 @@ DatasetRow RunDatasetGrid(
             } else {
               cell_status[c] = outcome.status();
             }
+            cell_done[c] = 1;
           }
         });
 
-    // Deterministic reduction in fixed cell order. Failed cells
-    // contribute 0 accuracy so reruns with the same faults injected
-    // reproduce the row bit for bit.
-    for (size_t c = 0; c < cell_train.size(); ++c) {
+    // A stop request mid-run (signal, or an injected kCancelled) leaves
+    // this run partially evaluated: discard it from the row statistics —
+    // resuming re-runs it — but first journal the cells that did finish,
+    // so the re-run only recomputes what is actually missing.
+    bool run_interrupted = core::GlobalStopRequested();
+    for (size_t c = 0; c < num_cells; ++c) {
+      if (cell_status[c].code() == core::StatusCode::kCancelled) {
+        run_interrupted = true;
+      }
+    }
+
+    // Journal completed cells in fixed order, outside any fault domain
+    // (a "journal.flush:N" spec counts appends globally, not per cell).
+    // Cancelled and deadline-exceeded outcomes are never journaled: they
+    // depend on wall time or operator action, so a resumed run must
+    // re-attempt them.
+    if (journal != nullptr && journal->is_open()) {
+      for (size_t c = 0; c < num_cells; ++c) {
+        if (resumed[c] != nullptr || !cell_done[c]) continue;
+        const core::StatusCode code = cell_status[c].code();
+        if (code == core::StatusCode::kCancelled ||
+            code == core::StatusCode::kDeadlineExceeded) {
+          continue;
+        }
+        JournalCell record;
+        record.dataset = name;
+        record.run = run;
+        record.cell = static_cast<int>(c);
+        record.name = c == 0 ? std::string("baseline")
+                             : row.cells[c - 1].technique;
+        record.score = scores[c];
+        record.retries = retries[c];
+        record.status = cell_status[c];
+        const core::Status appended = journal->Append(record);
+        if (!appended.ok()) {
+          // A journal write failure degrades durability, not correctness:
+          // warn and keep computing.
+          std::fprintf(stderr, "journal: append failed: %s\n",
+                       appended.ToString().c_str());
+        }
+      }
+    }
+
+    if (run_interrupted) {
+      row.interrupted = true;
+      break;
+    }
+
+    // Deterministic reduction in fixed cell order, folding restored cells
+    // in at the same positions their recomputation would occupy.
+    for (size_t c = 0; c < num_cells; ++c) {
+      if (resumed[c] != nullptr) {
+        scores[c] = resumed[c]->score;
+        retries[c] = resumed[c]->retries;
+        cell_status[c] = resumed[c]->status;
+        ++row.resumed_cells;
+        core::trace::AddCount("grid.cell_resumed");
+      }
       if (!cell_status[c].ok()) core::trace::AddCount("grid.cell_failed");
       if (retries[c] > 0) core::trace::AddCount("grid.cell_retried");
     }
-    row.baseline_accuracy += scores[0] / config.runs;
-    row.baseline_retries += retries[0];
-    if (!cell_status[0].ok()) {
+    if (cell_status[0].ok()) {
+      score_sum[0] += scores[0];
+      ++ok_runs[0];
+      row.baseline_retries += retries[0];
+    } else {
       ++row.baseline_failed_runs;
       row.baseline_error = cell_status[0];
     }
+    if (resumed[0] != nullptr) ++row.baseline_resumed_runs;
     for (size_t i = 0; i < techniques.size(); ++i) {
-      row.cells[i].accuracy += scores[i + 1] / config.runs;
-      row.cells[i].recovered_retries += retries[i + 1];
-      if (!cell_status[i + 1].ok()) {
+      if (cell_status[i + 1].ok()) {
+        score_sum[i + 1] += scores[i + 1];
+        ++ok_runs[i + 1];
+        row.cells[i].recovered_retries += retries[i + 1];
+      } else {
         ++row.cells[i].failed_runs;
         row.cells[i].last_error = cell_status[i + 1];
       }
+      if (resumed[i + 1] != nullptr) ++row.cells[i].resumed_runs;
     }
   }
+
+  row.baseline_accuracy =
+      ok_runs[0] > 0 ? score_sum[0] / ok_runs[0]
+                     : std::numeric_limits<double>::quiet_NaN();
+  for (size_t i = 0; i < techniques.size(); ++i) {
+    row.cells[i].accuracy =
+        ok_runs[i + 1] > 0 ? score_sum[i + 1] / ok_runs[i + 1]
+                           : std::numeric_limits<double>::quiet_NaN();
+  }
   return row;
+}
+
+}  // namespace
+
+core::StatusOr<DatasetRow> TryRunDatasetGrid(
+    const std::string& name, const data::TrainTest& data,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
+    const ExperimentConfig& config, Journal* journal) {
+  Journal local;
+  if (journal == nullptr && !config.journal_path.empty()) {
+    TSAUG_RETURN_IF_ERROR(local.Open(config.journal_path,
+                                     ConfigFingerprint(config, techniques)));
+    journal = &local;
+  }
+  return RunGridAgainstJournal(name, data, techniques, config, journal);
+}
+
+DatasetRow RunDatasetGrid(
+    const std::string& name, const data::TrainTest& data,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
+    const ExperimentConfig& config, Journal* journal) {
+  core::StatusOr<DatasetRow> row =
+      TryRunDatasetGrid(name, data, techniques, config, journal);
+  TSAUG_CHECK_MSG(row.ok(), "%s", row.status().ToString().c_str());
+  return std::move(row).value();
 }
 
 }  // namespace tsaug::eval

@@ -12,6 +12,7 @@
 #include "classify/inception_time.h"
 #include "core/status.h"
 #include "data/synthetic.h"
+#include "eval/journal.h"
 
 namespace tsaug::eval {
 
@@ -31,13 +32,25 @@ struct ExperimentConfig {
   int rocket_kernels = 10000;
   classify::InceptionTimeConfig inception;
   std::uint64_t seed = 0;
+
+  /// When non-empty, completed cells are journaled here (see
+  /// eval/journal.h) and a grid restarted against the same journal skips
+  /// them, reproducing the uninterrupted report bit for bit.
+  std::string journal_path;
+
+  /// Wall-clock budget per cell phase (augmentation, then training), in
+  /// seconds; 0 disables it. A cell that overruns is recorded as failed
+  /// with kDeadlineExceeded — the grid itself keeps going.
+  double cell_budget_seconds = 0.0;
 };
 
-/// Accuracy of one augmentation technique on one dataset (mean over runs).
-/// A cell run that fails after every recovery policy is exhausted (singular
-/// ridge solve, diverged training, injected fault) contributes 0 accuracy,
-/// bumps `failed_runs` and keeps the final Status for the report; the rest
-/// of the grid is unaffected.
+/// Accuracy of one augmentation technique on one dataset: the mean over
+/// the runs that succeeded. A cell run that fails after every recovery
+/// policy is exhausted (singular ridge solve, diverged training, injected
+/// fault) bumps `failed_runs` and keeps the final Status for the report;
+/// the rest of the grid is unaffected. When *every* run of a cell failed,
+/// `accuracy` is NaN — aggregate statistics skip non-finite cells instead
+/// of treating them as accuracy 0.
 struct CellResult {
   CellResult() = default;
   CellResult(std::string technique_name, double mean_accuracy)
@@ -50,6 +63,8 @@ struct CellResult {
   /// Internal recoveries (alpha escalations, divergence restores, LOOCV
   /// fallbacks) summed over this cell's successful runs.
   int recovered_retries = 0;
+  /// Runs of this cell restored from the journal instead of recomputed.
+  int resumed_runs = 0;
   /// Status of the most recent failed run (ok when failed_runs == 0).
   core::Status last_error;
 };
@@ -61,12 +76,22 @@ struct DatasetRow {
   double baseline_accuracy = 0.0;
   int baseline_failed_runs = 0;
   int baseline_retries = 0;
+  int baseline_resumed_runs = 0;
   core::Status baseline_error;
   std::vector<CellResult> cells;
 
+  /// True when a stop request (signal, injected stop) cut the grid short:
+  /// the row averages only the runs completed before the interruption.
+  bool interrupted = false;
+  /// Cells (across all runs) restored from the journal.
+  int resumed_cells = 0;
+
+  /// Best finite augmented accuracy, or NaN when every cell failed.
   double BestAugmentedAccuracy() const;
+  /// Technique of the best finite cell, or "" when every cell failed.
   std::string BestTechnique() const;
   /// Relative gain of the best technique over the baseline, in percent.
+  /// NaN when the baseline or every augmented cell is non-finite.
   double ImprovementPercent() const;
 };
 
@@ -75,7 +100,15 @@ struct StudyResult {
   ModelKind model = ModelKind::kRocket;
   std::vector<DatasetRow> rows;
 
-  /// The paper's bottom-row statistic: mean of per-dataset improvements.
+  /// True when a stop request ended the study before every dataset ran.
+  bool interrupted = false;
+  /// Journal backing this study ("" when journaling was off).
+  std::string journal_path;
+  /// Cells restored from the journal, summed over rows.
+  int resumed_cells = 0;
+
+  /// The paper's bottom-row statistic: mean of per-dataset improvements
+  /// (rows with a non-finite improvement are skipped; NaN if none left).
   double AverageImprovement() const;
 
   /// Table VI counts: for each technique family ("noise" groups the three
@@ -111,13 +144,38 @@ core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
                                               const core::Dataset& test,
                                               std::uint64_t run_seed);
 
+/// Identity string of a grid: model, runs, seed, architecture and the
+/// technique list. Written into the journal header so a journal can never
+/// be silently resumed against a different experiment.
+std::string ConfigFingerprint(
+    const ExperimentConfig& config,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques);
+
 /// Runs the full technique grid for one dataset: baseline plus every
 /// augmenter in `techniques` (each applied with the paper's
 /// balance-to-majority protocol), averaged over config.runs runs.
+///
+/// Durability: when `journal` is non-null (a Journal the caller opened,
+/// shared across a study's datasets) it is used as-is; otherwise, when
+/// config.journal_path is non-empty, a journal is opened there for this
+/// grid. Cells found in the journal are restored instead of recomputed and
+/// the resulting row is bitwise identical to an uninterrupted run.
+/// Interruption: a stop request (SIGINT/SIGTERM via
+/// core::InstallStopSignalHandlers, or an injected "grid.run"/"cell.start"
+/// stop) discards the partially-evaluated run, marks the row interrupted
+/// and returns what completed — with every finished cell already flushed
+/// to the journal.
+core::StatusOr<DatasetRow> TryRunDatasetGrid(
+    const std::string& name, const data::TrainTest& data,
+    const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
+    const ExperimentConfig& config, Journal* journal = nullptr);
+
+/// Aborting wrapper over TryRunDatasetGrid (a journal open failure — e.g.
+/// a fingerprint mismatch — crashes instead of returning a Status).
 DatasetRow RunDatasetGrid(
     const std::string& name, const data::TrainTest& data,
     const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
-    const ExperimentConfig& config);
+    const ExperimentConfig& config, Journal* journal = nullptr);
 
 }  // namespace tsaug::eval
 

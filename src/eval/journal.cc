@@ -1,0 +1,366 @@
+#include "eval/journal.h"
+
+#include <array>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/faultpoint.h"
+
+namespace tsaug::eval {
+namespace {
+
+/// JSON string escaping for the small subset the journal writes. Control
+/// characters become \u00XX so a Status context with embedded newlines
+/// cannot tear the line-oriented format.
+std::string EscapeJson(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char raw : text) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return 10 + (c - 'a');
+  if (c >= 'A' && c <= 'F') return 10 + (c - 'A');
+  return -1;
+}
+
+/// Extracts the string value of `"key":"..."` from a body object. The
+/// pattern contains raw quotes, which escaping keeps out of values, so a
+/// match is always a real key. Returns false on missing key or malformed
+/// escapes (the caller drops the record).
+bool ExtractString(const std::string& body, const std::string& key,
+                   std::string& out) {
+  const std::string pattern = "\"" + key + "\":\"";
+  size_t pos = body.find(pattern);
+  if (pos == std::string::npos) return false;
+  pos += pattern.size();
+  out.clear();
+  while (pos < body.size()) {
+    const char c = body[pos];
+    if (c == '"') return true;
+    if (c == '\\') {
+      if (pos + 1 >= body.size()) return false;
+      const char escaped = body[pos + 1];
+      switch (escaped) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos + 5 >= body.size()) return false;
+          int code = 0;
+          for (int i = 2; i <= 5; ++i) {
+            const int digit = HexValue(body[pos + static_cast<size_t>(i)]);
+            if (digit < 0) return false;
+            code = code * 16 + digit;
+          }
+          if (code > 0xff) return false;  // the writer only emits \u00XX
+          out += static_cast<char>(code);
+          pos += 4;
+          break;
+        }
+        default:
+          return false;
+      }
+      pos += 2;
+      continue;
+    }
+    out += c;
+    ++pos;
+  }
+  return false;  // unterminated string
+}
+
+bool ExtractInt(const std::string& body, const std::string& key,
+                long long& out) {
+  const std::string pattern = "\"" + key + "\":";
+  const size_t pos = body.find(pattern);
+  if (pos == std::string::npos) return false;
+  const char* start = body.c_str() + pos + pattern.size();
+  char* end = nullptr;
+  out = std::strtoll(start, &end, 10);
+  return end != start && (*end == ',' || *end == '}');
+}
+
+bool ExtractUint(const std::string& body, const std::string& key,
+                 unsigned long long& out) {
+  const std::string pattern = "\"" + key + "\":";
+  const size_t pos = body.find(pattern);
+  if (pos == std::string::npos) return false;
+  const char* start = body.c_str() + pos + pattern.size();
+  if (*start == '-') return false;
+  char* end = nullptr;
+  out = std::strtoull(start, &end, 10);
+  return end != start && (*end == ',' || *end == '}');
+}
+
+bool StatusCodeFromName(const std::string& name, core::StatusCode& code) {
+  constexpr core::StatusCode kAll[] = {
+      core::StatusCode::kOk,
+      core::StatusCode::kSingular,
+      core::StatusCode::kDiverged,
+      core::StatusCode::kDegenerateInput,
+      core::StatusCode::kInjectedFault,
+      core::StatusCode::kCancelled,
+      core::StatusCode::kDeadlineExceeded,
+  };
+  for (core::StatusCode candidate : kAll) {
+    if (name == core::StatusCodeName(candidate)) {
+      code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Wraps a body object into a guarded line: {"crc":"<hex>","body":<body>}.
+std::string GuardLine(const std::string& body) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x",
+                static_cast<unsigned>(Crc32(body)));
+  return std::string("{\"crc\":\"") + crc_hex + "\",\"body\":" + body + "}\n";
+}
+
+/// Splits a guarded line back into its body, verifying the CRC. Returns
+/// false for torn, corrupt, or foreign lines.
+bool DecodeLine(const std::string& line, std::string& body) {
+  constexpr const char kPrefix[] = "{\"crc\":\"";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  constexpr const char kMid[] = "\",\"body\":";
+  constexpr size_t kMidLen = sizeof(kMid) - 1;
+  if (line.size() < kPrefixLen + 8 + kMidLen + 1) return false;
+  if (line.compare(0, kPrefixLen, kPrefix) != 0) return false;
+  if (line.compare(kPrefixLen + 8, kMidLen, kMid) != 0) return false;
+  if (line.back() != '}') return false;
+  const std::string crc_hex = line.substr(kPrefixLen, 8);
+  char* end = nullptr;
+  const unsigned long recorded = std::strtoul(crc_hex.c_str(), &end, 16);
+  if (end != crc_hex.c_str() + 8) return false;
+  const size_t body_start = kPrefixLen + 8 + kMidLen;
+  body = line.substr(body_start, line.size() - 1 - body_start);
+  return static_cast<std::uint32_t>(recorded) == Crc32(body);
+}
+
+std::string HeaderBody(const std::string& fingerprint) {
+  return "{\"type\":\"header\",\"version\":1,\"fingerprint\":\"" +
+         EscapeJson(fingerprint) + "\"}";
+}
+
+std::string CellBody(const JournalCell& cell) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(cell.score));
+  std::memcpy(&bits, &cell.score, sizeof(bits));
+  char score_text[40];
+  std::snprintf(score_text, sizeof(score_text), "%.17g", cell.score);
+  return std::string("{\"type\":\"cell\",\"dataset\":\"") +
+         EscapeJson(cell.dataset) + "\",\"run\":" + std::to_string(cell.run) +
+         ",\"cell\":" + std::to_string(cell.cell) + ",\"name\":\"" +
+         EscapeJson(cell.name) + "\",\"score_bits\":" + std::to_string(bits) +
+         ",\"score\":\"" + score_text +
+         "\",\"retries\":" + std::to_string(cell.retries) + ",\"code\":\"" +
+         core::StatusCodeName(cell.status.code()) + "\",\"context\":\"" +
+         EscapeJson(cell.status.context()) + "\"}";
+}
+
+/// Parses a cell body. `score` comes from score_bits alone (the printed
+/// score is a human-readable convenience), so means computed from resumed
+/// cells match the uninterrupted run bit for bit.
+bool ParseCell(const std::string& body, JournalCell& cell) {
+  long long run = 0, index = 0, retries = 0;
+  unsigned long long bits = 0;
+  std::string code_name, context;
+  if (!ExtractString(body, "dataset", cell.dataset)) return false;
+  if (!ExtractInt(body, "run", run)) return false;
+  if (!ExtractInt(body, "cell", index)) return false;
+  if (!ExtractString(body, "name", cell.name)) return false;
+  if (!ExtractUint(body, "score_bits", bits)) return false;
+  if (!ExtractInt(body, "retries", retries)) return false;
+  if (!ExtractString(body, "code", code_name)) return false;
+  if (!ExtractString(body, "context", context)) return false;
+  core::StatusCode code = core::StatusCode::kOk;
+  if (!StatusCodeFromName(code_name, code)) return false;
+  cell.run = static_cast<int>(run);
+  cell.cell = static_cast<int>(index);
+  cell.retries = static_cast<int>(retries);
+  const std::uint64_t fixed_bits = bits;
+  std::memcpy(&cell.score, &fixed_bits, sizeof(cell.score));
+  cell.status = core::Status(code, std::move(context));
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const std::string& data) {
+  static const std::array<std::uint32_t, 256> kTable = [] {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      table[static_cast<size_t>(i)] = c;
+    }
+    return table;
+  }();
+  std::uint32_t crc = 0xffffffffu;
+  for (char raw : data) {
+    const std::uint32_t byte = static_cast<unsigned char>(raw);
+    crc = kTable[static_cast<size_t>((crc ^ byte) & 0xffu)] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Journal::~Journal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+core::Status Journal::Open(const std::string& path,
+                           const std::string& fingerprint) {
+  TSAUG_CHECK_MSG(file_ == nullptr, "Journal::Open called twice");
+  path_ = path;
+  cells_.clear();
+  loaded_ = 0;
+  dropped_ = 0;
+  bool header_seen = false;
+
+  std::string content;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb"); in != nullptr) {
+    char buffer[4096];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+      content.append(buffer, got);
+    }
+    std::fclose(in);
+  }
+
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    const bool torn = end == std::string::npos;  // no trailing newline
+    if (torn) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string body, type;
+    if (!DecodeLine(line, body) || !ExtractString(body, "type", type)) {
+      ++dropped_;
+      std::fprintf(stderr,
+                   "journal: dropping %s line in %s (cell will be re-run)\n",
+                   torn ? "truncated" : "corrupt", path.c_str());
+      continue;
+    }
+    if (type == "header") {
+      std::string recorded;
+      if (!ExtractString(body, "fingerprint", recorded)) {
+        ++dropped_;
+        continue;
+      }
+      if (recorded != fingerprint) {
+        return core::DegenerateInputError(
+            "journal: config fingerprint mismatch in " + path +
+            " — journal was written by \"" + recorded +
+            "\" but this run is \"" + fingerprint +
+            "\"; delete the journal or rerun with the matching "
+            "config/seed");
+      }
+      header_seen = true;
+    } else if (type == "cell") {
+      if (!header_seen) {
+        return core::DegenerateInputError(
+            "journal: cell record before header in " + path +
+            " — not a tsaug journal, or its header was lost");
+      }
+      JournalCell cell;
+      if (!ParseCell(body, cell)) {
+        ++dropped_;
+        std::fprintf(stderr,
+                     "journal: dropping unparsable cell record in %s\n",
+                     path.c_str());
+        continue;
+      }
+      // Duplicate (dataset, run, cell) records take the last writer.
+      cells_[{cell.dataset, cell.run, cell.cell}] = std::move(cell);
+    } else {
+      ++dropped_;
+    }
+  }
+  loaded_ = static_cast<int>(cells_.size());
+
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    return core::DegenerateInputError("journal: cannot open " + path +
+                                      " for append");
+  }
+  if (!header_seen) {
+    const std::string line = GuardLine(HeaderBody(fingerprint));
+    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+        std::fflush(file_) != 0) {
+      std::fclose(file_);
+      file_ = nullptr;
+      return core::DegenerateInputError("journal: cannot write header to " +
+                                        path);
+    }
+  }
+  return core::OkStatus();
+}
+
+core::Status Journal::Append(const JournalCell& cell) {
+  if (file_ == nullptr) {
+    return core::DegenerateInputError("journal: Append on a closed journal");
+  }
+  const std::string line = GuardLine(CellBody(cell));
+  std::lock_guard<std::mutex> lock(append_mu_);
+  if (core::fault::ShouldFail("journal.flush")) {
+    return core::fault::InjectedAt("journal.flush");
+  }
+  if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
+      std::fflush(file_) != 0) {
+    return core::DegenerateInputError("journal: write to " + path_ +
+                                      " failed");
+  }
+  return core::OkStatus();
+}
+
+const JournalCell* Journal::Find(const std::string& dataset, int run,
+                                 int cell) const {
+  const auto it = cells_.find(std::make_tuple(dataset, run, cell));
+  return it == cells_.end() ? nullptr : &it->second;
+}
+
+}  // namespace tsaug::eval

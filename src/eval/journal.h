@@ -1,0 +1,97 @@
+#ifndef TSAUG_EVAL_JOURNAL_H_
+#define TSAUG_EVAL_JOURNAL_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "core/status.h"
+
+namespace tsaug::eval {
+
+/// One completed grid cell run, as recorded in (and restored from) the
+/// journal. `score` round-trips bitwise: the file stores the double's
+/// IEEE-754 bit pattern, so a resumed grid reproduces its report byte for
+/// byte. `status` is the cell's *deterministic* outcome — OK or a data
+/// failure (singular solve, diverged training, injected fault). Cancelled
+/// and deadline-exceeded cells are never journaled: they depend on wall
+/// time or operator action, so a resumed run must re-attempt them.
+struct JournalCell {
+  std::string dataset;
+  int run = 0;
+  int cell = 0;  // 0 = baseline, i + 1 = techniques[i]
+  std::string name;
+  double score = 0.0;
+  int retries = 0;
+  core::Status status;
+};
+
+/// Append-only, CRC-guarded JSONL journal of completed grid cells.
+///
+/// File format — one record per line:
+///
+///   {"crc":"<8 lowercase hex>","body":{...}}
+///
+/// where the CRC-32 (IEEE) covers exactly the body object's bytes. The
+/// first record is a header carrying the grid's config fingerprint
+/// (model, runs, kernels, seed, technique list); every later record is a
+/// cell. Appends flush per line, so after a crash at any instant the file
+/// holds every finished cell plus at most one torn line.
+///
+/// Robustness contract (tested in eval_journal_test):
+///   - a truncated or corrupt line is dropped with a stderr warning; the
+///     affected cell is simply re-run on resume;
+///   - duplicate (dataset, run, cell) records take the last writer;
+///   - a journal whose header fingerprint does not match the resuming
+///     grid's config is rejected with a clear Status (never silently
+///     mixed into a different experiment).
+class Journal {
+ public:
+  Journal() = default;
+  ~Journal();
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Loads `path` (creating it if absent), validates every record's CRC,
+  /// checks the header against `fingerprint`, and reopens for append.
+  core::Status Open(const std::string& path, const std::string& fingerprint);
+
+  bool is_open() const { return file_ != nullptr; }
+  const std::string& path() const { return path_; }
+
+  /// Appends one completed cell and flushes. Thread-safe. Consults the
+  /// "journal.flush" fault point first, so tests can inject a write
+  /// failure (`journal.flush:N`) or kill the process mid-grid
+  /// (`journal.flush:N!`).
+  core::Status Append(const JournalCell& cell);
+
+  /// The cell loaded from disk at Open() time, or nullptr if it must be
+  /// (re-)run. Cells appended by this process are not returned: they were
+  /// computed, not resumed.
+  const JournalCell* Find(const std::string& dataset, int run,
+                          int cell) const;
+
+  /// Valid cell records loaded at Open().
+  int loaded_cells() const { return loaded_; }
+  /// Corrupt/truncated lines dropped (with a warning) at Open().
+  int dropped_lines() const { return dropped_; }
+
+ private:
+  std::string path_;
+  std::FILE* file_ = nullptr;
+  std::map<std::tuple<std::string, int, int>, JournalCell> cells_;
+  int loaded_ = 0;
+  int dropped_ = 0;
+  std::mutex append_mu_;
+};
+
+/// CRC-32 (IEEE 802.3) of `data`, for the journal's per-line guard.
+/// Exposed for tests that corrupt or hand-craft records.
+std::uint32_t Crc32(const std::string& data);
+
+}  // namespace tsaug::eval
+
+#endif  // TSAUG_EVAL_JOURNAL_H_

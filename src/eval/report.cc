@@ -1,5 +1,6 @@
 #include "eval/report.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,12 +9,16 @@
 #include <string>
 
 #include "augment/pipeline.h"
+#include "core/cancel.h"
 #include "data/uea_catalog.h"
 
 namespace tsaug::eval {
 namespace {
 
 std::string FormatDouble(double v, int precision = 2) {
+  // Non-finite means "no successful run produced this number" (all-failed
+  // cell, improvement over a failed baseline): print n/a, never "nan".
+  if (!std::isfinite(v)) return "n/a";
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
   return buffer;
@@ -83,12 +88,16 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
   header.push_back("Improvement (%)");
   table.push_back(header);
 
-  // Cells that degraded are annotated rather than hidden: "!N" marks N
-  // runs that failed after retries were exhausted (they contribute 0
-  // accuracy), "~" marks a cell that recovered through internal retries.
+  // Cells that deviated from a plain run are annotated rather than
+  // hidden: "!N" marks N runs that failed after retries were exhausted
+  // (failed runs are excluded from the mean; an all-failed cell shows
+  // n/a), "~" marks a cell that recovered through internal retries, "^"
+  // marks a cell with runs restored from the journal.
   bool any_failed = false;
-  auto annotate = [&](double accuracy, int failed_runs, int retried) {
+  auto annotate = [&](double accuracy, int failed_runs, int retried,
+                      int resumed) {
     std::string text = FormatDouble(100.0 * accuracy);
+    if (resumed > 0) text += "^";
     if (retried > 0) text += "~";
     if (failed_runs > 0) {
       text += "!" + std::to_string(failed_runs);
@@ -100,10 +109,11 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
   for (const DatasetRow& row : result.rows) {
     std::vector<std::string> line = {
         row.dataset, annotate(row.baseline_accuracy, row.baseline_failed_runs,
-                              row.baseline_retries)};
+                              row.baseline_retries,
+                              row.baseline_resumed_runs)};
     for (const CellResult& cell : row.cells) {
-      line.push_back(
-          annotate(cell.accuracy, cell.failed_runs, cell.recovered_retries));
+      line.push_back(annotate(cell.accuracy, cell.failed_runs,
+                              cell.recovered_retries, cell.resumed_runs));
     }
     line.push_back(FormatDouble(row.ImprovementPercent()));
     table.push_back(line);
@@ -115,10 +125,19 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
 
   PrintTable(table, out);
 
+  if (result.interrupted) {
+    out << "INTERRUPTED: a stop request ended the study early; rows cover "
+           "completed runs only.\n";
+  }
+  if (!result.journal_path.empty()) {
+    out << "Journal: " << result.journal_path << " (" << result.resumed_cells
+        << " cell(s) resumed)\n";
+  }
+
   // One line per failed cell with its final Status, so a degraded sweep is
   // diagnosable from the report alone.
   if (any_failed) {
-    out << "Failed cells (accuracy counted as 0):\n";
+    out << "Failed cells (excluded from cell means and aggregates):\n";
     for (const DatasetRow& row : result.rows) {
       if (row.baseline_failed_runs > 0) {
         out << "  " << row.dataset << "/baseline: " << row.baseline_failed_runs
@@ -160,6 +179,11 @@ int EnvInt(const char* name, int fallback) {
   return value != nullptr && *value != '\0' ? std::atoi(value) : fallback;
 }
 
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && *value != '\0' ? std::atof(value) : fallback;
+}
+
 }  // namespace
 
 BenchSettings ReadBenchSettings() {
@@ -184,6 +208,11 @@ BenchSettings ReadBenchSettings() {
   settings.timegan_iterations =
       EnvInt("TSAUG_TIMEGAN_ITERS", settings.timegan_iterations);
   settings.seed = static_cast<size_t>(EnvInt("TSAUG_SEED", 42));
+  if (const char* journal = std::getenv("TSAUG_JOURNAL");
+      journal != nullptr && *journal != '\0') {
+    settings.journal_path = journal;
+  }
+  settings.cell_budget_seconds = EnvDouble("TSAUG_CELL_BUDGET", 0.0);
   if (const char* names = std::getenv("TSAUG_DATASETS"); names != nullptr) {
     std::stringstream stream(names);
     std::string name;
@@ -194,6 +223,27 @@ BenchSettings ReadBenchSettings() {
   return settings;
 }
 
+void ApplyGridFlags(int argc, char** argv, BenchSettings& settings) {
+  auto value_of = [&](int& i, const std::string& arg,
+                      const std::string& flag) -> const char* {
+    if (arg.rfind(flag + "=", 0) == 0) {
+      return argv[i] + flag.size() + 1;
+    }
+    if (arg == flag && i + 1 < argc) {
+      return argv[++i];
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (const char* v = value_of(i, arg, "--journal")) {
+      settings.journal_path = v;
+    } else if (const char* v = value_of(i, arg, "--cell-budget-seconds")) {
+      settings.cell_budget_seconds = std::atof(v);
+    }
+  }
+}
+
 ExperimentConfig MakeExperimentConfig(const BenchSettings& settings,
                                       ModelKind model) {
   ExperimentConfig config;
@@ -201,6 +251,8 @@ ExperimentConfig MakeExperimentConfig(const BenchSettings& settings,
   config.runs = settings.runs;
   config.rocket_kernels = settings.rocket_kernels;
   config.seed = settings.seed;
+  config.journal_path = settings.journal_path;
+  config.cell_budget_seconds = settings.cell_budget_seconds;
 
   // InceptionTime sized to the scale preset: paper architecture at paper
   // scale, a shrunken-but-faithful variant otherwise.
@@ -253,15 +305,37 @@ StudyResult RunStudy(const BenchSettings& settings, ModelKind model,
 
   StudyResult result;
   result.model = model;
+  result.journal_path = config.journal_path;
+
+  // One journal for the whole study, opened once: its per-cell records are
+  // keyed by dataset name, so each grid finds exactly its own cells.
+  Journal journal;
+  if (!config.journal_path.empty()) {
+    const core::Status opened = journal.Open(
+        config.journal_path, ConfigFingerprint(config, techniques));
+    TSAUG_CHECK_MSG(opened.ok(), "%s", opened.ToString().c_str());
+  }
+
   for (const std::string& name : names) {
+    if (core::GlobalStopRequested()) {
+      result.interrupted = true;
+      break;
+    }
     if (verbose) {
       std::fprintf(stderr, "[%s] running %s...\n",
                    ModelKindName(model).c_str(), name.c_str());
     }
     const data::TrainTest dataset =
         data::MakeUeaLikeDataset(name, settings.scale, settings.seed);
-    result.rows.push_back(
-        RunDatasetGrid(name, dataset, techniques, config));
+    DatasetRow row = RunDatasetGrid(name, dataset, techniques, config,
+                                    journal.is_open() ? &journal : nullptr);
+    result.resumed_cells += row.resumed_cells;
+    const bool interrupted = row.interrupted;
+    result.rows.push_back(std::move(row));
+    if (interrupted) {
+      result.interrupted = true;
+      break;
+    }
   }
   return result;
 }

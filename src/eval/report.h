@@ -33,6 +33,10 @@ void PrintImprovementCounts(const StudyResult& rocket,
 ///   TSAUG_EPOCHS       InceptionTime max epochs (default 40; paper 200)
 ///   TSAUG_TIMEGAN_ITERS  per-phase cap    (default 60; paper 2500)
 ///   TSAUG_DATASETS     comma-separated subset of Table III names
+///   TSAUG_JOURNAL      cell journal path (default off; see eval/journal.h)
+///   TSAUG_CELL_BUDGET  per-cell wall budget in seconds (default off)
+/// The benches also accept --journal=PATH and --cell-budget-seconds=S
+/// flags (bench/fig_demo_common.h), which override the environment.
 struct BenchSettings {
   data::ScalePreset scale = data::ScalePreset::kTiny;
   int runs = 2;
@@ -41,10 +45,19 @@ struct BenchSettings {
   int timegan_iterations = 60;
   std::vector<std::string> datasets;  // empty = all 13
   std::uint64_t seed = 42;
+  std::string journal_path;          // empty = journaling off
+  double cell_budget_seconds = 0.0;  // 0 = no per-cell deadline
 };
 
 /// Reads the TSAUG_* environment variables.
 BenchSettings ReadBenchSettings();
+
+/// Applies the bench command-line flags to `settings`:
+///   --journal=PATH (or --journal PATH)           journal file
+///   --cell-budget-seconds=S (or ... -seconds S)  per-cell wall budget
+/// Flags override the TSAUG_JOURNAL / TSAUG_CELL_BUDGET environment
+/// variables; unrecognised arguments are left for the bench to interpret.
+void ApplyGridFlags(int argc, char** argv, BenchSettings& settings);
 
 /// The experiment configuration for a table bench under these settings.
 ExperimentConfig MakeExperimentConfig(const BenchSettings& settings,
@@ -55,6 +68,11 @@ std::vector<std::shared_ptr<augment::Augmenter>> MakePaperTechniques(
     const BenchSettings& settings);
 
 /// Runs the full study grid (all selected datasets) for one model.
+/// With settings.journal_path set, one journal is shared across all
+/// datasets, so an interrupted study resumes from wherever it was killed.
+/// A stop request (core/cancel.h) ends the study after flushing the
+/// current dataset's completed cells; the partial result is marked
+/// interrupted.
 StudyResult RunStudy(const BenchSettings& settings, ModelKind model,
                      bool verbose = true);
 

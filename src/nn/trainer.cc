@@ -6,6 +6,7 @@
 #include <limits>
 #include <string>
 
+#include "core/cancel.h"
 #include "core/faultpoint.h"
 #include "core/trace.h"
 
@@ -130,6 +131,10 @@ core::StatusOr<TrainResult> TryTrainClassifier(
   int epochs_since_best = 0;
 
   for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    // Cooperative cancellation / per-cell deadline poll (core/cancel.h):
+    // epoch granularity keeps the check off the hot batch loop while a
+    // stopped or over-budget cell still returns within one epoch.
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("trainer.epoch"));
     TSAUG_TRACE_SCOPE("train.epoch");
     const core::trace::Stopwatch epoch_watch;
     net.SetTraining(true);

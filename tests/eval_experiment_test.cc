@@ -1,6 +1,8 @@
 #include "eval/experiment.h"
 
+#include <cmath>
 #include <sstream>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -162,6 +164,113 @@ TEST(Report, AccuracyTableAnnotatesFailedAndRetriedCells) {
   EXPECT_NE(text.find("singular: ridge.fit: gram not SPD"), std::string::npos);
 }
 
+TEST(Report, AnnotatesResumedCellsAndPrintsJournalFooter) {
+  StudyResult study;
+  study.model = ModelKind::kRocket;
+  study.journal_path = "/tmp/grid.jsonl";
+  study.resumed_cells = 3;
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.9;
+  row.baseline_resumed_runs = 1;
+  CellResult dead("smote", std::nan(""));
+  dead.failed_runs = 2;
+  dead.last_error = core::DivergedError("trainer: loss diverged");
+  row.cells = {{"noise_1.0", 0.91}, dead};
+  row.resumed_cells = 3;
+  study.rows = {row};
+
+  std::ostringstream out;
+  PrintAccuracyTable(study, out);
+  const std::string text = out.str();
+  // "^" marks the resumed baseline; the all-failed cell prints n/a.
+  EXPECT_NE(text.find("90.00^"), std::string::npos);
+  EXPECT_NE(text.find("n/a!2"), std::string::npos);
+  EXPECT_NE(text.find("Journal: /tmp/grid.jsonl (3 cell(s) resumed)"),
+            std::string::npos);
+  EXPECT_EQ(text.find("INTERRUPTED"), std::string::npos);
+}
+
+TEST(Report, MarksInterruptedStudies) {
+  StudyResult study;
+  study.model = ModelKind::kRocket;
+  study.interrupted = true;
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.9;
+  row.cells = {{"smote", 0.91}};
+  row.interrupted = true;
+  study.rows = {row};
+
+  std::ostringstream out;
+  PrintAccuracyTable(study, out);
+  EXPECT_NE(out.str().find("INTERRUPTED"), std::string::npos);
+}
+
+TEST(DatasetRow, AggregatesSkipAllFailedNanCells) {
+  const double nan = std::nan("");
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.80;
+  row.cells = {{"a", nan}, {"b", 0.78}, {"c", 0.82}};
+  // The all-failed cell "a" is invisible to the aggregates.
+  EXPECT_DOUBLE_EQ(row.BestAugmentedAccuracy(), 0.82);
+  EXPECT_EQ(row.BestTechnique(), "c");
+  EXPECT_NEAR(row.ImprovementPercent(), 2.5, 1e-9);
+}
+
+TEST(DatasetRow, AllCellsFailedYieldsNanNotZero) {
+  const double nan = std::nan("");
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = 0.80;
+  row.cells = {{"a", nan}, {"b", nan}};
+  EXPECT_TRUE(std::isnan(row.BestAugmentedAccuracy()));
+  EXPECT_EQ(row.BestTechnique(), "");
+  EXPECT_TRUE(std::isnan(row.ImprovementPercent()));
+}
+
+TEST(DatasetRow, FailedBaselineYieldsNanImprovement) {
+  DatasetRow row;
+  row.dataset = "toy";
+  row.baseline_accuracy = std::nan("");
+  row.cells = {{"a", 0.9}};
+  EXPECT_DOUBLE_EQ(row.BestAugmentedAccuracy(), 0.9);
+  EXPECT_TRUE(std::isnan(row.ImprovementPercent()));
+}
+
+TEST(StudyResult, AggregatesSkipNanRowsAndKeepZeroCountFamilies) {
+  const double nan = std::nan("");
+  StudyResult study;
+  DatasetRow good;
+  good.dataset = "x";
+  good.baseline_accuracy = 0.5;
+  good.cells = {{"noise_1.0", 0.55}, {"smote", nan}, {"timegan", 0.4}};
+  DatasetRow dead;  // baseline failed: no improvement is defined
+  dead.dataset = "y";
+  dead.baseline_accuracy = nan;
+  dead.cells = {{"noise_1.0", 0.9}, {"smote", 0.9}, {"timegan", 0.9}};
+  study.rows = {good, dead};
+
+  // Only x contributes: (0.55-0.5)/0.5 = 10%.
+  EXPECT_NEAR(study.AverageImprovement(), 10.0, 1e-9);
+
+  const auto counts = study.ImprovementCounts();
+  EXPECT_EQ(counts.at("noise"), 1);    // x only; y's baseline is NaN
+  EXPECT_EQ(counts.at("smote"), 0);    // all-failed cell never "improves"
+  EXPECT_EQ(counts.at("timegan"), 0);  // present with zero, not missing
+}
+
+TEST(StudyResult, AllRowsNanYieldsNanAverageImprovement) {
+  StudyResult study;
+  DatasetRow dead;
+  dead.dataset = "x";
+  dead.baseline_accuracy = std::nan("");
+  dead.cells = {{"smote", 0.9}};
+  study.rows = {dead};
+  EXPECT_TRUE(std::isnan(study.AverageImprovement()));
+}
+
 TEST(Report, PropertiesTableMatchesTableThreeLayout) {
   core::DatasetProperties props;
   props.name = "Heartbeat";
@@ -234,6 +343,68 @@ TEST(MakeExperimentConfig, PaperScaleKeepsPaperArchitecture) {
   EXPECT_EQ(config.inception.trainer.max_epochs, 200);
   // Paper: LR finder enabled (learning_rate == 0 sentinel).
   EXPECT_DOUBLE_EQ(config.inception.trainer.learning_rate, 0.0);
+}
+
+TEST(BenchSettings, JournalAndBudgetComeFromEnvironment) {
+  setenv("TSAUG_JOURNAL", "/tmp/study.jsonl", 1);
+  setenv("TSAUG_CELL_BUDGET", "2.5", 1);
+  const BenchSettings settings = ReadBenchSettings();
+  EXPECT_EQ(settings.journal_path, "/tmp/study.jsonl");
+  EXPECT_DOUBLE_EQ(settings.cell_budget_seconds, 2.5);
+  unsetenv("TSAUG_JOURNAL");
+  unsetenv("TSAUG_CELL_BUDGET");
+
+  const BenchSettings defaults = ReadBenchSettings();
+  EXPECT_TRUE(defaults.journal_path.empty());
+  EXPECT_DOUBLE_EQ(defaults.cell_budget_seconds, 0.0);
+}
+
+TEST(ApplyGridFlags, ParsesBothSeparateAndEqualsForms) {
+  BenchSettings settings;
+  const char* argv_equals[] = {"bench", "--journal=/tmp/a.jsonl",
+                               "--cell-budget-seconds=1.5"};
+  ApplyGridFlags(3, const_cast<char**>(argv_equals), settings);
+  EXPECT_EQ(settings.journal_path, "/tmp/a.jsonl");
+  EXPECT_DOUBLE_EQ(settings.cell_budget_seconds, 1.5);
+
+  const char* argv_separate[] = {"bench", "--journal", "/tmp/b.jsonl",
+                                 "--cell-budget-seconds", "30"};
+  ApplyGridFlags(5, const_cast<char**>(argv_separate), settings);
+  EXPECT_EQ(settings.journal_path, "/tmp/b.jsonl");
+  EXPECT_DOUBLE_EQ(settings.cell_budget_seconds, 30.0);
+
+  // Flags the grid does not own are left for the caller; a trailing flag
+  // with no value is ignored rather than read out of bounds.
+  const char* argv_odd[] = {"bench", "--other", "--journal"};
+  ApplyGridFlags(3, const_cast<char**>(argv_odd), settings);
+  EXPECT_EQ(settings.journal_path, "/tmp/b.jsonl");
+}
+
+TEST(ConfigFingerprint, CoversIdentityButNotDurabilityKnobs) {
+  std::vector<std::shared_ptr<augment::Augmenter>> techniques = {
+      std::make_shared<augment::NoiseInjection>(1.0),
+      std::make_shared<augment::Smote>(),
+  };
+  ExperimentConfig config = QuickConfig(ModelKind::kRocket);
+  const std::string base = ConfigFingerprint(config, techniques);
+  EXPECT_NE(base.find("ROCKET"), std::string::npos);
+  EXPECT_NE(base.find("noise_1.0,smote"), std::string::npos);
+
+  // Identity changes must change the fingerprint (a journal can never be
+  // resumed against a different experiment)...
+  ExperimentConfig reseeded = config;
+  reseeded.seed = config.seed + 1;
+  EXPECT_NE(ConfigFingerprint(reseeded, techniques), base);
+  ExperimentConfig rescaled = config;
+  rescaled.rocket_kernels = config.rocket_kernels + 1;
+  EXPECT_NE(ConfigFingerprint(rescaled, techniques), base);
+
+  // ...while durability knobs must not: resuming with a different budget
+  // or journal location is exactly the supported workflow.
+  ExperimentConfig durable = config;
+  durable.journal_path = "/tmp/elsewhere.jsonl";
+  durable.cell_budget_seconds = 123.0;
+  EXPECT_EQ(ConfigFingerprint(durable, techniques), base);
 }
 
 }  // namespace

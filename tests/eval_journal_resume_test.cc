@@ -1,0 +1,124 @@
+// Kill/resume durability of the journaled grid, tested with real child
+// processes (tests/eval_grid_child.cc, path in TSAUG_GRID_CHILD_BIN):
+//   - a journaled straight run equals an unjournaled run;
+//   - a run killed mid-grid by the journal.flush abort action and then
+//     resumed against the same journal reproduces the uninterrupted
+//     dump byte for byte, at 1, 2 and 8 threads;
+//   - a graceful injected stop exits cleanly with the row marked
+//     interrupted, and resuming completes to the identical dump.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::eval {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+const char* ChildBinary() { return std::getenv("TSAUG_GRID_CHILD_BIN"); }
+
+/// Runs the child grid binary with the given journal ("" = none), dump
+/// path, thread count and TSAUG_FAULTS spec. Returns the raw wait status
+/// from std::system (0 = clean exit).
+int RunChild(const std::string& journal, const std::string& out, int threads,
+             const std::string& faults = "") {
+  std::string command;
+  command += "TSAUG_CHILD_OUT='" + out + "' ";
+  command += "TSAUG_CHILD_JOURNAL='" + journal + "' ";
+  command += "TSAUG_NUM_THREADS=" + std::to_string(threads) + " ";
+  command += "TSAUG_FAULTS='" + faults + "' ";
+  command += "'" + std::string(ChildBinary()) + "'";
+  return std::system(command.c_str());
+}
+
+bool ExitedCleanly(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+TEST(JournalResume, StraightJournaledRunMatchesUnjournaledRun) {
+  if (ChildBinary() == nullptr) GTEST_SKIP() << "TSAUG_GRID_CHILD_BIN unset";
+  const std::string journal = TempPath("resume_straight.jsonl");
+  const std::string plain_out = TempPath("resume_straight_plain.txt");
+  const std::string journaled_out = TempPath("resume_straight_journaled.txt");
+  std::filesystem::remove(journal);
+
+  ASSERT_TRUE(ExitedCleanly(RunChild("", plain_out, 2)));
+  ASSERT_TRUE(ExitedCleanly(RunChild(journal, journaled_out, 2)));
+  const std::string plain = ReadAll(plain_out);
+  ASSERT_FALSE(plain.empty());
+  EXPECT_EQ(plain, ReadAll(journaled_out));
+  EXPECT_GT(std::filesystem::file_size(journal), 0u);
+}
+
+TEST(JournalResume, KillAndResumeIsByteIdenticalAtOneTwoAndEightThreads) {
+  if (ChildBinary() == nullptr) GTEST_SKIP() << "TSAUG_GRID_CHILD_BIN unset";
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string tag = std::to_string(threads);
+    const std::string journal = TempPath("resume_kill_" + tag + ".jsonl");
+    const std::string straight_out = TempPath("resume_kill_ref_" + tag);
+    const std::string killed_out = TempPath("resume_kill_dead_" + tag);
+    const std::string resumed_out = TempPath("resume_kill_back_" + tag);
+    std::filesystem::remove(journal);
+
+    // Reference: the uninterrupted run (no journal involved).
+    ASSERT_TRUE(ExitedCleanly(RunChild("", straight_out, threads)));
+
+    // Kill: the 4th journal append aborts the process, so run 0's three
+    // cells are flushed and the grid dies mid run 1.
+    const int killed =
+        RunChild(journal, killed_out, threads, "journal.flush:4!");
+    EXPECT_FALSE(ExitedCleanly(killed));
+    EXPECT_FALSE(std::filesystem::exists(killed_out));  // died before dump
+    ASSERT_GT(std::filesystem::file_size(journal), 0u);
+
+    // Resume: completed cells come from the journal, the rest recompute;
+    // the dump must equal the uninterrupted run byte for byte.
+    ASSERT_TRUE(ExitedCleanly(RunChild(journal, resumed_out, threads)));
+    const std::string straight = ReadAll(straight_out);
+    ASSERT_FALSE(straight.empty());
+    EXPECT_EQ(straight, ReadAll(resumed_out));
+  }
+}
+
+TEST(JournalResume, GracefulStopJournalsCompletedRunsAndResumesIdentically) {
+  if (ChildBinary() == nullptr) GTEST_SKIP() << "TSAUG_GRID_CHILD_BIN unset";
+  const std::string journal = TempPath("resume_stop.jsonl");
+  const std::string straight_out = TempPath("resume_stop_ref.txt");
+  const std::string stopped_out = TempPath("resume_stop_cut.txt");
+  const std::string resumed_out = TempPath("resume_stop_back.txt");
+  std::filesystem::remove(journal);
+
+  ASSERT_TRUE(ExitedCleanly(RunChild("", straight_out, 2)));
+
+  // An injected stop at the run-1 boundary models SIGINT between runs:
+  // the child exits cleanly with run 0 journaled and the row marked
+  // interrupted (dumps still differ from the straight run — only one run
+  // entered the means).
+  ASSERT_TRUE(ExitedCleanly(
+      RunChild(journal, stopped_out, 2, "cancel.stop@grid/toy/run1:1")));
+  const std::string stopped = ReadAll(stopped_out);
+  EXPECT_NE(stopped.find("interrupted=1"), std::string::npos);
+  EXPECT_NE(stopped, ReadAll(straight_out));
+
+  ASSERT_TRUE(ExitedCleanly(RunChild(journal, resumed_out, 2)));
+  const std::string resumed = ReadAll(resumed_out);
+  EXPECT_NE(resumed.find("interrupted=0"), std::string::npos);
+  EXPECT_EQ(resumed, ReadAll(straight_out));
+}
+
+}  // namespace
+}  // namespace tsaug::eval

@@ -21,9 +21,11 @@ clang-tidy) cannot express:
   no-wall-clock         No time(NULL)/std::time/gettimeofday anywhere, and no
                         chrono clocks inside src/: wall-clock values reaching
                         a seed make runs irreproducible. Timing belongs in
-                        bench/. One exemption: src/core/trace.cc may call
-                        steady_clock::now (the observability subsystem's
-                        single sanctioned monotonic clock read); system and
+                        bench/. Two exemptions may call steady_clock::now:
+                        src/core/trace.cc (the observability subsystem's
+                        monotonic clock read) and src/core/cancel.cc
+                        (cooperative deadlines — the clock decides whether a
+                        cell completes, never what it computes); system and
                         high_resolution clocks stay banned even there.
   parallel-capture      Every ParallelFor whose body captures by reference
                         carries a nearby comment stating why the shared state
@@ -66,9 +68,10 @@ WALL_CLOCK_RE = re.compile(
     r"\btime\s*\(\s*(?:NULL|nullptr|0)\s*\)|std::time\s*\(|\bgettimeofday\s*\(")
 CHRONO_CLOCK_RE = re.compile(
     r"(?:system|steady|high_resolution)_clock::now")
-# src/core/trace.cc is the repo's one sanctioned monotonic clock read; a
-# non-steady clock is still a violation there (it can jump backwards).
-TRACE_CLOCK_EXEMPT = ("src/core/trace.cc",)
+# The repo's sanctioned monotonic clock reads: the tracing subsystem and
+# the cancellation subsystem's deadlines. A non-steady clock is still a
+# violation in both (it can jump backwards).
+TRACE_CLOCK_EXEMPT = ("src/core/trace.cc", "src/core/cancel.cc")
 NONSTEADY_CLOCK_RE = re.compile(r"(?:system|high_resolution)_clock::now")
 PARALLEL_FOR_RE = re.compile(r"\bParallelFor\s*\(")
 REF_CAPTURE_RE = re.compile(r"\[\s*&")

@@ -1,0 +1,18 @@
+// Fixture: the cancellation subsystem's clock exemption. The steady_clock
+// deadline read below is sanctioned (merely being this file is enough);
+// the high_resolution_clock read is still a violation — it may alias
+// system_clock and jump backwards.
+#include <chrono>
+#include <cstdint>
+
+std::int64_t SanctionedDeadlineNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::int64_t BannedHighResolutionNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::high_resolution_clock::now().time_since_epoch())
+      .count();
+}
