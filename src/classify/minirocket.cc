@@ -12,6 +12,32 @@ namespace tsaug::classify {
 
 namespace {
 constexpr int kKernelLength = 9;
+
+/// Appends convolution activations for positions [pos_lo, pos_hi).
+/// `Checked` guards every tap against the series bounds (needed only for
+/// padded boundary positions); interior positions skip the test entirely.
+/// The tap-outer / channel-inner accumulation order matches the original
+/// single loop, so the split changes no bits.
+template <bool Checked>
+void AccumulateConvolve(const nn::Tensor& x, int instance, int time,
+                        const double* weights, int dilation,
+                        const std::vector<int>& channels, int pos_lo,
+                        int pos_hi, std::vector<double>& activations) {
+  for (int pos = pos_lo; pos < pos_hi; ++pos) {
+    double value = 0.0;
+    for (int tap = 0; tap < kKernelLength; ++tap) {
+      const int t = pos + tap * dilation;
+      if constexpr (Checked) {
+        if (t < 0 || t >= time) continue;
+      }
+      for (int channel : channels) {
+        value += weights[tap] * x.at(instance, channel, t);
+      }
+    }
+    activations.push_back(value);
+  }
+}
+
 }  // namespace
 
 std::vector<std::array<int, 3>> MiniRocketTransform::KernelPositions() {
@@ -50,17 +76,20 @@ std::vector<double> MiniRocketTransform::Convolve(const nn::Tensor& x,
   if (out_len <= 0) return activations;
   activations.reserve(static_cast<size_t>(out_len));
 
-  for (int pos = -pad; pos < time + pad - span; ++pos) {
-    double value = 0.0;
-    for (int tap = 0; tap < kKernelLength; ++tap) {
-      const int t = pos + tap * feature.dilation;
-      if (t < 0 || t >= time) continue;
-      for (int channel : feature.channels) {
-        value += weights[static_cast<size_t>(tap)] * x.at(instance, channel, t);
-      }
-    }
-    activations.push_back(value);
-  }
+  // Interior/boundary split: positions in [0, time - span) read taps
+  // pos .. pos + span all inside [0, time), so the steady-state loop runs
+  // without the per-tap bounds check.
+  const int pos_lo = -pad;
+  const int pos_hi = time + pad - span;
+  const int interior_lo = std::clamp(0, pos_lo, pos_hi);
+  const int interior_hi = std::clamp(time - span, interior_lo, pos_hi);
+  AccumulateConvolve<true>(x, instance, time, weights.data(), feature.dilation,
+                           feature.channels, pos_lo, interior_lo, activations);
+  AccumulateConvolve<false>(x, instance, time, weights.data(),
+                            feature.dilation, feature.channels, interior_lo,
+                            interior_hi, activations);
+  AccumulateConvolve<true>(x, instance, time, weights.data(), feature.dilation,
+                           feature.channels, interior_hi, pos_hi, activations);
   return activations;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "core/cancel.h"
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/trace.h"
@@ -74,7 +75,7 @@ namespace {
 template <bool Checked>
 void AccumulatePositions(const nn::Tensor& data, int i, int time,
                          const RocketKernel& kernel, int pos_lo, int pos_hi,
-                         int& positive, double& max_activation) {
+                         std::int64_t& positive, double& max_activation) {
   for (int pos = pos_lo; pos < pos_hi; ++pos) {
     double activation = kernel.bias;
     for (size_t c = 0; c < kernel.channels.size(); ++c) {
@@ -106,7 +107,10 @@ linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   linalg::Matrix features(n, 2 * num_kernels_);
   // Each sample fills its own feature row, so sample-parallelism is
   // bitwise deterministic at any thread count.
+  const auto& kt = core::kernels::Active();
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
+    // Per-chunk scratch for the kernel's channel base pointers.
+    std::vector<const double*> chan_ptrs;
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int k = 0; k < num_kernels_; ++k) {
         const RocketKernel& kernel = kernels_[static_cast<size_t>(k)];
@@ -117,19 +121,30 @@ linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
           features(i, 2 * k + 1) = 0.0;
           continue;
         }
-        int positive = 0;
+        std::int64_t positive = 0;
         double max_activation = -std::numeric_limits<double>::infinity();
         // Split the position range so the steady-state (interior) kernel
         // has no per-tap bounds check: positions in [0, time - span) read
-        // taps pos .. pos + span, all inside [0, time).
+        // taps pos .. pos + span, all inside [0, time). The interior span
+        // dispatches to the backend kernel; the padded boundary positions
+        // stay on the checked scalar path.
         const int pos_lo = -kernel.padding;
         const int pos_hi = time + kernel.padding - span;
         const int interior_lo = std::clamp(0, pos_lo, pos_hi);
         const int interior_hi = std::clamp(time - span, interior_lo, pos_hi);
         AccumulatePositions<true>(data, i, time, kernel, pos_lo, interior_lo,
                                   positive, max_activation);
-        AccumulatePositions<false>(data, i, time, kernel, interior_lo,
-                                   interior_hi, positive, max_activation);
+        if (interior_lo < interior_hi) {
+          chan_ptrs.resize(kernel.channels.size());
+          for (size_t c = 0; c < kernel.channels.size(); ++c) {
+            chan_ptrs[c] = data.row3(i, kernel.channels[c]);
+          }
+          kt.rocket_ppv_max(chan_ptrs.data(),
+                            static_cast<std::int64_t>(chan_ptrs.size()),
+                            kernel.weights.data(), kernel.length,
+                            kernel.dilation, kernel.bias, interior_lo,
+                            interior_hi, &positive, &max_activation);
+        }
         AccumulatePositions<true>(data, i, time, kernel, interior_hi, pos_hi,
                                   positive, max_activation);
         features(i, 2 * k) = static_cast<double>(positive) / out_len;  // PPV

@@ -1,0 +1,68 @@
+#ifndef TSAUG_CORE_ALIGNED_H_
+#define TSAUG_CORE_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+namespace tsaug::core {
+
+/// Cache-line / SIMD-register alignment for numeric buffers. 64 bytes
+/// covers an AVX-512 register and one x86 cache line, so any vector load
+/// from the start of a buffer is aligned on every extension we dispatch to.
+inline constexpr std::size_t kBufferAlignment = 64;
+
+/// Minimal std::allocator drop-in returning kBufferAlignment-aligned
+/// storage. The kernel backends (src/core/kernels/) rely on Matrix/Tensor
+/// buffers starting on a 64-byte boundary to avoid split-line penalties on
+/// their widest loads; interior rows keep whatever alignment the row
+/// stride implies, so kernels still use unaligned load instructions —
+/// alignment here is a performance guarantee, not a correctness contract.
+template <typename T>
+class AlignedAllocator {
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    // operator new rounds the size up itself; pass the exact byte count.
+    void* p = ::operator new(n * sizeof(T), std::align_val_t(kBufferAlignment));
+    return static_cast<T*>(p);
+  }
+
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(kBufferAlignment));
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const noexcept {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind Matrix and Tensor: a std::vector whose buffer
+/// starts on a 64-byte boundary. Element layout is identical to
+/// std::vector<T> (contiguous, no padding), so pointer-based kernels are
+/// oblivious to the allocator.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T>>;
+
+static_assert(kBufferAlignment % alignof(double) == 0,
+              "buffer alignment must be a multiple of the element alignment");
+static_assert(kBufferAlignment >= 32,
+              "buffer alignment must cover at least one AVX2 register");
+static_assert(sizeof(double) == 8,
+              "kernel backends assume IEEE-754 binary64 elements");
+
+}  // namespace tsaug::core
+
+#endif  // TSAUG_CORE_ALIGNED_H_

@@ -1,0 +1,78 @@
+// Backend resolution for the kernel seam: TSAUG_BACKEND env override,
+// CPU auto-detection, and the process-wide active table.
+
+#include "core/kernels/kernels.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tsaug::core::kernels {
+namespace {
+
+// Encoded resolved backend: 0 = unresolved, 1 = scalar, 2 = simd.
+// Plain int (not Backend) keeps the atomic's zero-init constant so this TU
+// has no dynamic initialiser.
+std::atomic<int> g_backend{0};
+
+int Encode(Backend b) { return b == Backend::kSimd ? 2 : 1; }
+Backend Decode(int v) { return v == 2 ? Backend::kSimd : Backend::kScalar; }
+
+/// Reads TSAUG_BACKEND and picks the backend: "scalar" and "simd" force a
+/// table ("simd" falls back to scalar, with a stderr note, when the table
+/// is unavailable); anything else — including unset — auto-detects and
+/// takes the fastest table present.
+Backend Resolve() {
+  const char* env = std::getenv("TSAUG_BACKEND");
+  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
+    return Backend::kScalar;
+  }
+  if (env != nullptr && std::strcmp(env, "simd") == 0) {
+    if (SimdKernels() == nullptr) {
+      std::fprintf(stderr,
+                   "tsaug: TSAUG_BACKEND=simd requested but the SIMD backend "
+                   "is unavailable (not compiled in or unsupported CPU); "
+                   "using the scalar backend.\n");
+      return Backend::kScalar;
+    }
+    return Backend::kSimd;
+  }
+  return SimdKernels() != nullptr ? Backend::kSimd : Backend::kScalar;
+}
+
+}  // namespace
+
+Backend ActiveBackend() {
+  int v = g_backend.load(std::memory_order_acquire);
+  if (v == 0) {
+    // Benign race: concurrent first callers resolve to the same value.
+    v = Encode(Resolve());
+    g_backend.store(v, std::memory_order_release);
+  }
+  return Decode(v);
+}
+
+const KernelTable& Active() {
+  if (ActiveBackend() == Backend::kSimd) {
+    const KernelTable* simd = SimdKernels();
+    if (simd != nullptr) return *simd;
+  }
+  return ScalarKernels();
+}
+
+Backend SetBackend(Backend backend) {
+  if (backend == Backend::kSimd && SimdKernels() == nullptr) {
+    backend = Backend::kScalar;
+  }
+  g_backend.store(Encode(backend), std::memory_order_release);
+  return backend;
+}
+
+bool SimdAvailable() { return SimdKernels() != nullptr; }
+
+const char* BackendName(Backend backend) {
+  return backend == Backend::kSimd ? "simd" : "scalar";
+}
+
+}  // namespace tsaug::core::kernels

@@ -1,0 +1,152 @@
+#ifndef TSAUG_CORE_KERNELS_KERNELS_H_
+#define TSAUG_CORE_KERNELS_KERNELS_H_
+
+#include <cstdint>
+
+namespace tsaug::core::kernels {
+
+/// Runtime-dispatched implementations of the repo's dense inner loops.
+///
+/// This is the op/OpImpl seam (in the cavs style): each hot-loop
+/// *definition* lives at its call site (ROCKET transform, the MatMul
+/// family, Conv1dSame, the distance kernels, the autograd elementwise
+/// chains) and names one entry below; the *implementations* live in
+/// kernels_scalar.cc (portable reference) and kernels_simd.cc (AVX2),
+/// selected once per process via `TSAUG_BACKEND=scalar|simd` or CPU
+/// auto-detection (default: the fastest available).
+///
+/// Determinism contract: the scalar table is the bitwise reference, and
+/// every SIMD entry must produce bitwise-identical results. The seam
+/// guarantees this by construction: kernels vectorise across *independent
+/// outputs* (convolution positions, output columns, matrix rows) and keep
+/// each output's reduction in its original sequential order; the two
+/// reduction-order-sensitive entries (`squared_diff_sum` and the lane
+/// reduction in `rocket_ppv_max`) fix one lane-blocked order that both
+/// backends implement. No implementation may use FMA contraction the
+/// other does not (the build passes -ffp-contract=off). ParallelFor
+/// chunking, StopToken polls and trace scopes stay at the call sites
+/// above this seam, so backend choice composes with the existing
+/// parallel-determinism discipline.
+///
+/// All pointers reference contiguous double buffers (Matrix/Tensor rows,
+/// TimeSeries channels). Buffers come from 64-byte-aligned storage
+/// (core/aligned.h) but kernels use unaligned loads: row starts at
+/// arbitrary column counts are not 64-byte aligned.
+struct KernelTable {
+  /// c[0..n) += sum over t in [0, k) with a[t*a_stride] != 0 of
+  /// a[t*a_stride] * b[t*ldb + j], accumulating per element in ascending-t
+  /// order and skipping zero multipliers (the MatMul family's saxpy-style
+  /// panel: C-row += A-row * B).
+  void (*row_panel_matmul)(const double* a, std::int64_t a_stride,
+                           std::int64_t k, const double* b, std::int64_t ldb,
+                           double* c, std::int64_t n);
+
+  /// out[r] = sum over t in [0, n) of a[t] * b[r*ldb + t] for r in
+  /// [0, rows), each sum in ascending-t order (dot-style panel:
+  /// MatVec / MatMulTransposeB).
+  void (*dot_panel)(const double* a, const double* b, std::int64_t ldb,
+                    std::int64_t rows, std::int64_t n, double* out);
+
+  /// y[0..n) += a * x[0..n). Per-element, no reduction.
+  void (*axpy)(double a, const double* x, double* y, std::int64_t n);
+
+  /// ROCKET interior convolution + PPV/max feature accumulation over
+  /// positions [pos_lo, pos_hi), all taps in bounds. Per position:
+  ///   act = bias; for c: for tap: act += w[c*length+tap] *
+  ///                                       channels[c][pos+tap*dilation]
+  /// then ++*positive when act > 0, and *max_activation folds act in.
+  /// The max fold is lane-blocked: order-insensitive for the finite
+  /// activations this kernel sees, and both backends use the same order.
+  void (*rocket_ppv_max)(const double* const* channels,
+                         std::int64_t num_channels, const double* weights,
+                         std::int64_t length, std::int64_t dilation,
+                         double bias, std::int64_t pos_lo, std::int64_t pos_hi,
+                         std::int64_t* positive, double* max_activation);
+
+  /// out[j - j_lo] = sum over c of (a[c][ai] - b[c][j])^2 for j in
+  /// [j_lo, j_hi), each cell's channel sum in ascending-c order (the DTW
+  /// band's local-cost row).
+  void (*squared_dist_row)(const double* const* a_channels,
+                           const double* const* b_channels,
+                           std::int64_t num_channels, std::int64_t ai,
+                           std::int64_t j_lo, std::int64_t j_hi, double* out);
+
+  /// Lane-blocked squared-Euclidean reduction: with n4 = n & ~3, lane l
+  /// accumulates (a[i]-b[i])^2 over i in {l, l+4, ...} < n4; the result is
+  /// ((s0+s1)+s2)+s3 plus a sequential tail over [n4, n). Both backends
+  /// implement exactly this order.
+  double (*squared_diff_sum)(const double* a, const double* b,
+                             std::int64_t n);
+
+  // Elementwise passes (autograd chains). No reductions: per-element
+  // arithmetic rounds identically in both backends. The *_acc forms
+  // accumulate (y += ...), matching the autograd gradient convention.
+  void (*ew_scale)(double s, const double* x, double* y, std::int64_t n);
+  void (*ew_add_const)(double c, const double* x, double* y, std::int64_t n);
+  void (*ew_one_minus)(const double* x, double* y, std::int64_t n);
+  void (*ew_relu)(const double* x, double* y, std::int64_t n);
+  void (*ew_mul)(const double* x, const double* y, double* z, std::int64_t n);
+  void (*ew_mul_acc)(const double* x, const double* y, double* z,
+                     std::int64_t n);
+  void (*ew_add_acc)(const double* g, double* y, std::int64_t n);
+  void (*ew_sub_acc)(const double* g, double* y, std::int64_t n);
+  void (*ew_scale_acc)(double s, const double* g, double* y, std::int64_t n);
+  void (*ew_relu_bwd_acc)(const double* g, const double* x, double* y,
+                          std::int64_t n);
+  /// y += g * (1 - yv*yv), the tanh backward chain.
+  void (*ew_tanh_bwd_acc)(const double* g, const double* yv, double* y,
+                          std::int64_t n);
+  /// y += g * (yv * (1 - yv)), the sigmoid backward chain.
+  void (*ew_sigmoid_bwd_acc)(const double* g, const double* yv, double* y,
+                             std::int64_t n);
+  /// z = g * (1 - yv*yv) (non-accumulating; fused-gate backward).
+  void (*ew_tanh_bwd)(const double* g, const double* yv, double* z,
+                      std::int64_t n);
+  /// z = g * (yv * (1 - yv)) (non-accumulating; fused-gate backward).
+  void (*ew_sigmoid_bwd)(const double* g, const double* yv, double* z,
+                         std::int64_t n);
+  /// y = tanh((a[j] + b[j]) + bias[j]): the fused gate forward. The adds
+  /// vectorise; tanh/sigmoid stay scalar libm calls in both backends so
+  /// transcendentals cannot diverge.
+  void (*ew_add3_tanh)(const double* a, const double* b, const double* bias,
+                       double* y, std::int64_t n);
+  void (*ew_add3_sigmoid)(const double* a, const double* b,
+                          const double* bias, double* y, std::int64_t n);
+};
+
+enum class Backend {
+  kScalar,  ///< Portable reference implementations (the determinism oracle).
+  kSimd,    ///< AVX2 implementations, bitwise-identical to scalar.
+};
+
+/// The table for the active backend. Resolved once per process from
+/// `TSAUG_BACKEND` ("scalar" | "simd"; anything else / unset means
+/// auto-detect) on first use; `SetBackend` overrides it at runtime.
+const KernelTable& Active();
+
+/// The backend `Active()` dispatches to.
+Backend ActiveBackend();
+
+/// Overrides the backend at runtime (tests / benchmarks / A-B runs).
+/// Requesting kSimd when unavailable falls back to kScalar and returns
+/// the backend actually installed. Not safe to call concurrently with
+/// in-flight kernels.
+Backend SetBackend(Backend backend);
+
+/// True when the SIMD table is compiled in and the CPU supports it.
+bool SimdAvailable();
+
+/// "scalar" or "simd".
+const char* BackendName(Backend backend);
+
+/// The scalar reference table (always available; parity tests compare
+/// against it explicitly).
+const KernelTable& ScalarKernels();
+
+/// The SIMD table, or nullptr when not compiled in / not supported by
+/// this CPU.
+const KernelTable* SimdKernels();
+
+}  // namespace tsaug::core::kernels
+
+#endif  // TSAUG_CORE_KERNELS_KERNELS_H_

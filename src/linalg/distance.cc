@@ -4,26 +4,17 @@
 #include <cmath>
 #include <limits>
 
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/preprocess.h"
 
 namespace tsaug::linalg {
 namespace {
 
-// Squared Euclidean cost between step i of a and step j of b across
-// channels.
-double StepCost(const core::TimeSeries& a, const core::TimeSeries& b, int i,
-                int j) {
-  double cost = 0.0;
-  for (int c = 0; c < a.num_channels(); ++c) {
-    const double diff = a.at(c, i) - b.at(c, j);
-    cost += diff * diff;
-  }
-  return cost;
-}
-
 // Accumulated-cost matrix for DTW; entry (i+1, j+1) is the optimal cost of
-// aligning prefixes a[0..i], b[0..j].
+// aligning prefixes a[0..i], b[0..j]. The per-row local costs (squared
+// Euclidean across channels) come from the backend's squared_dist_row
+// kernel; the band DP itself is inherently sequential.
 std::vector<std::vector<double>> DtwCostMatrix(const core::TimeSeries& a,
                                                const core::TimeSeries& b,
                                                int window) {
@@ -34,14 +25,29 @@ std::vector<std::vector<double>> DtwCostMatrix(const core::TimeSeries& a,
   const int band =
       window < 0 ? std::max(n, m) : std::max(window, std::abs(n - m));
 
+  const auto& kt = core::kernels::Active();
+  const int channels = a.num_channels();
+  std::vector<const double*> a_chan(static_cast<size_t>(channels));
+  std::vector<const double*> b_chan(static_cast<size_t>(channels));
+  for (int c = 0; c < channels; ++c) {
+    a_chan[static_cast<size_t>(c)] = a.channel(c).data();
+    b_chan[static_cast<size_t>(c)] = b.channel(c).data();
+  }
+  std::vector<double> local_row(static_cast<size_t>(m));
+
   std::vector<std::vector<double>> cost(static_cast<size_t>(n + 1),
                                         std::vector<double>(static_cast<size_t>(m + 1), kInf));
   cost[0][0] = 0.0;
   for (int i = 1; i <= n; ++i) {
     const int j_lo = std::max(1, i - band);
     const int j_hi = std::min(m, i + band);
+    if (j_lo > j_hi) continue;
+    // Local costs for the whole band row at once (b indices are the DP's
+    // j - 1, so the kernel range is [j_lo - 1, j_hi)).
+    kt.squared_dist_row(a_chan.data(), b_chan.data(), channels, i - 1,
+                        j_lo - 1, j_hi, local_row.data());
     for (int j = j_lo; j <= j_hi; ++j) {
-      const double local = StepCost(a, b, i - 1, j - 1);
+      const double local = local_row[static_cast<size_t>(j - j_lo)];
       cost[static_cast<size_t>(i)][static_cast<size_t>(j)] = local + std::min({cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j - 1)], cost[static_cast<size_t>(i - 1)][static_cast<size_t>(j)],
                                      cost[static_cast<size_t>(i)][static_cast<size_t>(j - 1)]});
     }
@@ -54,11 +60,8 @@ std::vector<std::vector<double>> DtwCostMatrix(const core::TimeSeries& a,
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b) {
   TSAUG_CHECK(a.size() == b.size());
-  double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    const double diff = a[i] - b[i];
-    sum += diff * diff;
-  }
+  const double sum = core::kernels::Active().squared_diff_sum(
+      a.data(), b.data(), static_cast<std::int64_t>(a.size()));
   return std::sqrt(sum);
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/trace.h"
 
@@ -95,19 +96,16 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   // i-k-j loop order keeps the inner loop streaming over contiguous rows;
   // each output row is an independent slice, so row-block parallelism is
   // bitwise deterministic at any thread count.
+  if (a.empty() || b.empty()) return c;  // all sums empty; C stays zero
+  const auto& kt = core::kernels::Active();
+  const double* b0 = b.row_data(0);
   core::ParallelFor(
       0, a.rows(),
       RowGrain(static_cast<std::int64_t>(a.cols()) * b.cols()),
       [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-          double* ci = c.row_data(i);
-          const double* ai = a.row_data(i);
-          for (int k = 0; k < a.cols(); ++k) {
-            const double aik = ai[k];
-            if (aik == 0.0) continue;
-            const double* bk = b.row_data(k);
-            for (int j = 0; j < b.cols(); ++j) ci[j] += aik * bk[j];
-          }
+          kt.row_panel_matmul(a.row_data(i), 1, a.cols(), b0, b.cols(),
+                              c.row_data(i), b.cols());
         }
       });
   return c;
@@ -119,19 +117,19 @@ Matrix MatMulTransposeA(const Matrix& a, const Matrix& b) {
   Matrix c(a.cols(), b.cols());
   // Iterate output rows (columns of A) so each row of C is written by
   // exactly one chunk; for a fixed (i, j) the accumulation over k stays
-  // in ascending-k order, independent of the chunking.
+  // in ascending-k order, independent of the chunking. Column i of A is a
+  // strided vector (stride = a.cols()) into the kernel.
+  if (a.empty() || b.empty()) return c;  // all sums empty; C stays zero
+  const auto& kt = core::kernels::Active();
+  const double* a0 = a.row_data(0);
+  const double* b0 = b.row_data(0);
   core::ParallelFor(
       0, a.cols(),
       RowGrain(static_cast<std::int64_t>(a.rows()) * b.cols()),
       [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-          double* ci = c.row_data(i);
-          for (int k = 0; k < a.rows(); ++k) {
-            const double aki = a.row_data(k)[i];
-            if (aki == 0.0) continue;
-            const double* bk = b.row_data(k);
-            for (int j = 0; j < b.cols(); ++j) ci[j] += aki * bk[j];
-          }
+          kt.row_panel_matmul(a0 + i, a.cols(), a.rows(), b0, b.cols(),
+                              c.row_data(i), b.cols());
         }
       });
   return c;
@@ -143,19 +141,16 @@ Matrix MatMulTransposeB(const Matrix& a, const Matrix& b) {
   Matrix c(a.rows(), b.rows());
   // Each output row i is owned by one chunk; the inner k-sum runs in
   // ascending order, so the result is deterministic at any thread count.
+  if (a.empty() || b.empty()) return c;  // all sums empty; C stays zero
+  const auto& kt = core::kernels::Active();
+  const double* b0 = b.row_data(0);
   core::ParallelFor(
       0, a.rows(),
       RowGrain(static_cast<std::int64_t>(a.cols()) * b.rows()),
       [&](std::int64_t lo, std::int64_t hi) {
         for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-          const double* ai = a.row_data(i);
-          double* ci = c.row_data(i);
-          for (int j = 0; j < b.rows(); ++j) {
-            const double* bj = b.row_data(j);
-            double sum = 0.0;
-            for (int k = 0; k < a.cols(); ++k) sum += ai[k] * bj[k];
-            ci[j] = sum;
-          }
+          kt.dot_panel(a.row_data(i), b0, b.cols(), b.rows(), a.cols(),
+                       c.row_data(i));
         }
       });
   return c;
@@ -167,15 +162,13 @@ std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
   std::vector<double> y(static_cast<size_t>(a.rows()), 0.0);
   // Each y[i] is owned by one chunk and accumulated in ascending-j order:
   // deterministic at any thread count.
+  if (a.empty()) return y;  // every sum is empty; y stays zero
+  const auto& kt = core::kernels::Active();
   core::ParallelFor(
       0, a.rows(), RowGrain(a.cols()),
       [&](std::int64_t lo, std::int64_t hi) {
-        for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-          const double* ai = a.row_data(i);
-          double sum = 0.0;
-          for (int j = 0; j < a.cols(); ++j) sum += ai[j] * x[static_cast<size_t>(j)];
-          y[static_cast<size_t>(i)] = sum;
-        }
+        kt.dot_panel(x.data(), a.row_data(static_cast<int>(lo)), a.cols(),
+                     hi - lo, a.cols(), y.data() + lo);
       });
   return y;
 }

@@ -4,6 +4,7 @@
 #include <initializer_list>
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/check.h"
 
 namespace tsaug::linalg {
@@ -51,8 +52,8 @@ class Matrix {
     return data_.data() + offset(r, 0);
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  const core::AlignedVector<double>& data() const { return data_; }
+  core::AlignedVector<double>& data() { return data_; }
 
   /// Copies row `r` out as a vector.
   std::vector<double> Row(int r) const;
@@ -79,7 +80,9 @@ class Matrix {
 
   int rows_ = 0;
   int cols_ = 0;
-  std::vector<double> data_;
+  // 64-byte-aligned so the SIMD kernel backend's widest loads from a
+  // buffer start never split a cache line (see core/aligned.h).
+  core::AlignedVector<double> data_;
 };
 
 /// C = A * B.

@@ -129,8 +129,8 @@ Variable BatchNorm1d::Forward(const Variable& x) {
 void BatchNorm1d::AppendExtraState(std::vector<Tensor>* state) const {
   Tensor mean({static_cast<int>(running_mean_.size())});
   Tensor var({static_cast<int>(running_var_.size())});
-  mean.data() = running_mean_;
-  var.data() = running_var_;
+  mean.data().assign(running_mean_.begin(), running_mean_.end());
+  var.data().assign(running_var_.begin(), running_var_.end());
   state->push_back(std::move(mean));
   state->push_back(std::move(var));
 }
@@ -138,8 +138,10 @@ void BatchNorm1d::AppendExtraState(std::vector<Tensor>* state) const {
 void BatchNorm1d::ConsumeExtraState(const std::vector<Tensor>& state,
                                     size_t* pos) {
   TSAUG_CHECK(*pos + 2 <= state.size());
-  running_mean_ = state[(*pos)++].data();
-  running_var_ = state[(*pos)++].data();
+  const auto& mean = state[(*pos)++].data();
+  const auto& var = state[(*pos)++].data();
+  running_mean_.assign(mean.begin(), mean.end());
+  running_var_.assign(var.begin(), var.end());
   stats_initialized_ = true;
 }
 
@@ -165,12 +167,12 @@ GruCell::GruCell(int input_size, int hidden_size, core::Rng& rng)
 }
 
 Variable GruCell::Step(const Variable& x, const Variable& h) const {
-  const Variable z =
-      Sigmoid(AddRowBias(Add(MatMul(x, wz_), MatMul(h, uz_)), bz_));
-  const Variable r =
-      Sigmoid(AddRowBias(Add(MatMul(x, wr_), MatMul(h, ur_)), br_));
+  // Fused gate ops: one node per gate instead of Sigmoid(AddRowBias(Add(
+  // ...))), with bitwise-identical values and gradients.
+  const Variable z = AddRowBiasSigmoid(MatMul(x, wz_), MatMul(h, uz_), bz_);
+  const Variable r = AddRowBiasSigmoid(MatMul(x, wr_), MatMul(h, ur_), br_);
   const Variable candidate =
-      Tanh(AddRowBias(Add(MatMul(x, wh_), MatMul(Mul(r, h), uh_)), bh_));
+      AddRowBiasTanh(MatMul(x, wh_), MatMul(Mul(r, h), uh_), bh_);
   // h' = (1 - z) * h + z * candidate.
   return Add(Mul(OneMinus(z), h), Mul(z, candidate));
 }

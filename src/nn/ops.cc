@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernels/ew_functors.h"
+#include "core/kernels/kernels.h"
 #include "core/parallel.h"
 #include "core/trace.h"
 
@@ -39,48 +41,50 @@ Variable MatMul(const Variable& a, const Variable& b) {
   TSAUG_TRACE_SCOPE("nn.matmul");
   Tensor out({n, m});
   // Row-parallel forward: each output row i is an independent slice.
-  core::ParallelFor(0, n, std::max<std::int64_t>(1, 32768 / std::max(1, k * m)),
-                    [&](std::int64_t lo, std::int64_t hi) {
-    for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-      for (int p = 0; p < k; ++p) {
-        const double aip = a.value().at(i, p);
-        if (aip == 0.0) continue;
-        for (int j = 0; j < m; ++j) out.at(i, j) += aip * b.value().at(p, j);
+  const auto& kt = core::kernels::Active();
+  if (k > 0 && m > 0) {
+    core::ParallelFor(0, n,
+                      std::max<std::int64_t>(1, 32768 / std::max(1, k * m)),
+                      [&](std::int64_t lo, std::int64_t hi) {
+      for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+        kt.row_panel_matmul(a.value().row2(i), 1, k, b.value().row2(0), m,
+                            out.row2(i), m);
       }
-    }
-  });
+    });
+  }
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [n, k, m](Node& self) {
     TSAUG_TRACE_SCOPE("nn.matmul.bwd");
+    if (n == 0 || k == 0 || m == 0) return;  // every gradient sum is empty
     Node& pa = *self.parents[0];
     Node& pb = *self.parents[1];
+    const auto& kb = core::kernels::Active();
     const std::int64_t grain =
         std::max<std::int64_t>(1, 32768 / std::max(1, k * m));
-    // dA = dOut * B^T: row i of dA touches only row i of pa.grad.
+    // dA = dOut * B^T: row i of dA touches only row i of pa.grad. B^T is
+    // materialised once (a pure copy, no arithmetic) so the panel kernel
+    // streams contiguous rows instead of strided columns of B.
+    Tensor bt({m, k});
+    for (int p = 0; p < k; ++p) {
+      const double* bp = pb.value.row2(p);
+      for (int j = 0; j < m; ++j) bt.at(j, p) = bp[j];
+    }
+    // Row i of dA touches only row i of pa.grad; bt is read-only here.
     core::ParallelFor(0, n, grain, [&](std::int64_t lo, std::int64_t hi) {
       for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
-        for (int j = 0; j < m; ++j) {
-          const double g = self.grad.at(i, j);
-          if (g == 0.0) continue;
-          for (int p = 0; p < k; ++p) {
-            pa.grad.at(i, p) += g * pb.value.at(p, j);
-          }
-        }
+        kb.row_panel_matmul(self.grad.row2(i), 1, m, bt.row2(0), k,
+                            pa.grad.row2(i), k);
       }
     });
     // dB = A^T * dOut: row p of dB is owned by one chunk; the inner sum
     // over i runs in ascending order regardless of chunking, so the
-    // result is bitwise identical at any thread count.
+    // result is bitwise identical at any thread count. Column p of A is
+    // a strided vector (stride k) into the panel kernel.
     core::ParallelFor(0, k, std::max<std::int64_t>(1, 32768 / std::max(1, n * m)),
                       [&](std::int64_t lo, std::int64_t hi) {
       for (int p = static_cast<int>(lo); p < static_cast<int>(hi); ++p) {
-        for (int i = 0; i < n; ++i) {
-          const double aip = pa.value.at(i, p);
-          if (aip == 0.0) continue;
-          for (int j = 0; j < m; ++j) {
-            pb.grad.at(p, j) += aip * self.grad.at(i, j);
-          }
-        }
+        kb.row_panel_matmul(pa.value.row2(0) + p, k, n, self.grad.row2(0), m,
+                            pb.grad.row2(p), m);
       }
     });
   });
@@ -88,14 +92,18 @@ Variable MatMul(const Variable& a, const Variable& b) {
 
 Variable Add(const Variable& a, const Variable& b) {
   TSAUG_CHECK(a.value().SameShape(b.value()));
+  const auto& kt = core::kernels::Active();
   Tensor out = a.value();
-  for (size_t i = 0; i < out.numel(); ++i) out[i] += b.value()[i];
+  kt.ew_add_acc(b.value().data().data(), out.data().data(),
+                static_cast<std::int64_t>(out.numel()));
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [](Node& self) {
-    for (size_t i = 0; i < self.grad.numel(); ++i) {
-      self.parents[0]->grad[i] += self.grad[i];
-      self.parents[1]->grad[i] += self.grad[i];
-    }
+    const auto& kb = core::kernels::Active();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.numel());
+    kb.ew_add_acc(self.grad.data().data(), self.parents[0]->grad.data().data(),
+                  n);
+    kb.ew_add_acc(self.grad.data().data(), self.parents[1]->grad.data().data(),
+                  n);
   });
 }
 
@@ -120,70 +128,181 @@ Variable AddRowBias(const Variable& x, const Variable& bias) {
   });
 }
 
+namespace {
+
+// Shared body of the fused gate ops: one graph node computing
+// act((a + b) + bias_row) via the backend's fused elementwise kernels.
+// Forward and backward reproduce the unfused composition
+// Act(AddRowBias(Add(a, b), bias)) bit for bit: the pre-activation sums
+// associate as (a + b) + bias, the activation is the same scalar libm
+// call, and each parent gradient receives exactly the terms the three
+// unfused nodes would have routed to it, in the same order.
+Variable AddRowBiasActivate(const Variable& a, const Variable& b,
+                            const Variable& bias, bool use_tanh) {
+  TSAUG_CHECK(a.value().ndim() == 2 && a.value().SameShape(b.value()));
+  TSAUG_CHECK(bias.value().ndim() == 1);
+  const int n = a.value().dim(0);
+  const int f = a.value().dim(1);
+  TSAUG_CHECK(bias.value().dim(0) == f);
+
+  const auto& kt = core::kernels::Active();
+  Tensor out({n, f});
+  const double* bias0 = bias.value().data().data();
+  for (int i = 0; i < n; ++i) {
+    if (use_tanh) {
+      kt.ew_add3_tanh(a.value().row2(i), b.value().row2(i), bias0,
+                      out.row2(i), f);
+    } else {
+      kt.ew_add3_sigmoid(a.value().row2(i), b.value().row2(i), bias0,
+                         out.row2(i), f);
+    }
+  }
+  return Variable::FromOp(
+      std::move(out), {a.node(), b.node(), bias.node()},
+      [n, f, use_tanh](Node& self) {
+        Node& pa = *self.parents[0];
+        Node& pb = *self.parents[1];
+        Node& pbias = *self.parents[2];
+        const auto& kb = core::kernels::Active();
+        std::vector<double> local(static_cast<size_t>(f));
+        for (int i = 0; i < n; ++i) {
+          // local = g * act'(y), then fan the same row into both inputs
+          // and the bias (rows ascending, matching the unfused order).
+          if (use_tanh) {
+            kb.ew_tanh_bwd(self.grad.row2(i), self.value.row2(i),
+                           local.data(), f);
+          } else {
+            kb.ew_sigmoid_bwd(self.grad.row2(i), self.value.row2(i),
+                              local.data(), f);
+          }
+          kb.ew_add_acc(local.data(), pa.grad.row2(i), f);
+          kb.ew_add_acc(local.data(), pb.grad.row2(i), f);
+          kb.ew_add_acc(local.data(), pbias.grad.data().data(), f);
+        }
+      });
+}
+
+}  // namespace
+
+Variable AddRowBiasSigmoid(const Variable& a, const Variable& b,
+                           const Variable& bias) {
+  return AddRowBiasActivate(a, b, bias, /*use_tanh=*/false);
+}
+
+Variable AddRowBiasTanh(const Variable& a, const Variable& b,
+                        const Variable& bias) {
+  return AddRowBiasActivate(a, b, bias, /*use_tanh=*/true);
+}
+
 Variable Sub(const Variable& a, const Variable& b) {
   TSAUG_CHECK(a.value().SameShape(b.value()));
+  const auto& kt = core::kernels::Active();
   Tensor out = a.value();
-  for (size_t i = 0; i < out.numel(); ++i) out[i] -= b.value()[i];
+  kt.ew_sub_acc(b.value().data().data(), out.data().data(),
+                static_cast<std::int64_t>(out.numel()));
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [](Node& self) {
-    for (size_t i = 0; i < self.grad.numel(); ++i) {
-      self.parents[0]->grad[i] += self.grad[i];
-      self.parents[1]->grad[i] -= self.grad[i];
-    }
+    const auto& kb = core::kernels::Active();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.numel());
+    kb.ew_add_acc(self.grad.data().data(), self.parents[0]->grad.data().data(),
+                  n);
+    kb.ew_sub_acc(self.grad.data().data(), self.parents[1]->grad.data().data(),
+                  n);
   });
 }
 
 Variable Mul(const Variable& a, const Variable& b) {
   TSAUG_CHECK(a.value().SameShape(b.value()));
-  Tensor out = a.value();
-  for (size_t i = 0; i < out.numel(); ++i) out[i] *= b.value()[i];
+  const auto& kt = core::kernels::Active();
+  Tensor out(a.value().shape());
+  kt.ew_mul(a.value().data().data(), b.value().data().data(),
+            out.data().data(), static_cast<std::int64_t>(out.numel()));
   return Variable::FromOp(std::move(out), {a.node(), b.node()},
                           [](Node& self) {
-    for (size_t i = 0; i < self.grad.numel(); ++i) {
-      self.parents[0]->grad[i] += self.grad[i] * self.parents[1]->value[i];
-      self.parents[1]->grad[i] += self.grad[i] * self.parents[0]->value[i];
-    }
+    const auto& kb = core::kernels::Active();
+    const std::int64_t n = static_cast<std::int64_t>(self.grad.numel());
+    kb.ew_mul_acc(self.grad.data().data(),
+                  self.parents[1]->value.data().data(),
+                  self.parents[0]->grad.data().data(), n);
+    kb.ew_mul_acc(self.grad.data().data(),
+                  self.parents[0]->value.data().data(),
+                  self.parents[1]->grad.data().data(), n);
   });
 }
 
 Variable ScaleBy(const Variable& x, double s) {
-  return UnaryOp(
-      x, [s](double v) { return v * s; },
-      [s](double, double) { return s; });
+  const auto& kt = core::kernels::Active();
+  Tensor out(x.value().shape());
+  kt.ew_scale(s, x.value().data().data(), out.data().data(),
+              static_cast<std::int64_t>(out.numel()));
+  return Variable::FromOp(std::move(out), {x.node()}, [s](Node& self) {
+    core::kernels::Active().ew_scale_acc(
+        s, self.grad.data().data(), self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable AddConst(const Variable& x, double c) {
-  return UnaryOp(
-      x, [c](double v) { return v + c; },
-      [](double, double) { return 1.0; });
+  const auto& kt = core::kernels::Active();
+  Tensor out(x.value().shape());
+  kt.ew_add_const(c, x.value().data().data(), out.data().data(),
+                  static_cast<std::int64_t>(out.numel()));
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    core::kernels::Active().ew_add_acc(
+        self.grad.data().data(), self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable OneMinus(const Variable& x) {
-  return UnaryOp(
-      x, [](double v) { return 1.0 - v; },
-      [](double, double) { return -1.0; });
+  const auto& kt = core::kernels::Active();
+  Tensor out(x.value().shape());
+  kt.ew_one_minus(x.value().data().data(), out.data().data(),
+                  static_cast<std::int64_t>(out.numel()));
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    core::kernels::Active().ew_sub_acc(
+        self.grad.data().data(), self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable Sigmoid(const Variable& x) {
-  return UnaryOp(
-      x,
-      [](double v) {
-        return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
-                        : std::exp(v) / (1.0 + std::exp(v));
-      },
-      [](double, double y) { return y * (1.0 - y); });
+  // The transcendental stays a scalar libm call in every backend
+  // (core::kernels::StableSigmoid); only the derivative chain dispatches.
+  Tensor out(x.value().shape());
+  for (size_t i = 0; i < out.numel(); ++i) {
+    out[i] = core::kernels::StableSigmoid(x.value()[i]);
+  }
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    core::kernels::Active().ew_sigmoid_bwd_acc(
+        self.grad.data().data(), self.value.data().data(),
+        self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable Tanh(const Variable& x) {
-  return UnaryOp(
-      x, [](double v) { return std::tanh(v); },
-      [](double, double y) { return 1.0 - y * y; });
+  Tensor out(x.value().shape());
+  for (size_t i = 0; i < out.numel(); ++i) out[i] = std::tanh(x.value()[i]);
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    core::kernels::Active().ew_tanh_bwd_acc(
+        self.grad.data().data(), self.value.data().data(),
+        self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable Relu(const Variable& x) {
-  return UnaryOp(
-      x, [](double v) { return v > 0.0 ? v : 0.0; },
-      [](double v, double) { return v > 0.0 ? 1.0 : 0.0; });
+  const auto& kt = core::kernels::Active();
+  Tensor out(x.value().shape());
+  kt.ew_relu(x.value().data().data(), out.data().data(),
+             static_cast<std::int64_t>(out.numel()));
+  return Variable::FromOp(std::move(out), {x.node()}, [](Node& self) {
+    core::kernels::Active().ew_relu_bwd_acc(
+        self.grad.data().data(), self.parents[0]->value.data().data(),
+        self.parents[0]->grad.data().data(),
+        static_cast<std::int64_t>(self.grad.numel()));
+  });
 }
 
 Variable Mean(const Variable& x) {
@@ -317,7 +436,10 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
   const int pad_left = (k - 1) * dilation / 2;
   TSAUG_TRACE_SCOPE("nn.conv1d");
   Tensor out({n, f, time});
-  // Sample-parallel forward: out[i, :, :] is an independent slice.
+  // Sample-parallel forward: out[i, :, :] is an independent slice. Each
+  // tap's valid range [t_lo, t_hi) is clamped once (interior/boundary
+  // split per tap), so the inner loop is a pure axpy over contiguous rows.
+  const auto& kt = core::kernels::Active();
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int o = 0; o < f; ++o) {
@@ -328,9 +450,9 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
             const int shift = tap * dilation - pad_left;
             const int t_lo = std::max(0, -shift);
             const int t_hi = std::min(time, time - shift);
-            for (int t = t_lo; t < t_hi; ++t) {
-              out.at(i, o, t) += wv * x.value().at(i, ch, t + shift);
-            }
+            if (t_lo >= t_hi) continue;
+            kt.axpy(wv, x.value().row3(i, ch) + t_lo + shift,
+                    out.row3(i, o) + t_lo, t_hi - t_lo);
           }
         }
       }
@@ -342,6 +464,7 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
         TSAUG_TRACE_SCOPE("nn.conv1d.bwd");
         Node& px = *self.parents[0];
         Node& pw = *self.parents[1];
+        const auto& kb = core::kernels::Active();
         // Two passes with disjoint gradient ownership: dX slices by
         // sample, dW slices by output filter. Within each owned element
         // the accumulation order is fixed, so both passes are bitwise
@@ -355,10 +478,9 @@ Variable Conv1dSame(const Variable& x, const Variable& w, int dilation) {
                   const int t_lo = std::max(0, -shift);
                   const int t_hi = std::min(time, time - shift);
                   const double wv = pw.value.at(o, ch, tap);
-                  if (wv == 0.0) continue;
-                  for (int t = t_lo; t < t_hi; ++t) {
-                    px.grad.at(i, ch, t + shift) += self.grad.at(i, o, t) * wv;
-                  }
+                  if (wv == 0.0 || t_lo >= t_hi) continue;
+                  kb.axpy(wv, self.grad.row3(i, o) + t_lo,
+                          px.grad.row3(i, ch) + t_lo + shift, t_hi - t_lo);
                 }
               }
             }

@@ -37,6 +37,16 @@ Variable Sigmoid(const Variable& x);
 Variable Tanh(const Variable& x);
 Variable Relu(const Variable& x);
 
+/// Fused gate forward: act((a + b) + broadcast of bias [f] over rows),
+/// a single graph node over the backend's fused elementwise kernel.
+/// Bitwise-identical (values and gradients) to the unfused composition
+/// Act(AddRowBias(Add(a, b), bias)) — the recurrent cells use the fused
+/// form to skip three intermediate tensors per gate.
+Variable AddRowBiasSigmoid(const Variable& a, const Variable& b,
+                           const Variable& bias);
+Variable AddRowBiasTanh(const Variable& a, const Variable& b,
+                        const Variable& bias);
+
 /// Mean of all entries -> scalar.
 Variable Mean(const Variable& x);
 

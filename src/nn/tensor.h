@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "core/aligned.h"
 #include "core/check.h"
 
 namespace tsaug::nn {
@@ -27,7 +28,7 @@ class Tensor {
 
   static Tensor Scalar(double v) {
     Tensor t(std::vector<int>{});
-    t.data_ = {v};
+    t.data_.assign(1, v);
     return t;
   }
 
@@ -83,8 +84,30 @@ class Tensor {
     return data_[0];
   }
 
-  const std::vector<double>& data() const { return data_; }
-  std::vector<double>& data() { return data_; }
+  /// Pointer to contiguous row (i, *) of a rank-2 tensor.
+  double* row2(int i) {
+    TSAUG_DCHECK(ndim() == 2 && i >= 0 && i < shape_[0]);
+    return data_.data() + offset2(i, 0);
+  }
+  const double* row2(int i) const {
+    TSAUG_DCHECK(ndim() == 2 && i >= 0 && i < shape_[0]);
+    return data_.data() + offset2(i, 0);
+  }
+
+  /// Pointer to contiguous row (i, j, *) of a rank-3 tensor.
+  double* row3(int i, int j) {
+    TSAUG_DCHECK(ndim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1]);
+    return data_.data() + offset3(i, j, 0);
+  }
+  const double* row3(int i, int j) const {
+    TSAUG_DCHECK(ndim() == 3 && i >= 0 && i < shape_[0] && j >= 0 &&
+                 j < shape_[1]);
+    return data_.data() + offset3(i, j, 0);
+  }
+
+  const core::AlignedVector<double>& data() const { return data_; }
+  core::AlignedVector<double>& data() { return data_; }
 
   bool SameShape(const Tensor& other) const { return shape_ == other.shape_; }
 
@@ -103,7 +126,9 @@ class Tensor {
   }
 
   std::vector<int> shape_;
-  std::vector<double> data_;
+  // 64-byte-aligned so the SIMD kernel backend's widest loads from a
+  // buffer start never split a cache line (see core/aligned.h).
+  core::AlignedVector<double> data_;
 };
 
 }  // namespace tsaug::nn

@@ -1,0 +1,258 @@
+// Bitwise parity of the simd kernel backend against the scalar
+// reference: every dispatched hot path must produce identical bits under
+// both backends, at every thread count. The suite skips (rather than
+// passes vacuously) on hosts without AVX2 — CI runs at least one leg on
+// hardware where it executes.
+
+#include <cstring>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "classify/rocket.h"
+#include "core/kernels/kernels.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "linalg/distance.h"
+#include "linalg/matrix.h"
+#include "nn/autograd.h"
+#include "nn/ops.h"
+#include "nn/tensor.h"
+
+namespace tsaug {
+namespace {
+
+namespace kernels = core::kernels;
+
+class BackendGuard {
+ public:
+  BackendGuard()
+      : backend_(kernels::ActiveBackend()), threads_(core::GetNumThreads()) {}
+  ~BackendGuard() {
+    kernels::SetBackend(backend_);
+    core::SetNumThreads(threads_);
+  }
+
+ private:
+  kernels::Backend backend_;
+  int threads_;
+};
+
+const std::vector<int> kThreadCounts = {1, 2, 8};
+
+/// Runs `fn` under both backends at every thread count and requires the
+/// flattened results to be bitwise identical (memcmp, not ==, so NaNs
+/// and signed zeros cannot hide a divergence).
+void ExpectBackendParity(const std::function<std::vector<double>()>& fn) {
+  ASSERT_TRUE(kernels::SimdAvailable());
+  for (int threads : kThreadCounts) {
+    core::SetNumThreads(threads);
+    kernels::SetBackend(kernels::Backend::kScalar);
+    const std::vector<double> scalar = fn();
+    kernels::SetBackend(kernels::Backend::kSimd);
+    ASSERT_EQ(kernels::ActiveBackend(), kernels::Backend::kSimd);
+    const std::vector<double> simd = fn();
+    ASSERT_EQ(scalar.size(), simd.size());
+    EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(),
+                             scalar.size() * sizeof(double)))
+        << "backend divergence at " << threads << " thread(s)";
+  }
+}
+
+linalg::Matrix RandomMatrix(int rows, int cols, std::uint64_t seed,
+                            double zero_fraction = 0.0) {
+  core::Rng rng(seed);
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng.Bernoulli(zero_fraction) ? 0.0 : rng.Normal();
+  }
+  return m;
+}
+
+nn::Tensor RandomTensor(const std::vector<int>& shape, std::uint64_t seed) {
+  core::Rng rng(seed);
+  nn::Tensor t(shape);
+  for (double& v : t.data()) v = rng.Normal();
+  return t;
+}
+
+void Append(std::vector<double>& out, const linalg::Matrix& m) {
+  out.insert(out.end(), m.data().begin(), m.data().end());
+}
+
+void Append(std::vector<double>& out, const nn::Tensor& t) {
+  out.insert(out.end(), t.data().begin(), t.data().end());
+}
+
+#define SKIP_WITHOUT_SIMD()                                           \
+  if (!kernels::SimdAvailable()) {                                    \
+    GTEST_SKIP() << "simd backend unavailable on this host";          \
+  }                                                                   \
+  BackendGuard guard
+
+TEST(BackendParity, MatMulFamily) {
+  SKIP_WITHOUT_SIMD();
+  // Zeros in the left operand exercise the saxpy zero-skip path.
+  const linalg::Matrix a = RandomMatrix(17, 9, 1, /*zero_fraction=*/0.3);
+  const linalg::Matrix at = RandomMatrix(9, 17, 2, /*zero_fraction=*/0.3);
+  const linalg::Matrix b = RandomMatrix(9, 13, 3);
+  const linalg::Matrix bt = RandomMatrix(13, 9, 4);
+  core::Rng rng(5);
+  std::vector<double> x(9);
+  for (double& v : x) v = rng.Normal();
+
+  ExpectBackendParity([&] {
+    std::vector<double> out;
+    Append(out, linalg::MatMul(a, b));
+    Append(out, linalg::MatMulTransposeA(at, b));
+    Append(out, linalg::MatMulTransposeB(a, bt));
+    const std::vector<double> y = linalg::MatVec(a, x);
+    out.insert(out.end(), y.begin(), y.end());
+    return out;
+  });
+}
+
+TEST(BackendParity, RocketTransform) {
+  SKIP_WITHOUT_SIMD();
+  const nn::Tensor data = RandomTensor({3, 2, 40}, 6);
+  classify::RocketTransform transform(/*num_kernels=*/50, /*seed=*/17);
+  transform.Fit(/*num_channels=*/2, /*series_length=*/40);
+
+  ExpectBackendParity([&] {
+    std::vector<double> out;
+    Append(out, transform.Transform(data));
+    return out;
+  });
+}
+
+TEST(BackendParity, NnMatMulForwardBackward) {
+  SKIP_WITHOUT_SIMD();
+  const nn::Tensor ta = RandomTensor({5, 4}, 7);
+  const nn::Tensor tb = RandomTensor({4, 3}, 8);
+
+  ExpectBackendParity([&] {
+    nn::Variable a(ta, /*requires_grad=*/true);
+    nn::Variable b(tb, /*requires_grad=*/true);
+    nn::Variable loss = nn::Mean(nn::MatMul(a, b));
+    loss.Backward();
+    std::vector<double> out;
+    Append(out, loss.value());
+    Append(out, a.grad());
+    Append(out, b.grad());
+    return out;
+  });
+}
+
+TEST(BackendParity, Conv1dSameForwardBackward) {
+  SKIP_WITHOUT_SIMD();
+  const nn::Tensor tx = RandomTensor({2, 3, 20}, 9);
+  const nn::Tensor tw = RandomTensor({4, 3, 5}, 10);
+
+  for (int dilation : {1, 2}) {
+    ExpectBackendParity([&] {
+      nn::Variable x(tx, /*requires_grad=*/true);
+      nn::Variable w(tw, /*requires_grad=*/true);
+      nn::Variable loss = nn::Mean(nn::Conv1dSame(x, w, dilation));
+      loss.Backward();
+      std::vector<double> out;
+      Append(out, loss.value());
+      Append(out, x.grad());
+      Append(out, w.grad());
+      return out;
+    });
+  }
+}
+
+TEST(BackendParity, Distances) {
+  SKIP_WITHOUT_SIMD();
+  core::Rng rng(11);
+  core::TimeSeries a(3, 19);
+  core::TimeSeries b(3, 23);  // unequal lengths exercise the resample path
+  for (double& v : a.values()) v = rng.Normal();
+  for (double& v : b.values()) v = rng.Normal();
+  std::vector<double> u(37), v(37);
+  for (double& e : u) e = rng.Normal();
+  for (double& e : v) e = rng.Normal();
+
+  ExpectBackendParity([&] {
+    return std::vector<double>{
+        linalg::EuclideanDistance(u, v),
+        linalg::EuclideanDistance(a, b),
+        linalg::DtwDistance(a, b, /*window=*/-1),
+        linalg::DtwDistance(a, b, /*window=*/4),
+    };
+  });
+}
+
+TEST(BackendParity, ElementwiseChains) {
+  SKIP_WITHOUT_SIMD();
+  const nn::Tensor tx = RandomTensor({6, 7}, 12);
+  const nn::Tensor ty = RandomTensor({6, 7}, 13);
+
+  ExpectBackendParity([&] {
+    nn::Variable x(tx, /*requires_grad=*/true);
+    nn::Variable y(ty, /*requires_grad=*/true);
+    nn::Variable r = nn::Mul(nn::Relu(x), nn::Tanh(y));
+    nn::Variable s = nn::Sigmoid(nn::Sub(x, y));
+    nn::Variable t = nn::OneMinus(nn::ScaleBy(nn::AddConst(r, 0.25), 0.5));
+    nn::Variable loss = nn::Mean(nn::Add(nn::Add(r, s), t));
+    loss.Backward();
+    std::vector<double> out;
+    Append(out, loss.value());
+    Append(out, x.grad());
+    Append(out, y.grad());
+    return out;
+  });
+}
+
+/// The fused gate op must match the unfused composition bitwise — in
+/// values AND gradients — under both backends. This pins the GRU cell's
+/// numerics to the pre-fusion graph.
+TEST(BackendParity, FusedGateMatchesUnfusedComposition) {
+  SKIP_WITHOUT_SIMD();
+  const nn::Tensor ta = RandomTensor({6, 5}, 14);
+  const nn::Tensor tb = RandomTensor({6, 5}, 15);
+  const nn::Tensor tbias = RandomTensor({5}, 16);
+
+  for (bool use_tanh : {false, true}) {
+    auto run = [&](bool fused) {
+      nn::Variable a(ta, /*requires_grad=*/true);
+      nn::Variable b(tb, /*requires_grad=*/true);
+      nn::Variable bias(tbias, /*requires_grad=*/true);
+      nn::Variable gate;
+      if (fused) {
+        gate = use_tanh ? nn::AddRowBiasTanh(a, b, bias)
+                        : nn::AddRowBiasSigmoid(a, b, bias);
+      } else {
+        nn::Variable pre = nn::AddRowBias(nn::Add(a, b), bias);
+        gate = use_tanh ? nn::Tanh(pre) : nn::Sigmoid(pre);
+      }
+      nn::Variable loss = nn::Mean(gate);
+      loss.Backward();
+      std::vector<double> out;
+      Append(out, gate.value());
+      Append(out, a.grad());
+      Append(out, b.grad());
+      Append(out, bias.grad());
+      return out;
+    };
+    // Fused == unfused within the active backend...
+    for (kernels::Backend backend :
+         {kernels::Backend::kScalar, kernels::Backend::kSimd}) {
+      kernels::SetBackend(backend);
+      const std::vector<double> fused = run(true);
+      const std::vector<double> unfused = run(false);
+      ASSERT_EQ(fused.size(), unfused.size());
+      EXPECT_EQ(0, std::memcmp(fused.data(), unfused.data(),
+                               fused.size() * sizeof(double)))
+          << "fused/unfused divergence under "
+          << kernels::BackendName(backend);
+    }
+    // ...and the fused op itself is backend-parity clean.
+    ExpectBackendParity([&] { return run(true); });
+  }
+}
+
+}  // namespace
+}  // namespace tsaug

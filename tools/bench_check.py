@@ -1,0 +1,119 @@
+#!/usr/bin/env python3
+"""Compares a fresh BENCH_kernels.json against the committed baseline.
+
+The kernel bench (bench/bench_kernels) writes one entry per
+(workload, backend, threads) triple with ns/op. This gate enforces two
+properties:
+
+  1. No regression: a fresh entry may not be more than REGRESSION_SLACK
+     slower than the matching baseline entry. Entries present in only
+     one file are reported but never fail the gate (a host without AVX2
+     legitimately emits no simd entries).
+  2. --require-speedup: the simd backend must beat scalar by at least
+     SPEEDUP_FLOOR x on the tentpole workloads (ROCKET transform and
+     matmul) in the FRESH results. Skipped with a note when the fresh
+     run has no simd entries.
+
+Exit status 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
+
+Usage:
+  python3 tools/bench_check.py BASELINE.json FRESH.json [--require-speedup]
+"""
+
+import json
+import sys
+
+REGRESSION_SLACK = 1.30   # fail when fresh > baseline * 1.30
+SPEEDUP_FLOOR = 2.0       # simd must be >= 2x scalar on these workloads...
+SPEEDUP_WORKLOADS = ("rocket_transform", "matmul")  # ...at every thread count
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    entries = {}
+    for b in data.get("benchmarks", []):
+        key = (b["name"], b["backend"], int(b["threads"]))
+        entries[key] = float(b["ns_per_op"])
+    return entries
+
+
+def check_regressions(baseline, fresh):
+    failures = []
+    for key in sorted(set(baseline) | set(fresh)):
+        name = f"{key[0]} [{key[1]}, {key[2]} thread(s)]"
+        if key not in fresh:
+            print(f"  note: {name} missing from fresh results; skipped")
+            continue
+        if key not in baseline:
+            print(f"  note: {name} has no baseline yet; skipped")
+            continue
+        base, cur = baseline[key], fresh[key]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "ok"
+        if ratio > REGRESSION_SLACK:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{name}: {cur:.0f} ns/op vs baseline {base:.0f} ns/op "
+                f"({ratio:.2f}x > {REGRESSION_SLACK:.2f}x allowed)")
+        print(f"  {verdict}: {name} {base:.0f} -> {cur:.0f} ns/op "
+              f"({ratio:.2f}x)")
+    return failures
+
+
+def check_speedup(fresh):
+    if not any(k[1] == "simd" for k in fresh):
+        print("  note: no simd entries in fresh results; "
+              "speedup floor skipped")
+        return []
+    failures = []
+    for (name, backend, threads), scalar_ns in sorted(fresh.items()):
+        if backend != "scalar" or name not in SPEEDUP_WORKLOADS:
+            continue
+        simd_ns = fresh.get((name, "simd", threads))
+        if simd_ns is None:
+            failures.append(
+                f"{name} [{threads} thread(s)]: simd entry missing")
+            continue
+        speedup = scalar_ns / simd_ns if simd_ns > 0 else float("inf")
+        verdict = "ok" if speedup >= SPEEDUP_FLOOR else "TOO SLOW"
+        print(f"  {verdict}: {name} [{threads} thread(s)] simd speedup "
+              f"{speedup:.2f}x (floor {SPEEDUP_FLOOR:.1f}x)")
+        if speedup < SPEEDUP_FLOOR:
+            failures.append(
+                f"{name} [{threads} thread(s)]: simd {simd_ns:.0f} ns/op is "
+                f"only {speedup:.2f}x faster than scalar {scalar_ns:.0f} "
+                f"ns/op (floor {SPEEDUP_FLOOR:.1f}x)")
+    return failures
+
+
+def main():
+    args = [a for a in sys.argv[1:] if not a.startswith("--")]
+    flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    unknown = flags - {"--require-speedup"}
+    if len(args) != 2 or unknown:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    baseline, fresh = load(args[0]), load(args[1])
+
+    print(f"bench_check: {len(baseline)} baseline / {len(fresh)} fresh "
+          "entries")
+    failures = check_regressions(baseline, fresh)
+    if "--require-speedup" in flags:
+        print("bench_check: simd speedup floor")
+        failures += check_speedup(fresh)
+
+    if failures:
+        print("bench_check: FAILED", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        sys.exit(1)
+    print("bench_check: OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,12 @@ clang-tidy) cannot express:
                         must be returned as core::Status so the experiment
                         harness can recover or degrade the one affected cell,
                         not abort the whole grid. TSAUG_DCHECK is not counted.
+  simd-confinement      SIMD intrinsics headers (<immintrin.h> and friends)
+                        are included only under src/core/kernels/: every
+                        other file talks to the hot loops through the
+                        runtime-dispatched KernelTable, so a build without
+                        the SIMD backend — or a future non-x86 port — never
+                        touches intrinsics outside that one directory.
 
 Exit status: 0 when clean, 1 when violations were found (one
 "file:line: [rule] message" per line on stdout), 2 on usage errors.
@@ -88,6 +94,13 @@ COMMENT_WINDOW = 6  # lines above a ParallelFor call searched for the comment
 # abort was added where a recoverable Status belongs — if the new site
 # really is a programmer-error invariant, update the budget in the same
 # change and say why in the review.
+# simd-confinement: intrinsics stay behind the kernel-dispatch seam.
+# Matches immintrin.h, x86intrin.h, the per-extension *mmintrin.h /
+# avx*intrin.h family, and the ARM vector headers.
+INTRINSICS_RE = re.compile(
+    r'#\s*include\s*[<"](?:[A-Za-z0-9_]*intrin|arm_neon|arm_sve)\.h[>"]')
+SIMD_ALLOWED_PREFIX = "src/core/kernels/"
+
 CHECK_RE = re.compile(r"\bTSAUG_CHECK(?:_MSG)?\s*\(")
 CHECK_BUDGET_DIRS = ("src/linalg/", "src/augment/", "src/nn/")
 CHECK_BUDGET = {
@@ -114,7 +127,10 @@ CHECK_BUDGET = {
     "src/linalg/ridge.cc": 12,
     "src/nn/autograd.cc": 3,
     "src/nn/layers.cc": 7,
-    "src/nn/ops.cc": 42,
+    # ops.cc: +3 over the fault-tolerance freeze for the fused
+    # AddRowBias{Sigmoid,Tanh} gate op's shape contracts — programmer-error
+    # invariants identical in kind to the unfused AddRowBias checks.
+    "src/nn/ops.cc": 45,
     "src/nn/tensor.h": 3,
     "src/nn/trainer.cc": 9,
 }
@@ -158,6 +174,12 @@ def lint_file(rel, lines, violations):
             violations.append((rel, i, "no-wall-clock",
                                "chrono clock inside src/; wall-clock reads "
                                "make library behaviour irreproducible"))
+        if not rel.startswith(SIMD_ALLOWED_PREFIX) and \
+                INTRINSICS_RE.search(line):
+            violations.append((rel, i, "simd-confinement",
+                               "intrinsics header outside src/core/kernels/; "
+                               "go through the dispatched KernelTable "
+                               "(core/kernels/kernels.h) instead"))
         if rel.startswith(CHECK_BUDGET_DIRS) and CHECK_RE.search(line):
             check_lines.append(i)
         if in_src and rel not in PARALLEL_EXEMPT and \
@@ -248,7 +270,7 @@ def self_test(repo_root):
     rules_covered = {rule for (_, _, rule) in expected}
     all_rules = {"rng-discipline", "check-macro", "test-registration",
                  "no-iostream-header", "no-wall-clock", "parallel-capture",
-                 "check-budget"}
+                 "check-budget", "simd-confinement"}
     for rule in sorted(all_rules - rules_covered):
         ok = False
         print(f"self-test: no fixture exercises rule [{rule}]")

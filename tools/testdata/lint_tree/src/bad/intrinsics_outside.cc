@@ -1,0 +1,6 @@
+// Fixture: an intrinsics include outside src/core/kernels/ must be
+// flagged by the simd-confinement rule; call sites are supposed to go
+// through the dispatched KernelTable instead.
+#include <immintrin.h>
+
+int UsesIntrinsicsDirectly() { return 0; }

@@ -1,0 +1,5 @@
+// Fixture: the kernel backend directory is the one place intrinsics
+// headers are sanctioned; this file must NOT be reported.
+#include <immintrin.h>
+
+int KernelBackendMayUseIntrinsics() { return 0; }
