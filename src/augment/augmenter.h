@@ -49,7 +49,7 @@ class Augmenter {
   /// choke point (see src/core/trace.h). Data-dependent failures — a
   /// degenerate class, a diverged generative fit, an injected fault —
   /// come back as a Status the caller can recover from.
-  core::StatusOr<std::vector<core::TimeSeries>> TryGenerate(
+  [[nodiscard]] core::StatusOr<std::vector<core::TimeSeries>> TryGenerate(
       const core::Dataset& train, int label, int count, core::Rng& rng);
 
   /// Aborting wrapper over TryGenerate for callers without a recovery
@@ -84,7 +84,7 @@ class TransformAugmenter : public Augmenter {
 /// The paper's augmentation protocol: every class is topped up with
 /// synthetic instances until the dataset is perfectly balanced (all classes
 /// at the majority count). Returns original + synthetic instances.
-core::StatusOr<core::Dataset> TryBalanceWithAugmenter(
+[[nodiscard]] core::StatusOr<core::Dataset> TryBalanceWithAugmenter(
     const core::Dataset& train, Augmenter& augmenter, core::Rng& rng);
 
 /// Aborting wrapper over TryBalanceWithAugmenter.
@@ -93,7 +93,7 @@ core::Dataset BalanceWithAugmenter(const core::Dataset& train,
 
 /// Appends `factor` x class_count synthetic instances to every class
 /// (factor 1.0 doubles the data). Used by the ablation benches.
-core::StatusOr<core::Dataset> TryExpandWithAugmenter(
+[[nodiscard]] core::StatusOr<core::Dataset> TryExpandWithAugmenter(
     const core::Dataset& train, Augmenter& augmenter, double factor,
     core::Rng& rng);
 

@@ -93,6 +93,7 @@ core::StatusOr<std::vector<core::TimeSeries>> DbaAugmenter::DoGenerate(
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int n = 0; n < count; ++n) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("dba.generate"));
     const int reference = rng.Choice(members);
     // Weight the reference heavily, spread the rest over a random subset.
     std::vector<core::TimeSeries> pool = {train.series(reference)};

@@ -14,7 +14,7 @@ namespace tsaug::augment {
 /// `initial`'s length and is refined for `iterations` rounds. Returns
 /// kDegenerateInput when the weighted alignment paths leave a barycenter
 /// position with no mass (all-zero effective weights on that position).
-core::StatusOr<core::TimeSeries> TryDtwBarycenterAverage(
+[[nodiscard]] core::StatusOr<core::TimeSeries> TryDtwBarycenterAverage(
     const std::vector<core::TimeSeries>& members,
     const std::vector<double>& weights, const core::TimeSeries& initial,
     int iterations = 5, int window = -1);

@@ -54,6 +54,7 @@ core::StatusOr<std::vector<core::TimeSeries>> RangeNoise::DoGenerate(
   std::vector<core::TimeSeries> out;
   out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
+    TSAUG_RETURN_IF_ERROR(core::CheckStop("range_noise.generate"));
     const int seed = rng.Index(static_cast<int>(view.class_points.size()));
     const std::vector<double>& x = view.class_points[static_cast<size_t>(seed)];
 

@@ -51,7 +51,7 @@ class TimeGan {
   /// Returns kDiverged when a training phase produces a non-finite loss,
   /// kDegenerateInput for unusable inputs (empty class, length < 2), and
   /// kInjectedFault under the "timegan.fit" fault point.
-  core::Status TryFit(const std::vector<core::TimeSeries>& series);
+  [[nodiscard]] core::Status TryFit(const std::vector<core::TimeSeries>& series);
 
   /// Aborting wrapper around TryFit() for callers without a recovery path.
   void Fit(const std::vector<core::TimeSeries>& series);

@@ -35,7 +35,7 @@ class Vae {
   /// learned here and inverted at sampling time. Polls the cooperative
   /// stop token once per epoch, so a cancelled or over-deadline cell
   /// returns kCancelled / kDeadlineExceeded instead of training to the end.
-  core::Status TryFit(const std::vector<std::vector<double>>& instances);
+  [[nodiscard]] core::Status TryFit(const std::vector<std::vector<double>>& instances);
 
   /// Crashing wrapper around TryFit for callers without a status channel.
   void Fit(const std::vector<std::vector<double>>& instances);

@@ -24,7 +24,7 @@ class Classifier {
   /// harness can degrade on (singular ridge solves, diverged training)
   /// override this to return the Status instead of aborting. The default
   /// delegates to Fit(), whose internal checks abort on programmer errors.
-  virtual core::Status TryFit(const core::Dataset& train) {
+  [[nodiscard]] virtual core::Status TryFit(const core::Dataset& train) {
     Fit(train);
     return core::OkStatus();
   }

@@ -85,7 +85,7 @@ class InceptionTimeClassifier : public Classifier {
 
   /// Surfaces ensemble-member training divergence (after the trainer's
   /// checkpoint-restore retries are exhausted) instead of aborting.
-  core::Status TryFit(const core::Dataset& train) override;
+  [[nodiscard]] core::Status TryFit(const core::Dataset& train) override;
 
   /// The paper's protocol: train on `train` (possibly augmented), validate
   /// early stopping on `validation` (original samples only).
@@ -93,7 +93,7 @@ class InceptionTimeClassifier : public Classifier {
                          const core::Dataset& validation);
 
   /// Recoverable variant of FitWithValidation().
-  core::Status TryFitWithValidation(const core::Dataset& train,
+  [[nodiscard]] core::Status TryFitWithValidation(const core::Dataset& train,
                                     const core::Dataset& validation);
 
   std::vector<int> Predict(const core::Dataset& test) override;

@@ -25,6 +25,8 @@ void RocketTransform::Fit(int num_channels, int series_length) {
   kernels_.reserve(static_cast<size_t>(num_kernels_));
 
   const std::vector<int> candidate_lengths = {7, 9, 11};
+  // cancellation: generation is cheap RNG bookkeeping, O(num_kernels);
+  // the Status-bearing caller polls CheckStop("rocket.fit") around it.
   for (int k = 0; k < num_kernels_; ++k) {
     RocketKernel kernel;
     kernel.length = rng.Choice(candidate_lengths);
@@ -111,6 +113,8 @@ linalg::Matrix RocketTransform::Transform(const nn::Tensor& data) const {
   core::ParallelFor(0, n, 1, [&](std::int64_t lo, std::int64_t hi) {
     // Per-chunk scratch for the kernel's channel base pointers.
     std::vector<const double*> chan_ptrs;
+    // cancellation: a global stop abandons remaining chunks at ParallelFor
+    // boundaries; per-cell deadlines poll at rocket.fit / rocket.ridge.
     for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
       for (int k = 0; k < num_kernels_; ++k) {
         const RocketKernel& kernel = kernels_[static_cast<size_t>(k)];

@@ -63,7 +63,7 @@ class RocketClassifier : public Classifier {
   void Fit(const core::Dataset& train) override;
   /// Surfaces ridge-solve failures (after alpha escalation is exhausted)
   /// instead of aborting.
-  core::Status TryFit(const core::Dataset& train) override;
+  [[nodiscard]] core::Status TryFit(const core::Dataset& train) override;
   std::vector<int> Predict(const core::Dataset& test) override;
 
   const RocketTransform& transform() const { return transform_; }

@@ -32,6 +32,12 @@ namespace tsaug::core {
 /// Clock reads never feed seeds or results: a deadline only decides
 /// *whether* a cell completes, never *what* it computes, so completed
 /// cells stay bitwise deterministic.
+///
+/// Concurrency: all shared state here is plain std::atomic, deliberately
+/// outside the annotated Mutex layer (core/thread_annotations.h). A poll
+/// is one relaxed load on every hot loop's path, and the global stop
+/// flag must be storable from a signal handler, where taking any lock is
+/// undefined; there are no multi-word invariants for a mutex to protect.
 
 namespace detail {
 struct StopState;

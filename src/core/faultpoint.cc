@@ -4,9 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <utility>
 #include <vector>
+
+#include "core/thread_annotations.h"
 
 namespace tsaug::core::fault {
 namespace {
@@ -24,14 +25,15 @@ struct Rule {
 /// lock when injection is enabled, so the disabled path stays a single
 /// relaxed atomic load (same contract as core/trace.cc).
 struct State {
-  std::mutex mu;
-  std::vector<Rule> rules;
+  Mutex mu;
+  std::vector<Rule> rules TSAUG_GUARDED_BY(mu);
   // Hits per (rule index, domain): determinism requires independent
   // counting per domain, because the pool assigns cells to workers in a
   // scheduling-dependent order.
-  std::map<std::pair<size_t, std::string>, std::int64_t> rule_hits;
+  std::map<std::pair<size_t, std::string>, std::int64_t> rule_hits
+      TSAUG_GUARDED_BY(mu);
   // Hits per point (all domains), for test introspection.
-  std::map<std::string, std::int64_t> point_hits;
+  std::map<std::string, std::int64_t> point_hits TSAUG_GUARDED_BY(mu);
 };
 
 State& GetState() {
@@ -125,7 +127,7 @@ bool Enabled() {
 
 void SetSpec(const std::string& spec) {
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.rules = ParseSpec(spec);
   state.rule_hits.clear();
   state.point_hits.clear();
@@ -137,7 +139,7 @@ void Clear() { SetSpec(""); }
 bool ShouldFail(const char* point) {
   if (!Enabled()) return false;
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   const std::string& domain = ThreadDomain();
   state.point_hits[point] += 1;
   bool fire = false;
@@ -169,7 +171,7 @@ bool ShouldFail(const char* point) {
 std::int64_t HitCount(const std::string& point) {
   if (!Enabled()) return 0;
   State& state = GetState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   const auto it = state.point_hits.find(point);
   return it != state.point_hits.end() ? it->second : 0;
 }

@@ -13,35 +13,50 @@ namespace {
 
 // Encoded resolved backend: 0 = unresolved, 1 = scalar, 2 = simd.
 // Plain int (not Backend) keeps the atomic's zero-init constant so this TU
-// has no dynamic initialiser.
+// has no dynamic initialiser. This is the seam's only shared mutable
+// state, and it is deliberately lock-free rather than mutex-guarded
+// (core/thread_annotations.h): resolution is an idempotent benign race,
+// SetBackend is a single release store, and every dispatch pays one
+// acquire load — a capability here would serialise the hot path the
+// kernel tables exist to parallelise.
 std::atomic<int> g_backend{0};
 
 int Encode(Backend b) { return b == Backend::kSimd ? 2 : 1; }
 Backend Decode(int v) { return v == 2 ? Backend::kSimd : Backend::kScalar; }
 
-/// Reads TSAUG_BACKEND and picks the backend: "scalar" and "simd" force a
-/// table ("simd" falls back to scalar, with a stderr note, when the table
-/// is unavailable); anything else — including unset — auto-detects and
-/// takes the fastest table present.
+/// Applies ParseBackendSpec to TSAUG_BACKEND and picks the table: a
+/// forced "simd" falls back to scalar, with a stderr note, when the table
+/// is unavailable; auto-detect takes the fastest table present.
 Backend Resolve() {
-  const char* env = std::getenv("TSAUG_BACKEND");
-  if (env != nullptr && std::strcmp(env, "scalar") == 0) {
-    return Backend::kScalar;
-  }
-  if (env != nullptr && std::strcmp(env, "simd") == 0) {
-    if (SimdKernels() == nullptr) {
-      std::fprintf(stderr,
-                   "tsaug: TSAUG_BACKEND=simd requested but the SIMD backend "
-                   "is unavailable (not compiled in or unsupported CPU); "
-                   "using the scalar backend.\n");
+  switch (ParseBackendSpec(std::getenv("TSAUG_BACKEND"))) {
+    case BackendSpec::kForceScalar:
       return Backend::kScalar;
-    }
-    return Backend::kSimd;
+    case BackendSpec::kForceSimd:
+      if (SimdKernels() == nullptr) {
+        std::fprintf(stderr,
+                     "tsaug: TSAUG_BACKEND=simd requested but the SIMD "
+                     "backend is unavailable (not compiled in or unsupported "
+                     "CPU); using the scalar backend.\n");
+        return Backend::kScalar;
+      }
+      return Backend::kSimd;
+    case BackendSpec::kAuto:
+      break;
   }
   return SimdKernels() != nullptr ? Backend::kSimd : Backend::kScalar;
 }
 
 }  // namespace
+
+BackendSpec ParseBackendSpec(const char* value) {
+  if (value != nullptr && std::strcmp(value, "scalar") == 0) {
+    return BackendSpec::kForceScalar;
+  }
+  if (value != nullptr && std::strcmp(value, "simd") == 0) {
+    return BackendSpec::kForceSimd;
+  }
+  return BackendSpec::kAuto;
+}
 
 Backend ActiveBackend() {
   int v = g_backend.load(std::memory_order_acquire);

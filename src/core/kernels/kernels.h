@@ -129,9 +129,24 @@ Backend ActiveBackend();
 
 /// Overrides the backend at runtime (tests / benchmarks / A-B runs).
 /// Requesting kSimd when unavailable falls back to kScalar and returns
-/// the backend actually installed. Not safe to call concurrently with
-/// in-flight kernels.
+/// the backend actually installed. Concurrent SetBackend/ActiveBackend
+/// calls are data-race-free (one atomic backend word) — but a kernel
+/// already dispatched keeps running on the table it grabbed, so switch
+/// only between workloads when bitwise output identity matters.
 Backend SetBackend(Backend backend);
+
+/// How a TSAUG_BACKEND value resolves.
+enum class BackendSpec {
+  kForceScalar,  ///< "scalar": always the portable reference table
+  kForceSimd,    ///< "simd": the AVX2 table (scalar + stderr note if absent)
+  kAuto,         ///< anything else: fastest table available on this CPU
+};
+
+/// Parses a TSAUG_BACKEND string. Matching is exact and case-sensitive:
+/// "scalar" and "simd" force a table; null, empty, mixed-case and unknown
+/// values all mean auto-detect. Exposed for tests — the real env read
+/// happens once, at the first ActiveBackend() call.
+BackendSpec ParseBackendSpec(const char* value);
 
 /// True when the SIMD table is compiled in and the CPU supports it.
 bool SimdAvailable();

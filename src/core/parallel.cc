@@ -2,14 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
-#include <condition_variable>
 #include <cstdlib>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/cancel.h"
 #include "core/check.h"
+#include "core/thread_annotations.h"
 #include "core/trace.h"
 
 namespace tsaug::core {
@@ -33,9 +32,9 @@ struct Batch {
   /// never rise again.
   std::atomic<int> active_workers{0};
 
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first exception only, guarded by mu
+  Mutex mu;
+  CondVar done_cv;
+  std::exception_ptr error TSAUG_GUARDED_BY(mu);  // first exception only
 
   /// Claims and runs chunks until the range is drained or an error
   /// stopped the batch. `from_worker` labels the trace stats: chunks a
@@ -63,7 +62,7 @@ struct Batch {
       try {
         (*fn)(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!error) error = std::current_exception();
         stop.store(true, std::memory_order_relaxed);
       }
@@ -88,25 +87,25 @@ class ThreadPool {
     return *pool;
   }
 
-  int num_threads() {
-    std::lock_guard<std::mutex> lock(config_mu_);
+  int num_threads() TSAUG_EXCLUDES(config_mu_) {
+    MutexLock lock(config_mu_);
     return num_threads_;
   }
 
-  void set_num_threads(int n) {
-    std::lock_guard<std::mutex> lock(config_mu_);
+  void set_num_threads(int n) TSAUG_EXCLUDES(config_mu_) {
+    MutexLock lock(config_mu_);
     num_threads_ = std::clamp(n, 1, kMaxThreads);
   }
 
-  void Run(Batch& batch) {
-    std::unique_lock<std::mutex> submit(submit_mu_);
+  void Run(Batch& batch) TSAUG_EXCLUDES(submit_mu_, wake_mu_) {
+    MutexLock submit(submit_mu_);
     EnsureWorkers(num_threads() - 1);
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       current_ = &batch;
       ++epoch_;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
 
     // The submitting thread works too; often it drains the whole range
     // before a worker even wakes up.
@@ -115,23 +114,25 @@ class ThreadPool {
     // Unpublish first: after this no new worker can attach, so once
     // active_workers reaches zero the batch is finished for good.
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       current_ = nullptr;
     }
+    std::exception_ptr error;
     {
-      std::unique_lock<std::mutex> lock(batch.mu);
-      batch.done_cv.wait(lock, [&] {
-        return batch.active_workers.load(std::memory_order_acquire) == 0 &&
-               batch.Drained();
-      });
+      MutexLock lock(batch.mu);
+      while (batch.active_workers.load(std::memory_order_acquire) != 0 ||
+             !batch.Drained()) {
+        batch.done_cv.Wait(batch.mu);
+      }
+      error = batch.error;
     }
-    if (batch.error) std::rethrow_exception(batch.error);
+    if (error) std::rethrow_exception(error);
   }
 
  private:
   ThreadPool() = default;
 
-  void EnsureWorkers(int target) {
+  void EnsureWorkers(int target) TSAUG_REQUIRES(submit_mu_) {
     const int have = static_cast<int>(workers_.size());
     if (have == target) return;
     if (have > target) StopWorkers();
@@ -140,29 +141,32 @@ class ThreadPool {
     }
   }
 
-  void StopWorkers() {
+  void StopWorkers() TSAUG_REQUIRES(submit_mu_) {
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       stopping_ = true;
     }
-    wake_cv_.notify_all();
+    wake_cv_.NotifyAll();
     for (std::thread& t : workers_) t.join();
     workers_.clear();
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       stopping_ = false;
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop() TSAUG_EXCLUDES(wake_mu_) {
     std::uint64_t seen_epoch = 0;
     for (;;) {
       Batch* batch = nullptr;
       {
-        std::unique_lock<std::mutex> lock(wake_mu_);
-        wake_cv_.wait(lock, [&] {
-          return stopping_ || (current_ != nullptr && epoch_ != seen_epoch);
-        });
+        // Explicit predicate loop (not a wait-with-lambda): every read of
+        // the guarded members happens right here, where the analysis can
+        // see wake_mu_ is held.
+        MutexLock lock(wake_mu_);
+        while (!stopping_ && (current_ == nullptr || epoch_ == seen_epoch)) {
+          wake_cv_.Wait(wake_mu_);
+        }
         if (stopping_) return;
         seen_epoch = epoch_;
         batch = current_;
@@ -175,26 +179,26 @@ class ThreadPool {
         // Notify under the lock: the submitter destroys the Batch as soon
         // as its predicate holds, so touching batch after releasing mu
         // (even just cv.notify) would race with that destruction.
-        std::lock_guard<std::mutex> lock(batch->mu);
+        MutexLock lock(batch->mu);
         batch->active_workers.fetch_sub(1, std::memory_order_acq_rel);
-        batch->done_cv.notify_all();
+        batch->done_cv.NotifyAll();
       }
     }
   }
 
-  std::mutex config_mu_;
-  int num_threads_ =
+  Mutex config_mu_;
+  int num_threads_ TSAUG_GUARDED_BY(config_mu_) =
       ParseNumThreads(std::getenv("TSAUG_NUM_THREADS"),
                       static_cast<int>(
                           std::max(1u, std::thread::hardware_concurrency())));
 
-  std::mutex submit_mu_;  // one live batch at a time
-  std::mutex wake_mu_;    // guards current_/epoch_/stopping_
-  std::condition_variable wake_cv_;
-  Batch* current_ = nullptr;
-  std::uint64_t epoch_ = 0;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  Mutex submit_mu_;  // one live batch at a time
+  Mutex wake_mu_;
+  CondVar wake_cv_;
+  Batch* current_ TSAUG_GUARDED_BY(wake_mu_) = nullptr;
+  std::uint64_t epoch_ TSAUG_GUARDED_BY(wake_mu_) = 0;
+  bool stopping_ TSAUG_GUARDED_BY(wake_mu_) = false;
+  std::vector<std::thread> workers_ TSAUG_GUARDED_BY(submit_mu_);
 };
 
 }  // namespace

@@ -32,7 +32,12 @@ enum class StatusCode {
 /// Stable lowercase name ("ok", "singular", ...), for reports and tests.
 const char* StatusCodeName(StatusCode code);
 
-class Status {
+/// [[nodiscard]]: a dropped Status is a silently swallowed failure, so
+/// ignoring any Status-returning call is a compile warning (-Werror in
+/// CI). The rare intentional discard is written `(void)Call();` and
+/// counted against a frozen per-file budget (lint rule
+/// status-discard-budget in tools/lint_tsaug.py).
+class [[nodiscard]] Status {
  public:
   /// Default construction is OK, so `Status s; ... return s;` works.
   Status() = default;
@@ -74,7 +79,7 @@ Status DeadlineExceededError(std::string context);
 /// Accessing value() on an error aborts (that is a programmer error: the
 /// caller must test ok() first).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT: implicit
   StatusOr(Status status) : status_(std::move(status)) {  // NOLINT: implicit

@@ -6,7 +6,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
-#include <mutex>
+
+#include "core/thread_annotations.h"
 
 namespace tsaug::core::trace {
 namespace {
@@ -34,20 +35,23 @@ struct TreeNode {
 
 /// Per-thread recording state. The mutex is uncontended on the hot path
 /// (only the owning thread takes it while recording); exporters take it
-/// briefly to read a consistent snapshot.
+/// briefly to read a consistent snapshot. `root` owns the tree `current`
+/// walks, so both carry the same guard.
 struct ThreadState {
-  std::mutex mu;
-  TreeNode root;  // sentinel: children are the thread's top-level scopes
-  TreeNode* current = &root;
-  std::map<std::string, std::int64_t> counters;
+  Mutex mu;
+  // sentinel: children are the thread's top-level scopes
+  TreeNode root TSAUG_GUARDED_BY(mu);
+  TreeNode* current TSAUG_GUARDED_BY(mu) = &root;
+  std::map<std::string, std::int64_t> counters TSAUG_GUARDED_BY(mu);
 };
 
 /// Registry of every thread that ever recorded. States are owned here and
 /// never freed, so data from exited pool workers survives to export time
 /// (the same leak-for-process-lifetime pattern as core/parallel.cc).
+/// Lock order where both are held: registry.mu before any state->mu.
 struct Registry {
-  std::mutex mu;
-  std::vector<std::unique_ptr<ThreadState>> states;
+  Mutex mu;
+  std::vector<std::unique_ptr<ThreadState>> states TSAUG_GUARDED_BY(mu);
 };
 
 Registry& GetRegistry() {
@@ -55,13 +59,17 @@ Registry& GetRegistry() {
   return *registry;
 }
 
+/// Named function (not a thread_local-init lambda) so the analysis sees
+/// the guarded push happen with registry.mu held.
+ThreadState* RegisterThreadState() {
+  Registry& registry = GetRegistry();
+  MutexLock lock(registry.mu);
+  registry.states.push_back(std::make_unique<ThreadState>());
+  return registry.states.back().get();
+}
+
 ThreadState& LocalState() {
-  thread_local ThreadState* state = [] {
-    Registry& registry = GetRegistry();
-    std::lock_guard<std::mutex> lock(registry.mu);
-    registry.states.push_back(std::make_unique<ThreadState>());
-    return registry.states.back().get();
-  }();
+  thread_local ThreadState* state = RegisterThreadState();
   return *state;
 }
 
@@ -170,9 +178,9 @@ void Disable() { EnabledFlag().store(false, std::memory_order_relaxed); }
 
 void Reset() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  MutexLock registry_lock(registry.mu);
   for (const auto& state : registry.states) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     state->root.children.clear();
     state->root.count = 0;
     state->root.total_ns = 0;
@@ -184,16 +192,16 @@ void Reset() {
 void AddCount(const char* name, std::int64_t delta) {
   if (!Enabled()) return;
   ThreadState& state = LocalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   state.counters[name] += delta;
 }
 
 std::int64_t CounterValue(const std::string& name) {
   std::int64_t total = 0;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  MutexLock registry_lock(registry.mu);
   for (const auto& state : registry.states) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     const auto it = state->counters.find(name);
     if (it != state->counters.end()) total += it->second;
   }
@@ -203,9 +211,9 @@ std::int64_t CounterValue(const std::string& name) {
 std::map<std::string, std::int64_t> Counters() {
   std::map<std::string, std::int64_t> merged;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  MutexLock registry_lock(registry.mu);
   for (const auto& state : registry.states) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     for (const auto& [name, value] : state->counters) merged[name] += value;
   }
   return merged;
@@ -216,7 +224,7 @@ Scope::Scope(const char* name) : Scope(std::string(name)) {}
 Scope::Scope(const std::string& name) {
   if (!Enabled()) return;
   ThreadState& state = LocalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   TreeNode* node = state.current->Child(name);
   state.current = node;
   node_ = node;
@@ -227,7 +235,7 @@ Scope::~Scope() {
   if (node_ == nullptr) return;
   const std::int64_t elapsed = NowNanos() - start_ns_;
   ThreadState& state = LocalState();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(state.mu);
   TreeNode* node = static_cast<TreeNode*>(node_);
   node->count += 1;
   node->total_ns += elapsed;
@@ -237,9 +245,9 @@ Scope::~Scope() {
 std::vector<ScopeStats> MergedScopes() {
   std::vector<ScopeStats> merged;
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> registry_lock(registry.mu);
+  MutexLock registry_lock(registry.mu);
   for (const auto& state : registry.states) {
-    std::lock_guard<std::mutex> lock(state->mu);
+    MutexLock lock(state->mu);
     for (const auto& child : state->root.children) {
       MergeNodeInto(*child, merged);
     }

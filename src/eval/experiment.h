@@ -138,7 +138,7 @@ double TrainAndScore(const ExperimentConfig& config,
 
 /// Recoverable variant of TrainAndScore(): returns the Status of a model
 /// whose training failed after its recovery policies were exhausted.
-core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
+[[nodiscard]] core::StatusOr<ScoreOutcome> TryTrainAndScore(const ExperimentConfig& config,
                                               const core::Dataset& train,
                                               const core::Dataset& validation,
                                               const core::Dataset& test,
@@ -165,7 +165,7 @@ std::string ConfigFingerprint(
 /// stop) discards the partially-evaluated run, marks the row interrupted
 /// and returns what completed — with every finished cell already flushed
 /// to the journal.
-core::StatusOr<DatasetRow> TryRunDatasetGrid(
+[[nodiscard]] core::StatusOr<DatasetRow> TryRunDatasetGrid(
     const std::string& name, const data::TrainTest& data,
     const std::vector<std::shared_ptr<augment::Augmenter>>& techniques,
     const ExperimentConfig& config, Journal* journal = nullptr);

@@ -247,12 +247,14 @@ std::uint32_t Crc32(const std::string& data) {
 }
 
 Journal::~Journal() {
+  core::MutexLock lock(append_mu_);
   if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
 }
 
 core::Status Journal::Open(const std::string& path,
                            const std::string& fingerprint) {
-  TSAUG_CHECK_MSG(file_ == nullptr, "Journal::Open called twice");
+  TSAUG_CHECK_MSG(!is_open(), "Journal::Open called twice");
   path_ = path;
   cells_.clear();
   loaded_ = 0;
@@ -322,30 +324,31 @@ core::Status Journal::Open(const std::string& path,
   }
   loaded_ = static_cast<int>(cells_.size());
 
-  file_ = std::fopen(path.c_str(), "ab");
-  if (file_ == nullptr) {
+  std::FILE* appender = std::fopen(path.c_str(), "ab");
+  if (appender == nullptr) {
     return core::DegenerateInputError("journal: cannot open " + path +
                                       " for append");
   }
   if (!header_seen) {
     const std::string line = GuardLine(HeaderBody(fingerprint));
-    if (std::fwrite(line.data(), 1, line.size(), file_) != line.size() ||
-        std::fflush(file_) != 0) {
-      std::fclose(file_);
-      file_ = nullptr;
+    if (std::fwrite(line.data(), 1, line.size(), appender) != line.size() ||
+        std::fflush(appender) != 0) {
+      std::fclose(appender);
       return core::DegenerateInputError("journal: cannot write header to " +
                                         path);
     }
   }
+  core::MutexLock lock(append_mu_);
+  file_ = appender;
   return core::OkStatus();
 }
 
 core::Status Journal::Append(const JournalCell& cell) {
+  const std::string line = GuardLine(CellBody(cell));
+  core::MutexLock lock(append_mu_);
   if (file_ == nullptr) {
     return core::DegenerateInputError("journal: Append on a closed journal");
   }
-  const std::string line = GuardLine(CellBody(cell));
-  std::lock_guard<std::mutex> lock(append_mu_);
   if (core::fault::ShouldFail("journal.flush")) {
     return core::fault::InjectedAt("journal.flush");
   }

@@ -4,11 +4,11 @@
 #include <cstdint>
 #include <cstdio>
 #include <map>
-#include <mutex>
 #include <string>
 #include <tuple>
 
 #include "core/status.h"
+#include "core/thread_annotations.h"
 
 namespace tsaug::eval {
 
@@ -57,16 +57,23 @@ class Journal {
 
   /// Loads `path` (creating it if absent), validates every record's CRC,
   /// checks the header against `fingerprint`, and reopens for append.
-  core::Status Open(const std::string& path, const std::string& fingerprint);
+  /// Must complete before the journal is shared across threads: the
+  /// restored-cell map and counters are written here once and read-only
+  /// afterwards (only `file_`, which Append keeps writing, is guarded).
+  core::Status Open(const std::string& path, const std::string& fingerprint)
+      TSAUG_EXCLUDES(append_mu_);
 
-  bool is_open() const { return file_ != nullptr; }
+  bool is_open() const TSAUG_EXCLUDES(append_mu_) {
+    core::MutexLock lock(append_mu_);
+    return file_ != nullptr;
+  }
   const std::string& path() const { return path_; }
 
   /// Appends one completed cell and flushes. Thread-safe. Consults the
   /// "journal.flush" fault point first, so tests can inject a write
   /// failure (`journal.flush:N`) or kill the process mid-grid
   /// (`journal.flush:N!`).
-  core::Status Append(const JournalCell& cell);
+  core::Status Append(const JournalCell& cell) TSAUG_EXCLUDES(append_mu_);
 
   /// The cell loaded from disk at Open() time, or nullptr if it must be
   /// (re-)run. Cells appended by this process are not returned: they were
@@ -80,12 +87,16 @@ class Journal {
   int dropped_lines() const { return dropped_; }
 
  private:
+  // Written by Open() before the journal is shared, read-only afterwards.
   std::string path_;
-  std::FILE* file_ = nullptr;
   std::map<std::tuple<std::string, int, int>, JournalCell> cells_;
   int loaded_ = 0;
   int dropped_ = 0;
-  std::mutex append_mu_;
+
+  // The append stream: concurrently written by grid workers, so the handle
+  // and every write/flush through it stay under the annotated mutex.
+  mutable core::Mutex append_mu_;
+  std::FILE* file_ TSAUG_GUARDED_BY(append_mu_) = nullptr;
 };
 
 /// CRC-32 (IEEE 802.3) of `data`, for the journal's per-line guard.

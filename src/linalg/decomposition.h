@@ -22,7 +22,7 @@ Matrix CholeskySolve(Matrix a, const Matrix& b);
 /// Whether A factorises is a property of the input data, so exhausting the
 /// jitter schedule is a recoverable kSingular error, not an abort; callers
 /// with a recovery policy (e.g. ridge alpha escalation) use this form.
-core::StatusOr<Matrix> TryCholeskySolveJittered(const Matrix& a,
+[[nodiscard]] core::StatusOr<Matrix> TryCholeskySolveJittered(const Matrix& a,
                                                 const Matrix& b,
                                                 double initial_jitter = 1e-10);
 

@@ -20,7 +20,7 @@ class RidgeRegression {
   /// Fits on `x` (n x d) against targets `y` (n x k). Returns kSingular
   /// when the regularised Gram matrix cannot be factorised even after the
   /// jitter schedule (fault point: "ridge.solve").
-  core::Status TryFit(const Matrix& x, const Matrix& y, double alpha);
+  [[nodiscard]] core::Status TryFit(const Matrix& x, const Matrix& y, double alpha);
 
   /// Aborting wrapper over TryFit for callers without a recovery policy.
   void Fit(const Matrix& x, const Matrix& y, double alpha);
@@ -57,7 +57,7 @@ class RidgeClassifierCV {
   ///    fault) degrades to the default mid-grid alpha instead of failing;
   ///  - a singular final solve escalates alpha tenfold up to a bounded
   ///    number of retries before reporting kSingular.
-  core::Status TryFit(const Matrix& x, const std::vector<int>& labels,
+  [[nodiscard]] core::Status TryFit(const Matrix& x, const std::vector<int>& labels,
                       int num_classes);
 
   /// Aborting wrapper over TryFit for callers without a recovery policy.

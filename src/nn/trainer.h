@@ -74,7 +74,7 @@ double FindLearningRate(SequenceClassifierNet& net, const Tensor& x,
 /// rate is halved, the Adam state is reset, and training continues; after
 /// TrainerConfig::max_divergence_retries such recoveries the next
 /// divergence returns kDiverged.
-core::StatusOr<TrainResult> TryTrainClassifier(
+[[nodiscard]] core::StatusOr<TrainResult> TryTrainClassifier(
     SequenceClassifierNet& net, const Tensor& x_train,
     const std::vector<int>& y_train, const Tensor& x_val,
     const std::vector<int>& y_val, const TrainerConfig& config,

@@ -275,8 +275,10 @@ TEST(TraceScopes, WorkerThreadTreesMergeOnExport) {
   { TSAUG_TRACE_SCOPE("trace_test.shared"); }
   std::thread worker([] { TSAUG_TRACE_SCOPE("trace_test.shared"); });
   worker.join();
-  const trace::ScopeStats* shared =
-      FindScope(trace::MergedScopes(), "trace_test.shared");
+  // Keep the merged tree alive past the lookup: FindScope returns a
+  // pointer into this vector.
+  const std::vector<trace::ScopeStats> scopes = trace::MergedScopes();
+  const trace::ScopeStats* shared = FindScope(scopes, "trace_test.shared");
   ASSERT_NE(shared, nullptr);
   EXPECT_EQ(shared->count, 2);
 }

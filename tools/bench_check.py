@@ -2,43 +2,91 @@
 """Compares a fresh BENCH_kernels.json against the committed baseline.
 
 The kernel bench (bench/bench_kernels) writes one entry per
-(workload, backend, threads) triple with ns/op. This gate enforces two
+(workload, backend, threads) triple with ns/op. This gate enforces three
 properties:
 
   1. No regression: a fresh entry may not be more than REGRESSION_SLACK
-     slower than the matching baseline entry. Entries present in only
-     one file are reported but never fail the gate (a host without AVX2
-     legitimately emits no simd entries).
-  2. --require-speedup: the simd backend must beat scalar by at least
+     slower than the matching baseline entry.
+  2. No silent disappearance: a scalar baseline entry with no fresh
+     counterpart fails the gate — every host can produce scalar numbers,
+     so a vanished key means the bench lost a workload (renamed, skipped,
+     crashed) and the gate would otherwise pass on thin air. Missing simd
+     entries are only noted: a host without AVX2 legitimately emits none.
+  3. --require-speedup: the simd backend must beat scalar by at least
      SPEEDUP_FLOOR x on the tentpole workloads (ROCKET transform and
      matmul) in the FRESH results. Skipped with a note when the fresh
      run has no simd entries.
+
+Every failure mode exits with a one-line diagnosis, never a traceback:
+a missing or unreadable file, malformed JSON, and entries lacking the
+name/backend/threads/ns_per_op fields all say what is wrong with which
+file (exit 2); gate failures list each offending workload (exit 1).
 
 Exit status 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
 
 Usage:
   python3 tools/bench_check.py BASELINE.json FRESH.json [--require-speedup]
+  python3 tools/bench_check.py --self-test
 """
 
 import json
+import os
+import subprocess
 import sys
+import tempfile
 
 REGRESSION_SLACK = 1.30   # fail when fresh > baseline * 1.30
 SPEEDUP_FLOOR = 2.0       # simd must be >= 2x scalar on these workloads...
 SPEEDUP_WORKLOADS = ("rocket_transform", "matmul")  # ...at every thread count
 
+ENTRY_FIELDS = ("name", "backend", "threads", "ns_per_op")
 
-def load(path):
+
+def fail_usage(message):
+    print(f"bench_check: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def load(path, role):
+    """Parses one results file into {(name, backend, threads): ns_per_op},
+    exiting 2 with a diagnosis (not a traceback) on any malformation."""
+    if not os.path.exists(path):
+        hint = ("the committed baseline is gone — regenerate it with "
+                "./build/bench/bench_kernels and commit the file"
+                if role == "baseline" else
+                "the bench run that should have produced it failed or "
+                "wrote elsewhere")
+        fail_usage(f"{role} file {path} does not exist; {hint}")
     try:
         with open(path, encoding="utf-8") as f:
             data = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
-        print(f"bench_check: cannot read {path}: {e}", file=sys.stderr)
-        sys.exit(2)
+    except OSError as e:
+        fail_usage(f"cannot read {role} file {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail_usage(f"{role} file {path} is not valid JSON "
+                   f"(line {e.lineno}): {e.msg}")
+    if not isinstance(data, dict) or not isinstance(
+            data.get("benchmarks"), list):
+        fail_usage(f"{role} file {path} has no top-level \"benchmarks\" "
+                   "list; is this really bench_kernels output?")
     entries = {}
-    for b in data.get("benchmarks", []):
-        key = (b["name"], b["backend"], int(b["threads"]))
-        entries[key] = float(b["ns_per_op"])
+    for i, b in enumerate(data["benchmarks"]):
+        if not isinstance(b, dict):
+            fail_usage(f"{role} file {path}: benchmarks[{i}] is not an "
+                       "object")
+        missing = [k for k in ENTRY_FIELDS if k not in b]
+        if missing:
+            fail_usage(f"{role} file {path}: benchmarks[{i}] lacks "
+                       f"field(s) {', '.join(missing)} "
+                       f"(got {sorted(b.keys())})")
+        try:
+            key = (str(b["name"]), str(b["backend"]), int(b["threads"]))
+            entries[key] = float(b["ns_per_op"])
+        except (TypeError, ValueError) as e:
+            fail_usage(f"{role} file {path}: benchmarks[{i}] has a "
+                       f"non-numeric threads/ns_per_op: {e}")
+    if not entries:
+        fail_usage(f"{role} file {path} contains zero benchmark entries")
     return entries
 
 
@@ -47,7 +95,15 @@ def check_regressions(baseline, fresh):
     for key in sorted(set(baseline) | set(fresh)):
         name = f"{key[0]} [{key[1]}, {key[2]} thread(s)]"
         if key not in fresh:
-            print(f"  note: {name} missing from fresh results; skipped")
+            if key[1] == "simd":
+                print(f"  note: {name} missing from fresh results "
+                      "(host without AVX2?); skipped")
+            else:
+                failures.append(
+                    f"{name}: present in the baseline but missing from the "
+                    "fresh results — the bench lost this workload (renamed, "
+                    "skipped or crashed); a gate cannot pass on absent data")
+                print(f"  DISAPPEARED: {name} has no fresh entry")
             continue
         if key not in baseline:
             print(f"  note: {name} has no baseline yet; skipped")
@@ -91,14 +147,97 @@ def check_speedup(fresh):
     return failures
 
 
+# --- self-test ---------------------------------------------------------------
+
+def bench_doc(entries):
+    return {"benchmarks": [
+        {"name": n, "backend": b, "threads": t, "ns_per_op": ns}
+        for (n, b, t, ns) in entries]}
+
+
+def self_test():
+    """Exercises every documented exit path in a child process per case,
+    asserting both the exit status and that stderr/stdout carries the
+    promised diagnosis (and never a traceback)."""
+    ok = True
+
+    def run_case(label, argv, want_status, want_text):
+        nonlocal ok
+        proc = subprocess.run(
+            [sys.executable, os.path.abspath(__file__)] + argv,
+            capture_output=True, text=True)
+        output = proc.stdout + proc.stderr
+        good = (proc.returncode == want_status
+                and want_text in output
+                and "Traceback" not in output)
+        if not good:
+            ok = False
+            print(f"self-test FAIL [{label}]: status {proc.returncode} "
+                  f"(want {want_status}), output:\n{output}")
+        else:
+            print(f"self-test ok [{label}]")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        def write(name, payload):
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as f:
+                if isinstance(payload, str):
+                    f.write(payload)
+                else:
+                    json.dump(payload, f)
+            return path
+
+        base = write("base.json", bench_doc([
+            ("matmul", "scalar", 1, 100.0), ("matmul", "simd", 1, 40.0)]))
+        same = write("same.json", bench_doc([
+            ("matmul", "scalar", 1, 100.0), ("matmul", "simd", 1, 40.0)]))
+        run_case("clean pass", [base, same, "--require-speedup"],
+                 0, "bench_check: OK")
+
+        run_case("missing baseline",
+                 [os.path.join(tmp, "nope.json"), same],
+                 2, "does not exist")
+        run_case("malformed json", [write("junk.json", "{not json"), same],
+                 2, "not valid JSON")
+        run_case("wrong shape", [write("shape.json", {"runs": []}), same],
+                 2, "no top-level \"benchmarks\" list")
+        run_case("entry lacks field",
+                 [write("nofield.json",
+                        {"benchmarks": [{"name": "matmul"}]}), same],
+                 2, "lacks field(s)")
+
+        slow = write("slow.json", bench_doc([
+            ("matmul", "scalar", 1, 500.0), ("matmul", "simd", 1, 40.0)]))
+        run_case("regression", [base, slow], 1, "REGRESSION")
+
+        lost = write("lost.json", bench_doc([("other", "scalar", 1, 1.0)]))
+        run_case("scalar key disappeared", [base, lost],
+                 1, "missing from the fresh results")
+
+        noavx = write("noavx.json",
+                      bench_doc([("matmul", "scalar", 1, 100.0)]))
+        run_case("missing simd is a note", [base, noavx, "--require-speedup"],
+                 0, "speedup floor skipped")
+
+        slow_simd = write("slow_simd.json", bench_doc([
+            ("matmul", "scalar", 1, 100.0), ("matmul", "simd", 1, 90.0)]))
+        run_case("speedup floor", [base, slow_simd, "--require-speedup"],
+                 1, "TOO SLOW")
+
+    print("bench_check: self-test " + ("OK" if ok else "FAILED"))
+    return 0 if ok else 1
+
+
 def main():
     args = [a for a in sys.argv[1:] if not a.startswith("--")]
     flags = {a for a in sys.argv[1:] if a.startswith("--")}
+    if flags == {"--self-test"} and not args:
+        sys.exit(self_test())
     unknown = flags - {"--require-speedup"}
     if len(args) != 2 or unknown:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
-    baseline, fresh = load(args[0]), load(args[1])
+    baseline, fresh = load(args[0], "baseline"), load(args[1], "fresh")
 
     print(f"bench_check: {len(baseline)} baseline / {len(fresh)} fresh "
           "entries")

@@ -47,6 +47,27 @@ clang-tidy) cannot express:
                         runtime-dispatched KernelTable, so a build without
                         the SIMD backend — or a future non-x86 port — never
                         touches intrinsics outside that one directory.
+  mutex-annotation      No raw std::mutex / std::shared_mutex / lock_guard /
+                        unique_lock / condition_variable tokens in src/
+                        outside src/core/thread_annotations.h: shared state
+                        is guarded by the annotated wrappers (Mutex,
+                        MutexLock, CondVar) so clang's -Wthread-safety can
+                        prove every guarded access holds the right lock. A
+                        raw standard mutex is invisible to that analysis.
+  cancellation-poll     In src/**/*.cc files that participate in cooperative
+                        stop (they include core/cancel.h), every outermost
+                        brace-delimited for/while loop spanning >= 30 lines
+                        must either poll (CheckStop / stop_requested /
+                        GlobalStopRequested) or carry a nearby // comment
+                        containing "cancel" that says why polling is not
+                        needed. Long unpolled loops are where a cancelled or
+                        deadline-overrun experiment cell stops responding.
+  status-discard-budget Every Status / StatusOr return is [[nodiscard]]; the
+                        rare intentional discard is written `(void)Call();`
+                        and counted against a frozen per-file budget.
+                        Growing a file's `(void)` count means a new failure
+                        is being silently swallowed — handle the Status, or
+                        raise the budget in the same change and justify it.
 
 Exit status: 0 when clean, 1 when violations were found (one
 "file:line: [rule] message" per line on stdout), 2 on usage errors.
@@ -101,6 +122,45 @@ INTRINSICS_RE = re.compile(
     r'#\s*include\s*[<"](?:[A-Za-z0-9_]*intrin|arm_neon|arm_sve)\.h[>"]')
 SIMD_ALLOWED_PREFIX = "src/core/kernels/"
 
+# mutex-annotation: the raw standard lock vocabulary. lock_guard /
+# unique_lock / scoped_lock are banned alongside the mutex types because
+# locking a wrapped Mutex through its native_handle() with a std RAII type
+# would bypass the acquire/release annotations just as thoroughly.
+RAW_MUTEX_RE = re.compile(
+    r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
+    r"recursive_timed_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+MUTEX_EXEMPT = ("src/core/thread_annotations.h",)
+
+# cancellation-poll: outermost loops at least this many lines long in
+# cancel-aware .cc files must poll or justify. The threshold is calibrated
+# so per-sample generation loops (the multi-second work units) are caught
+# while small fixed-trip-count loops stay out of scope.
+CANCEL_INCLUDE_RE = re.compile(r'#\s*include\s*"core/cancel\.h"')
+LOOP_HEAD_RE = re.compile(r"^\s*(?:for|while)\s*\(")
+CANCEL_POLL_RE = re.compile(
+    r"CheckStop|stop_requested|GlobalStopRequested")
+CANCEL_COMMENT_RE = re.compile(r"//.*cancel", re.IGNORECASE)
+CANCEL_LOOP_SPAN = 30       # lines, loop head through closing brace
+CANCEL_COMMENT_WINDOW = 3   # lines above the loop head searched for a comment
+
+# status-discard-budget: frozen per-file `(void)` discard counts. Status and
+# StatusOr are [[nodiscard]] (src/core/status.h), so an intentional discard
+# is always spelled `(void)Call();` — these are the sanctioned sites.
+VOID_DISCARD_RE = re.compile(r"\(void\)\s*[A-Za-z_(:]")
+STATUS_DISCARD_BUDGET = {
+    # TSAUG_DCHECK evaluates its condition as (void)(cond) in release.
+    "src/core/check.h": 1,
+    # Best-effort fault-spec parse diagnostics / stderr flush.
+    "src/core/faultpoint.cc": 1,
+    "src/core/io.cc": 2,
+    # Parameter-pack expansion over unused gradient slots.
+    "src/nn/layers.h": 3,
+    # Benchmark bodies discard results to keep the measured loop tight;
+    # DoNotOptimize provides the side effect.
+    "bench/bench_kernels.cc": 4,
+}
+
 CHECK_RE = re.compile(r"\bTSAUG_CHECK(?:_MSG)?\s*\(")
 CHECK_BUDGET_DIRS = ("src/linalg/", "src/augment/", "src/nn/")
 CHECK_BUDGET = {
@@ -142,12 +202,79 @@ def strip_line_comment(line):
     return line if pos < 0 else line[:pos]
 
 
+def find_loops(lines):
+    """Returns (start, end) 1-based line spans of brace-delimited for/while
+    loops. Braceless single-statement loops are skipped (they cannot span
+    enough lines to matter for the cancellation-poll rule)."""
+    loops = []
+    n = len(lines)
+    for i in range(n):
+        if not LOOP_HEAD_RE.match(strip_line_comment(lines[i])):
+            continue
+        depth = 0
+        opened = False
+        end = None
+        for j in range(i, n):
+            for ch in strip_line_comment(lines[j]):
+                if ch == "{":
+                    depth += 1
+                    opened = True
+                elif ch == "}":
+                    depth -= 1
+                    if opened and depth == 0:
+                        end = j
+                        break
+            if end is not None:
+                break
+            # A loop header can wrap, but if no brace opened within a few
+            # lines this is a braceless loop — skip it.
+            if not opened and j - i >= 3:
+                break
+        if end is not None:
+            loops.append((i + 1, end + 1))
+    return loops
+
+
+def lint_cancellation_polls(rel, lines, violations):
+    """cancellation-poll: see the module docstring. Only outermost loops are
+    checked — an inner loop is covered by its enclosing loop's poll."""
+    if not any(CANCEL_INCLUDE_RE.search(line) for line in lines):
+        return
+    loops = find_loops(lines)
+    for (start, end) in loops:
+        if end - start + 1 < CANCEL_LOOP_SPAN:
+            continue
+        if any(o_start < start <= o_end for (o_start, o_end) in loops
+               if (o_start, o_end) != (start, end)):
+            continue  # nested: the outermost loop carries the obligation
+        body = lines[start - 1:end]
+        if any(CANCEL_POLL_RE.search(strip_line_comment(l)) for l in body):
+            continue
+        window = lines[max(0, start - 1 - CANCEL_COMMENT_WINDOW):end]
+        if any(CANCEL_COMMENT_RE.search(l) for l in window):
+            continue
+        violations.append(
+            (rel, start, "cancellation-poll",
+             f"{end - start + 1}-line loop in a cancel-aware file neither "
+             "polls CheckStop nor carries a // comment (mentioning "
+             "\"cancel\") saying why a stopped run need not interrupt it"))
+
+
 def lint_file(rel, lines, violations):
     is_header = rel.endswith((".h", ".hpp"))
     in_src = rel.startswith("src/")
     check_lines = []
+    void_lines = []
     for i, raw in enumerate(lines, start=1):
         line = strip_line_comment(raw)
+        if in_src and rel not in MUTEX_EXEMPT and RAW_MUTEX_RE.search(line):
+            violations.append((rel, i, "mutex-annotation",
+                               "raw standard mutex/lock type in src/; use the "
+                               "annotated Mutex/MutexLock/CondVar wrappers "
+                               "(core/thread_annotations.h) so clang "
+                               "-Wthread-safety can check the guard"))
+        if VOID_DISCARD_RE.search(line):
+            void_lines.append(i)
         if rel not in RNG_EXEMPT and RNG_RE.search(line):
             violations.append((rel, i, "rng-discipline",
                                "raw RNG engine/seed source; construct RNGs "
@@ -194,6 +321,16 @@ def lint_file(rel, lines, violations):
                          "ParallelFor body captures by reference without a "
                          "nearby comment justifying determinism (say how "
                          "writes are disjoint / order is fixed)"))
+    discard_budget = STATUS_DISCARD_BUDGET.get(rel, 0)
+    if len(void_lines) > discard_budget:
+        violations.append(
+            (rel, void_lines[discard_budget], "status-discard-budget",
+             f"{len(void_lines)} `(void)` discards exceed this file's frozen "
+             f"budget of {discard_budget}; a dropped Status is a silently "
+             "swallowed failure — handle it, or raise the budget in "
+             "tools/lint_tsaug.py and justify the discard"))
+    if in_src and rel.endswith(".cc"):
+        lint_cancellation_polls(rel, lines, violations)
     budget = CHECK_BUDGET.get(rel, 0)
     if len(check_lines) > budget:
         # Anchor the report on the first site beyond the budget: with an
@@ -270,7 +407,8 @@ def self_test(repo_root):
     rules_covered = {rule for (_, _, rule) in expected}
     all_rules = {"rng-discipline", "check-macro", "test-registration",
                  "no-iostream-header", "no-wall-clock", "parallel-capture",
-                 "check-budget", "simd-confinement"}
+                 "check-budget", "simd-confinement", "mutex-annotation",
+                 "cancellation-poll", "status-discard-budget"}
     for rule in sorted(all_rules - rules_covered):
         ok = False
         print(f"self-test: no fixture exercises rule [{rule}]")

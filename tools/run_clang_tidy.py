@@ -56,6 +56,24 @@ def main():
               "compilation database", file=sys.stderr)
         return 2
 
+    # Report how many checks the repo's .clang-tidy actually enables: a
+    # malformed Checks glob (a typo'd group, a stray comma) silently
+    # shrinks the check set, and this count is the tripwire. The literal
+    # config on stderr is noise here; only the list matters.
+    proc = subprocess.run([tidy, "--list-checks"],
+                          stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                          text=True, cwd=os.path.dirname(db_path) or ".")
+    enabled = [line.strip() for line in proc.stdout.splitlines()
+               if line.startswith("    ")]
+    if enabled:
+        groups = sorted({c.split("-", 1)[0] for c in enabled})
+        print(f"run_clang_tidy: {len(enabled)} checks enabled "
+              f"({', '.join(groups)})")
+    else:
+        print("run_clang_tidy: warning: --list-checks reported no enabled "
+              "checks; the .clang-tidy Checks glob may be malformed",
+              file=sys.stderr)
+
     print(f"run_clang_tidy: {tidy} over {len(sources)} files")
     failed = 0
     for src in sources:

@@ -1,0 +1,11 @@
+// Fixture: a `(void)` discard in a file with no frozen budget entry
+// (budget 0) must be reported (status-discard-budget) at the discard site.
+namespace fixture {
+
+int Compute();
+
+void Caller() {
+  (void)Compute();
+}
+
+}  // namespace fixture

@@ -1,0 +1,8 @@
+// Fixture: a raw standard mutex outside core/thread_annotations.h must be
+// reported (mutex-annotation) — an unannotated lock is invisible to clang's
+// -Wthread-safety analysis, so guarded state silently loses its checking.
+#include <mutex>
+
+namespace fixture {
+std::mutex g_lock;
+}  // namespace fixture

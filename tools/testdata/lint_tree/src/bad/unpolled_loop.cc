@@ -1,0 +1,130 @@
+// Fixture for the cancellation-poll rule: this file participates in
+// cooperative stop (it includes core/cancel.h), so its long outermost
+// loops must poll or justify themselves.
+#include "core/cancel.h"
+
+namespace fixture {
+
+// A long loop with a poll is fine.
+int Polled(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!CheckStop("fixture.polled").ok()) break;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+    acc += i;
+  }
+  return acc;
+}
+
+// A long loop whose nearby comment justifies the missing poll is fine.
+int Justified(int n) {
+  int acc = 0;
+  // cancellation: each iteration is O(1) arithmetic; the Status-bearing
+  // caller polls around the whole call.
+  for (int i = 0; i < n; ++i) {
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+    acc -= i;
+    acc += i;
+  }
+  return acc;
+}
+
+// This loop spans the threshold with neither a poll nor a justifying
+// comment: the planted violation for this rule.
+int Unpolled(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += 1;
+    acc += 2;
+    acc += 3;
+    acc += 4;
+    acc += 5;
+    acc += 6;
+    acc += 7;
+    acc += 8;
+    acc += 9;
+    acc += 10;
+    acc += 11;
+    acc += 12;
+    acc += 13;
+    acc += 14;
+    acc += 15;
+    acc += 16;
+    acc += 17;
+    acc += 18;
+    acc += 19;
+    acc += 20;
+    acc += 21;
+    acc += 22;
+    acc += 23;
+    acc += 24;
+    acc += 25;
+    acc += 26;
+    acc += 27;
+    acc += 28;
+  }
+  return acc;
+}
+
+// A short loop stays under the span threshold and must not be flagged.
+int Small(int n) {
+  int acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += i;
+  }
+  return acc;
+}
+
+}  // namespace fixture
