@@ -1,0 +1,143 @@
+// In-process serving latency bench: starts a serve::Server on an
+// ephemeral loopback port, drives the deterministic loadgen workload
+// against it, and writes BENCH_serve.json — request/error counts,
+// round-trip latency percentiles and the batch occupancy histogram read
+// from the serve.* trace counters after the drain.
+//
+// tools/bench_check.py --serve gates the output structurally (non-empty,
+// zero errors, occupancy recorded): latency magnitudes are host-dependent,
+// so unlike BENCH_kernels.json there is no committed ns baseline.
+//
+// Flags: --json PATH (default BENCH_serve.json), --connections N (32),
+// --requests N per connection (25), --max-batch N (16), --linger-ms X (2).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/status.h"
+#include "core/trace.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+
+namespace {
+
+using tsaug::core::trace::CounterValue;
+
+std::string OccupancyHistogramJson(int max_batch) {
+  std::string json = "{";
+  bool first = true;
+  for (int n = 1; n <= max_batch; ++n) {
+    const std::int64_t cuts =
+        CounterValue("serve.batch_size." + std::to_string(n));
+    if (cuts == 0) continue;
+    if (!first) json += ", ";
+    first = false;
+    json += "\"" + std::to_string(n) + "\": " + std::to_string(cuts);
+  }
+  return json + "}";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_serve.json";
+  tsaug::serve::ServerConfig server_config;
+  server_config.service = tsaug::serve::DefaultServiceConfig();
+  tsaug::serve::LoadConfig load_config;
+  load_config.connections = 32;
+  load_config.requests_per_connection = 25;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--json") {
+      json_path = value;
+    } else if (flag == "--connections") {
+      load_config.connections = std::atoi(value.c_str());
+    } else if (flag == "--requests") {
+      load_config.requests_per_connection = std::atoi(value.c_str());
+    } else if (flag == "--max-batch") {
+      server_config.batching.max_batch = std::atoi(value.c_str());
+    } else if (flag == "--linger-ms") {
+      server_config.batching.max_linger_nanos =
+          static_cast<std::int64_t>(std::atof(value.c_str()) * 1e6);
+    } else {
+      std::fprintf(stderr, "serve_latency: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+
+  tsaug::core::trace::Enable();  // the occupancy counters feed the report
+  tsaug::serve::Server server(server_config);
+  const tsaug::core::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve_latency: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  load_config.port = server.port();
+  tsaug::core::StatusOr<tsaug::serve::LoadReport> ran =
+      tsaug::serve::RunLoad(load_config);
+  server.Shutdown();  // drain completes before the counter snapshot below
+  if (!ran.ok()) {
+    std::fprintf(stderr, "serve_latency: %s\n",
+                 ran.status().ToString().c_str());
+    return 1;
+  }
+  const tsaug::serve::LoadReport& report = *ran;
+
+  const std::int64_t batches = CounterValue("serve.batches");
+  const std::int64_t batched = CounterValue("serve.batched_requests");
+  const double occupancy =
+      batches > 0
+          ? static_cast<double>(batched) / static_cast<double>(batches)
+          : 0.0;
+  std::int64_t total_ns = 0;
+  for (const std::int64_t ns : report.latencies_ns) total_ns += ns;
+  const double mean_ns =
+      report.latencies_ns.empty()
+          ? 0.0
+          : static_cast<double>(total_ns) /
+                static_cast<double>(report.latencies_ns.size());
+
+  std::string json = "{\n";
+  json += "  \"serve_bench_version\": 1,\n";
+  json += "  \"config\": {\"connections\": " +
+          std::to_string(load_config.connections) +
+          ", \"requests_per_connection\": " +
+          std::to_string(load_config.requests_per_connection) +
+          ", \"max_batch\": " +
+          std::to_string(server_config.batching.max_batch) +
+          ", \"max_linger_nanos\": " +
+          std::to_string(server_config.batching.max_linger_nanos) + "},\n";
+  json += "  \"requests\": " + std::to_string(report.requests) + ",\n";
+  json += "  \"errors\": " + std::to_string(report.errors) + ",\n";
+  char latency[256];
+  std::snprintf(latency, sizeof(latency),
+                "  \"latency_ns\": {\"p50\": %lld, \"p95\": %lld, "
+                "\"p99\": %lld, \"mean\": %.1f},\n",
+                static_cast<long long>(report.PercentileNanos(0.50)),
+                static_cast<long long>(report.PercentileNanos(0.95)),
+                static_cast<long long>(report.PercentileNanos(0.99)),
+                mean_ns);
+  json += latency;
+  json += "  \"batches\": " + std::to_string(batches) + ",\n";
+  json += "  \"batched_requests\": " + std::to_string(batched) + ",\n";
+  char occ[64];
+  std::snprintf(occ, sizeof(occ), "  \"mean_occupancy\": %.3f,\n", occupancy);
+  json += occ;
+  json += "  \"occupancy_histogram\": " +
+          OccupancyHistogramJson(server_config.batching.max_batch) + "\n";
+  json += "}\n";
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(json.data(), 1, json.size(), f) != json.size() ||
+      std::fclose(f) != 0) {
+    std::fprintf(stderr, "serve_latency: cannot write %s\n",
+                 json_path.c_str());
+    return 1;
+  }
+  std::printf("serve_latency: requests=%lld errors=%lld occupancy=%.2f\n",
+              static_cast<long long>(report.requests),
+              static_cast<long long>(report.errors), occupancy);
+  return report.errors == 0 ? 0 : 1;
+}

@@ -18,6 +18,10 @@ const char* StatusCodeName(StatusCode code) {
       return "cancelled";
     case StatusCode::kDeadlineExceeded:
       return "deadline_exceeded";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }
@@ -60,6 +64,14 @@ Status CancelledError(std::string context) {
 
 Status DeadlineExceededError(std::string context) {
   return Status(StatusCode::kDeadlineExceeded, std::move(context));
+}
+
+Status InvalidArgumentError(std::string context) {
+  return Status(StatusCode::kInvalidArgument, std::move(context));
+}
+
+Status UnavailableError(std::string context) {
+  return Status(StatusCode::kUnavailable, std::move(context));
 }
 
 }  // namespace tsaug::core

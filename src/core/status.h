@@ -27,6 +27,8 @@ enum class StatusCode {
   kInjectedFault,     // fired fault-injection point (core/faultpoint.h)
   kCancelled,         // cooperative stop requested (core/cancel.h)
   kDeadlineExceeded,  // monotonic deadline passed (core/cancel.h)
+  kInvalidArgument,   // malformed request/frame from an external caller
+  kUnavailable,       // serving admission control rejected the request
 };
 
 /// Stable lowercase name ("ok", "singular", ...), for reports and tests.
@@ -73,6 +75,8 @@ Status DegenerateInputError(std::string context);
 Status InjectedFaultError(std::string context);
 Status CancelledError(std::string context);
 Status DeadlineExceededError(std::string context);
+Status InvalidArgumentError(std::string context);
+Status UnavailableError(std::string context);
 
 /// Value-or-Status. Implicitly constructible from either, so functions can
 /// `return value;` and `return SingularError(...);` symmetrically.

@@ -1,7 +1,9 @@
 #ifndef TSAUG_CORE_THREAD_ANNOTATIONS_H_
 #define TSAUG_CORE_THREAD_ANNOTATIONS_H_
 
+#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 
 /// Clang Thread Safety Analysis for the concurrent subsystems.
@@ -135,6 +137,19 @@ class CondVar {
     std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
     cv_.wait(lock);
     lock.release();  // ownership stays with the caller's scope
+  }
+
+  /// Timed wait: blocks for at most `nanos` (clamped to >= 0). Returns
+  /// false on timeout, true when notified. Duration-relative only — no
+  /// clock value is read or exposed, so callers cannot leak wall time
+  /// into computation (lint rule no-wall-clock). Spurious wakeups are
+  /// possible either way: keep the predicate loop in the caller.
+  bool WaitForNanos(Mutex& mu, std::int64_t nanos) TSAUG_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.native_handle(), std::adopt_lock);
+    const std::cv_status status =
+        cv_.wait_for(lock, std::chrono::nanoseconds(nanos < 0 ? 0 : nanos));
+    lock.release();  // ownership stays with the caller's scope
+    return status == std::cv_status::no_timeout;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -238,8 +238,9 @@ void ApplyGridFlags(int argc, char** argv, BenchSettings& settings) {
     const std::string arg = argv[i];
     if (const char* v = value_of(i, arg, "--journal")) {
       settings.journal_path = v;
-    } else if (const char* v = value_of(i, arg, "--cell-budget-seconds")) {
-      settings.cell_budget_seconds = std::atof(v);
+    } else if (const char* budget =
+                   value_of(i, arg, "--cell-budget-seconds")) {
+      settings.cell_budget_seconds = std::atof(budget);
     }
   }
 }

@@ -1,0 +1,149 @@
+#include "serve/batching.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/trace.h"
+
+namespace tsaug::serve {
+namespace {
+
+/// A request is dead when its own token expired or was cancelled — it
+/// must not reach the kernels; the server answers it with the matching
+/// typed Status instead. A process-wide stop (SIGTERM drain) deliberately
+/// does NOT expire already-admitted requests: the drain contract is that
+/// admission is a promise — everything admitted gets executed and
+/// answered, only new submits are turned away.
+bool Expired(const QueuedRequest& request) {
+  return request.deadline.stop_requested() ||
+         request.deadline.deadline_exceeded();
+}
+
+}  // namespace
+
+BatchingQueue::BatchingQueue(BatchingPolicy policy, Clock clock)
+    : policy_([&policy] {
+        BatchingPolicy p = policy;
+        p.max_batch = std::max(1, p.max_batch);
+        p.max_linger_nanos = std::max<std::int64_t>(0, p.max_linger_nanos);
+        p.max_queue_depth = std::max(1, p.max_queue_depth);
+        return p;
+      }()),
+      clock_(clock ? std::move(clock) : Clock(&core::SteadyNowNanos)) {}
+
+core::Status BatchingQueue::Submit(core::StopToken deadline,
+                                   std::shared_ptr<void> work) {
+  {
+    core::MutexLock lock(mu_);
+    if (closed_ || core::GlobalStopRequested()) {
+      core::trace::AddCount("serve.rejected");
+      return core::UnavailableError("serve.queue: draining for shutdown");
+    }
+    if (static_cast<int>(pending_.size()) >= policy_.max_queue_depth) {
+      core::trace::AddCount("serve.rejected");
+      return core::UnavailableError(
+          "serve.queue: overloaded (depth " +
+          std::to_string(pending_.size()) + " >= max_queue_depth " +
+          std::to_string(policy_.max_queue_depth) + ")");
+    }
+    QueuedRequest request;
+    request.sequence = ++next_sequence_;
+    request.enqueue_nanos = clock_();
+    request.deadline = std::move(deadline);
+    request.work = std::move(work);
+    pending_.push_back(std::move(request));
+    core::trace::AddCount("serve.submitted");
+  }
+  cv_.NotifyAll();
+  return core::OkStatus();
+}
+
+BatchCut BatchingQueue::CutBatchLocked(std::int64_t now_nanos, bool flush) {
+  BatchCut cut;
+  // Drop dead requests first (FIFO pass over the whole queue): a request
+  // whose deadline passed while it lingered must produce its error
+  // response now, not ride along in a batch.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (Expired(*it)) {
+      cut.expired.push_back(std::move(*it));
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const bool full = static_cast<int>(pending_.size()) >= policy_.max_batch;
+  const bool lingered =
+      !pending_.empty() &&
+      now_nanos - pending_.front().enqueue_nanos >= policy_.max_linger_nanos;
+  if (!pending_.empty() && (full || lingered || flush)) {
+    const int take =
+        std::min(static_cast<int>(pending_.size()), policy_.max_batch);
+    cut.batch.reserve(static_cast<size_t>(take));
+    for (int i = 0; i < take; ++i) {
+      cut.batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+  }
+  if (!cut.expired.empty()) {
+    core::trace::AddCount("serve.expired",
+                          static_cast<std::int64_t>(cut.expired.size()));
+  }
+  if (!cut.batch.empty()) {
+    core::trace::AddCount("serve.batches");
+    core::trace::AddCount("serve.batched_requests",
+                          static_cast<std::int64_t>(cut.batch.size()));
+    core::trace::AddCount(
+        ("serve.batch_size." + std::to_string(cut.batch.size())).c_str());
+  }
+  return cut;
+}
+
+BatchCut BatchingQueue::CutBatch(std::int64_t now_nanos, bool flush) {
+  core::MutexLock lock(mu_);
+  return CutBatchLocked(now_nanos, flush);
+}
+
+BatchCut BatchingQueue::WaitBatch() {
+  core::MutexLock lock(mu_);
+  for (;;) {
+    const std::int64_t now = clock_();
+    // Drain mode once closed or globally stopped: flush whatever is
+    // pending instead of waiting out the linger.
+    const bool flush = closed_ || core::GlobalStopRequested();
+    BatchCut cut = CutBatchLocked(now, flush);
+    if (!cut.Empty()) return cut;
+    if (flush && pending_.empty()) return cut;  // drained: all-empty signal
+    if (pending_.empty()) {
+      cv_.Wait(mu_);
+    } else {
+      // Sleep until the oldest request's linger expires (a new submit or
+      // Close notifies earlier). The poll is bounded, so a request whose
+      // *deadline* expires mid-linger is dropped at the next cut.
+      const std::int64_t oldest = pending_.front().enqueue_nanos;
+      const std::int64_t wait =
+          std::max<std::int64_t>(1, oldest + policy_.max_linger_nanos - now);
+      if (!cv_.WaitForNanos(mu_, wait)) continue;  // timeout: re-cut
+    }
+  }
+}
+
+void BatchingQueue::Close() {
+  {
+    core::MutexLock lock(mu_);
+    closed_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+bool BatchingQueue::closed() const {
+  core::MutexLock lock(mu_);
+  return closed_;
+}
+
+int BatchingQueue::depth() const {
+  core::MutexLock lock(mu_);
+  return static_cast<int>(pending_.size());
+}
+
+}  // namespace tsaug::serve

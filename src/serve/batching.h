@@ -1,0 +1,128 @@
+#ifndef TSAUG_SERVE_BATCHING_H_
+#define TSAUG_SERVE_BATCHING_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cancel.h"
+#include "core/status.h"
+#include "core/thread_annotations.h"
+
+namespace tsaug::serve {
+
+/// When to cut a batch from the request queue.
+struct BatchingPolicy {
+  /// Cut as soon as this many requests are pending (and never dispatch
+  /// more than this many in one batch).
+  int max_batch = 16;
+  /// A pending request waits at most this long for company before the
+  /// batch is cut anyway. 0 = dispatch immediately (no coalescing).
+  std::int64_t max_linger_nanos = 2'000'000;  // 2 ms
+  /// Admission control: a Submit beyond this depth is rejected with
+  /// kUnavailable instead of queueing unboundedly. The caller turns that
+  /// into an error response, so overload degrades loudly and clients can
+  /// back off — queue time never grows without bound.
+  int max_queue_depth = 1024;
+};
+
+/// One queued unit of work. The queue never inspects `work`; it carries
+/// whatever the dispatcher needs (the server stores its per-request Job).
+struct QueuedRequest {
+  /// FIFO sequence number assigned at admission (1, 2, ...).
+  std::uint64_t sequence = 0;
+  /// Steady-clock stamp at admission, in the queue's clock domain.
+  std::int64_t enqueue_nanos = 0;
+  /// Per-request deadline/cancel token; expired requests are dropped at
+  /// the next cut and handed back for an error response, never dispatched.
+  core::StopToken deadline;
+  std::shared_ptr<void> work;
+};
+
+/// The result of one policy decision: requests to dispatch as one batch,
+/// plus requests whose deadline passed (or whose token was cancelled)
+/// while they waited — complete those with kDeadlineExceeded/kCancelled.
+struct BatchCut {
+  std::vector<QueuedRequest> batch;
+  std::vector<QueuedRequest> expired;
+
+  bool Empty() const { return batch.empty() && expired.empty(); }
+};
+
+/// Cross-request batching queue: concurrent producers Submit, one
+/// dispatcher drains batches cut by the policy above.
+///
+/// Built seam-first for testability: the policy decision lives in
+/// CutBatch(now_nanos, flush), a non-blocking pure-ish core that takes
+/// the current time as an argument — the unit tests drive it with a fake
+/// clock and no threads. WaitBatch() is the thin blocking shell the
+/// server's dispatch thread runs: it loops CutBatch under the queue
+/// mutex, sleeping on a condition variable until a submit, a linger
+/// expiry or Close() makes the next decision due.
+///
+/// Trace counters (core/trace.h, all under "serve."):
+///   serve.submitted           admitted requests
+///   serve.rejected            admission rejections (kUnavailable)
+///   serve.expired             requests dropped before dispatch
+///   serve.batches             cuts with a non-empty batch
+///   serve.batched_requests    requests dispatched inside those batches
+///   serve.batch_size.<n>      occupancy histogram (n = 1..max_batch)
+/// Mean batch occupancy is serve.batched_requests / serve.batches — the
+/// number the e2e suite asserts exceeds 1.5 under concurrent load.
+class BatchingQueue {
+ public:
+  using Clock = std::function<std::int64_t()>;
+
+  /// `clock` defaults to core::SteadyNowNanos; tests inject a fake.
+  explicit BatchingQueue(BatchingPolicy policy, Clock clock = nullptr);
+
+  const BatchingPolicy& policy() const { return policy_; }
+
+  /// Admits one request, assigning its sequence number and enqueue stamp.
+  /// Returns kUnavailable when the queue is over max_queue_depth or
+  /// closed. Thread-safe.
+  [[nodiscard]] core::Status Submit(core::StopToken deadline,
+                                    std::shared_ptr<void> work);
+
+  /// The deterministic policy core. Pops (in FIFO order) every pending
+  /// request whose deadline has passed into `expired`; then cuts a batch
+  /// when one is due at `now_nanos`:
+  ///   - max-batch cut: >= max_batch requests pending;
+  ///   - linger cut: the oldest pending request was admitted more than
+  ///     max_linger_nanos ago;
+  ///   - flush cut: `flush` is true (drain path) and anything is pending.
+  /// Otherwise returns an empty batch. Thread-safe, non-blocking.
+  BatchCut CutBatch(std::int64_t now_nanos, bool flush);
+
+  /// Blocking shell for the dispatch thread: waits until a cut yields
+  /// work, then returns it. After Close(), drains the remaining queue in
+  /// max_batch-sized cuts and finally returns an all-empty BatchCut —
+  /// the dispatcher's signal to exit.
+  BatchCut WaitBatch();
+
+  /// Rejects all future Submits and wakes WaitBatch for the drain.
+  void Close();
+
+  bool closed() const;
+  /// Requests currently pending (admitted, not yet cut).
+  int depth() const;
+
+ private:
+  BatchCut CutBatchLocked(std::int64_t now_nanos, bool flush)
+      TSAUG_REQUIRES(mu_);
+
+  const BatchingPolicy policy_;
+  const Clock clock_;
+
+  mutable core::Mutex mu_;
+  core::CondVar cv_;
+  std::deque<QueuedRequest> pending_ TSAUG_GUARDED_BY(mu_);
+  std::uint64_t next_sequence_ TSAUG_GUARDED_BY(mu_) = 0;
+  bool closed_ TSAUG_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace tsaug::serve
+
+#endif  // TSAUG_SERVE_BATCHING_H_

@@ -1,0 +1,296 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+namespace tsaug::serve {
+namespace {
+
+// --- writers ----------------------------------------------------------------
+
+void AppendU8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendU32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendU64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void AppendI32(std::string& out, std::int32_t v) {
+  AppendU32(out, static_cast<std::uint32_t>(v));
+}
+
+void AppendDouble(std::string& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(out, bits);
+}
+
+void AppendString(std::string& out, const std::string& s) {
+  AppendU32(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+void AppendStatus(std::string& out, const core::Status& status) {
+  AppendU8(out, static_cast<std::uint8_t>(status.code()));
+  AppendString(out, status.context());
+}
+
+void AppendSeries(std::string& out, const core::TimeSeries& series) {
+  AppendU32(out, static_cast<std::uint32_t>(series.num_channels()));
+  AppendU32(out, static_cast<std::uint32_t>(series.length()));
+  for (double v : series.values()) AppendDouble(out, v);
+}
+
+std::string Finish(std::string body) {
+  std::string frame;
+  frame.reserve(4 + body.size());
+  AppendU32(frame, static_cast<std::uint32_t>(body.size()));
+  frame.append(body);
+  return frame;
+}
+
+// --- bounds-checked reader --------------------------------------------------
+
+/// Cursor over a frame body. Every Read* returns false instead of reading
+/// past the end, so a truncated or lying body can never crash the decoder.
+class Reader {
+ public:
+  explicit Reader(std::string_view data) : data_(data) {}
+
+  bool done() const { return pos_ == data_.size(); }
+
+  bool ReadU8(std::uint8_t* out) {
+    if (data_.size() - pos_ < 1) return false;
+    *out = static_cast<std::uint8_t>(data_[pos_++]);
+    return true;
+  }
+
+  bool ReadU32(std::uint32_t* out) {
+    if (data_.size() - pos_ < 4) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(data_[pos_ + static_cast<size_t>(i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+
+  bool ReadU64(std::uint64_t* out) {
+    std::uint32_t lo = 0;
+    std::uint32_t hi = 0;
+    if (!ReadU32(&lo) || !ReadU32(&hi)) return false;
+    *out = (static_cast<std::uint64_t>(hi) << 32) | lo;
+    return true;
+  }
+
+  bool ReadI32(std::int32_t* out) {
+    std::uint32_t v = 0;
+    if (!ReadU32(&v)) return false;
+    *out = static_cast<std::int32_t>(v);
+    return true;
+  }
+
+  bool ReadDouble(double* out) {
+    std::uint64_t bits = 0;
+    if (!ReadU64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    std::uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > kMaxStringBytes) return false;
+    if (data_.size() - pos_ < len) return false;
+    out->assign(data_.substr(pos_, len));
+    pos_ += len;
+    return true;
+  }
+
+  bool ReadSeries(core::TimeSeries* out) {
+    std::uint32_t channels = 0;
+    std::uint32_t length = 0;
+    if (!ReadU32(&channels) || !ReadU32(&length)) return false;
+    // 8 bytes per sample must fit in what is left of the body; this also
+    // bounds the allocation below by the frame size.
+    const std::uint64_t samples =
+        static_cast<std::uint64_t>(channels) * length;
+    if (samples > (data_.size() - pos_) / 8) return false;
+    core::TimeSeries series(static_cast<int>(channels),
+                            static_cast<int>(length));
+    for (double& v : series.values()) {
+      if (!ReadDouble(&v)) return false;
+    }
+    *out = std::move(series);
+    return true;
+  }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+bool ReadStatus(Reader& r, core::Status* out) {
+  std::uint8_t code = 0;
+  std::string context;
+  if (!r.ReadU8(&code) || !r.ReadString(&context)) return false;
+  if (code > static_cast<std::uint8_t>(core::StatusCode::kUnavailable)) {
+    return false;
+  }
+  *out = core::Status(static_cast<core::StatusCode>(code), std::move(context));
+  return true;
+}
+
+core::Status Malformed(const char* what) {
+  return core::InvalidArgumentError(std::string("serve.frame: ") + what);
+}
+
+bool DecodeAugmentRequest(Reader& r, AugmentRequest* out) {
+  return r.ReadU64(&out->request_id) && r.ReadU64(&out->seed) &&
+         r.ReadU32(&out->timeout_millis) && r.ReadString(&out->technique) &&
+         r.ReadI32(&out->label) && r.ReadI32(&out->count) &&
+         out->count >= 0 && out->count <= kMaxGenerateCount;
+}
+
+bool DecodeScoreRequest(Reader& r, ScoreRequest* out) {
+  return r.ReadU64(&out->request_id) && r.ReadU32(&out->timeout_millis) &&
+         r.ReadSeries(&out->series);
+}
+
+bool DecodeAugmentResponse(Reader& r, AugmentResponse* out) {
+  std::uint32_t n = 0;
+  if (!r.ReadU64(&out->request_id) || !ReadStatus(r, &out->status) ||
+      !r.ReadU32(&n) || n > kMaxSeriesPerMessage) {
+    return false;
+  }
+  out->series.resize(n);
+  for (core::TimeSeries& series : out->series) {
+    if (!r.ReadSeries(&series)) return false;
+  }
+  return true;
+}
+
+bool DecodeScoreResponse(Reader& r, ScoreResponse* out) {
+  return r.ReadU64(&out->request_id) && ReadStatus(r, &out->status) &&
+         r.ReadI32(&out->label);
+}
+
+}  // namespace
+
+std::string EncodeFrame(const AugmentRequest& message) {
+  std::string body;
+  AppendU8(body, static_cast<std::uint8_t>(MessageType::kAugmentRequest));
+  AppendU64(body, message.request_id);
+  AppendU64(body, message.seed);
+  AppendU32(body, message.timeout_millis);
+  AppendString(body, message.technique);
+  AppendI32(body, message.label);
+  AppendI32(body, message.count);
+  return Finish(std::move(body));
+}
+
+std::string EncodeFrame(const ScoreRequest& message) {
+  std::string body;
+  AppendU8(body, static_cast<std::uint8_t>(MessageType::kScoreRequest));
+  AppendU64(body, message.request_id);
+  AppendU32(body, message.timeout_millis);
+  AppendSeries(body, message.series);
+  return Finish(std::move(body));
+}
+
+std::string EncodeFrame(const AugmentResponse& message) {
+  std::string body;
+  AppendU8(body, static_cast<std::uint8_t>(MessageType::kAugmentResponse));
+  AppendU64(body, message.request_id);
+  AppendStatus(body, message.status);
+  AppendU32(body, static_cast<std::uint32_t>(message.series.size()));
+  for (const core::TimeSeries& series : message.series) {
+    AppendSeries(body, series);
+  }
+  return Finish(std::move(body));
+}
+
+std::string EncodeFrame(const ScoreResponse& message) {
+  std::string body;
+  AppendU8(body, static_cast<std::uint8_t>(MessageType::kScoreResponse));
+  AppendU64(body, message.request_id);
+  AppendStatus(body, message.status);
+  AppendI32(body, message.label);
+  return Finish(std::move(body));
+}
+
+core::Status DecodeFrame(std::string_view buffer, Message* out,
+                         std::size_t* consumed) {
+  *consumed = 0;
+  if (buffer.size() < 4) return core::OkStatus();  // need the length prefix
+  Reader prefix(buffer.substr(0, 4));
+  std::uint32_t body_len = 0;
+  if (!prefix.ReadU32(&body_len)) {
+    return Malformed("length prefix unreadable");  // unreachable: 4 bytes
+  }
+  if (body_len > kMaxFrameBytes) {
+    return Malformed("length prefix exceeds kMaxFrameBytes");
+  }
+  if (buffer.size() - 4 < body_len) return core::OkStatus();  // incomplete
+  Reader r(buffer.substr(4, body_len));
+  std::uint8_t type = 0;
+  if (!r.ReadU8(&type)) return Malformed("empty body");
+  bool ok = false;
+  switch (static_cast<MessageType>(type)) {
+    case MessageType::kAugmentRequest: {
+      AugmentRequest message;
+      ok = DecodeAugmentRequest(r, &message);
+      if (ok) {
+        out->type = MessageType::kAugmentRequest;
+        out->payload = std::move(message);
+      }
+      break;
+    }
+    case MessageType::kScoreRequest: {
+      ScoreRequest message;
+      ok = DecodeScoreRequest(r, &message);
+      if (ok) {
+        out->type = MessageType::kScoreRequest;
+        out->payload = std::move(message);
+      }
+      break;
+    }
+    case MessageType::kAugmentResponse: {
+      AugmentResponse message;
+      ok = DecodeAugmentResponse(r, &message);
+      if (ok) {
+        out->type = MessageType::kAugmentResponse;
+        out->payload = std::move(message);
+      }
+      break;
+    }
+    case MessageType::kScoreResponse: {
+      ScoreResponse message;
+      ok = DecodeScoreResponse(r, &message);
+      if (ok) {
+        out->type = MessageType::kScoreResponse;
+        out->payload = std::move(message);
+      }
+      break;
+    }
+    default:
+      return Malformed("unknown message type");
+  }
+  if (!ok) return Malformed("body does not match its declared type");
+  if (!r.done()) return Malformed("trailing bytes after body fields");
+  *consumed = 4 + static_cast<std::size_t>(body_len);
+  return core::OkStatus();
+}
+
+}  // namespace tsaug::serve

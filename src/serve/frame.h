@@ -1,0 +1,125 @@
+#ifndef TSAUG_SERVE_FRAME_H_
+#define TSAUG_SERVE_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "core/status.h"
+#include "core/time_series.h"
+
+namespace tsaug::serve {
+
+/// Length-prefixed binary frame codec for the augment/score server.
+///
+/// Wire format — one frame per message:
+///
+///   u32   body length (little-endian; at most kMaxFrameBytes)
+///   body  u8 message type, then type-specific fields
+///
+/// Scalar encoding: fixed-width little-endian integers; doubles travel as
+/// their IEEE-754 bit pattern in a u64 (the same trick the cell journal
+/// uses), so a response round-trips bitwise — the e2e suite compares
+/// batched and sequential responses byte for byte. Strings and series are
+/// length-prefixed (u32 count, then payload).
+///
+/// The codec is a plain library with no socket dependency: the server
+/// feeds it its receive buffer, tests feed it hand-crafted and fuzzed
+/// byte strings. Decoding never crashes on hostile input — every read is
+/// bounds-checked and every malformation (oversized frame, truncated or
+/// trailing body bytes, unknown type, absurd element counts) comes back
+/// as a typed kInvalidArgument Status the connection handler turns into
+/// "close this connection".
+
+/// Hard ceiling on one frame's body. Large enough for a batch of long
+/// multivariate series, small enough that a hostile length prefix cannot
+/// make the server allocate gigabytes.
+inline constexpr std::uint32_t kMaxFrameBytes = 1u << 24;  // 16 MiB
+
+/// Ceilings on decoded element counts (defense against absurd prefixes
+/// that pass the frame-length check but would still over-allocate).
+inline constexpr std::uint32_t kMaxStringBytes = 1u << 12;
+inline constexpr std::uint32_t kMaxSeriesPerMessage = 1u << 12;
+inline constexpr std::int32_t kMaxGenerateCount = 1 << 12;
+
+enum class MessageType : std::uint8_t {
+  kAugmentRequest = 1,
+  kScoreRequest = 2,
+  kAugmentResponse = 3,
+  kScoreResponse = 4,
+};
+
+/// "Generate `count` synthetic series of class `label` with `technique`,
+/// seeded by `seed`." The training data is the server's registered
+/// dataset, so requests stay small; determinism is per request — the
+/// response depends only on these fields, never on batch composition.
+struct AugmentRequest {
+  std::uint64_t request_id = 0;
+  std::uint64_t seed = 0;
+  /// 0 = no deadline; otherwise the server drops the request with
+  /// kDeadlineExceeded if it is still queued this long after admission.
+  std::uint32_t timeout_millis = 0;
+  std::string technique;
+  std::int32_t label = 0;
+  std::int32_t count = 1;
+
+  bool operator==(const AugmentRequest&) const = default;
+};
+
+/// "Classify this series with the server's registered model."
+struct ScoreRequest {
+  std::uint64_t request_id = 0;
+  std::uint32_t timeout_millis = 0;
+  core::TimeSeries series;
+
+  bool operator==(const ScoreRequest&) const = default;
+};
+
+struct AugmentResponse {
+  std::uint64_t request_id = 0;
+  core::Status status;
+  std::vector<core::TimeSeries> series;
+
+  bool operator==(const AugmentResponse&) const = default;
+};
+
+struct ScoreResponse {
+  std::uint64_t request_id = 0;
+  core::Status status;
+  std::int32_t label = -1;
+
+  bool operator==(const ScoreResponse&) const = default;
+};
+
+/// One decoded frame. The variant's active alternative matches `type`.
+struct Message {
+  MessageType type = MessageType::kAugmentRequest;
+  std::variant<AugmentRequest, ScoreRequest, AugmentResponse, ScoreResponse>
+      payload;
+};
+
+/// Encoders produce a complete frame (length prefix included), ready to
+/// write to a socket or concatenate into a stream.
+std::string EncodeFrame(const AugmentRequest& message);
+std::string EncodeFrame(const ScoreRequest& message);
+std::string EncodeFrame(const AugmentResponse& message);
+std::string EncodeFrame(const ScoreResponse& message);
+
+/// Streaming decoder: examines the front of `buffer`.
+///   - A complete, valid frame: returns OK, fills `out`, sets `consumed`
+///     to the frame's total size (strip that prefix and call again).
+///   - An incomplete frame (more bytes needed): returns OK with
+///     `consumed == 0` and leaves `out` untouched.
+///   - A malformed frame (oversized length prefix, unknown type, body
+///     shorter/longer than its fields, absurd counts): returns
+///     kInvalidArgument. The stream is unrecoverable at this point —
+///     close the connection.
+[[nodiscard]] core::Status DecodeFrame(std::string_view buffer, Message* out,
+                                       std::size_t* consumed);
+
+}  // namespace tsaug::serve
+
+#endif  // TSAUG_SERVE_FRAME_H_

@@ -1,0 +1,390 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <variant>
+
+#include "core/cancel.h"
+#include "core/faultpoint.h"
+#include "core/trace.h"
+
+namespace tsaug::serve {
+namespace {
+
+std::string ErrnoText(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Writes a whole frame, riding out EINTR and short writes. MSG_NOSIGNAL:
+/// a client that hung up mid-response must fail this send, not SIGPIPE
+/// the server.
+bool SendAll(int fd, const std::string& bytes) {
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + offset, bytes.size() - offset,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    offset += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+/// Per-request rendezvous between the handler thread (waits) and the
+/// dispatch thread (completes). Owned by shared_ptr: the queue holds one
+/// reference while the request is pending, so a handler that dies early
+/// can never leave the dispatcher with a dangling pointer.
+struct Server::Job {
+  Message request;
+  /// Keeps the request's deadline alive for the queue's StopToken view.
+  core::StopSource deadline;
+
+  core::Mutex mu;
+  core::CondVar cv;
+  bool done TSAUG_GUARDED_BY(mu) = false;
+  std::string response TSAUG_GUARDED_BY(mu);
+};
+
+namespace {
+
+/// The typed error frame for a request that never reached the service:
+/// admission reject (kUnavailable), queue expiry (kDeadlineExceeded /
+/// kCancelled) or an injected dispatch fault.
+std::string ErrorResponseFrame(const Message& request,
+                               const core::Status& status) {
+  if (request.type == MessageType::kAugmentRequest) {
+    AugmentResponse response;
+    response.request_id = std::get<AugmentRequest>(request.payload).request_id;
+    response.status = status;
+    return EncodeFrame(response);
+  }
+  ScoreResponse response;
+  response.request_id = std::get<ScoreRequest>(request.payload).request_id;
+  response.status = status;
+  return EncodeFrame(response);
+}
+
+}  // namespace
+
+Server::Server(ServerConfig config) : config_(std::move(config)) {}
+
+Server::~Server() { Shutdown(); }
+
+core::Status Server::Start() {
+  service_ = std::make_unique<Service>(config_.service);
+  queue_ = std::make_unique<BatchingQueue>(config_.batching);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return core::UnavailableError(ErrnoText("serve: socket"));
+  int reuse = 1;
+  if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                   sizeof(reuse)) != 0) {
+    // Best effort: only affects fast restart on the same port.
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return core::UnavailableError("serve: bad host \"" + config_.host + "\"");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return core::UnavailableError(ErrnoText("serve: bind"));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return core::UnavailableError(ErrnoText("serve: listen"));
+  }
+  sockaddr_in bound;
+  std::memset(&bound, 0, sizeof(bound));
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return core::UnavailableError(ErrnoText("serve: getsockname"));
+  }
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  accept_thread_ = std::thread(&Server::AcceptLoop, this);
+  dispatch_thread_ = std::thread(&Server::DispatchLoop, this);
+  core::MutexLock lock(mu_);
+  started_ = true;
+  return core::OkStatus();
+}
+
+bool Server::draining() const {
+  core::MutexLock lock(mu_);
+  return draining_;
+}
+
+void Server::AcceptLoop() {
+  for (;;) {
+    // Polls both stop channels each tick: cancellation (global stop) and
+    // Shutdown() both end this loop within one poll interval.
+    if (draining() || core::GlobalStopRequested()) return;
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (ready == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (core::fault::ShouldFail("serve.accept")) {
+      core::trace::AddCount("serve.accept_faults");
+      ::close(fd);
+      continue;
+    }
+    bool admitted = false;
+    {
+      core::MutexLock lock(mu_);
+      if (!draining_ && open_connections_ < config_.max_connections) {
+        ++open_connections_;
+        admitted = true;
+      }
+    }
+    if (!admitted) {
+      core::trace::AddCount("serve.conn_rejected");
+      ::close(fd);
+      continue;
+    }
+    core::trace::AddCount("serve.connections");
+    core::MutexLock lock(mu_);
+    handlers_.emplace_back(&Server::HandleConnection, this, fd);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  std::vector<char> chunk(1 << 16);
+  bool alive = true;
+  while (alive) {
+    // Decode every complete frame already buffered before blocking again.
+    for (;;) {
+      Message message;
+      std::size_t consumed = 0;
+      const core::Status decoded = DecodeFrame(buffer, &message, &consumed);
+      if (!decoded.ok()) {
+        // Malformed bytes: the framing is lost, close the connection.
+        core::trace::AddCount("serve.malformed");
+        alive = false;
+        break;
+      }
+      if (consumed == 0) break;  // need more bytes
+      buffer.erase(0, consumed);
+      if (!ProcessRequest(fd, std::move(message))) {
+        alive = false;
+        break;
+      }
+    }
+    if (!alive) break;
+    // Stop reading new requests once draining or cancelled (global stop);
+    // everything already submitted above was answered by ProcessRequest.
+    if (draining() || core::GlobalStopRequested()) break;
+    pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
+    if (n <= 0) break;  // EOF or error
+    buffer.append(chunk.data(), static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  core::MutexLock lock(mu_);
+  --open_connections_;
+}
+
+bool Server::ProcessRequest(int fd, Message message) {
+  std::uint32_t timeout_millis = 0;
+  if (message.type == MessageType::kAugmentRequest) {
+    timeout_millis = std::get<AugmentRequest>(message.payload).timeout_millis;
+    core::trace::AddCount("serve.requests.augment");
+  } else if (message.type == MessageType::kScoreRequest) {
+    timeout_millis = std::get<ScoreRequest>(message.payload).timeout_millis;
+    core::trace::AddCount("serve.requests.score");
+  } else {
+    // Response frames from a client are a protocol violation.
+    core::trace::AddCount("serve.malformed");
+    return false;
+  }
+  auto job = std::make_shared<Job>();
+  job->request = std::move(message);
+  core::StopToken token;
+  if (timeout_millis > 0) {
+    job->deadline.SetDeadlineAfterSeconds(
+        static_cast<double>(timeout_millis) * 1e-3);
+    token = job->deadline.token();
+  }
+  const core::Status admitted = queue_->Submit(std::move(token), job);
+  if (!admitted.ok()) {
+    // Admission control: answer immediately with the typed kUnavailable
+    // so the client can back off; the connection stays usable.
+    return SendAll(fd, ErrorResponseFrame(job->request, admitted));
+  }
+  {
+    // The dispatcher completes every admitted job, even during a drain
+    // (Close() flushes the queue before the dispatcher exits), so this
+    // wait always terminates.
+    core::MutexLock lock(job->mu);
+    while (!job->done) job->cv.Wait(job->mu);
+  }
+  std::string response;
+  {
+    core::MutexLock lock(job->mu);
+    response = std::move(job->response);
+  }
+  return SendAll(fd, response);
+}
+
+void Server::CompleteJob(const std::shared_ptr<Job>& job,
+                         std::string response) {
+  core::MutexLock lock(job->mu);
+  job->response = std::move(response);
+  job->done = true;
+  job->cv.NotifyAll();
+}
+
+void Server::DispatchLoop() {
+  // Single dispatcher: batch composition and Service calls are serial, so
+  // Service needs no locking and responses depend only on request fields.
+  // Exit is driven by the drain (an all-empty cut after Close()), not by
+  // cancellation: even a cancelled run answers everything it admitted.
+  for (;;) {
+    BatchCut cut = queue_->WaitBatch();
+    if (cut.Empty()) return;  // closed and drained
+    for (QueuedRequest& expired : cut.expired) {
+      auto job = std::static_pointer_cast<Job>(expired.work);
+      const core::Status status =
+          expired.deadline.deadline_exceeded()
+              ? core::DeadlineExceededError(
+                    "serve: deadline expired while queued")
+              : core::CancelledError("serve: request cancelled while queued");
+      CompleteJob(job, ErrorResponseFrame(job->request, status));
+    }
+    if (cut.batch.empty()) continue;
+    if (core::fault::ShouldFail("serve.dispatch")) {
+      core::trace::AddCount("serve.dispatch_faults");
+      for (QueuedRequest& item : cut.batch) {
+        auto job = std::static_pointer_cast<Job>(item.work);
+        CompleteJob(job, ErrorResponseFrame(
+                             job->request,
+                             core::fault::InjectedAt("serve.dispatch")));
+      }
+      continue;
+    }
+    // Split by request type, preserving arrival order within each; the
+    // service runs each kind as one coalesced batch.
+    std::vector<std::shared_ptr<Job>> augment_jobs;
+    std::vector<std::shared_ptr<Job>> score_jobs;
+    std::vector<const AugmentRequest*> augment_requests;
+    std::vector<const ScoreRequest*> score_requests;
+    for (QueuedRequest& item : cut.batch) {
+      auto job = std::static_pointer_cast<Job>(item.work);
+      if (job->request.type == MessageType::kAugmentRequest) {
+        augment_requests.push_back(
+            &std::get<AugmentRequest>(job->request.payload));
+        augment_jobs.push_back(std::move(job));
+      } else {
+        score_requests.push_back(
+            &std::get<ScoreRequest>(job->request.payload));
+        score_jobs.push_back(std::move(job));
+      }
+    }
+    if (!augment_requests.empty()) {
+      std::vector<AugmentResponse> responses =
+          service_->ExecuteAugmentBatch(augment_requests);
+      for (std::size_t i = 0; i < augment_jobs.size(); ++i) {
+        CompleteJob(augment_jobs[i], EncodeFrame(responses[i]));
+      }
+    }
+    if (!score_requests.empty()) {
+      std::vector<ScoreResponse> responses =
+          service_->ExecuteScoreBatch(score_requests);
+      for (std::size_t i = 0; i < score_jobs.size(); ++i) {
+        CompleteJob(score_jobs[i], EncodeFrame(responses[i]));
+      }
+    }
+  }
+}
+
+void Server::Shutdown() {
+  bool perform_join = false;
+  {
+    core::MutexLock lock(mu_);
+    draining_ = true;
+    if (started_ && !join_started_) {
+      join_started_ = true;
+      perform_join = true;
+    }
+  }
+  cv_.NotifyAll();
+  if (!perform_join) {
+    // Either never started (nothing to join) or another thread is already
+    // draining: wait for it to finish so Shutdown() means "drained".
+    core::MutexLock lock(mu_);
+    while (started_ && !joined_) cv_.Wait(mu_);
+    return;
+  }
+  // Drain ordering (mirrors the class comment): no new connections, then
+  // no new admissions, then the dispatcher flushes every admitted request,
+  // then handlers write their final responses. Trace export is the
+  // caller's job *after* this returns, so counters are complete.
+  accept_thread_.join();
+  queue_->Close();
+  dispatch_thread_.join();
+  std::vector<std::thread> handlers;
+  {
+    core::MutexLock lock(mu_);
+    handlers.swap(handlers_);
+  }
+  for (std::thread& handler : handlers) handler.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    core::MutexLock lock(mu_);
+    joined_ = true;
+  }
+  cv_.NotifyAll();
+}
+
+void Server::Wait() {
+  {
+    core::MutexLock lock(mu_);
+    // Polls the global stop flag (signal handlers cannot notify a condvar)
+    // while listening for a direct Shutdown()/cancel from another thread.
+    while (!draining_ && !core::GlobalStopRequested()) {
+      if (cv_.WaitForNanos(mu_, 50'000'000)) continue;
+    }
+  }
+  Shutdown();
+}
+
+}  // namespace tsaug::serve

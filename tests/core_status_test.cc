@@ -28,6 +28,9 @@ TEST(Status, ErrorFactoriesCarryCodeAndContext) {
   EXPECT_EQ(DegenerateInputError("empty").code(),
             StatusCode::kDegenerateInput);
   EXPECT_EQ(InjectedFaultError("test").code(), StatusCode::kInjectedFault);
+  EXPECT_EQ(InvalidArgumentError("frame").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(UnavailableError("overload").code(), StatusCode::kUnavailable);
   EXPECT_FALSE(SingularError("gram").ok());
   EXPECT_EQ(SingularError("gram").context(), "gram");
 }
@@ -39,6 +42,9 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kDegenerateInput),
                "degenerate_input");
   EXPECT_STREQ(StatusCodeName(StatusCode::kInjectedFault), "injected_fault");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "invalid_argument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
 }
 
 TEST(Status, AddContextPrependsFrames) {

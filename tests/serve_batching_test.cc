@@ -1,0 +1,205 @@
+// BatchingQueue (serve/batching.h): the policy core CutBatch(now, flush)
+// driven with a fake clock — linger expiry, max-batch cuts, deadline
+// expiry before dispatch, admission control — all with zero threads and
+// zero sleeps; then a multi-threaded submit/cancel hammer over the
+// blocking WaitBatch shell (ctest label "parallel", so the TSan leg
+// race-checks it).
+#include "serve/batching.h"
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/cancel.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "gtest/gtest.h"
+
+namespace tsaug::serve {
+namespace {
+
+BatchingPolicy SmallPolicy() {
+  BatchingPolicy policy;
+  policy.max_batch = 4;
+  policy.max_linger_nanos = 1000;
+  policy.max_queue_depth = 8;
+  return policy;
+}
+
+std::shared_ptr<int> Work(int value) { return std::make_shared<int>(value); }
+
+TEST(ServeBatchingTest, LingerHoldsThenCuts) {
+  std::int64_t now = 0;
+  BatchingQueue queue(SmallPolicy(), [&now] { return now; });
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(1)).ok());
+  now = 500;
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(2)).ok());
+
+  // Below the linger horizon of the OLDEST request: no cut.
+  EXPECT_TRUE(queue.CutBatch(/*now_nanos=*/999, /*flush=*/false).Empty());
+  EXPECT_EQ(queue.depth(), 2);
+
+  // At exactly oldest + linger the batch is due, and carries both.
+  BatchCut cut = queue.CutBatch(/*now_nanos=*/1000, /*flush=*/false);
+  ASSERT_EQ(cut.batch.size(), 2u);
+  EXPECT_TRUE(cut.expired.empty());
+  EXPECT_EQ(queue.depth(), 0);
+  // FIFO: sequences ascend in admission order.
+  EXPECT_LT(cut.batch[0].sequence, cut.batch[1].sequence);
+  EXPECT_EQ(*std::static_pointer_cast<int>(cut.batch[0].work), 1);
+}
+
+TEST(ServeBatchingTest, FullQueueCutsImmediatelyAndCapsBatch) {
+  std::int64_t now = 0;
+  BatchingQueue queue(SmallPolicy(), [&now] { return now; });
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(queue.Submit(core::StopToken(), Work(i)).ok());
+  }
+  // 6 pending >= max_batch 4: cut is due with NO time elapsed, but takes
+  // at most max_batch requests.
+  BatchCut cut = queue.CutBatch(/*now_nanos=*/0, /*flush=*/false);
+  ASSERT_EQ(cut.batch.size(), 4u);
+  EXPECT_EQ(queue.depth(), 2);
+  // The remainder is below max_batch and below linger: not due yet.
+  EXPECT_TRUE(queue.CutBatch(/*now_nanos=*/500, /*flush=*/false).Empty());
+  // Flush takes it regardless.
+  EXPECT_EQ(queue.CutBatch(/*now_nanos=*/500, /*flush=*/true).batch.size(),
+            2u);
+}
+
+TEST(ServeBatchingTest, ExpiredRequestsDropBeforeDispatch) {
+  std::int64_t now = 0;
+  BatchingQueue queue(SmallPolicy(), [&now] { return now; });
+
+  core::StopSource dead;
+  dead.SetDeadlineNanos(1);  // SteadyNowNanos is long past 1ns: expired
+  core::StopSource cancelled;
+  cancelled.RequestStop();
+  ASSERT_TRUE(queue.Submit(dead.token(), Work(0)).ok());
+  ASSERT_TRUE(queue.Submit(cancelled.token(), Work(1)).ok());
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(2)).ok());
+
+  BatchCut cut = queue.CutBatch(/*now_nanos=*/2000, /*flush=*/false);
+  // The two dead requests come back in `expired` — never inside a batch —
+  // and the one live request rides the linger cut.
+  ASSERT_EQ(cut.expired.size(), 2u);
+  EXPECT_TRUE(cut.expired[0].deadline.deadline_exceeded());
+  EXPECT_TRUE(cut.expired[1].deadline.stop_requested());
+  ASSERT_EQ(cut.batch.size(), 1u);
+  EXPECT_EQ(*std::static_pointer_cast<int>(cut.batch[0].work), 2);
+}
+
+TEST(ServeBatchingTest, OverloadRejectsWithUnavailable) {
+  BatchingPolicy policy = SmallPolicy();
+  policy.max_queue_depth = 2;
+  std::int64_t now = 0;
+  BatchingQueue queue(policy, [&now] { return now; });
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(0)).ok());
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(1)).ok());
+  const core::Status rejected = queue.Submit(core::StopToken(), Work(2));
+  EXPECT_EQ(rejected.code(), core::StatusCode::kUnavailable);
+  EXPECT_EQ(queue.depth(), 2);
+  // Draining the queue re-opens admission.
+  EXPECT_EQ(queue.CutBatch(0, /*flush=*/true).batch.size(), 2u);
+  EXPECT_TRUE(queue.Submit(core::StopToken(), Work(3)).ok());
+}
+
+TEST(ServeBatchingTest, CloseRejectsNewAndFlushesOld) {
+  std::int64_t now = 0;
+  BatchingQueue queue(SmallPolicy(), [&now] { return now; });
+  ASSERT_TRUE(queue.Submit(core::StopToken(), Work(0)).ok());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Submit(core::StopToken(), Work(1)).code(),
+            core::StatusCode::kUnavailable);
+  // The admitted request still comes out (drain promise), then the
+  // all-empty cut signals "drained".
+  BatchCut cut = queue.WaitBatch();
+  ASSERT_EQ(cut.batch.size(), 1u);
+  EXPECT_TRUE(queue.WaitBatch().Empty());
+}
+
+TEST(ServeBatchingTest, GlobalStopRejectsNewSubmits) {
+  std::int64_t now = 0;
+  BatchingQueue queue(SmallPolicy(), [&now] { return now; });
+  core::RequestGlobalStop();
+  EXPECT_EQ(queue.Submit(core::StopToken(), Work(0)).code(),
+            core::StatusCode::kUnavailable);
+  core::ClearGlobalStop();
+  EXPECT_TRUE(queue.Submit(core::StopToken(), Work(1)).ok());
+}
+
+TEST(ServeBatchingTest, PolicyBoundsAreClamped) {
+  BatchingPolicy degenerate;
+  degenerate.max_batch = 0;
+  degenerate.max_linger_nanos = -5;
+  degenerate.max_queue_depth = 0;
+  BatchingQueue queue(degenerate);
+  EXPECT_EQ(queue.policy().max_batch, 1);
+  EXPECT_EQ(queue.policy().max_linger_nanos, 0);
+  EXPECT_EQ(queue.policy().max_queue_depth, 1);
+}
+
+// 8 producers hammer Submit (some pre-cancelled, some with expired
+// deadlines) against one WaitBatch dispatcher on the real clock. Every
+// admitted request must come back exactly once — in a batch or in
+// `expired` — and nothing may be left pending after the drain.
+TEST(ServeBatchingHammerTest, ConcurrentSubmitCancelDrain) {
+  BatchingPolicy policy;
+  policy.max_batch = 8;
+  policy.max_linger_nanos = 100'000;  // 0.1 ms: plenty of real cuts
+  policy.max_queue_depth = 64;
+  BatchingQueue queue(policy);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 300;
+  std::atomic<int> accepted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> dispatched{0};
+  std::atomic<int> expired{0};
+
+  std::thread dispatcher([&] {
+    for (;;) {
+      BatchCut cut = queue.WaitBatch();
+      if (cut.Empty()) return;
+      dispatched += static_cast<int>(cut.batch.size());
+      expired += static_cast<int>(cut.expired.size());
+    }
+  });
+
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      core::Rng rng(static_cast<std::uint64_t>(t) + 1);
+      for (int i = 0; i < kPerThread; ++i) {
+        core::StopToken token;
+        core::StopSource source;  // outlives Submit; queue copies token
+        const int kind = rng.Int(0, 9);
+        if (kind == 0) {
+          source.RequestStop();
+          token = source.token();
+        } else if (kind == 1) {
+          source.SetDeadlineNanos(1);  // already expired
+          token = source.token();
+        }
+        if (queue.Submit(token, Work(t * kPerThread + i)).ok()) {
+          ++accepted;
+        } else {
+          ++rejected;  // transient overload is legal under the hammer
+        }
+      }
+    });
+  }
+  for (std::thread& producer : producers) producer.join();
+  queue.Close();
+  dispatcher.join();
+
+  EXPECT_EQ(accepted.load() + rejected.load(), kThreads * kPerThread);
+  EXPECT_EQ(dispatched.load() + expired.load(), accepted.load());
+  EXPECT_EQ(queue.depth(), 0);
+  EXPECT_TRUE(queue.WaitBatch().Empty());  // closed queues stay drained
+}
+
+}  // namespace
+}  // namespace tsaug::serve

@@ -1,0 +1,251 @@
+// Frame codec (serve/frame.h): round trips are exact, and hostile bytes —
+// truncations, oversized prefixes, garbage, trailing bytes, absurd counts
+// — come back as typed kInvalidArgument, never a crash. No sockets
+// anywhere: the codec is a plain library over byte strings.
+#include "serve/frame.h"
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/time_series.h"
+#include "gtest/gtest.h"
+
+namespace tsaug::serve {
+namespace {
+
+core::TimeSeries MakeSeries(int channels, int length, std::uint64_t seed) {
+  core::Rng rng(seed);
+  core::TimeSeries series(channels, length);
+  for (int c = 0; c < channels; ++c) {
+    for (int t = 0; t < length; ++t) {
+      series.at(c, t) = rng.Normal();
+    }
+  }
+  return series;
+}
+
+AugmentRequest MakeAugmentRequest() {
+  AugmentRequest request;
+  request.request_id = 42;
+  request.seed = 0xdeadbeefcafe1234ull;
+  request.timeout_millis = 250;
+  request.technique = "smote";
+  request.label = 1;
+  request.count = 7;
+  return request;
+}
+
+/// Decodes `frame` expecting exactly one complete valid message.
+Message DecodeAll(const std::string& frame) {
+  Message message;
+  std::size_t consumed = 0;
+  const core::Status status = DecodeFrame(frame, &message, &consumed);
+  EXPECT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(consumed, frame.size());
+  return message;
+}
+
+TEST(ServeCodecTest, AugmentRequestRoundTrip) {
+  const AugmentRequest request = MakeAugmentRequest();
+  const Message decoded = DecodeAll(EncodeFrame(request));
+  ASSERT_EQ(decoded.type, MessageType::kAugmentRequest);
+  EXPECT_EQ(std::get<AugmentRequest>(decoded.payload), request);
+}
+
+TEST(ServeCodecTest, ScoreRequestRoundTripIsBitwise) {
+  ScoreRequest request;
+  request.request_id = 7;
+  request.timeout_millis = 0;
+  request.series = MakeSeries(3, 17, 99);
+  // Perturb a value to a non-round double: the codec ships IEEE-754 bit
+  // patterns, so even denormal-ish values must survive exactly.
+  request.series.at(2, 16) = 1.0 / 3.0;
+  const Message decoded = DecodeAll(EncodeFrame(request));
+  ASSERT_EQ(decoded.type, MessageType::kScoreRequest);
+  EXPECT_EQ(std::get<ScoreRequest>(decoded.payload), request);
+}
+
+TEST(ServeCodecTest, AugmentResponseRoundTrip) {
+  AugmentResponse response;
+  response.request_id = 43;
+  response.status = core::DegenerateInputError("class too small");
+  response.series = {MakeSeries(2, 8, 1), MakeSeries(2, 8, 2)};
+  const Message decoded = DecodeAll(EncodeFrame(response));
+  ASSERT_EQ(decoded.type, MessageType::kAugmentResponse);
+  EXPECT_EQ(std::get<AugmentResponse>(decoded.payload), response);
+}
+
+TEST(ServeCodecTest, ScoreResponseRoundTrip) {
+  ScoreResponse response;
+  response.request_id = 44;
+  response.status = core::OkStatus();
+  response.label = 3;
+  const Message decoded = DecodeAll(EncodeFrame(response));
+  ASSERT_EQ(decoded.type, MessageType::kScoreResponse);
+  EXPECT_EQ(std::get<ScoreResponse>(decoded.payload), response);
+}
+
+TEST(ServeCodecTest, StreamingDecodesConcatenatedFrames) {
+  const AugmentRequest first = MakeAugmentRequest();
+  ScoreRequest second;
+  second.request_id = 8;
+  second.series = MakeSeries(1, 4, 5);
+  std::string stream = EncodeFrame(first) + EncodeFrame(second);
+
+  Message message;
+  std::size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrame(stream, &message, &consumed).ok());
+  ASSERT_GT(consumed, 0u);
+  ASSERT_EQ(message.type, MessageType::kAugmentRequest);
+  EXPECT_EQ(std::get<AugmentRequest>(message.payload), first);
+  stream.erase(0, consumed);
+
+  ASSERT_TRUE(DecodeFrame(stream, &message, &consumed).ok());
+  EXPECT_EQ(consumed, stream.size());
+  ASSERT_EQ(message.type, MessageType::kScoreRequest);
+  EXPECT_EQ(std::get<ScoreRequest>(message.payload), second);
+}
+
+TEST(ServeCodecTest, EveryTruncationAsksForMoreOrRejects) {
+  // A prefix of a valid frame must never decode and never crash: either
+  // "need more bytes" (OK, consumed 0) or — once the length prefix lies
+  // about bytes that then end mid-field — a typed reject is acceptable
+  // only when the body is complete-but-shorter; a pure prefix is always
+  // "need more".
+  const std::string frame = EncodeFrame(MakeAugmentRequest());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Message message;
+    std::size_t consumed = 1;
+    const core::Status status =
+        DecodeFrame(frame.substr(0, len), &message, &consumed);
+    EXPECT_TRUE(status.ok()) << "prefix length " << len;
+    EXPECT_EQ(consumed, 0u) << "prefix length " << len;
+  }
+}
+
+TEST(ServeCodecTest, OversizedLengthPrefixRejected) {
+  std::string frame;
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((huge >> (8 * i)) & 0xffu));
+  }
+  Message message;
+  std::size_t consumed = 0;
+  const core::Status status = DecodeFrame(frame, &message, &consumed);
+  EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, UnknownTypeRejected) {
+  std::string frame;
+  frame.append({1, 0, 0, 0});  // body length 1
+  frame.push_back(static_cast<char>(0x7f));  // no such MessageType
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, TrailingBytesInsideBodyRejected) {
+  std::string frame = EncodeFrame(MakeAugmentRequest());
+  // Declare one more body byte and append it: the fields no longer
+  // consume the whole body.
+  frame.push_back('\0');
+  const std::uint32_t body_len =
+      static_cast<std::uint32_t>(frame.size()) - 4 + 0;
+  for (int i = 0; i < 4; ++i) {
+    frame[static_cast<std::size_t>(i)] =
+        static_cast<char>(((body_len) >> (8 * i)) & 0xffu);
+  }
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, AbsurdGenerateCountRejected) {
+  AugmentRequest request = MakeAugmentRequest();
+  request.count = kMaxGenerateCount + 1;
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(EncodeFrame(request), &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, LyingSeriesGeometryRejected) {
+  // A score request whose series header claims far more samples than the
+  // body carries must reject (bounded by remaining bytes), not allocate.
+  ScoreRequest request;
+  request.request_id = 1;
+  request.series = MakeSeries(1, 2, 3);
+  std::string frame = EncodeFrame(request);
+  // The series channel-count field sits after: u32 len, u8 type, u64 id,
+  // u32 timeout. Overwrite it with 0xffffffff.
+  const std::size_t channels_at = 4 + 1 + 8 + 4;
+  for (std::size_t i = 0; i < 4; ++i) {
+    frame[channels_at + i] = static_cast<char>(0xff);
+  }
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, FuzzedBuffersNeverCrash) {
+  // Seeded corpus, three shapes of hostility: pure random bytes, random
+  // bytes behind a self-consistent length prefix, and single-byte
+  // mutations of valid frames. The invariant under test: DecodeFrame
+  // always returns (OK or kInvalidArgument) and never reads out of
+  // bounds / aborts — the asan/ubsan CI legs run this test too.
+  core::Rng rng(20240808);
+  const std::string valid_frames[] = {
+      EncodeFrame(MakeAugmentRequest()),
+      [] {
+        ScoreRequest r;
+        r.request_id = 9;
+        r.series = MakeSeries(2, 5, 11);
+        return EncodeFrame(r);
+      }(),
+  };
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string buffer;
+    const int shape = rng.Int(0, 2);
+    if (shape == 0) {
+      const int len = rng.Int(0, 64);
+      for (int i = 0; i < len; ++i) {
+        buffer.push_back(static_cast<char>(rng.Int(0, 255)));
+      }
+    } else if (shape == 1) {
+      const std::uint32_t body_len = static_cast<std::uint32_t>(
+          rng.Int(0, 96));
+      for (int i = 0; i < 4; ++i) {
+        buffer.push_back(static_cast<char>((body_len >> (8 * i)) & 0xffu));
+      }
+      for (std::uint32_t i = 0; i < body_len; ++i) {
+        buffer.push_back(static_cast<char>(rng.Int(0, 255)));
+      }
+    } else {
+      buffer = valid_frames[static_cast<std::size_t>(rng.Int(0, 1))];
+      const int mutations = rng.Int(1, 4);
+      for (int m = 0; m < mutations; ++m) {
+        const std::size_t pos =
+            static_cast<std::size_t>(rng.Index(
+                static_cast<int>(buffer.size())));
+        buffer[pos] = static_cast<char>(rng.Int(0, 255));
+      }
+    }
+    Message message;
+    std::size_t consumed = 0;
+    const core::Status status = DecodeFrame(buffer, &message, &consumed);
+    if (status.ok() && consumed > 0) {
+      EXPECT_LE(consumed, buffer.size());
+    } else if (!status.ok()) {
+      EXPECT_EQ(status.code(), core::StatusCode::kInvalidArgument);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsaug::serve

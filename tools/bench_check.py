@@ -22,10 +22,19 @@ a missing or unreadable file, malformed JSON, and entries lacking the
 name/backend/threads/ns_per_op fields all say what is wrong with which
 file (exit 2); gate failures list each offending workload (exit 1).
 
+A second mode gates the serving bench (bench/serve_latency). Round-trip
+latency magnitudes are host-dependent, so BENCH_serve.json has no
+committed ns baseline; --serve instead checks the run's structural
+invariants: requests were actually served, zero errors, latency
+percentiles present and ordered, and cross-request batching really
+happened (batches > 0, occupancy histogram consistent with the
+batched-request count).
+
 Exit status 0 = gate passed, 1 = gate failed, 2 = usage/IO error.
 
 Usage:
   python3 tools/bench_check.py BASELINE.json FRESH.json [--require-speedup]
+  python3 tools/bench_check.py --serve BENCH_serve.json
   python3 tools/bench_check.py --self-test
 """
 
@@ -147,6 +156,85 @@ def check_speedup(fresh):
     return failures
 
 
+def check_serve(path):
+    """Structural gate over bench/serve_latency output; returns the list
+    of gate failures (exits 2 directly on IO/shape problems)."""
+    if not os.path.exists(path):
+        fail_usage(f"serve results file {path} does not exist; the "
+                   "bench run that should have produced it failed or "
+                   "wrote elsewhere")
+    try:
+        with open(path, encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        fail_usage(f"cannot read serve results file {path}: {e}")
+    except json.JSONDecodeError as e:
+        fail_usage(f"serve results file {path} is not valid JSON "
+                   f"(line {e.lineno}): {e.msg}")
+    if not isinstance(data, dict) or "serve_bench_version" not in data:
+        fail_usage(f"serve results file {path} has no "
+                   "\"serve_bench_version\"; is this really serve_latency "
+                   "output?")
+    failures = []
+
+    def num(field):
+        value = data.get(field)
+        if not isinstance(value, (int, float)):
+            fail_usage(f"serve results file {path}: \"{field}\" is "
+                       "missing or non-numeric")
+        return value
+
+    requests, errors = num("requests"), num("errors")
+    if requests <= 0:
+        failures.append(f"requests is {requests}; the load generator "
+                        "completed no round trips")
+    if errors != 0:
+        failures.append(f"errors is {errors}; a clean in-process run must "
+                        "serve every request (admission rejects, deadline "
+                        "expiries and transport failures all count)")
+    latency = data.get("latency_ns")
+    if not isinstance(latency, dict):
+        fail_usage(f"serve results file {path}: \"latency_ns\" is missing "
+                   "or not an object")
+    percentiles = []
+    for q in ("p50", "p95", "p99"):
+        value = latency.get(q)
+        if not isinstance(value, (int, float)):
+            fail_usage(f"serve results file {path}: latency_ns.{q} is "
+                       "missing or non-numeric")
+        percentiles.append(value)
+    if requests > 0 and min(percentiles) <= 0:
+        failures.append("a latency percentile is <= 0 ns; the timer did "
+                        "not measure real round trips")
+    if sorted(percentiles) != percentiles:
+        failures.append(f"latency percentiles are not monotonic: "
+                        f"p50/p95/p99 = {percentiles}")
+    batches, batched = num("batches"), num("batched_requests")
+    if requests > 0 and batches <= 0:
+        failures.append("batches is 0; nothing went through the batching "
+                        "queue, so the bench measured the wrong path")
+    histogram = data.get("occupancy_histogram")
+    if not isinstance(histogram, dict):
+        fail_usage(f"serve results file {path}: \"occupancy_histogram\" "
+                   "is missing or not an object")
+    try:
+        histo_requests = sum(int(k) * int(v) for k, v in histogram.items())
+        histo_batches = sum(int(v) for v in histogram.values())
+    except (TypeError, ValueError):
+        fail_usage(f"serve results file {path}: occupancy_histogram keys/"
+                   "values must be integers")
+    if (histo_requests, histo_batches) != (batched, batches):
+        failures.append(
+            f"occupancy histogram is inconsistent: it sums to "
+            f"{histo_batches} batches / {histo_requests} requests but the "
+            f"counters say {batches} / {batched}")
+    occupancy = batched / batches if batches else 0.0
+    print(f"  serve: requests={requests} errors={errors} "
+          f"batches={batches} occupancy={occupancy:.2f} "
+          f"p50={percentiles[0]:.0f}ns p99={percentiles[2]:.0f}ns")
+    return failures
+
+
 # --- self-test ---------------------------------------------------------------
 
 def bench_doc(entries):
@@ -224,6 +312,49 @@ def self_test():
         run_case("speedup floor", [base, slow_simd, "--require-speedup"],
                  1, "TOO SLOW")
 
+        def serve_doc(**overrides):
+            doc = {"serve_bench_version": 1,
+                   "requests": 800, "errors": 0,
+                   "latency_ns": {"p50": 1000, "p95": 2000, "p99": 3000,
+                                  "mean": 1200.0},
+                   "batches": 52, "batched_requests": 800,
+                   "occupancy_histogram": {"2": 1, "4": 1, "10": 1,
+                                           "16": 49}}
+            doc.update(overrides)
+            return doc
+
+        run_case("serve clean pass",
+                 ["--serve", write("serve_ok.json", serve_doc())],
+                 0, "bench_check: OK")
+        run_case("serve missing file",
+                 ["--serve", os.path.join(tmp, "serve_nope.json")],
+                 2, "does not exist")
+        run_case("serve wrong shape",
+                 ["--serve", write("serve_shape.json", {"requests": 5})],
+                 2, "serve_bench_version")
+        run_case("serve errors fail",
+                 ["--serve", write("serve_err.json", serve_doc(errors=3))],
+                 1, "errors is 3")
+        run_case("serve zero requests",
+                 ["--serve",
+                  write("serve_zero.json",
+                        serve_doc(requests=0, errors=0,
+                                  latency_ns={"p50": 0, "p95": 0, "p99": 0},
+                                  batches=0, batched_requests=0,
+                                  occupancy_histogram={}))],
+                 1, "completed no round trips")
+        run_case("serve no batches",
+                 ["--serve",
+                  write("serve_nobatch.json",
+                        serve_doc(batches=0, batched_requests=0,
+                                  occupancy_histogram={}))],
+                 1, "nothing went through the batching queue")
+        run_case("serve histogram mismatch",
+                 ["--serve",
+                  write("serve_histo.json",
+                        serve_doc(occupancy_histogram={"16": 50}))],
+                 1, "occupancy histogram is inconsistent")
+
     print("bench_check: self-test " + ("OK" if ok else "FAILED"))
     return 0 if ok else 1
 
@@ -233,6 +364,16 @@ def main():
     flags = {a for a in sys.argv[1:] if a.startswith("--")}
     if flags == {"--self-test"} and not args:
         sys.exit(self_test())
+    if flags == {"--serve"} and len(args) == 1:
+        print("bench_check: serve structural gate")
+        failures = check_serve(args[0])
+        if failures:
+            print("bench_check: FAILED", file=sys.stderr)
+            for f in failures:
+                print(f"  {f}", file=sys.stderr)
+            sys.exit(1)
+        print("bench_check: OK")
+        return
     unknown = flags - {"--require-speedup"}
     if len(args) != 2 or unknown:
         print(__doc__, file=sys.stderr)

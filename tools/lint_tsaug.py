@@ -82,7 +82,11 @@ import os
 import re
 import sys
 
-SOURCE_DIRS = ("src", "tests", "bench", "examples")
+# tools/ carries real C++ now (serve_main, serve_loadgen), so it is linted
+# like any other source dir; lint_tree prunes testdata/ so the planted
+# fixture violations under tools/testdata/lint_tree never leak into a real
+# run.
+SOURCE_DIRS = ("src", "tests", "bench", "examples", "tools")
 CXX_EXTENSIONS = (".cc", ".h", ".cpp", ".hpp")
 
 # --- rule implementations ---------------------------------------------------
@@ -369,7 +373,10 @@ def lint_test_registration(root, violations):
 def lint_tree(root):
     violations = []
     for top in SOURCE_DIRS:
-        for dirpath, _, filenames in os.walk(os.path.join(root, top)):
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            # Fixture trees (tools/testdata/lint_tree) plant violations on
+            # purpose; they are linted by --self-test only.
+            dirnames[:] = [d for d in dirnames if d != "testdata"]
             for name in sorted(filenames):
                 if not name.endswith(CXX_EXTENSIONS):
                     continue

@@ -1,0 +1,64 @@
+// Deterministic load-test client for serve_main: opens N connections,
+// issues the standard loadgen workload (serve/loadgen.h) and prints a
+// latency/error summary. Exit status: 0 on zero errors, 1 otherwise —
+// the CI serve smoke gates on it.
+//
+// Flags:
+//   --host H          server host            (default 127.0.0.1)
+//   --port N          server port            (required)
+//   --connections N   client connections     (default 8)
+//   --requests N      requests per connection (default 25)
+//   --timeout-ms N    per-request deadline   (default 0 = none)
+//   --seed N          workload base seed     (default 1)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/status.h"
+#include "serve/loadgen.h"
+
+int main(int argc, char** argv) {
+  tsaug::serve::LoadConfig config;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--host") {
+      config.host = value;
+    } else if (flag == "--port") {
+      config.port = std::atoi(value.c_str());
+    } else if (flag == "--connections") {
+      config.connections = std::atoi(value.c_str());
+    } else if (flag == "--requests") {
+      config.requests_per_connection = std::atoi(value.c_str());
+    } else if (flag == "--timeout-ms") {
+      config.timeout_millis =
+          static_cast<std::uint32_t>(std::atoi(value.c_str()));
+    } else if (flag == "--seed") {
+      config.base_seed = static_cast<std::uint64_t>(std::atoll(value.c_str()));
+    } else {
+      std::fprintf(stderr, "serve_loadgen: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (config.port <= 0) {
+    std::fprintf(stderr, "serve_loadgen: --port is required\n");
+    return 2;
+  }
+
+  tsaug::core::StatusOr<tsaug::serve::LoadReport> ran =
+      tsaug::serve::RunLoad(config);
+  if (!ran.ok()) {
+    std::fprintf(stderr, "serve_loadgen: %s\n", ran.status().ToString().c_str());
+    return 1;
+  }
+  const tsaug::serve::LoadReport& report = *ran;
+  std::printf(
+      "serve_loadgen: requests=%lld errors=%lld "
+      "p50_us=%.1f p95_us=%.1f p99_us=%.1f\n",
+      static_cast<long long>(report.requests),
+      static_cast<long long>(report.errors),
+      static_cast<double>(report.PercentileNanos(0.50)) * 1e-3,
+      static_cast<double>(report.PercentileNanos(0.95)) * 1e-3,
+      static_cast<double>(report.PercentileNanos(0.99)) * 1e-3);
+  return report.errors == 0 ? 0 : 1;
+}

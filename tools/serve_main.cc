@@ -1,0 +1,94 @@
+// The serving binary: registers the default corpus + taxonomy + ROCKET
+// model (serve::DefaultServiceConfig) and serves augment/score requests
+// over the length-prefixed TCP protocol until SIGTERM/SIGINT, then drains
+// (answers everything admitted) and exports trace counters.
+//
+// Flags:
+//   --port N            listen port (default 0 = ephemeral)
+//   --port-file PATH    write the bound port as text (child-process handshake)
+//   --trace-json PATH   enable tracing; write the JSON report after drain
+//   --max-batch N       batching policy: cut at N requests      (default 16)
+//   --linger-ms X       batching policy: max linger in ms       (default 2)
+//   --max-queue-depth N admission control bound                 (default 1024)
+//   --max-connections N concurrent connection bound             (default 128)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/cancel.h"
+#include "core/status.h"
+#include "core/trace.h"
+#include "serve/server.h"
+
+namespace {
+
+using tsaug::serve::Server;
+using tsaug::serve::ServerConfig;
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  return std::fclose(f) == 0 && wrote;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerConfig config;
+  config.service = tsaug::serve::DefaultServiceConfig();
+  std::string port_file;
+  std::string trace_json;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--port") {
+      config.port = std::atoi(value.c_str());
+    } else if (flag == "--port-file") {
+      port_file = value;
+    } else if (flag == "--trace-json") {
+      trace_json = value;
+    } else if (flag == "--max-batch") {
+      config.batching.max_batch = std::atoi(value.c_str());
+    } else if (flag == "--linger-ms") {
+      config.batching.max_linger_nanos =
+          static_cast<std::int64_t>(std::atof(value.c_str()) * 1e6);
+    } else if (flag == "--max-queue-depth") {
+      config.batching.max_queue_depth = std::atoi(value.c_str());
+    } else if (flag == "--max-connections") {
+      config.max_connections = std::atoi(value.c_str());
+    } else {
+      std::fprintf(stderr, "serve_main: unknown flag %s\n", flag.c_str());
+      return 2;
+    }
+  }
+  if (!trace_json.empty()) tsaug::core::trace::Enable();
+
+  tsaug::core::InstallStopSignalHandlers();
+  Server server(config);
+  const tsaug::core::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "serve_main: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serve_main: listening on %d\n", server.port());
+  std::fflush(stdout);
+  if (!port_file.empty() &&
+      !WriteFile(port_file, std::to_string(server.port()) + "\n")) {
+    std::fprintf(stderr, "serve_main: cannot write %s\n", port_file.c_str());
+    server.Shutdown();
+    return 1;
+  }
+
+  server.Wait();  // returns only after the drain completed
+
+  // Export ordering (see Server::Shutdown): every worker is joined before
+  // this point, so the counter snapshot is complete.
+  if (!trace_json.empty() &&
+      !WriteFile(trace_json, tsaug::core::trace::ReportJson())) {
+    std::fprintf(stderr, "serve_main: cannot write %s\n", trace_json.c_str());
+    return 1;
+  }
+  std::printf("serve_main: drained\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Fixture: serving-layer code guarding its queue with a raw
+// std::unique_lock — invisible to clang -Wthread-safety; the annotated
+// Mutex/MutexLock wrappers are required in src/.
+#include <mutex>
+
+namespace tsaug::serve {
+void Dispatch() {
+  std::unique_lock<std::mutex> lock;
+}
+}  // namespace tsaug::serve

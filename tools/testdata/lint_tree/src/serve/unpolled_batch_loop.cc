@@ -1,0 +1,45 @@
+// Fixture: a cancel-aware serving file (includes core/cancel.h) whose
+// dispatch loop spans well past the poll threshold without ever calling
+// CheckStop / GlobalStopRequested and without a justifying comment —
+// exactly the shape where a SIGTERM drain would hang.
+#include "core/cancel.h"
+
+namespace tsaug::serve {
+
+int DrainForever(int batches) {
+  int total = 0;
+  while (batches > 0) {
+    total += 1;
+    total += 2;
+    total += 3;
+    total += 4;
+    total += 5;
+    total += 6;
+    total += 7;
+    total += 8;
+    total += 9;
+    total += 10;
+    total += 11;
+    total += 12;
+    total += 13;
+    total += 14;
+    total += 15;
+    total += 16;
+    total += 17;
+    total += 18;
+    total += 19;
+    total += 20;
+    total += 21;
+    total += 22;
+    total += 23;
+    total += 24;
+    total += 25;
+    total += 26;
+    total += 27;
+    total += 28;
+    batches -= 1;
+  }
+  return total;
+}
+
+}  // namespace tsaug::serve

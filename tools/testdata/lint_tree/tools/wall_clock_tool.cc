@@ -1,0 +1,8 @@
+// Fixture: a tools/ binary seeding itself from the wall clock — banned in
+// every source dir now that tools/ is linted; seeds come from flags and
+// timing belongs in bench/.
+#include <ctime>
+
+int main() {
+  return static_cast<int>(time(NULL) % 7);
+}
