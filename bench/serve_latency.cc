@@ -32,7 +32,12 @@ std::string OccupancyHistogramJson(int max_batch) {
     if (cuts == 0) continue;
     if (!first) json += ", ";
     first = false;
-    json += "\"" + std::to_string(n) + "\": " + std::to_string(cuts);
+    // Sequential appends: GCC 12 -O2 fires a bogus -Wrestrict on the
+    // char*-plus-rvalue-string overload, fatal under the strict CI leg.
+    json += "\"";
+    json += std::to_string(n);
+    json += "\": ";
+    json += std::to_string(cuts);
   }
   return json + "}";
 }

@@ -100,7 +100,11 @@ void PrintAccuracyTable(const StudyResult& result, std::ostream& out) {
     if (resumed > 0) text += "^";
     if (retried > 0) text += "~";
     if (failed_runs > 0) {
-      text += "!" + std::to_string(failed_runs);
+      // Two appends, not "!" + to_string(...): GCC 12 -O2 mis-analyses the
+      // char*-plus-rvalue-string overload and fires a bogus -Wrestrict,
+      // which -Werror turns fatal on the strict CI leg.
+      text += "!";
+      text += std::to_string(failed_runs);
       any_failed = true;
     }
     return text;

@@ -122,6 +122,13 @@ class Reader {
     std::uint32_t channels = 0;
     std::uint32_t length = 0;
     if (!ReadU32(&channels) || !ReadU32(&length)) return false;
+    // Each dimension is bounded on its own before the int casts below: a
+    // header with length == 0 and channels >= 2^31 has zero samples, so
+    // it would sail past the product check yet turn negative as an int
+    // and trip the TimeSeries constructor's abort. Any dimension a valid
+    // frame could carry fits in kMaxFrameBytes / 8 (well under INT_MAX).
+    constexpr std::uint32_t kMaxDimension = kMaxFrameBytes / 8;
+    if (channels > kMaxDimension || length > kMaxDimension) return false;
     // 8 bytes per sample must fit in what is left of the body; this also
     // bounds the allocation below by the frame size.
     const std::uint64_t samples =

@@ -123,10 +123,20 @@ core::Status Server::Start() {
   }
   port_ = static_cast<int>(ntohs(bound.sin_port));
 
+  // Mark started before spawning: a Shutdown() racing with the spawn must
+  // decide "there are threads to join" and then wait for spawned_, rather
+  // than return early while the loops keep running.
+  {
+    core::MutexLock lock(mu_);
+    started_ = true;
+  }
   accept_thread_ = std::thread(&Server::AcceptLoop, this);
   dispatch_thread_ = std::thread(&Server::DispatchLoop, this);
-  core::MutexLock lock(mu_);
-  started_ = true;
+  {
+    core::MutexLock lock(mu_);
+    spawned_ = true;
+  }
+  cv_.NotifyAll();
   return core::OkStatus();
 }
 
@@ -352,6 +362,12 @@ void Server::Shutdown() {
     core::MutexLock lock(mu_);
     while (started_ && !joined_) cv_.Wait(mu_);
     return;
+  }
+  {
+    // started_ flips before the threads exist; wait out the spawn window
+    // so the joins below never touch a half-constructed std::thread.
+    core::MutexLock lock(mu_);
+    while (!spawned_) cv_.Wait(mu_);
   }
   // Drain ordering (mirrors the class comment): no new connections, then
   // no new admissions, then the dispatcher flushes every admitted request,

@@ -101,7 +101,11 @@ class Server {
   bool draining_ TSAUG_GUARDED_BY(mu_) = false;
   int open_connections_ TSAUG_GUARDED_BY(mu_) = 0;
   std::vector<std::thread> handlers_ TSAUG_GUARDED_BY(mu_);
+  /// started_ flips before the threads are spawned so a racing Shutdown()
+  /// never concludes "nothing to join" while Start() is mid-spawn; the
+  /// joiner then waits for spawned_ before touching the thread objects.
   bool started_ TSAUG_GUARDED_BY(mu_) = false;
+  bool spawned_ TSAUG_GUARDED_BY(mu_) = false;
   /// First Shutdown() caller performs the joins; later callers wait for
   /// joined_ (two threads joining the same std::thread is undefined).
   bool join_started_ TSAUG_GUARDED_BY(mu_) = false;

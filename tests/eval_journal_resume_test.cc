@@ -40,7 +40,11 @@ int RunChild(const std::string& journal, const std::string& out, int threads,
   command += "TSAUG_CHILD_JOURNAL='" + journal + "' ";
   command += "TSAUG_NUM_THREADS=" + std::to_string(threads) + " ";
   command += "TSAUG_FAULTS='" + faults + "' ";
-  command += "'" + std::string(ChildBinary()) + "'";
+  // Sequential appends: GCC 12 -O2 fires a bogus -Wrestrict on the
+  // char*-plus-rvalue-string overload, fatal under the strict CI leg.
+  command += "'";
+  command += ChildBinary();
+  command += "'";
   return std::system(command.c_str());
 }
 

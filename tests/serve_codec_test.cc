@@ -193,6 +193,27 @@ TEST(ServeCodecTest, LyingSeriesGeometryRejected) {
             core::StatusCode::kInvalidArgument);
 }
 
+TEST(ServeCodecTest, HugeChannelsWithZeroLengthRejected) {
+  // channels >= 2^31 with length == 0 has zero samples, so it slips past
+  // any samples-vs-remaining-bytes product check; the decoder must reject
+  // the dimension itself rather than cast it to a negative int (which
+  // would abort in the TimeSeries constructor — a remote crash).
+  ScoreRequest request;
+  request.request_id = 2;
+  request.series = core::TimeSeries(0, 0);
+  std::string frame = EncodeFrame(request);
+  // Series header sits after: u32 len, u8 type, u64 id, u32 timeout.
+  const std::size_t channels_at = 4 + 1 + 8 + 4;
+  const std::uint32_t huge = 0x80000000u;
+  for (std::size_t i = 0; i < 4; ++i) {
+    frame[channels_at + i] = static_cast<char>((huge >> (8 * i)) & 0xffu);
+  }
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
 TEST(ServeCodecTest, FuzzedBuffersNeverCrash) {
   // Seeded corpus, three shapes of hostility: pure random bytes, random
   // bytes behind a self-consistent length prefix, and single-byte
