@@ -12,6 +12,7 @@
 #include "core/faultpoint.h"
 #include "core/parallel.h"
 #include "core/trace.h"
+#include "eval/shard.h"
 
 namespace tsaug::eval {
 
@@ -251,6 +252,21 @@ DatasetRow RunGridAgainstJournal(
       }
     }
 
+    // Shard filter (eval/shard.h): cells another shard owns are skipped
+    // entirely — no augmentation, no training, no journal record, no fold
+    // into the row statistics. Ownership is a pure function of the cell
+    // identity, so the union of all shards' journals is exactly the
+    // unsharded run's journal.
+    std::vector<char> owned(num_cells, 1);
+    if (config.shard_count > 1) {
+      for (size_t c = 0; c < num_cells; ++c) {
+        owned[c] = ShardOfCell(name, run, static_cast<int>(c),
+                               config.shard_count) == config.shard_index
+                       ? 1
+                       : 0;
+      }
+    }
+
     // Serial setup phase: every RNG draw (splits above, augmentation
     // below) happens here, with per-cell seeds derived up front, so the
     // evaluation phase is free of shared mutable state. A cell whose
@@ -262,10 +278,24 @@ DatasetRow RunGridAgainstJournal(
     std::vector<core::Dataset> cell_train;
     std::vector<core::Status> cell_status(num_cells);
     std::vector<char> cell_done(num_cells, 0);
+    // Replay mode (config.resume_only): every owned cell must come from
+    // the journal. A missing cell — its shard exhausted retries — is
+    // marked failed-unavailable up front, so neither the setup nor the
+    // evaluation phase computes anything and the report shows the gap
+    // instead of silently recomputing it.
+    if (config.resume_only) {
+      for (size_t c = 0; c < num_cells; ++c) {
+        if (owned[c] == 0 || resumed[c] != nullptr) continue;
+        cell_status[c] = core::UnavailableError(
+            "grid: cell missing from journal (its shard failed)");
+        cell_done[c] = 1;
+      }
+    }
     cell_train.reserve(num_cells);
     cell_train.push_back(train_part);  // cell 0 = baseline
     for (size_t i = 0; i < techniques.size(); ++i) {
-      if (resumed[i + 1] != nullptr) {
+      if (owned[i + 1] == 0 || !cell_status[i + 1].ok() ||
+          resumed[i + 1] != nullptr) {
         cell_train.push_back(train_part);  // placeholder, never trained on
         continue;
       }
@@ -325,6 +355,7 @@ DatasetRow RunGridAgainstJournal(
         [&](std::int64_t lo, std::int64_t hi) {
           for (std::int64_t cell = lo; cell < hi; ++cell) {
             const size_t c = static_cast<size_t>(cell);
+            if (owned[c] == 0) continue;          // another shard's cell
             if (resumed[c] != nullptr) continue;  // restored from journal
             if (!cell_status[c].ok()) continue;   // augmentation failed
             // Per-cell wall time, keyed by technique so grid reports break
@@ -379,7 +410,7 @@ DatasetRow RunGridAgainstJournal(
     // Cancelled and deadline-exceeded outcomes are never journaled: they
     // depend on wall time or operator action, so a resumed run must
     // re-attempt them.
-    if (journal != nullptr && journal->is_open()) {
+    if (journal != nullptr && journal->is_open() && !config.resume_only) {
       for (size_t c = 0; c < num_cells; ++c) {
         if (resumed[c] != nullptr || !cell_done[c]) continue;
         const core::StatusCode code = cell_status[c].code();
@@ -414,6 +445,7 @@ DatasetRow RunGridAgainstJournal(
     // Deterministic reduction in fixed cell order, folding restored cells
     // in at the same positions their recomputation would occupy.
     for (size_t c = 0; c < num_cells; ++c) {
+      if (owned[c] == 0) continue;  // another shard's cell, never computed
       if (resumed[c] != nullptr) {
         scores[c] = resumed[c]->score;
         retries[c] = resumed[c]->retries;
@@ -424,16 +456,19 @@ DatasetRow RunGridAgainstJournal(
       if (!cell_status[c].ok()) core::trace::AddCount("grid.cell_failed");
       if (retries[c] > 0) core::trace::AddCount("grid.cell_retried");
     }
-    if (cell_status[0].ok()) {
-      score_sum[0] += scores[0];
-      ++ok_runs[0];
-      row.baseline_retries += retries[0];
-    } else {
-      ++row.baseline_failed_runs;
-      row.baseline_error = cell_status[0];
+    if (owned[0] != 0) {
+      if (cell_status[0].ok()) {
+        score_sum[0] += scores[0];
+        ++ok_runs[0];
+        row.baseline_retries += retries[0];
+      } else {
+        ++row.baseline_failed_runs;
+        row.baseline_error = cell_status[0];
+      }
+      if (resumed[0] != nullptr) ++row.baseline_resumed_runs;
     }
-    if (resumed[0] != nullptr) ++row.baseline_resumed_runs;
     for (size_t i = 0; i < techniques.size(); ++i) {
+      if (owned[i + 1] == 0) continue;  // another shard's cell
       if (cell_status[i + 1].ok()) {
         score_sum[i + 1] += scores[i + 1];
         ++ok_runs[i + 1];

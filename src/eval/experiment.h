@@ -42,6 +42,22 @@ struct ExperimentConfig {
   /// seconds; 0 disables it. A cell that overruns is recorded as failed
   /// with kDeadlineExceeded — the grid itself keeps going.
   double cell_budget_seconds = 0.0;
+
+  /// Shard filter (eval/shard.h): with shard_count > 1, this process
+  /// computes, journals and folds only the cells that
+  /// ShardOfCell(dataset, run, cell, shard_count) assigns to shard_index;
+  /// every other cell is skipped entirely. Like the budget/journal knobs,
+  /// sharding is excluded from ConfigFingerprint — it changes *where* a
+  /// cell runs, never what it computes, so shard journals merge into an
+  /// unsharded run's journal.
+  int shard_index = 0;
+  int shard_count = 1;
+
+  /// Replay mode for the shard supervisor's merge step: every cell must
+  /// come from the journal. Nothing is computed or appended; a cell the
+  /// journal lacks (its shard exhausted retries) is recorded as failed
+  /// with kUnavailable instead of being silently recomputed in-process.
+  bool resume_only = false;
 };
 
 /// Accuracy of one augmentation technique on one dataset: the mean over

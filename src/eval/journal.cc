@@ -139,6 +139,8 @@ bool StatusCodeFromName(const std::string& name, core::StatusCode& code) {
       core::StatusCode::kInjectedFault,
       core::StatusCode::kCancelled,
       core::StatusCode::kDeadlineExceeded,
+      core::StatusCode::kInvalidArgument,
+      core::StatusCode::kUnavailable,
   };
   for (core::StatusCode candidate : kAll) {
     if (name == core::StatusCodeName(candidate)) {
@@ -224,6 +226,85 @@ bool ParseCell(const std::string& body, JournalCell& cell) {
   return true;
 }
 
+/// One journal file loaded and validated, shared by Journal::Open() and
+/// MergeJournals(): CRC-checked lines, torn/corrupt ones dropped with a
+/// warning, duplicate (dataset, run, cell) keys resolved last-writer.
+struct LoadedJournal {
+  std::map<std::tuple<std::string, int, int>, JournalCell> cells;
+  int dropped = 0;
+  bool header_seen = false;
+  /// The file existed and held at least one byte.
+  bool present = false;
+};
+
+core::Status LoadJournalFile(const std::string& path,
+                             const std::string& fingerprint,
+                             LoadedJournal& out) {
+  std::string content;
+  if (std::FILE* in = std::fopen(path.c_str(), "rb"); in != nullptr) {
+    char buffer[4096];
+    size_t got = 0;
+    while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+      content.append(buffer, got);
+    }
+    std::fclose(in);
+  }
+  out.present = !content.empty();
+
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    const bool torn = end == std::string::npos;  // no trailing newline
+    if (torn) end = content.size();
+    const std::string line = content.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    std::string body, type;
+    if (!DecodeLine(line, body) || !ExtractString(body, "type", type)) {
+      ++out.dropped;
+      std::fprintf(stderr,
+                   "journal: dropping %s line in %s (cell will be re-run)\n",
+                   torn ? "truncated" : "corrupt", path.c_str());
+      continue;
+    }
+    if (type == "header") {
+      std::string recorded;
+      if (!ExtractString(body, "fingerprint", recorded)) {
+        ++out.dropped;
+        continue;
+      }
+      if (recorded != fingerprint) {
+        return core::DegenerateInputError(
+            "journal: config fingerprint mismatch in " + path +
+            " — journal was written by \"" + recorded +
+            "\" but this run is \"" + fingerprint +
+            "\"; delete the journal or rerun with the matching "
+            "config/seed");
+      }
+      out.header_seen = true;
+    } else if (type == "cell") {
+      if (!out.header_seen) {
+        return core::DegenerateInputError(
+            "journal: cell record before header in " + path +
+            " — not a tsaug journal, or its header was lost");
+      }
+      JournalCell cell;
+      if (!ParseCell(body, cell)) {
+        ++out.dropped;
+        std::fprintf(stderr,
+                     "journal: dropping unparsable cell record in %s\n",
+                     path.c_str());
+        continue;
+      }
+      // Duplicate (dataset, run, cell) records take the last writer.
+      out.cells[{cell.dataset, cell.run, cell.cell}] = std::move(cell);
+    } else {
+      ++out.dropped;
+    }
+  }
+  return core::OkStatus();
+}
+
 }  // namespace
 
 std::uint32_t Crc32(const std::string& data) {
@@ -256,72 +337,11 @@ core::Status Journal::Open(const std::string& path,
                            const std::string& fingerprint) {
   TSAUG_CHECK_MSG(!is_open(), "Journal::Open called twice");
   path_ = path;
-  cells_.clear();
-  loaded_ = 0;
-  dropped_ = 0;
-  bool header_seen = false;
-
-  std::string content;
-  if (std::FILE* in = std::fopen(path.c_str(), "rb"); in != nullptr) {
-    char buffer[4096];
-    size_t got = 0;
-    while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
-      content.append(buffer, got);
-    }
-    std::fclose(in);
-  }
-
-  size_t start = 0;
-  while (start < content.size()) {
-    size_t end = content.find('\n', start);
-    const bool torn = end == std::string::npos;  // no trailing newline
-    if (torn) end = content.size();
-    const std::string line = content.substr(start, end - start);
-    start = end + 1;
-    if (line.empty()) continue;
-    std::string body, type;
-    if (!DecodeLine(line, body) || !ExtractString(body, "type", type)) {
-      ++dropped_;
-      std::fprintf(stderr,
-                   "journal: dropping %s line in %s (cell will be re-run)\n",
-                   torn ? "truncated" : "corrupt", path.c_str());
-      continue;
-    }
-    if (type == "header") {
-      std::string recorded;
-      if (!ExtractString(body, "fingerprint", recorded)) {
-        ++dropped_;
-        continue;
-      }
-      if (recorded != fingerprint) {
-        return core::DegenerateInputError(
-            "journal: config fingerprint mismatch in " + path +
-            " — journal was written by \"" + recorded +
-            "\" but this run is \"" + fingerprint +
-            "\"; delete the journal or rerun with the matching "
-            "config/seed");
-      }
-      header_seen = true;
-    } else if (type == "cell") {
-      if (!header_seen) {
-        return core::DegenerateInputError(
-            "journal: cell record before header in " + path +
-            " — not a tsaug journal, or its header was lost");
-      }
-      JournalCell cell;
-      if (!ParseCell(body, cell)) {
-        ++dropped_;
-        std::fprintf(stderr,
-                     "journal: dropping unparsable cell record in %s\n",
-                     path.c_str());
-        continue;
-      }
-      // Duplicate (dataset, run, cell) records take the last writer.
-      cells_[{cell.dataset, cell.run, cell.cell}] = std::move(cell);
-    } else {
-      ++dropped_;
-    }
-  }
+  LoadedJournal loaded;
+  TSAUG_RETURN_IF_ERROR(LoadJournalFile(path, fingerprint, loaded));
+  cells_ = std::move(loaded.cells);
+  dropped_ = loaded.dropped;
+  const bool header_seen = loaded.header_seen;
   loaded_ = static_cast<int>(cells_.size());
 
   std::FILE* appender = std::fopen(path.c_str(), "ab");
@@ -364,6 +384,48 @@ const JournalCell* Journal::Find(const std::string& dataset, int run,
                                  int cell) const {
   const auto it = cells_.find(std::make_tuple(dataset, run, cell));
   return it == cells_.end() ? nullptr : &it->second;
+}
+
+core::StatusOr<JournalMergeStats> MergeJournals(
+    const std::vector<std::string>& inputs, const std::string& output_path,
+    const std::string& fingerprint) {
+  JournalMergeStats stats;
+  std::map<std::tuple<std::string, int, int>, JournalCell> merged;
+  for (const std::string& input : inputs) {
+    LoadedJournal loaded;
+    TSAUG_RETURN_IF_ERROR(LoadJournalFile(input, fingerprint, loaded));
+    if (!loaded.present) {
+      // A shard that never started (or crashed before its header flush)
+      // contributes nothing; its cells surface as failed in the replay.
+      ++stats.missing_inputs;
+      continue;
+    }
+    ++stats.inputs;
+    stats.dropped_lines += loaded.dropped;
+    for (auto& [key, cell] : loaded.cells) {
+      const auto [it, inserted] = merged.insert_or_assign(key, std::move(cell));
+      if (!inserted) ++stats.duplicates;
+    }
+  }
+  stats.cells = static_cast<int>(merged.size());
+
+  // std::map iteration gives the deterministic (dataset, run, cell) order,
+  // so merging the same inputs twice writes byte-identical output.
+  std::string text = GuardLine(HeaderBody(fingerprint));
+  for (const auto& [key, cell] : merged) text += GuardLine(CellBody(cell));
+  std::FILE* out = std::fopen(output_path.c_str(), "wb");
+  if (out == nullptr) {
+    return core::UnavailableError("journal: cannot write merged journal to " +
+                                  output_path);
+  }
+  const bool wrote =
+      std::fwrite(text.data(), 1, text.size(), out) == text.size();
+  const bool flushed = std::fflush(out) == 0;
+  if (std::fclose(out) != 0 || !flushed || !wrote) {
+    return core::UnavailableError("journal: short write to merged journal " +
+                                  output_path);
+  }
+  return stats;
 }
 
 }  // namespace tsaug::eval

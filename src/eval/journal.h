@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <vector>
 
 #include "core/status.h"
 #include "core/thread_annotations.h"
@@ -102,6 +103,31 @@ class Journal {
 /// CRC-32 (IEEE 802.3) of `data`, for the journal's per-line guard.
 /// Exposed for tests that corrupt or hand-craft records.
 std::uint32_t Crc32(const std::string& data);
+
+/// Statistics of one MergeJournals() call.
+struct JournalMergeStats {
+  int inputs = 0;          // journals found and folded in
+  int missing_inputs = 0;  // absent or empty inputs (tolerated)
+  int cells = 0;           // distinct cells in the merged output
+  int duplicates = 0;      // cross-file duplicates resolved last-writer
+  int dropped_lines = 0;   // torn/corrupt lines dropped across inputs
+};
+
+/// Merges shard journals (eval/shard.h) into one journal equivalent to an
+/// unsharded run's: every input's CRC-valid cells, deduplicated last-writer
+/// in input order (within one file later lines win, exactly as in Open()),
+/// written under a fresh `fingerprint` header in deterministic
+/// (dataset, run, cell) order — merging the same inputs twice produces
+/// byte-identical output.
+///
+/// Tolerated per the journal's robustness contract: a missing or empty
+/// input (a shard that never started), torn/corrupt trailing lines
+/// (dropped and counted). Rejected with an error: an input whose header
+/// fingerprint differs from `fingerprint` (journals of different
+/// experiments never mix silently), or cell records with no header.
+[[nodiscard]] core::StatusOr<JournalMergeStats> MergeJournals(
+    const std::vector<std::string>& inputs, const std::string& output_path,
+    const std::string& fingerprint);
 
 }  // namespace tsaug::eval
 

@@ -224,6 +224,13 @@ BenchSettings ReadBenchSettings() {
       if (!name.empty()) settings.datasets.push_back(name);
     }
   }
+  if (const char* names = std::getenv("TSAUG_TECHNIQUES"); names != nullptr) {
+    std::stringstream stream(names);
+    std::string name;
+    while (std::getline(stream, name, ',')) {
+      if (!name.empty()) settings.techniques.push_back(name);
+    }
+  }
   return settings;
 }
 
@@ -293,7 +300,35 @@ std::vector<std::shared_ptr<augment::Augmenter>> MakePaperTechniques(
     timegan.max_sequence_length = 16;
   }
   timegan.seed = settings.seed;
-  return augment::PaperTechniques(timegan);
+  std::vector<std::shared_ptr<augment::Augmenter>> all =
+      augment::PaperTechniques(timegan);
+  if (settings.techniques.empty()) return all;
+
+  // TSAUG_TECHNIQUES filter, preserving the paper's technique order (the
+  // order is part of the config fingerprint, so every process of a
+  // sharded run must derive the same list from the same environment).
+  std::vector<std::shared_ptr<augment::Augmenter>> selected;
+  for (const auto& technique : all) {
+    for (const std::string& wanted : settings.techniques) {
+      if (technique->name() == wanted) {
+        selected.push_back(technique);
+        break;
+      }
+    }
+  }
+  for (const std::string& wanted : settings.techniques) {
+    bool known = false;
+    for (const auto& technique : all) {
+      if (technique->name() == wanted) known = true;
+    }
+    if (!known) {
+      std::fprintf(stderr,
+                   "tsaug: TSAUG_TECHNIQUES entry \"%s\" matches no paper "
+                   "technique; ignored\n",
+                   wanted.c_str());
+    }
+  }
+  return selected;
 }
 
 StudyResult RunStudy(const BenchSettings& settings, ModelKind model,

@@ -33,6 +33,9 @@ void PrintImprovementCounts(const StudyResult& rocket,
 ///   TSAUG_EPOCHS       InceptionTime max epochs (default 40; paper 200)
 ///   TSAUG_TIMEGAN_ITERS  per-phase cap    (default 60; paper 2500)
 ///   TSAUG_DATASETS     comma-separated subset of Table III names
+///   TSAUG_TECHNIQUES   comma-separated subset of the paper's technique
+///                      names (noise_1.0, noise_3.0, noise_5.0, smote,
+///                      timegan); empty/unset = all five
 ///   TSAUG_JOURNAL      cell journal path (default off; see eval/journal.h)
 ///   TSAUG_CELL_BUDGET  per-cell wall budget in seconds (default off)
 /// The benches also accept --journal=PATH and --cell-budget-seconds=S
@@ -43,7 +46,8 @@ struct BenchSettings {
   int rocket_kernels = 500;
   int inception_epochs = 40;
   int timegan_iterations = 60;
-  std::vector<std::string> datasets;  // empty = all 13
+  std::vector<std::string> datasets;    // empty = all 13
+  std::vector<std::string> techniques;  // empty = all 5 paper techniques
   std::uint64_t seed = 42;
   std::string journal_path;          // empty = journaling off
   double cell_budget_seconds = 0.0;  // 0 = no per-cell deadline

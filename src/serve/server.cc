@@ -7,7 +7,10 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <variant>
 
@@ -161,7 +164,23 @@ void Server::AcceptLoop() {
     }
     if (ready == 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      const int error = errno;
+      if (error == EINTR) continue;
+      if (error == EMFILE || error == ENFILE || error == ECONNABORTED ||
+          error == ENOBUFS || error == EAGAIN) {
+        // Transient: fd/buffer exhaustion or a client that hung up before
+        // accept. Back off briefly instead of spinning (poll() stays ready
+        // while the pending connection cannot be accepted) and keep the
+        // listener alive — one fd-exhaustion burst must not kill serving.
+        core::trace::AddCount("serve.accept_transient");
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      std::fprintf(stderr, "serve: accept failed: %s\n",
+                   std::strerror(error));
+      return;
+    }
     if (core::fault::ShouldFail("serve.accept")) {
       core::trace::AddCount("serve.accept_faults");
       ::close(fd);
@@ -189,6 +208,15 @@ void Server::AcceptLoop() {
 void Server::HandleConnection(int fd) {
   std::string buffer;
   std::vector<char> chunk(1 << 16);
+  // Idle timeout: last_activity_nanos advances on every received byte (and
+  // starts at accept time); a connection that stays silent past the
+  // configured window is closed so it cannot pin a handler slot under
+  // max_connections. Requests in flight block inside ProcessRequest, not
+  // in the poll loop, so a slow *request* is never cut — only a slow
+  // client between frames.
+  const std::int64_t idle_nanos =
+      static_cast<std::int64_t>(config_.idle_timeout_ms) * 1'000'000;
+  std::int64_t last_activity_nanos = core::SteadyNowNanos();
   bool alive = true;
   while (alive) {
     // Decode every complete frame already buffered before blocking again.
@@ -222,9 +250,17 @@ void Server::HandleConnection(int fd) {
       if (errno == EINTR) continue;
       break;
     }
-    if (ready == 0) continue;
+    if (ready == 0) {
+      if (idle_nanos > 0 &&
+          core::SteadyNowNanos() - last_activity_nanos >= idle_nanos) {
+        core::trace::AddCount("serve.idle_closed");
+        break;
+      }
+      continue;
+    }
     const ssize_t n = ::recv(fd, chunk.data(), chunk.size(), 0);
     if (n <= 0) break;  // EOF or error
+    last_activity_nanos = core::SteadyNowNanos();
     buffer.append(chunk.data(), static_cast<std::size_t>(n));
   }
   ::close(fd);

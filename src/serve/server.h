@@ -23,6 +23,11 @@ struct ServerConfig {
   /// Accepted connections beyond this are closed immediately (admission
   /// control at the socket layer, before any frame is read).
   int max_connections = 128;
+  /// A connection idle (no bytes received, no request in flight) for this
+  /// long is closed, so a stalled client cannot pin a handler slot under
+  /// max_connections forever. 0 disables the timeout. A request being
+  /// processed never counts as idle: the clock only runs between frames.
+  int idle_timeout_ms = 0;
   BatchingPolicy batching;
   ServiceConfig service;
 };

@@ -1,0 +1,211 @@
+// Tests for MergeJournals (eval/journal.h), the shard-merge seam of the
+// sharded grid supervisor: cross-file last-writer dedup, torn trailing
+// lines dropped, fingerprint mismatches rejected, missing/empty inputs
+// tolerated, and deterministic byte-identical output across re-merges.
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/status.h"
+#include "eval/journal.h"
+
+namespace tsaug::eval {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::uint64_t Bits(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+JournalCell MakeCell(const std::string& dataset, int run, int cell,
+                     const std::string& name, double score,
+                     core::Status status = core::OkStatus()) {
+  JournalCell record;
+  record.dataset = dataset;
+  record.run = run;
+  record.cell = cell;
+  record.name = name;
+  record.score = score;
+  record.status = std::move(status);
+  return record;
+}
+
+// Writes a shard journal holding `cells` under `fingerprint`.
+void WriteShard(const std::string& path, const std::string& fingerprint,
+                const std::vector<JournalCell>& cells) {
+  std::filesystem::remove(path);
+  Journal journal;
+  ASSERT_TRUE(journal.Open(path, fingerprint).ok());
+  for (const JournalCell& cell : cells) {
+    ASSERT_TRUE(journal.Append(cell).ok());
+  }
+}
+
+TEST(MergeJournals, FoldsDisjointShardsIntoOneResumableJournal) {
+  const std::string a = TempPath("merge_disjoint_a.jsonl");
+  const std::string b = TempPath("merge_disjoint_b.jsonl");
+  const std::string out = TempPath("merge_disjoint_out.jsonl");
+  const double exact = 0.8571428571428571;
+  WriteShard(a, "fp=merge", {MakeCell("toy", 0, 0, "baseline", exact),
+                             MakeCell("zed", 1, 2, "jitter", 0.25)});
+  WriteShard(b, "fp=merge", {MakeCell("toy", 0, 1, "smote", 0.75)});
+
+  const auto stats = MergeJournals({a, b}, out, "fp=merge");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inputs, 2);
+  EXPECT_EQ(stats->missing_inputs, 0);
+  EXPECT_EQ(stats->cells, 3);
+  EXPECT_EQ(stats->duplicates, 0);
+  EXPECT_EQ(stats->dropped_lines, 0);
+
+  // The merged file is a normal journal: resuming against it restores all
+  // three cells, bit-exact, under the same fingerprint.
+  Journal merged;
+  ASSERT_TRUE(merged.Open(out, "fp=merge").ok());
+  EXPECT_EQ(merged.loaded_cells(), 3);
+  const JournalCell* baseline = merged.Find("toy", 0, 0);
+  ASSERT_NE(baseline, nullptr);
+  EXPECT_EQ(Bits(baseline->score), Bits(exact));
+  ASSERT_NE(merged.Find("toy", 0, 1), nullptr);
+  ASSERT_NE(merged.Find("zed", 1, 2), nullptr);
+}
+
+TEST(MergeJournals, CrossFileDuplicatesTakeTheLastInputInOrder) {
+  const std::string a = TempPath("merge_dup_a.jsonl");
+  const std::string b = TempPath("merge_dup_b.jsonl");
+  const std::string out = TempPath("merge_dup_out.jsonl");
+  // The same cell appears in both shards (e.g. a retried worker re-ran a
+  // cell a previous attempt already journaled elsewhere): the later input
+  // wins, mirroring Open()'s later-line-wins rule within one file.
+  WriteShard(a, "fp=dup", {MakeCell("toy", 0, 0, "baseline", 0.25)});
+  WriteShard(b, "fp=dup", {MakeCell("toy", 0, 0, "baseline", 0.875)});
+
+  const auto stats = MergeJournals({a, b}, out, "fp=dup");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cells, 1);
+  EXPECT_EQ(stats->duplicates, 1);
+
+  Journal merged;
+  ASSERT_TRUE(merged.Open(out, "fp=dup").ok());
+  const JournalCell* cell = merged.Find("toy", 0, 0);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(cell->score, 0.875);
+}
+
+TEST(MergeJournals, TornTrailingLineIsDroppedAndCounted) {
+  const std::string a = TempPath("merge_torn_a.jsonl");
+  const std::string out = TempPath("merge_torn_out.jsonl");
+  WriteShard(a, "fp=torn", {MakeCell("toy", 0, 0, "baseline", 0.5),
+                            MakeCell("toy", 0, 1, "smote", 0.75)});
+  // Tear the last record mid-line, as a SIGKILL during fwrite would: the
+  // merge must keep the intact cell and count one dropped line.
+  const auto size = std::filesystem::file_size(a);
+  std::filesystem::resize_file(a, size - 10);
+
+  const auto stats = MergeJournals({a}, out, "fp=torn");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->cells, 1);
+  EXPECT_EQ(stats->dropped_lines, 1);
+
+  Journal merged;
+  ASSERT_TRUE(merged.Open(out, "fp=torn").ok());
+  ASSERT_NE(merged.Find("toy", 0, 0), nullptr);
+  EXPECT_EQ(merged.Find("toy", 0, 1), nullptr);  // the torn cell re-runs
+}
+
+TEST(MergeJournals, FingerprintMismatchIsRejectedNotMixed) {
+  const std::string a = TempPath("merge_fp_a.jsonl");
+  const std::string b = TempPath("merge_fp_b.jsonl");
+  const std::string out = TempPath("merge_fp_out.jsonl");
+  WriteShard(a, "model=rocket;seed=5", {MakeCell("toy", 0, 0, "b", 0.5)});
+  WriteShard(b, "model=rocket;seed=6", {MakeCell("toy", 0, 1, "s", 0.75)});
+
+  const auto stats = MergeJournals({a, b}, out, "model=rocket;seed=5");
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), core::StatusCode::kDegenerateInput);
+  EXPECT_NE(stats.status().context().find("fingerprint mismatch"),
+            std::string::npos);
+}
+
+TEST(MergeJournals, MissingAndEmptyInputsAreToleratedAndCounted) {
+  const std::string a = TempPath("merge_gap_a.jsonl");
+  const std::string absent = TempPath("merge_gap_never_created.jsonl");
+  const std::string empty = TempPath("merge_gap_empty.jsonl");
+  const std::string out = TempPath("merge_gap_out.jsonl");
+  WriteShard(a, "fp=gap", {MakeCell("toy", 0, 0, "baseline", 0.5)});
+  std::filesystem::remove(absent);
+  // A zero-byte file: a shard that was spawned but killed before its
+  // journal header flushed. Indistinguishable from never-started.
+  std::filesystem::remove(empty);
+  std::ofstream(empty, std::ios::binary).close();
+
+  const auto stats = MergeJournals({a, absent, empty}, out, "fp=gap");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->inputs, 1);
+  EXPECT_EQ(stats->missing_inputs, 2);
+  EXPECT_EQ(stats->cells, 1);
+
+  Journal merged;
+  ASSERT_TRUE(merged.Open(out, "fp=gap").ok());
+  EXPECT_EQ(merged.loaded_cells(), 1);
+}
+
+TEST(MergeJournals, OutputIsDeterministicAcrossInputOrderAndReMerge) {
+  const std::string a = TempPath("merge_det_a.jsonl");
+  const std::string b = TempPath("merge_det_b.jsonl");
+  const std::string out1 = TempPath("merge_det_out1.jsonl");
+  const std::string out2 = TempPath("merge_det_out2.jsonl");
+  const std::string out3 = TempPath("merge_det_out3.jsonl");
+  // Disjoint cells written in interleaved order: the merged file must sort
+  // by (dataset, run, cell), so both input orders and a re-merge of the
+  // merged file itself all produce byte-identical output.
+  WriteShard(a, "fp=det", {MakeCell("zed", 1, 0, "baseline", 0.5),
+                           MakeCell("toy", 0, 1, "smote", 0.75)});
+  WriteShard(b, "fp=det", {MakeCell("toy", 0, 0, "baseline", 0.25)});
+
+  ASSERT_TRUE(MergeJournals({a, b}, out1, "fp=det").ok());
+  ASSERT_TRUE(MergeJournals({b, a}, out2, "fp=det").ok());
+  ASSERT_TRUE(MergeJournals({out1}, out3, "fp=det").ok());
+  const std::string merged = ReadAll(out1);
+  ASSERT_FALSE(merged.empty());
+  EXPECT_EQ(merged, ReadAll(out2));
+  EXPECT_EQ(merged, ReadAll(out3));
+}
+
+TEST(MergeJournals, FailedCellStatusesSurviveTheMerge) {
+  const std::string a = TempPath("merge_status_a.jsonl");
+  const std::string out = TempPath("merge_status_out.jsonl");
+  const double nan_score = std::nan("");
+  WriteShard(a, "fp=status",
+             {MakeCell("toy", 0, 1, "smote", nan_score,
+                       core::UnavailableError(
+                           "grid: cell missing from journal"))});
+
+  ASSERT_TRUE(MergeJournals({a}, out, "fp=status").ok());
+  Journal merged;
+  ASSERT_TRUE(merged.Open(out, "fp=status").ok());
+  const JournalCell* cell = merged.Find("toy", 0, 1);
+  ASSERT_NE(cell, nullptr);
+  EXPECT_EQ(Bits(cell->score), Bits(nan_score));
+  EXPECT_EQ(cell->status.code(), core::StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace tsaug::eval

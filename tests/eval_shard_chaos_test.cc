@@ -1,0 +1,202 @@
+// Chaos tests for the sharded grid supervisor (eval/shard.h), driven
+// through the real tools/grid_shard_main binary (path in TSAUG_SHARD_BIN)
+// with real fork/exec worker processes:
+//   - a fault-free sharded run's merged report is byte-identical to the
+//     unsharded golden run;
+//   - a worker killed mid-shard by the shard.worker abort action is
+//     restarted with backoff and the merged report stays byte-identical,
+//     at 1, 2 and 8 worker threads;
+//   - spawn faults and journal-heartbeat hangs are likewise retried;
+//   - a shard that exhausts its retries surfaces as failed kUnavailable
+//     cells in the report (never accuracy 0) and the run still exits 0.
+#include <sys/wait.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tsaug::eval {
+namespace {
+
+std::string TempDirFor(const std::string& name) {
+  return (std::filesystem::path(testing::TempDir()) / name).string();
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+const char* ShardBinary() { return std::getenv("TSAUG_SHARD_BIN"); }
+
+/// Runs grid_shard_main over a small fixed grid (3 datasets x 2 runs x
+/// {baseline, noise_1.0, smote}) with `args` appended, the given worker
+/// thread count and TSAUG_FAULTS spec. Returns the raw std::system wait
+/// status (0 = clean exit).
+int RunShard(const std::string& args, int threads,
+             const std::string& faults = "") {
+  std::string command;
+  command += "TSAUG_DATASETS='Epilepsy,RacketSports,Heartbeat' ";
+  command += "TSAUG_RUNS=2 TSAUG_KERNELS=80 ";
+  command += "TSAUG_TECHNIQUES='noise_1.0,smote' ";
+  command += "TSAUG_JOURNAL='' ";
+  command += "TSAUG_NUM_THREADS=" + std::to_string(threads) + " ";
+  command += "TSAUG_FAULTS='" + faults + "' ";
+  // Sequential appends: GCC 12 -O2 fires a bogus -Wrestrict on the
+  // char*-plus-rvalue-string overload, fatal under the strict CI leg.
+  command += "'";
+  command += ShardBinary();
+  command += "' ";
+  command += args;
+  return std::system(command.c_str());
+}
+
+bool ExitedCleanly(int status) {
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+/// The integer value of one counter in a trace::ReportJson dump, 0 when
+/// the counter never fired.
+int Counter(const std::string& trace_json, const std::string& name) {
+  const std::string key = "\"" + name + "\":";
+  const std::size_t pos = trace_json.find(key);
+  if (pos == std::string::npos) return 0;
+  return std::atoi(trace_json.c_str() + pos + key.size());
+}
+
+/// Runs the unsharded golden report into `out` and returns its bytes.
+std::string GoldenReport(const std::string& tag, int threads) {
+  const std::string out = TempDirFor("shard_golden_" + tag + ".txt");
+  std::filesystem::remove(out);
+  const int status = RunShard("--shards 0 --out '" + out + "'", threads);
+  EXPECT_TRUE(ExitedCleanly(status));
+  return ReadAll(out);
+}
+
+TEST(ShardChaos, FaultFreeShardedRunMatchesGoldenByteForByte) {
+  if (ShardBinary() == nullptr) GTEST_SKIP() << "TSAUG_SHARD_BIN unset";
+  const std::string golden = GoldenReport("plain", 2);
+  ASSERT_FALSE(golden.empty());
+
+  const std::string dir = TempDirFor("shard_plain_j");
+  const std::string out = TempDirFor("shard_plain_out.txt");
+  const std::string trace = TempDirFor("shard_plain_trace.json");
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(ExitedCleanly(
+      RunShard("--shards 2 --journal-dir '" + dir + "' --out '" + out +
+                   "' --trace-json '" + trace + "'",
+               2)));
+  EXPECT_EQ(ReadAll(out), golden);
+  const std::string counters = ReadAll(trace);
+  EXPECT_EQ(Counter(counters, "shard.completed"), 2);
+  EXPECT_EQ(Counter(counters, "shard.retried"), 0);
+}
+
+TEST(ShardChaos, KilledWorkerIsRestartedByteIdenticalAtOneTwoEightThreads) {
+  if (ShardBinary() == nullptr) GTEST_SKIP() << "TSAUG_SHARD_BIN unset";
+  for (int threads : {1, 2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string tag = std::to_string(threads);
+    const std::string golden = GoldenReport("kill_" + tag, threads);
+    ASSERT_FALSE(golden.empty());
+
+    const std::string dir = TempDirFor("shard_kill_j_" + tag);
+    const std::string out = TempDirFor("shard_kill_out_" + tag + ".txt");
+    const std::string trace = TempDirFor("shard_kill_trace_" + tag + ".json");
+    std::filesystem::remove_all(dir);
+    // Shard 0's first attempt aborts (SIGABRT) at its second dataset, so
+    // its journal holds a completed prefix; the restarted attempt resumes
+    // past it. The attempt-tagged domain keeps the rule from re-firing.
+    ASSERT_TRUE(ExitedCleanly(
+        RunShard("--shards 2 --journal-dir '" + dir + "' --out '" + out +
+                     "' --trace-json '" + trace + "' --backoff-ms 10",
+                 threads, "shard.worker@shard/0/attempt1:2!")));
+    EXPECT_EQ(ReadAll(out), golden);
+    const std::string counters = ReadAll(trace);
+    EXPECT_GE(Counter(counters, "shard.retried"), 1);
+    EXPECT_EQ(Counter(counters, "shard.completed"), 2);
+    EXPECT_GE(Counter(counters, "shard.spawned"), 3);
+  }
+}
+
+TEST(ShardChaos, SpawnFaultIsRetriedWithBackoff) {
+  if (ShardBinary() == nullptr) GTEST_SKIP() << "TSAUG_SHARD_BIN unset";
+  const std::string golden = GoldenReport("spawn", 2);
+  ASSERT_FALSE(golden.empty());
+
+  const std::string dir = TempDirFor("shard_spawn_j");
+  const std::string out = TempDirFor("shard_spawn_out.txt");
+  const std::string trace = TempDirFor("shard_spawn_trace.json");
+  std::filesystem::remove_all(dir);
+  // The first spawn of shard 1 fails before fork; the shard must still be
+  // retried (spawn failures consume an attempt) and complete.
+  ASSERT_TRUE(ExitedCleanly(
+      RunShard("--shards 2 --journal-dir '" + dir + "' --out '" + out +
+                   "' --trace-json '" + trace + "' --backoff-ms 10",
+               2, "shard.spawn@shard/1:1")));
+  EXPECT_EQ(ReadAll(out), golden);
+  const std::string counters = ReadAll(trace);
+  EXPECT_GE(Counter(counters, "shard.retried"), 1);
+  EXPECT_EQ(Counter(counters, "shard.completed"), 2);
+}
+
+TEST(ShardChaos, HungWorkerIsKilledOnHeartbeatStallAndRestarted) {
+  if (ShardBinary() == nullptr) GTEST_SKIP() << "TSAUG_SHARD_BIN unset";
+  const std::string golden = GoldenReport("hang", 2);
+  ASSERT_FALSE(golden.empty());
+
+  const std::string dir = TempDirFor("shard_hang_j");
+  const std::string out = TempDirFor("shard_hang_out.txt");
+  const std::string trace = TempDirFor("shard_hang_trace.json");
+  std::filesystem::remove_all(dir);
+  // Shard 1's first attempt wedges in the shard.hang sleep loop (no
+  // journal progress); the heartbeat monitor must SIGKILL and restart it.
+  ASSERT_TRUE(ExitedCleanly(RunShard(
+      "--shards 2 --journal-dir '" + dir + "' --out '" + out +
+          "' --trace-json '" + trace +
+          "' --backoff-ms 10 --hang-timeout-ms 400 --poll-ms 20",
+      2, "shard.hang@shard/1/attempt1:1")));
+  EXPECT_EQ(ReadAll(out), golden);
+  const std::string counters = ReadAll(trace);
+  EXPECT_GE(Counter(counters, "shard.hung_killed"), 1);
+  EXPECT_GE(Counter(counters, "shard.retried"), 1);
+  EXPECT_EQ(Counter(counters, "shard.completed"), 2);
+}
+
+TEST(ShardChaos, ExhaustedRetriesSurfaceAsFailedCellsNotAccuracyZero) {
+  if (ShardBinary() == nullptr) GTEST_SKIP() << "TSAUG_SHARD_BIN unset";
+  const std::string golden = GoldenReport("fail", 2);
+  ASSERT_FALSE(golden.empty());
+
+  const std::string dir = TempDirFor("shard_fail_j");
+  const std::string out = TempDirFor("shard_fail_out.txt");
+  const std::string trace = TempDirFor("shard_fail_trace.json");
+  std::filesystem::remove_all(dir);
+  // Every attempt of shard 0 aborts at its first dataset (the "+" rule
+  // fires on every consultation), so the shard exhausts max-retries. The
+  // run must still exit 0: the surviving shard's cells are merged and the
+  // dead shard's cells surface as explicit failures.
+  ASSERT_TRUE(ExitedCleanly(
+      RunShard("--shards 2 --journal-dir '" + dir + "' --out '" + out +
+                   "' --trace-json '" + trace +
+                   "' --backoff-ms 10 --max-retries 1",
+               2, "shard.worker@shard/0:1+")));
+  const std::string report = ReadAll(out);
+  ASSERT_FALSE(report.empty());
+  EXPECT_NE(report, golden);  // degraded, and visibly so
+  // The dead shard's cells carry an unavailable error, never a fabricated
+  // score: the bit pattern of accuracy 0.0 must not appear where golden
+  // had a real accuracy.
+  EXPECT_NE(report.find("unavailable"), std::string::npos);
+  EXPECT_NE(report.find("cell missing from journal"), std::string::npos);
+  const std::string counters = ReadAll(trace);
+  EXPECT_GE(Counter(counters, "shard.failed"), 1);
+  EXPECT_EQ(Counter(counters, "shard.completed"), 1);
+}
+
+}  // namespace
+}  // namespace tsaug::eval

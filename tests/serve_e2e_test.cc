@@ -1,7 +1,8 @@
 // End-to-end serving tests against a real serve_main child process
 // (path in TSAUG_SERVE_BIN, wired by tests/CMakeLists.txt): real TCP
 // round trips, per-request errors typed in the response Status, fault
-// injection at the accept/dispatch seams, graceful SIGTERM drain, and
+// injection at the accept/dispatch seams, idle-connection reaping,
+// graceful SIGTERM drain, and
 // the tentpole property — responses under 32 concurrent clients are
 // bitwise identical to a single-client run of the same request set,
 // while the trace counters prove cross-request batches actually formed
@@ -306,6 +307,46 @@ TEST(ServeE2eTest, AdmissionControlRejectsWithUnavailable) {
   parked.join();
   const std::string trace = server.trace();
   EXPECT_GE(CounterFromJson(trace, "serve.rejected"), 1);
+}
+
+TEST(ServeE2eTest, IdleConnectionsAreClosedButActiveOnesSurvive) {
+  if (ServerBinary() == nullptr) GTEST_SKIP() << "TSAUG_SERVE_BIN unset";
+  ServerProcess server;
+  server.Start("idle", {"--idle-timeout-ms", "300"});
+
+  AugmentRequest request;
+  request.request_id = 1;
+  request.technique = "masking";
+  request.count = 1;
+
+  // An active client outlives the timeout: each round trip resets the
+  // idle clock, so 3 x 150 ms gaps (450 ms total, every gap under 300 ms)
+  // never trip it.
+  Client active;
+  ASSERT_TRUE(active.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    core::StatusOr<AugmentResponse> response = active.Augment(request);
+    ASSERT_TRUE(response.ok())
+        << "round trip " << i << ": " << response.status().ToString();
+    EXPECT_TRUE(response->status.ok());
+  }
+
+  // A client that goes quiet past the timeout is closed server-side; its
+  // next round trip fails at the transport level instead of hanging.
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+  core::StatusOr<AugmentResponse> late = active.Augment(request);
+  EXPECT_FALSE(late.ok());
+
+  // The server itself is healthy: fresh connections still round-trip.
+  Client fresh;
+  ASSERT_TRUE(fresh.Connect("127.0.0.1", server.port()).ok());
+  core::StatusOr<AugmentResponse> healthy = fresh.Augment(request);
+  ASSERT_TRUE(healthy.ok()) << healthy.status().ToString();
+  EXPECT_TRUE(healthy->status.ok());
+
+  EXPECT_TRUE(server.StopCleanly());
+  EXPECT_GE(CounterFromJson(server.trace(), "serve.idle_closed"), 1);
 }
 
 TEST(ServeE2eTest, DispatchFaultFailsTheBatchWithTypedResponses) {

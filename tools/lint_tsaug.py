@@ -49,11 +49,14 @@ clang-tidy) cannot express:
                         touches intrinsics outside that one directory.
   mutex-annotation      No raw std::mutex / std::shared_mutex / lock_guard /
                         unique_lock / condition_variable tokens in src/
-                        outside src/core/thread_annotations.h: shared state
-                        is guarded by the annotated wrappers (Mutex,
-                        MutexLock, CondVar) so clang's -Wthread-safety can
-                        prove every guarded access holds the right lock. A
-                        raw standard mutex is invisible to that analysis.
+                        outside src/core/thread_annotations.h, and no
+                        pthread_mutex/cond/rwlock/spin primitives either
+                        (process-supervisor code reaching for <pthread.h>
+                        is the same hole): shared state is guarded by the
+                        annotated wrappers (Mutex, MutexLock, CondVar) so
+                        clang's -Wthread-safety can prove every guarded
+                        access holds the right lock. A raw mutex is
+                        invisible to that analysis.
   cancellation-poll     In src/**/*.cc files that participate in cooperative
                         stop (they include core/cancel.h), every outermost
                         brace-delimited for/while loop spanning >= 30 lines
@@ -62,6 +65,11 @@ clang-tidy) cannot express:
                         containing "cancel" that says why polling is not
                         needed. Long unpolled loops are where a cancelled or
                         deadline-overrun experiment cell stops responding.
+                        A loop of ANY length whose body blocks in
+                        waitpid / sleep_for / usleep / nanosleep carries the
+                        same obligation: a supervisor-style wait loop can be
+                        five lines long and still pin the process through a
+                        SIGTERM forever.
   status-discard-budget Every Status / StatusOr return is [[nodiscard]]; the
                         rare intentional discard is written `(void)Call();`
                         and counted against a frozen per-file budget.
@@ -129,11 +137,14 @@ SIMD_ALLOWED_PREFIX = "src/core/kernels/"
 # mutex-annotation: the raw standard lock vocabulary. lock_guard /
 # unique_lock / scoped_lock are banned alongside the mutex types because
 # locking a wrapped Mutex through its native_handle() with a std RAII type
-# would bypass the acquire/release annotations just as thoroughly.
+# would bypass the acquire/release annotations just as thoroughly. The
+# pthread primitives joined the ban with the shard supervisor (fork/exec
+# code is exactly where a bare pthread_mutex_t tends to creep in).
 RAW_MUTEX_RE = re.compile(
     r"std::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"recursive_timed_mutex|shared_timed_mutex|condition_variable(?:_any)?|"
-    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b")
+    r"lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+    r"|\bpthread_(?:mutex|cond|rwlock|spin)\w*")
 MUTEX_EXEMPT = ("src/core/thread_annotations.h",)
 
 # cancellation-poll: outermost loops at least this many lines long in
@@ -147,6 +158,11 @@ CANCEL_POLL_RE = re.compile(
 CANCEL_COMMENT_RE = re.compile(r"//.*cancel", re.IGNORECASE)
 CANCEL_LOOP_SPAN = 30       # lines, loop head through closing brace
 CANCEL_COMMENT_WINDOW = 3   # lines above the loop head searched for a comment
+# Blocking waits that obligate a poll regardless of loop length: a
+# supervisor reap loop (waitpid) or a backoff/poll loop (sleep_for) blocks
+# indefinitely in very few lines.
+BLOCKING_WAIT_RE = re.compile(
+    r"\bwaitpid\s*\(|\bsleep_for\s*\(|\busleep\s*\(|\bnanosleep\s*\(")
 
 # status-discard-budget: frozen per-file `(void)` discard counts. Status and
 # StatusOr are [[nodiscard]] (src/core/status.h), so an intentional discard
@@ -158,6 +174,12 @@ STATUS_DISCARD_BUDGET = {
     # Best-effort fault-spec parse diagnostics / stderr flush.
     "src/core/faultpoint.cc": 1,
     "src/core/io.cc": 2,
+    # Supervisor teardown: best-effort kill/reap of already-dying worker
+    # processes (the SIGTERM interrupt path and the hang SIGKILL) — a
+    # failed signal to a child that is exiting anyway has no recovery.
+    "src/eval/shard.cc": 3,
+    # Best-effort trace dump on the interrupted (exit 3) path.
+    "tools/grid_shard_main.cc": 1,
     # Parameter-pack expansion over unused gradient slots.
     "src/nn/layers.h": 3,
     # Benchmark bodies discard results to keep the measured loop tight;
@@ -246,22 +268,32 @@ def lint_cancellation_polls(rel, lines, violations):
         return
     loops = find_loops(lines)
     for (start, end) in loops:
-        if end - start + 1 < CANCEL_LOOP_SPAN:
+        body = lines[start - 1:end]
+        blocking = any(BLOCKING_WAIT_RE.search(strip_line_comment(l))
+                       for l in body)
+        # Long loops carry the obligation by span; loops with a blocking
+        # wait (waitpid / sleep) carry it at any length.
+        if end - start + 1 < CANCEL_LOOP_SPAN and not blocking:
             continue
         if any(o_start < start <= o_end for (o_start, o_end) in loops
                if (o_start, o_end) != (start, end)):
             continue  # nested: the outermost loop carries the obligation
-        body = lines[start - 1:end]
         if any(CANCEL_POLL_RE.search(strip_line_comment(l)) for l in body):
             continue
         window = lines[max(0, start - 1 - CANCEL_COMMENT_WINDOW):end]
         if any(CANCEL_COMMENT_RE.search(l) for l in window):
             continue
-        violations.append(
-            (rel, start, "cancellation-poll",
-             f"{end - start + 1}-line loop in a cancel-aware file neither "
-             "polls CheckStop nor carries a // comment (mentioning "
-             "\"cancel\") saying why a stopped run need not interrupt it"))
+        if end - start + 1 < CANCEL_LOOP_SPAN:
+            message = ("loop in a cancel-aware file blocks in "
+                       "waitpid/sleep without polling CheckStop and without "
+                       "a // comment (mentioning \"cancel\") saying why a "
+                       "stopped run need not interrupt it")
+        else:
+            message = (f"{end - start + 1}-line loop in a cancel-aware file "
+                       "neither polls CheckStop nor carries a // comment "
+                       "(mentioning \"cancel\") saying why a stopped run "
+                       "need not interrupt it")
+        violations.append((rel, start, "cancellation-poll", message))
 
 
 def lint_file(rel, lines, violations):
@@ -273,9 +305,9 @@ def lint_file(rel, lines, violations):
         line = strip_line_comment(raw)
         if in_src and rel not in MUTEX_EXEMPT and RAW_MUTEX_RE.search(line):
             violations.append((rel, i, "mutex-annotation",
-                               "raw standard mutex/lock type in src/; use the "
-                               "annotated Mutex/MutexLock/CondVar wrappers "
-                               "(core/thread_annotations.h) so clang "
+                               "raw std/pthread mutex or lock type in src/; "
+                               "use the annotated Mutex/MutexLock/CondVar "
+                               "wrappers (core/thread_annotations.h) so clang "
                                "-Wthread-safety can check the guard"))
         if VOID_DISCARD_RE.search(line):
             void_lines.append(i)

@@ -11,6 +11,7 @@
 //   --linger-ms X       batching policy: max linger in ms       (default 2)
 //   --max-queue-depth N admission control bound                 (default 1024)
 //   --max-connections N concurrent connection bound             (default 128)
+//   --idle-timeout-ms N close connections idle this long        (default 0 = off)
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -57,6 +58,8 @@ int main(int argc, char** argv) {
       config.batching.max_queue_depth = std::atoi(value.c_str());
     } else if (flag == "--max-connections") {
       config.max_connections = std::atoi(value.c_str());
+    } else if (flag == "--idle-timeout-ms") {
+      config.idle_timeout_ms = std::atoi(value.c_str());
     } else {
       std::fprintf(stderr, "serve_main: unknown flag %s\n", flag.c_str());
       return 2;

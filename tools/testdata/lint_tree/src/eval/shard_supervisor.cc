@@ -1,0 +1,42 @@
+// Fixture: a shard-supervisor-shaped file with two planted violations
+// and one clean loop that must NOT be reported:
+//   - a raw pthread mutex guarding the worker slots (mutex-annotation:
+//     the pthread primitives are as invisible to -Wthread-safety as the
+//     std:: ones);
+//   - a short reap loop blocking in waitpid/sleep_for without polling a
+//     stop flag (cancellation-poll: blocking waits carry the obligation
+//     at any loop length, not just past the 30-line span);
+//   - the same loop shape polling GlobalStopRequested, proving the
+//     blocking-wait rule does not overfire on a well-behaved supervisor.
+#include <pthread.h>
+
+#include "core/cancel.h"
+
+namespace tsaug::eval {
+
+pthread_mutex_t g_worker_slots_mu;
+
+int ReapForever(int pending) {
+  int reaped = 0;
+  while (pending > 0) {
+    int wait_status = 0;
+    reaped += static_cast<int>(::waitpid(-1, &wait_status, 0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pending -= 1;
+  }
+  return reaped;
+}
+
+int SuperviseUntilStopped(int pending) {
+  int reaped = 0;
+  while (pending > 0) {
+    if (core::GlobalStopRequested()) break;
+    int wait_status = 0;
+    reaped += static_cast<int>(::waitpid(-1, &wait_status, 0));
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pending -= 1;
+  }
+  return reaped;
+}
+
+}  // namespace tsaug::eval
