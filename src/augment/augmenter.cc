@@ -31,6 +31,37 @@ std::string TaxonomyBranchName(TaxonomyBranch branch) {
 
 core::StatusOr<std::vector<core::TimeSeries>> Augmenter::TryGenerate(
     const core::Dataset& train, int label, int count, core::Rng& rng) {
+  // Preflight at the NVI choke point: one typed guard covers every
+  // technique, so no DoGenerate sees the degenerate shapes (empty train,
+  // out-of-range label, memberless class) that stress-scenario datasets
+  // produce — they come back as a Status instead of tripping a
+  // TSAUG_CHECK deep inside one of the sixteen implementations.
+  if (count < 0) {
+    return core::InvalidArgumentError("augment." + name() + ": count " +
+                                      std::to_string(count) +
+                                      " is negative");
+  }
+  if (train.empty()) {
+    return core::DegenerateInputError("augment." + name() +
+                                      ": training set is empty");
+  }
+  if (label < 0 || label >= train.num_classes()) {
+    return core::InvalidArgumentError(
+        "augment." + name() + ": label " + std::to_string(label) +
+        " outside [0, " + std::to_string(train.num_classes()) + ")");
+  }
+  bool has_member = false;
+  for (int l : train.labels()) {
+    if (l == label) {
+      has_member = true;
+      break;
+    }
+  }
+  if (!has_member) {
+    return core::EmptyClassError("augment." + name() + ": class " +
+                                 std::to_string(label) +
+                                 " has no instances");
+  }
   if (!core::trace::Enabled()) return DoGenerate(train, label, count, rng);
   core::trace::Scope scope("augment." + name());
   core::StatusOr<std::vector<core::TimeSeries>> out =

@@ -9,6 +9,7 @@
 #include "core/parallel.h"
 #include "core/rng.h"
 #include "core/trace.h"
+#include "core/validate.h"
 
 namespace tsaug::classify {
 
@@ -169,7 +170,20 @@ void RocketClassifier::Fit(const core::Dataset& train) {
 }
 
 core::Status RocketClassifier::TryFit(const core::Dataset& train) {
-  TSAUG_CHECK(!train.empty());
+  // Typed preflight instead of aborts: stress-scenario datasets reach
+  // this path with shapes the transform cannot use (see core/validate.h);
+  // the grid records them as failed cells and keeps going.
+  if (train.empty()) {
+    return core::DegenerateInputError("rocket: training set is empty");
+  }
+  if (!core::ChannelsConsistent(train)) {
+    return core::GeometryMismatchError(
+        "rocket: inconsistent channel counts across training instances");
+  }
+  if (train.max_length() < 2) {
+    return core::DegenerateInputError(
+        "rocket: every training series is shorter than 2 steps");
+  }
   TSAUG_RETURN_IF_ERROR(core::CheckStop("rocket.fit"));
   TSAUG_TRACE_SCOPE("train.rocket");
   train_length_ = train.max_length();

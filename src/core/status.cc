@@ -22,8 +22,21 @@ const char* StatusCodeName(StatusCode code) {
       return "invalid_argument";
     case StatusCode::kUnavailable:
       return "unavailable";
+    case StatusCode::kEmptyClass:
+      return "empty_class";
+    case StatusCode::kAllMissing:
+      return "all_missing";
+    case StatusCode::kGeometryMismatch:
+      return "geometry_mismatch";
   }
   return "unknown";
+}
+
+bool IsDegenerateInput(StatusCode code) {
+  return code == StatusCode::kDegenerateInput ||
+         code == StatusCode::kEmptyClass ||
+         code == StatusCode::kAllMissing ||
+         code == StatusCode::kGeometryMismatch;
 }
 
 Status& Status::AddContext(const std::string& frame) {
@@ -72,6 +85,18 @@ Status InvalidArgumentError(std::string context) {
 
 Status UnavailableError(std::string context) {
   return Status(StatusCode::kUnavailable, std::move(context));
+}
+
+Status EmptyClassError(std::string context) {
+  return Status(StatusCode::kEmptyClass, std::move(context));
+}
+
+Status AllMissingError(std::string context) {
+  return Status(StatusCode::kAllMissing, std::move(context));
+}
+
+Status GeometryMismatchError(std::string context) {
+  return Status(StatusCode::kGeometryMismatch, std::move(context));
 }
 
 }  // namespace tsaug::core

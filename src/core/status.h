@@ -29,6 +29,14 @@ enum class StatusCode {
   kDeadlineExceeded,  // monotonic deadline passed (core/cancel.h)
   kInvalidArgument,   // malformed request/frame from an external caller
   kUnavailable,       // serving admission control rejected the request
+  // Degenerate-input diagnoses from preflight validation (core/validate.h).
+  // Refinements of kDegenerateInput: code-gated recovery policies need to
+  // tell an empty class from a fully-missing channel from a geometry
+  // mismatch without parsing context strings. Append-only (the journal and
+  // the wire codec serialise codes by name/value).
+  kEmptyClass,        // a class label owns zero training instances
+  kAllMissing,        // a channel (or whole series) is entirely NaN
+  kGeometryMismatch,  // channel counts / lengths inconsistent for the op
 };
 
 /// Stable lowercase name ("ok", "singular", ...), for reports and tests.
@@ -77,6 +85,15 @@ Status CancelledError(std::string context);
 Status DeadlineExceededError(std::string context);
 Status InvalidArgumentError(std::string context);
 Status UnavailableError(std::string context);
+Status EmptyClassError(std::string context);
+Status AllMissingError(std::string context);
+Status GeometryMismatchError(std::string context);
+
+/// True for every degenerate-input diagnosis (kDegenerateInput itself plus
+/// its preflight refinements). Recovery policies that treat "the data is
+/// too small/broken for this op" uniformly should branch on this, not on
+/// individual codes.
+bool IsDegenerateInput(StatusCode code);
 
 /// Value-or-Status. Implicitly constructible from either, so functions can
 /// `return value;` and `return SingularError(...);` symmetrically.

@@ -33,6 +33,13 @@ struct ExperimentConfig {
   classify::InceptionTimeConfig inception;
   std::uint64_t seed = 0;
 
+  /// Which dataset catalog the grid runs over ("" = the default UEA-like
+  /// Table-III suite; "stress" = the scenario catalog in
+  /// data/scenarios.h). Folded into ConfigFingerprint when non-empty, so
+  /// a journal written by a stress grid can never be silently replayed
+  /// against another suite whose dataset names happen to collide.
+  std::string dataset_suite;
+
   /// When non-empty, completed cells are journaled here (see
   /// eval/journal.h) and a grid restarted against the same journal skips
   /// them, reproducing the uninterrupted report bit for bit.

@@ -141,6 +141,9 @@ bool StatusCodeFromName(const std::string& name, core::StatusCode& code) {
       core::StatusCode::kDeadlineExceeded,
       core::StatusCode::kInvalidArgument,
       core::StatusCode::kUnavailable,
+      core::StatusCode::kEmptyClass,
+      core::StatusCode::kAllMissing,
+      core::StatusCode::kGeometryMismatch,
   };
   for (core::StatusCode candidate : kAll) {
     if (name == core::StatusCodeName(candidate)) {

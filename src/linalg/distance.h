@@ -8,11 +8,17 @@
 namespace tsaug::linalg {
 
 /// Euclidean distance between two equal-size vectors.
+///
+/// NaN-safe: coordinates where either side is NaN (a missing observation)
+/// are skipped, so a missing value can never poison a distance — and, by
+/// extension, never break the strict weak ordering a kNN partial_sort
+/// needs. NaN-free inputs take the backend kernel path and keep their
+/// exact bits.
 double EuclideanDistance(const std::vector<double>& a,
                          const std::vector<double>& b);
 
 /// Euclidean distance between flattened series. Series of different lengths
-/// are linearly resampled to the longer length first.
+/// are linearly resampled to the longer length first. NaN-safe (see above).
 double EuclideanDistance(const core::TimeSeries& a, const core::TimeSeries& b);
 
 /// Dependent multivariate Dynamic Time Warping distance: the local cost of
@@ -21,6 +27,10 @@ double EuclideanDistance(const core::TimeSeries& a, const core::TimeSeries& b);
 /// (< 0 means unconstrained). Returns the square root of the accumulated
 /// cost, so DTW with a degenerate diagonal path equals the Euclidean
 /// distance between equal-length series.
+/// NaN-safe: channels missing at either aligned step contribute zero to
+/// that step's local cost (series with missing data fall back to a
+/// deterministic scalar band row; NaN-free series keep the backend
+/// kernel's exact bits).
 double DtwDistance(const core::TimeSeries& a, const core::TimeSeries& b,
                    int window = -1);
 

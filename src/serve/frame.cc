@@ -1,6 +1,8 @@
 #include "serve/frame.h"
 
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 namespace tsaug::serve {
 namespace {
@@ -152,7 +154,7 @@ bool ReadStatus(Reader& r, core::Status* out) {
   std::uint8_t code = 0;
   std::string context;
   if (!r.ReadU8(&code) || !r.ReadString(&context)) return false;
-  if (code > static_cast<std::uint8_t>(core::StatusCode::kUnavailable)) {
+  if (code > static_cast<std::uint8_t>(core::StatusCode::kGeometryMismatch)) {
     return false;
   }
   *out = core::Status(static_cast<core::StatusCode>(code), std::move(context));
@@ -171,8 +173,13 @@ bool DecodeAugmentRequest(Reader& r, AugmentRequest* out) {
 }
 
 bool DecodeScoreRequest(Reader& r, ScoreRequest* out) {
-  return r.ReadU64(&out->request_id) && r.ReadU32(&out->timeout_millis) &&
-         r.ReadSeries(&out->series);
+  std::uint8_t sanitize = 0;
+  if (!r.ReadU64(&out->request_id) || !r.ReadU32(&out->timeout_millis) ||
+      !r.ReadU8(&sanitize) || sanitize > 1) {
+    return false;
+  }
+  out->sanitize_non_finite = sanitize != 0;
+  return r.ReadSeries(&out->series);
 }
 
 bool DecodeAugmentResponse(Reader& r, AugmentResponse* out) {
@@ -212,6 +219,7 @@ std::string EncodeFrame(const ScoreRequest& message) {
   AppendU8(body, static_cast<std::uint8_t>(MessageType::kScoreRequest));
   AppendU64(body, message.request_id);
   AppendU32(body, message.timeout_millis);
+  AppendU8(body, message.sanitize_non_finite ? 1 : 0);
   AppendSeries(body, message.series);
   return Finish(std::move(body));
 }
@@ -298,6 +306,30 @@ core::Status DecodeFrame(std::string_view buffer, Message* out,
   if (!r.done()) return Malformed("trailing bytes after body fields");
   *consumed = 4 + static_cast<std::size_t>(body_len);
   return core::OkStatus();
+}
+
+core::Status ValidateScoreRequestFinite(const ScoreRequest& request) {
+  if (request.sanitize_non_finite) return core::OkStatus();
+  const std::vector<double>& values = request.series.values();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) {
+      return core::InvalidArgumentError(
+          "serve: non-finite sample at flat index " + std::to_string(i) +
+          " (request did not opt into sanitize_non_finite)");
+    }
+  }
+  return core::OkStatus();
+}
+
+int SanitizeNonFinite(core::TimeSeries& series) {
+  int rewritten = 0;
+  for (double& v : series.values()) {
+    if (!std::isfinite(v)) {
+      v = std::numeric_limits<double>::quiet_NaN();
+      ++rewritten;
+    }
+  }
+  return rewritten;
 }
 
 }  // namespace tsaug::serve

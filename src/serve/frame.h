@@ -73,6 +73,13 @@ struct AugmentRequest {
 struct ScoreRequest {
   std::uint64_t request_id = 0;
   std::uint32_t timeout_millis = 0;
+  /// Ingest policy for non-finite samples (the only request payload that
+  /// carries doubles). Off (the default), a series containing NaN/Inf is
+  /// answered with a typed kInvalidArgument response — the frame itself is
+  /// well-formed, so the connection stays open. On, non-finite samples are
+  /// rewritten to NaN ("missing") on ingest and flow through the model's
+  /// ordinary imputation path.
+  bool sanitize_non_finite = false;
   core::TimeSeries series;
 
   bool operator==(const ScoreRequest&) const = default;
@@ -119,6 +126,20 @@ std::string EncodeFrame(const ScoreResponse& message);
 ///     close the connection.
 [[nodiscard]] core::Status DecodeFrame(std::string_view buffer, Message* out,
                                        std::size_t* consumed);
+
+/// Ingest validation for decoded score requests (shared by the service and
+/// the codec tests): kInvalidArgument naming the first offending sample
+/// when the series carries NaN/Inf and the request did not opt into
+/// sanitize-on-ingest; OK otherwise. Deliberately not part of DecodeFrame —
+/// a decode error means "close the connection", while a non-finite payload
+/// in a well-formed frame only fails that one request.
+[[nodiscard]] core::Status ValidateScoreRequestFinite(
+    const ScoreRequest& request);
+
+/// Rewrites every non-finite sample (NaN, +/-Inf) to quiet NaN — the
+/// "missing value" encoding the preprocessing impute path understands.
+/// Returns the number of samples rewritten.
+int SanitizeNonFinite(core::TimeSeries& series);
 
 }  // namespace tsaug::serve
 

@@ -112,7 +112,22 @@ std::vector<ScoreResponse> Service::ExecuteScoreBatch(
           std::to_string(channels) + "x" + std::to_string(length));
       continue;
     }
-    batched.Add(request.series, /*label=*/0);  // label unused by Predict
+    // Ingest policy for NaN/Inf payloads: reject typed (the connection
+    // stays open — only this request fails) unless the request opted into
+    // sanitize-on-ingest, in which case non-finite samples become NaN and
+    // the model's ordinary missing-value imputation handles them.
+    core::Status finite = ValidateScoreRequestFinite(request);
+    if (!finite.ok()) {
+      responses[i].status = std::move(finite);
+      continue;
+    }
+    if (request.sanitize_non_finite) {
+      core::TimeSeries sanitized = request.series;
+      SanitizeNonFinite(sanitized);
+      batched.Add(std::move(sanitized), /*label=*/0);  // label unused
+    } else {
+      batched.Add(request.series, /*label=*/0);  // label unused by Predict
+    }
     admitted.push_back(i);
   }
   if (admitted.empty()) return responses;

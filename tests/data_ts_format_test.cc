@@ -66,6 +66,70 @@ TEST(ReadTsFile, VariableLengthDimensionsPadded) {
   EXPECT_TRUE(std::isnan(dataset.series(0).at(1, 1)));
 }
 
+TEST(ReadTsFile, EmptyDimensionBecomesAllMissingChannel) {
+  // A case may omit one dimension entirely (":"-delimited empty field);
+  // the channel survives as all-NaN at the case length, so preflight
+  // validation can diagnose it rather than the parser guessing.
+  std::istringstream in("@data\n:1,2:x\n");
+  core::Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(in, &dataset, &error)) << error;
+  ASSERT_EQ(dataset.num_channels(), 2);
+  ASSERT_EQ(dataset.series(0).length(), 2);
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(0, 0)));
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(0, 1)));
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(1, 0), 1.0);
+}
+
+TEST(ReadTsFile, AllDimensionsEmptyIsRejected) {
+  std::istringstream in("@data\n:::x\n");
+  core::Dataset dataset;
+  std::string error;
+  EXPECT_FALSE(ReadTsFile(in, &dataset, &error));
+  EXPECT_NE(error.find("empty case"), std::string::npos);
+}
+
+TEST(ReadTsFile, TrailingMissingRunIsPreserved) {
+  // A run of '?' at the end of a dimension must not be trimmed away:
+  // the case keeps its declared length with NaNs in the tail.
+  std::istringstream in("@data\n1,2,?,?:9,?,?,?:x\n");
+  core::Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(in, &dataset, &error)) << error;
+  ASSERT_EQ(dataset.series(0).length(), 4);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(0, 1), 2.0);
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(0, 2)));
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(0, 3)));
+  EXPECT_TRUE(std::isnan(dataset.series(0).at(1, 3)));
+}
+
+TEST(ReadTsFile, SingleTimestepCaseParses) {
+  std::istringstream in("@data\n5:7:x\n1:2:y\n");
+  core::Dataset dataset;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(in, &dataset, &error)) << error;
+  ASSERT_EQ(dataset.size(), 2);
+  EXPECT_EQ(dataset.num_channels(), 2);
+  EXPECT_EQ(dataset.max_length(), 1);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(dataset.series(0).at(1, 0), 7.0);
+}
+
+TEST(WriteTsFile, SingleTimestepAndTrailingMissingRoundTrip) {
+  core::Dataset original;
+  original.Add(core::TimeSeries::FromChannels({{1.5}, {std::nan("")}}), 0);
+  original.Add(core::TimeSeries::FromChannels({{2.5}, {3.5}}), 1);
+  std::stringstream buffer;
+  WriteTsFile(original, "OneStep", buffer);
+  core::Dataset loaded;
+  std::string error;
+  ASSERT_TRUE(ReadTsFile(buffer, &loaded, &error)) << error;
+  ASSERT_EQ(loaded.size(), 2);
+  EXPECT_EQ(loaded.max_length(), 1);
+  EXPECT_DOUBLE_EQ(loaded.series(0).at(0, 0), 1.5);
+  EXPECT_TRUE(std::isnan(loaded.series(0).at(1, 0)));
+}
+
 TEST(ReadTsFile, RejectsDataBeforeDirective) {
   std::istringstream in("1,2:label\n");
   core::Dataset dataset;

@@ -1,6 +1,7 @@
 #include "linalg/distance.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -27,6 +28,84 @@ TEST(EuclideanDistance, ResamplesDifferentLengths) {
   TimeSeries a = TimeSeries::FromValues({0, 1, 2, 3});
   TimeSeries b = TimeSeries::FromValues({0, 3});  // resampled -> {0,1,2,3}
   EXPECT_NEAR(EuclideanDistance(a, b), 0.0, 1e-12);
+}
+
+TEST(EuclideanDistance, NanCoordinatesAreSkipped) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> a = {0.0, nan, 0.0};
+  const std::vector<double> b = {3.0, 7.5, 4.0};
+  // The NaN coordinate contributes nothing; the rest is a 3-4-5 triangle.
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(b, a), 5.0);
+}
+
+TEST(EuclideanDistance, AllNanIsZeroNotNan) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const std::vector<double> a = {nan, nan};
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 0.0);
+}
+
+TEST(EuclideanDistance, CleanPathBitsUnchangedByNanSupport) {
+  // NaN-free inputs must keep the backend kernel's exact result — the
+  // NaN-safe branch only fires when a NaN is actually present.
+  const std::vector<double> a = {0.25, -1.5, 3.125, 0.0625};
+  const std::vector<double> b = {1.25, 0.5, -0.875, 0.0625};
+  double expected = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    expected += d * d;
+  }
+  EXPECT_EQ(EuclideanDistance(a, b), std::sqrt(expected));
+}
+
+TEST(KNearestNeighbors, NanPointsKeepOrderingValid) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  // A NaN-poisoned distance would break partial_sort's strict weak
+  // ordering (UB); with NaN-skipping distances every comparison is finite.
+  std::vector<std::vector<double>> points = {
+      {0, 0}, {1, nan}, {5, 5}, {nan, nan}};
+  const auto nn = KNearestNeighbors(points, {0, 0}, 3, /*exclude=*/0);
+  ASSERT_EQ(nn.size(), 3u);
+  // {nan,nan} has distance 0 (every coordinate skipped), {1,nan} distance 1.
+  EXPECT_EQ(nn[0], 3);
+  EXPECT_EQ(nn[1], 1);
+  EXPECT_EQ(nn[2], 2);
+}
+
+TEST(DtwDistance, NanStepsContributeNothing) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  TimeSeries a = TimeSeries::FromValues({1, nan, 3, 2, 1});
+  TimeSeries clean = TimeSeries::FromValues({1, 2, 3, 2, 1});
+  const double d = DtwDistance(a, clean);
+  EXPECT_TRUE(std::isfinite(d));
+  // Identical except for the masked step, whose cost is dropped; DTW can
+  // also warp around it, so the distance stays at zero.
+  EXPECT_DOUBLE_EQ(d, 0.0);
+  // Symmetric in which operand carries the NaN.
+  EXPECT_DOUBLE_EQ(DtwDistance(clean, a), d);
+}
+
+TEST(DtwDistance, NanBandRowsMatchScalarReference) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  TimeSeries a = TimeSeries::FromChannels({{0, nan, 2, 3}, {1, 1, nan, 1}});
+  TimeSeries b = TimeSeries::FromChannels({{0, 1, 2, 4}, {1, 1, 1, 1}});
+  const double d = DtwDistance(a, b);
+  EXPECT_TRUE(std::isfinite(d));
+  EXPECT_GE(d, 0.0);
+  // A fully-banded run must agree with the unconstrained one when the band
+  // covers the whole matrix.
+  EXPECT_DOUBLE_EQ(DtwDistance(a, b, /*window=*/10), d);
+}
+
+TEST(DtwPath, NanSeriesStillYieldsMonotonePath) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  TimeSeries a = TimeSeries::FromValues({0, nan, 2, 3});
+  TimeSeries b = TimeSeries::FromValues({0, 1, 3});
+  const auto path = DtwPath(a, b);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (std::pair<int, int>{0, 0}));
+  EXPECT_EQ(path.back(), (std::pair<int, int>{3, 2}));
 }
 
 TEST(DtwDistance, EqualSeriesIsZero) {

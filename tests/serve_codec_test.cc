@@ -4,6 +4,8 @@
 // anywhere: the codec is a plain library over byte strings.
 #include "serve/frame.h"
 
+#include <cmath>
+#include <limits>
 #include <string>
 #include <variant>
 #include <vector>
@@ -86,6 +88,73 @@ TEST(ServeCodecTest, ScoreResponseRoundTrip) {
   const Message decoded = DecodeAll(EncodeFrame(response));
   ASSERT_EQ(decoded.type, MessageType::kScoreResponse);
   EXPECT_EQ(std::get<ScoreResponse>(decoded.payload), response);
+}
+
+TEST(ServeCodecTest, ScoreRequestSanitizeFlagRoundTrips) {
+  ScoreRequest request;
+  request.request_id = 12;
+  request.series = MakeSeries(2, 6, 31);
+  request.sanitize_non_finite = true;
+  const Message decoded = DecodeAll(EncodeFrame(request));
+  ASSERT_EQ(decoded.type, MessageType::kScoreRequest);
+  EXPECT_EQ(std::get<ScoreRequest>(decoded.payload), request);
+  EXPECT_TRUE(std::get<ScoreRequest>(decoded.payload).sanitize_non_finite);
+}
+
+TEST(ServeCodecTest, SanitizeFlagBeyondOneRejected) {
+  ScoreRequest request;
+  request.request_id = 13;
+  request.series = MakeSeries(1, 4, 32);
+  std::string frame = EncodeFrame(request);
+  // The sanitize flag byte sits after: u32 len, u8 type, u64 id,
+  // u32 timeout. Only 0 and 1 are valid on the wire.
+  frame[4 + 1 + 8 + 4] = 2;
+  Message message;
+  std::size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, &message, &consumed).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, NonFiniteSamplesRejectedUnlessOptedIn) {
+  ScoreRequest request;
+  request.request_id = 14;
+  request.series = MakeSeries(2, 5, 33);
+  request.series.at(1, 3) = std::numeric_limits<double>::infinity();
+
+  // Without the opt-in, the validation helper produces the typed reject
+  // the service answers with (connection stays open — this is not a
+  // codec-level DecodeFrame failure).
+  const core::Status rejected = ValidateScoreRequestFinite(request);
+  ASSERT_EQ(rejected.code(), core::StatusCode::kInvalidArgument);
+  // Flat index of (channel 1, t 3) in a 2x5 series.
+  EXPECT_NE(rejected.ToString().find("index 8"), std::string::npos);
+
+  request.sanitize_non_finite = true;
+  EXPECT_TRUE(ValidateScoreRequestFinite(request).ok());
+
+  // NaN counts as non-finite too.
+  ScoreRequest nan_request;
+  nan_request.request_id = 15;
+  nan_request.series = MakeSeries(1, 3, 34);
+  nan_request.series.at(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(ValidateScoreRequestFinite(nan_request).code(),
+            core::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeCodecTest, SanitizeNonFiniteRewritesToQuietNaN) {
+  core::TimeSeries series = MakeSeries(2, 4, 35);
+  series.at(0, 1) = std::numeric_limits<double>::infinity();
+  series.at(1, 2) = -std::numeric_limits<double>::infinity();
+  series.at(1, 3) = std::numeric_limits<double>::quiet_NaN();
+  const double untouched = series.at(0, 0);
+  EXPECT_EQ(SanitizeNonFinite(series), 3);
+  EXPECT_TRUE(std::isnan(series.at(0, 1)));
+  EXPECT_TRUE(std::isnan(series.at(1, 2)));
+  EXPECT_TRUE(std::isnan(series.at(1, 3)));
+  EXPECT_EQ(series.at(0, 0), untouched);
+  // Already-clean series are left alone.
+  core::TimeSeries clean = MakeSeries(1, 4, 36);
+  EXPECT_EQ(SanitizeNonFinite(clean), 0);
 }
 
 TEST(ServeCodecTest, StreamingDecodesConcatenatedFrames) {
@@ -182,8 +251,8 @@ TEST(ServeCodecTest, LyingSeriesGeometryRejected) {
   request.series = MakeSeries(1, 2, 3);
   std::string frame = EncodeFrame(request);
   // The series channel-count field sits after: u32 len, u8 type, u64 id,
-  // u32 timeout. Overwrite it with 0xffffffff.
-  const std::size_t channels_at = 4 + 1 + 8 + 4;
+  // u32 timeout, u8 sanitize flag. Overwrite it with 0xffffffff.
+  const std::size_t channels_at = 4 + 1 + 8 + 4 + 1;
   for (std::size_t i = 0; i < 4; ++i) {
     frame[channels_at + i] = static_cast<char>(0xff);
   }
@@ -202,8 +271,9 @@ TEST(ServeCodecTest, HugeChannelsWithZeroLengthRejected) {
   request.request_id = 2;
   request.series = core::TimeSeries(0, 0);
   std::string frame = EncodeFrame(request);
-  // Series header sits after: u32 len, u8 type, u64 id, u32 timeout.
-  const std::size_t channels_at = 4 + 1 + 8 + 4;
+  // Series header sits after: u32 len, u8 type, u64 id, u32 timeout,
+  // u8 sanitize flag.
+  const std::size_t channels_at = 4 + 1 + 8 + 4 + 1;
   const std::uint32_t huge = 0x80000000u;
   for (std::size_t i = 0; i < 4; ++i) {
     frame[channels_at + i] = static_cast<char>((huge >> (8 * i)) & 0xffu);

@@ -1,0 +1,11 @@
+// Fixture: src/data/ is a budgeted check-budget dir (the scenario catalog
+// and synthetic generators sit upstream of preflight validation, so a
+// data-dependent abort here would bypass the typed kDegenerateInput path).
+// This file is not in CHECK_BUDGET — budget 0, first TSAUG_CHECK reported.
+#include "core/check.h"
+
+int ScenarioLength(int length) {
+  TSAUG_DCHECK(length != 0);
+  TSAUG_CHECK(length > 1);  // line 9: input-derived, should be a Status
+  return length;
+}
